@@ -1,0 +1,24 @@
+//! Dataset-generation throughput for the synthetic benchmark suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emba_datagen::{build, DatasetId, Scale, WdcCategory, WdcSize};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    for (label, id) in [
+        ("wdc_computers", DatasetId::Wdc(WdcCategory::Computers, WdcSize::Medium)),
+        ("abt_buy_closure", DatasetId::AbtBuy),
+        ("dblp_scholar", DatasetId::DblpScholar),
+        ("books", DatasetId::Books),
+    ] {
+        group.bench_with_input(BenchmarkId::new("build", label), &id, |b, &id| {
+            b.iter(|| black_box(build(id, Scale(0.01), 42)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Table 7 as a criterion benchmark: per-pair training-step and inference
+//! latency for each model family on one shared example.
+//!
+//! The `reproduce -- table7` run reports end-to-end pairs/second over whole
+//! epochs; these microbenches isolate the per-pair model cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emba_core::{
+    EncodedExample, Matcher, ModelKind, PipelineConfig, TextPipeline,
+};
+use emba_datagen::{build, DatasetId, Scale, WdcCategory, WdcSize};
+use emba_nn::GraphStamp;
+use emba_tensor::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup(kind: ModelKind) -> (Box<dyn Matcher>, EncodedExample) {
+    let ds = build(
+        DatasetId::Wdc(WdcCategory::Computers, WdcSize::Medium),
+        Scale(0.005),
+        3,
+    );
+    let pipe = TextPipeline::fit(
+        &ds,
+        PipelineConfig {
+            vocab_size: 1024,
+            max_len: 64,
+            serialization: kind.serialization(),
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = kind.build(&pipe, ds.num_classes, 0.2, &mut rng);
+    let ex = pipe.encode_example(&ds.train[0]);
+    (model, ex)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let kinds = [
+        ModelKind::Emba,
+        ModelKind::EmbaSb,
+        ModelKind::EmbaDb,
+        ModelKind::EmbaFt,
+        ModelKind::JointBert,
+        ModelKind::Bert,
+        ModelKind::Roberta,
+        ModelKind::Ditto,
+        ModelKind::JointMatcher,
+        ModelKind::DeepMatcher,
+    ];
+
+    let mut infer = c.benchmark_group("table7_inference_per_pair");
+    infer.sample_size(20);
+    for kind in kinds {
+        let (model, ex) = setup(kind);
+        let mut rng = StdRng::seed_from_u64(1);
+        infer.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |b, ()| {
+            b.iter(|| {
+                let g = Graph::new();
+                let out = model.forward(&g, GraphStamp::next(), &ex, false, &mut rng);
+                black_box(out.match_prob)
+            });
+        });
+    }
+    infer.finish();
+
+    let mut train = c.benchmark_group("table7_training_step_per_pair");
+    train.sample_size(20);
+    for kind in kinds {
+        let (mut model, ex) = setup(kind);
+        let mut rng = StdRng::seed_from_u64(2);
+        train.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |b, ()| {
+            b.iter(|| {
+                let g = Graph::new();
+                let stamp = GraphStamp::next();
+                let out = model.forward(&g, stamp, &ex, true, &mut rng);
+                let grads = g.backward(out.loss);
+                model.zero_grads();
+                model.accumulate_gradients(&grads);
+                black_box(out.match_prob)
+            });
+        });
+    }
+    train.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Microbenchmarks of the tensor kernels that dominate training time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emba_tensor::{Graph, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let a = Tensor::rand_normal(n, n, 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(n, n, 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_nt(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let t = Tensor::rand_normal(64, 64, 0.0, 2.0, &mut rng);
+    let mut group = c.benchmark_group("softmax");
+    group.sample_size(30);
+    group.bench_function("rows_64x64", |b| b.iter(|| black_box(t.softmax_rows())));
+    group.bench_function("cols_64x64", |b| b.iter(|| black_box(t.softmax_cols())));
+    group.finish();
+}
+
+fn bench_autograd_overhead(c: &mut Criterion) {
+    // Forward + backward through a small MLP-shaped graph, measuring tape
+    // overhead relative to the raw kernels.
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Tensor::rand_normal(32, 64, 0.0, 1.0, &mut rng);
+    let w1 = Tensor::rand_normal(64, 64, 0.0, 0.1, &mut rng);
+    let w2 = Tensor::rand_normal(64, 1, 0.0, 0.1, &mut rng);
+    let mut group = c.benchmark_group("autograd");
+    group.sample_size(30);
+    group.bench_function("mlp_forward_backward", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let w1v = g.leaf(w1.clone());
+            let w2v = g.leaf(w2.clone());
+            let h = g.gelu(g.matmul(xv, w1v));
+            let y = g.matmul(h, w2v);
+            let loss = g.mean_all(g.mul(y, y));
+            black_box(g.backward(loss));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax, bench_autograd_overhead);
+criterion_main!(benches);

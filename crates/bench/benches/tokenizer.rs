@@ -1,0 +1,56 @@
+//! WordPiece training and encoding throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emba_datagen::{build, DatasetId, Scale, WdcCategory, WdcSize};
+use emba_tokenizer::{TrainConfig, WordPieceTokenizer};
+use std::hint::black_box;
+
+fn corpus() -> Vec<String> {
+    let ds = build(
+        DatasetId::Wdc(WdcCategory::Computers, WdcSize::Medium),
+        Scale(0.01),
+        3,
+    );
+    ds.all_pairs()
+        .flat_map(|p| [p.left.text(), p.right.text()])
+        .collect()
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut group = c.benchmark_group("wordpiece");
+    group.sample_size(10);
+    group.bench_function("train_1k_vocab", |b| {
+        b.iter(|| {
+            black_box(WordPieceTokenizer::train(
+                &corpus,
+                &TrainConfig {
+                    vocab_size: 1024,
+                    min_pair_freq: 2,
+                },
+            ))
+        });
+    });
+
+    let tok = WordPieceTokenizer::train(
+        &corpus,
+        &TrainConfig {
+            vocab_size: 1024,
+            min_pair_freq: 2,
+        },
+    );
+    group.sample_size(50);
+    group.bench_function("encode_corpus", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for line in &corpus {
+                total += tok.encode(line).len();
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tokenizer);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p emba-bench --bin reproduce -- all
+//! cargo run --release -p emba-bench --bin reproduce -- table2 --runs 5
+//! cargo run --release -p emba-bench --bin reproduce -- table1 --profile smoke
+//! ```
+//!
+//! Artifacts (text + JSON) are written to `results/` in the workspace root.
+
+use std::fs;
+use std::path::PathBuf;
+
+use emba_bench::{
+    figure5, figure6, render_table2, render_table3, render_table4, render_table5, table1,
+    table2_data, table4_data, table6, table7, Artifact, Profile,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+
+    let mut profile = match flag_value(&args, "--profile").as_deref() {
+        Some("smoke") => Profile::smoke(),
+        Some("full") => Profile::full(),
+        Some("quick") | None => Profile::quick(),
+        Some(other) => {
+            eprintln!("unknown profile {other:?}; expected smoke|quick|full");
+            std::process::exit(2);
+        }
+    };
+    if let Some(runs) = flag_value(&args, "--runs") {
+        profile.cfg.runs = runs.parse().expect("--runs expects an integer");
+    }
+    if let Some(epochs) = flag_value(&args, "--epochs") {
+        profile.cfg.train.epochs = epochs.parse().expect("--epochs expects an integer");
+    }
+    if let Some(scale) = flag_value(&args, "--scale") {
+        profile.scale = emba_datagen::Scale(scale.parse().expect("--scale expects a float"));
+    }
+    if let Some(names) = flag_value(&args, "--datasets") {
+        let wanted: Vec<&str> = names.split(',').collect();
+        let resolve = |name: &str| {
+            emba_datagen::DatasetId::all()
+                .into_iter()
+                .find(|id| id.name() == name)
+                .unwrap_or_else(|| panic!("unknown dataset {name:?}; expected e.g. wdc-computers-small"))
+        };
+        let ids: Vec<_> = wanted.iter().map(|n| resolve(n)).collect();
+        profile.table2_datasets = ids.clone();
+        profile.table4_datasets = ids;
+    }
+    let out_dir = PathBuf::from(flag_value(&args, "--out").unwrap_or_else(|| "results".into()));
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    // Positional arguments are targets; a token following a `--flag` is that
+    // flag's value, not a target.
+    let mut targets: Vec<&str> = Vec::new();
+    let mut skip_next = false;
+    for arg in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if arg.starts_with("--") {
+            skip_next = true;
+            continue;
+        }
+        targets.push(arg.as_str());
+    }
+    let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
+        vec!["table1", "table2", "table3", "table4", "table5", "table6", "table7", "figure5", "figure6"]
+    } else {
+        targets
+    };
+
+    eprintln!(
+        "profile {} | scale {} | runs {} | epochs {} | targets {:?}",
+        profile.name, profile.scale.0, profile.cfg.runs, profile.cfg.train.epochs, targets
+    );
+
+    let emit = |artifact: Artifact| {
+        println!("{}", artifact.text);
+        let txt = out_dir.join(format!("{}.txt", artifact.id));
+        let json = out_dir.join(format!("{}.json", artifact.id));
+        fs::write(&txt, &artifact.text).expect("write text artifact");
+        fs::write(
+            &json,
+            serde_json::to_string_pretty(&artifact.json).expect("serialize"),
+        )
+        .expect("write json artifact");
+        eprintln!("[saved] {} and {}", txt.display(), json.display());
+    };
+
+    // Tables 2+3 share one grid of training runs, as do 4+5.
+    let wants = |t: &str| targets.contains(&t);
+    if wants("table1") {
+        emit(table1(&profile));
+    }
+    if wants("table2") || wants("table3") {
+        let grid = table2_data(&profile);
+        if wants("table2") {
+            emit(render_table2(&grid));
+        }
+        if wants("table3") {
+            emit(render_table3(&grid));
+        }
+    }
+    if wants("table4") || wants("table5") {
+        let grid = table4_data(&profile);
+        if wants("table4") {
+            emit(render_table4(&grid));
+        }
+        if wants("table5") {
+            emit(render_table5(&grid));
+        }
+    }
+    if wants("table6") {
+        emit(table6(&profile));
+    }
+    if wants("table7") {
+        emit(table7(&profile));
+    }
+    if wants("figure5") {
+        emit(figure5(&profile));
+    }
+    if wants("figure6") {
+        emit(figure6(&profile));
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn print_help() {
+    println!(
+        "reproduce — regenerate the EMBA paper's tables and figures
+
+USAGE:
+    reproduce [TARGETS...] [OPTIONS]
+
+TARGETS (default: all):
+    table1   dataset statistics
+    table2   EM F1 across all models and datasets (+ t-tests)
+    table3   entity-ID accuracy / F1 (same runs as table2)
+    table4   ablation study F1
+    table5   ablation entity-ID metrics (same runs as table4)
+    table6   class-imbalance experiment
+    table7   training / inference throughput
+    figure5  LIME explanations of the case-study pair
+    figure6  attention visualization of the case-study pair
+
+OPTIONS:
+    --profile smoke|quick|full   compute budget (default quick)
+    --runs N                     repeated runs per cell
+    --epochs N                   fine-tuning epochs
+    --scale F                    dataset scale vs Table 1 counts
+    --datasets a,b,c             restrict table2-5 dataset rows by name
+    --out DIR                    artifact directory (default results/)"
+    );
+}

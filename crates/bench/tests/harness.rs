@@ -1,0 +1,105 @@
+//! Tests of the reproduction harness: renderers against synthetic results
+//! and a smoke run of the cheap experiment paths.
+
+use emba_bench::{render_table2, render_table3, render_table4, render_table5, table1, Profile};
+use emba_core::ExperimentResult;
+
+fn result(model: &str, dataset: &str, f1s: &[f64], ids: Option<(f64, f64, f64)>) -> ExperimentResult {
+    let mean = f1s.iter().sum::<f64>() / f1s.len() as f64;
+    let std = if f1s.len() > 1 {
+        (f1s.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (f1s.len() - 1) as f64).sqrt()
+    } else {
+        0.0
+    };
+    ExperimentResult {
+        model: model.to_string(),
+        dataset: dataset.to_string(),
+        f1_runs: f1s.to_vec(),
+        f1_mean: mean,
+        f1_std: std,
+        id_acc1: ids.map(|(a, _, _)| a),
+        id_acc2: ids.map(|(_, b, _)| b),
+        id_f1: ids.map(|(_, _, f)| f),
+        train_pairs_per_sec: 10.0,
+        infer_pairs_per_sec: 20.0,
+    }
+}
+
+fn table2_grid() -> Vec<Vec<ExperimentResult>> {
+    let models = emba_core::ModelKind::table2();
+    vec![models
+        .iter()
+        .map(|m| {
+            let ids = m.is_multitask().then_some((0.9, 0.8, 0.85));
+            // EMBA clearly above JointBERT so the t-test stars fire.
+            let f1s: Vec<f64> = match m.name() {
+                "EMBA" => vec![0.98, 0.97, 0.99],
+                "JointBERT" => vec![0.90, 0.89, 0.91],
+                _ => vec![0.85, 0.86, 0.84],
+            };
+            result(m.name(), "wdc-computers-small", &f1s, ids)
+        })
+        .collect()]
+}
+
+#[test]
+fn table2_renders_stars_for_significant_emba_wins() {
+    let artifact = render_table2(&table2_grid());
+    assert_eq!(artifact.id, "table2");
+    assert!(artifact.text.contains("wdc-computers-small"));
+    // EMBA mean 98 with tiny variance vs JointBERT 90: expect stars.
+    let emba_cell_has_stars = artifact.text.contains('*');
+    assert!(emba_cell_has_stars, "expected significance stars:\n{}", artifact.text);
+    assert!(artifact.json.is_array());
+}
+
+#[test]
+fn table3_reports_only_multitask_models() {
+    let artifact = render_table3(&table2_grid());
+    assert!(artifact.text.contains("EMBA"));
+    // Single-task models never appear as columns in Table 3.
+    assert!(!artifact.text.contains("DeepMatcher"));
+    assert!(!artifact.text.contains("DITTO"));
+}
+
+#[test]
+fn table4_and_5_render_the_ablation_grid() {
+    let models = emba_core::ModelKind::table4();
+    let grid = vec![models
+        .iter()
+        .map(|m| {
+            let ids = m.is_multitask().then_some((0.5, 0.4, 0.45));
+            result(m.name(), "books", &[0.7, 0.72], ids)
+        })
+        .collect::<Vec<_>>()];
+    let t4 = render_table4(&grid);
+    assert!(t4.text.contains("JointBERT-S"));
+    assert!(t4.text.contains("EMBA-SurfCon"));
+    let t5 = render_table5(&grid);
+    assert!(t5.text.contains("JointBERT-CT acc2"));
+}
+
+#[test]
+fn table1_smoke_runs_quickly_and_covers_every_dataset() {
+    let p = Profile::smoke();
+    let a = table1(&p);
+    let rows = a.json.as_array().unwrap();
+    assert_eq!(rows.len(), 22);
+    for row in rows {
+        assert!(row["lrid"].as_f64().unwrap() >= 0.0);
+        assert!(row["pos_pairs"].as_u64().unwrap() > 0);
+    }
+}
+
+#[test]
+fn profiles_are_ordered_by_budget() {
+    let smoke = Profile::smoke();
+    let quick = Profile::quick();
+    let full = Profile::full();
+    assert!(smoke.scale.0 < quick.scale.0);
+    assert!(quick.scale.0 < full.scale.0);
+    assert!(smoke.cfg.train.epochs <= quick.cfg.train.epochs);
+    assert!(quick.cfg.train.epochs <= full.cfg.train.epochs);
+    assert!(full.table2_datasets.len() == 22);
+    assert!(!quick.table2_datasets.is_empty());
+}

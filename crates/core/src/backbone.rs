@@ -1,0 +1,311 @@
+//! Encoder backbones: the mini-BERT variants and the fastText-style encoder.
+//!
+//! The paper evaluates EMBA over four language-model backbones — BERT-base,
+//! BERT-small (SB), distilBERT (DB), and fastText (FT) — plus a
+//! RoBERTa-style single-task baseline. [`Backbone`] unifies them behind one
+//! `encode` call so every matcher is backbone-agnostic.
+
+use emba_nn::{BertConfig, BertEncoder, GraphStamp, Linear, Module, Param};
+use emba_tensor::{Graph, Var};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Which encoder architecture to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackboneKind {
+    /// The BERT-base stand-in (4 layers × 128 dims at repo scale).
+    Base,
+    /// BERT-small stand-in: fewer layers, half width (the paper's SB).
+    Small,
+    /// distilBERT stand-in: half the layers, full width (the paper's DB).
+    Distil,
+    /// RoBERTa-style: BERT-base architecture without segment embeddings
+    /// (RoBERTa drops the NSP segment signal).
+    Roberta,
+    /// fastText-style bag-of-subwords encoder (the paper's FT).
+    FastText,
+}
+
+impl BackboneKind {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackboneKind::Base => "bert-base",
+            BackboneKind::Small => "bert-small",
+            BackboneKind::Distil => "distilbert",
+            BackboneKind::Roberta => "roberta",
+            BackboneKind::FastText => "fasttext",
+        }
+    }
+}
+
+/// One encoded sequence: per-token states plus a pooled representation.
+pub struct SeqOutput {
+    /// `[seq, hidden]` token representations.
+    pub tokens: Var,
+    /// `[1, hidden]` pooled representation of the `[CLS]` position.
+    pub pooled: Var,
+    /// Last-layer per-head self-attention probabilities (empty for
+    /// fastText, which has no attention).
+    pub last_attention: Vec<Var>,
+}
+
+/// fastText-style encoder: a subword embedding table; the sequence
+/// representation is the token embeddings themselves and the pooled form is
+/// a tanh projection of their mean. No position information — a bag of
+/// subwords, as in the original.
+#[derive(Debug)]
+pub struct FastTextEncoder {
+    embedding: emba_nn::Embedding,
+    pool_proj: Linear,
+}
+
+impl FastTextEncoder {
+    /// A fastText encoder with `dim`-wide embeddings.
+    pub fn new<R: rand::Rng + ?Sized>(vocab: usize, dim: usize, rng: &mut R) -> Self {
+        Self {
+            embedding: emba_nn::Embedding::new(vocab, dim, rng),
+            pool_proj: Linear::new(dim, dim, rng),
+        }
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.embedding.dim()
+    }
+
+    /// Mutable access to the subword embedding table (for skip-gram
+    /// pre-training).
+    pub fn embedding_mut(&mut self) -> &mut emba_nn::Embedding {
+        &mut self.embedding
+    }
+
+    fn encode(&self, g: &Graph, stamp: GraphStamp, ids: &[usize]) -> SeqOutput {
+        let tokens = self.embedding.forward(g, stamp, ids);
+        let mean = g.mean_axis0(tokens);
+        let pooled = g.tanh(self.pool_proj.forward(g, stamp, mean));
+        SeqOutput {
+            tokens,
+            pooled,
+            last_attention: Vec::new(),
+        }
+    }
+}
+
+impl Module for FastTextEncoder {
+    fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        self.embedding.visit(f);
+        self.pool_proj.visit(f);
+    }
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.embedding.visit_mut(f);
+        self.pool_proj.visit_mut(f);
+    }
+}
+
+/// A unified encoder backbone.
+pub enum Backbone {
+    /// Transformer variants. `use_segments = false` for the RoBERTa style.
+    Bert {
+        /// The encoder.
+        encoder: BertEncoder,
+        /// Whether segment ids are consumed (RoBERTa ignores them).
+        use_segments: bool,
+    },
+    /// Bag-of-subwords.
+    FastText(FastTextEncoder),
+}
+
+impl Backbone {
+    /// Instantiates a backbone of the given kind over `vocab` subwords with
+    /// sequences up to `max_len`.
+    pub fn new<R: rand::Rng + ?Sized>(
+        kind: BackboneKind,
+        vocab: usize,
+        max_len: usize,
+        rng: &mut R,
+    ) -> Self {
+        let bert = |mut cfg: BertConfig, use_segments: bool, rng: &mut R| {
+            cfg.max_len = max_len;
+            Backbone::Bert {
+                encoder: BertEncoder::new(cfg, rng),
+                use_segments,
+            }
+        };
+        match kind {
+            BackboneKind::Base => bert(BertConfig::base(vocab), true, rng),
+            BackboneKind::Small => bert(BertConfig::small(vocab), true, rng),
+            BackboneKind::Distil => bert(BertConfig::distil(vocab), true, rng),
+            BackboneKind::Roberta => bert(BertConfig::base(vocab), false, rng),
+            BackboneKind::FastText => {
+                Backbone::FastText(FastTextEncoder::new(vocab, 128, rng))
+            }
+        }
+    }
+
+    /// Instantiates a backbone from an explicit BERT config (used by tests
+    /// and the throughput bench to pin sizes).
+    pub fn from_bert_config<R: rand::Rng + ?Sized>(
+        cfg: BertConfig,
+        use_segments: bool,
+        rng: &mut R,
+    ) -> Self {
+        Backbone::Bert {
+            encoder: BertEncoder::new(cfg, rng),
+            use_segments,
+        }
+    }
+
+    /// Hidden width of the token representations.
+    pub fn hidden(&self) -> usize {
+        match self {
+            Backbone::Bert { encoder, .. } => encoder.hidden(),
+            Backbone::FastText(ft) => ft.dim(),
+        }
+    }
+
+    /// Whether this backbone supports MLM pre-training (transformers only).
+    pub fn bert_mut(&mut self) -> Option<&mut BertEncoder> {
+        match self {
+            Backbone::Bert { encoder, .. } => Some(encoder),
+            Backbone::FastText(_) => None,
+        }
+    }
+
+    /// The fastText encoder, when this backbone is one (for skip-gram
+    /// pre-training of its embedding table).
+    pub fn fasttext_mut(&mut self) -> Option<&mut FastTextEncoder> {
+        match self {
+            Backbone::Bert { .. } => None,
+            Backbone::FastText(ft) => Some(ft),
+        }
+    }
+
+    /// Encodes a token sequence with segment ids.
+    pub fn encode(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        ids: &[usize],
+        segments: &[usize],
+        train: bool,
+        rng: &mut dyn RngCore,
+    ) -> SeqOutput {
+        match self {
+            Backbone::Bert {
+                encoder,
+                use_segments,
+            } => {
+                let zeros;
+                let segs: &[usize] = if *use_segments {
+                    segments
+                } else {
+                    zeros = vec![0; ids.len()];
+                    &zeros
+                };
+                let out = encoder.forward(g, stamp, ids, segs, train, rng);
+                SeqOutput {
+                    tokens: out.tokens,
+                    pooled: out.pooled,
+                    last_attention: out.last_attention,
+                }
+            }
+            Backbone::FastText(ft) => ft.encode(g, stamp, ids),
+        }
+    }
+}
+
+impl Module for Backbone {
+    fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        match self {
+            Backbone::Bert { encoder, .. } => encoder.visit(f),
+            Backbone::FastText(ft) => ft.visit(f),
+        }
+    }
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            Backbone::Bert { encoder, .. } => encoder.visit_mut(f),
+            Backbone::FastText(ft) => ft.visit_mut(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn encode_with(kind: BackboneKind) -> (usize, usize) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = Backbone::new(kind, 100, 32, &mut rng);
+        let g = Graph::new();
+        let out = b.encode(
+            &g,
+            GraphStamp::next(),
+            &[2, 10, 11, 3, 12, 3],
+            &[0, 0, 0, 0, 1, 1],
+            false,
+            &mut rng,
+        );
+        let (rows, cols) = g.value(out.tokens).shape();
+        assert_eq!(g.value(out.pooled).shape(), (1, cols));
+        (rows, cols)
+    }
+
+    #[test]
+    fn all_kinds_encode() {
+        assert_eq!(encode_with(BackboneKind::Base), (6, 128));
+        assert_eq!(encode_with(BackboneKind::Small), (6, 64));
+        assert_eq!(encode_with(BackboneKind::Distil), (6, 128));
+        assert_eq!(encode_with(BackboneKind::Roberta), (6, 128));
+        assert_eq!(encode_with(BackboneKind::FastText), (6, 128));
+    }
+
+    #[test]
+    fn roberta_ignores_segments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = Backbone::new(BackboneKind::Roberta, 50, 16, &mut rng);
+        let g = Graph::new();
+        let a = b.encode(&g, GraphStamp::next(), &[2, 5, 3], &[0, 0, 0], false, &mut rng);
+        let c = b.encode(&g, GraphStamp::next(), &[2, 5, 3], &[0, 1, 1], false, &mut rng);
+        assert_eq!(g.value(a.tokens), g.value(c.tokens));
+    }
+
+    #[test]
+    fn bert_respects_segments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = Backbone::new(BackboneKind::Small, 50, 16, &mut rng);
+        let g = Graph::new();
+        let a = b.encode(&g, GraphStamp::next(), &[2, 5, 3], &[0, 0, 0], false, &mut rng);
+        let c = b.encode(&g, GraphStamp::next(), &[2, 5, 3], &[0, 1, 1], false, &mut rng);
+        assert_ne!(g.value(a.tokens), g.value(c.tokens));
+    }
+
+    #[test]
+    fn fasttext_has_no_attention_and_no_position() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = Backbone::new(BackboneKind::FastText, 50, 16, &mut rng);
+        let g = Graph::new();
+        let out = b.encode(&g, GraphStamp::next(), &[5, 6], &[0, 0], false, &mut rng);
+        assert!(out.last_attention.is_empty());
+        // Bag-of-words: permuting ids permutes token rows but leaves the
+        // pooled mean unchanged.
+        let swapped = b.encode(&g, GraphStamp::next(), &[6, 5], &[0, 0], false, &mut rng);
+        let p1 = g.value(out.pooled);
+        let p2 = g.value(swapped.pooled);
+        for (a, c) in p1.data().iter().zip(p2.data()) {
+            assert!((a - c).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn param_counts_ordered_by_capacity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = Backbone::new(BackboneKind::Base, 200, 32, &mut rng);
+        let small = Backbone::new(BackboneKind::Small, 200, 32, &mut rng);
+        let distil = Backbone::new(BackboneKind::Distil, 200, 32, &mut rng);
+        assert!(base.num_params() > distil.num_params());
+        assert!(distil.num_params() > small.num_params());
+    }
+}

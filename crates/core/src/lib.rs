@@ -1,0 +1,57 @@
+//! EMBA: Entity Matching using Multi-Task Learning of BERT with
+//! Attention-over-Attention — the paper's models, baselines, and training
+//! protocol.
+//!
+//! This is the core crate of the reproduction. It provides:
+//!
+//! * [`aoa`] — the attention-over-attention module (§3.4);
+//! * [`TokenAggregationHead`] — the learned token aggregation for the
+//!   entity-ID auxiliary tasks (§3.3);
+//! * [`TransformerMatcher`] — one parameterized architecture covering EMBA,
+//!   JointBERT, every ablation (JointBERT-S/T/CT, EMBA-CLS, EMBA-SurfCon),
+//!   and the single-task baselines (BERT, RoBERTa, DITTO, JointMatcher);
+//! * [`DeepMatcher`] — the attribute-aligned RNN baseline;
+//! * [`ModelKind`] — the registry/factory for all fifteen systems;
+//! * [`train_matcher`] / [`run_experiment`] — Algorithm 1 (dual-objective
+//!   Adam training with warmup, linear decay, early stopping) and the
+//!   5-run evaluation protocol with Welch t-tests ([`stats`]).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use emba_core::{run_experiment, ExperimentConfig, ModelKind};
+//! use emba_datagen::{build, DatasetId, Scale, WdcCategory, WdcSize};
+//!
+//! let ds = build(DatasetId::Wdc(WdcCategory::Computers, WdcSize::Small), Scale::TEST, 7);
+//! let result = run_experiment(ModelKind::Emba, &ds, &ExperimentConfig::default());
+//! println!("EMBA F1 = {:.2} ± {:.2}", 100.0 * result.f1_mean, 100.0 * result.f1_std);
+//! ```
+
+pub mod aoa;
+mod backbone;
+mod checkpoint;
+mod deepmatcher;
+mod experiment;
+mod heads;
+mod kind;
+mod metrics;
+mod models;
+mod pipeline;
+pub mod stats;
+mod train;
+
+pub use backbone::{Backbone, BackboneKind, FastTextEncoder, SeqOutput};
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use deepmatcher::{DeepMatcher, DeepMatcherConfig};
+pub use experiment::{
+    run_experiment, run_experiment_cached, train_single, train_single_cached, ExperimentConfig,
+    ExperimentResult, Prediction, PretrainCache, TrainedMatcher,
+};
+pub use heads::{MatchHead, TokenAggregationHead};
+pub use kind::ModelKind;
+pub use metrics::{id_metrics, match_metrics, IdMetrics, MatchMetrics};
+pub use models::{
+    numeric_vocab_table, AuxStrategy, EmStrategy, Matcher, ModelOutput, TransformerMatcher,
+};
+pub use pipeline::{EncodedExample, PipelineConfig, TextPipeline};
+pub use train::{evaluate, train_matcher, train_with_lr_sweep, EvalResult, TrainConfig, TrainReport};

@@ -1,0 +1,188 @@
+//! Evaluation metrics: binary match P/R/F1 and entity-ID accuracy / F1.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary classification metrics for the EM task. F1 is reported for the
+/// positive (match) class, as in all the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchMetrics {
+    /// Positive-class precision.
+    pub precision: f64,
+    /// Positive-class recall.
+    pub recall: f64,
+    /// Positive-class F1.
+    pub f1: f64,
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Confusion counts `(tp, fp, fn, tn)`.
+    pub confusion: (usize, usize, usize, usize),
+}
+
+/// Computes [`MatchMetrics`] from predictions and gold labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn match_metrics(preds: &[bool], gold: &[bool]) -> MatchMetrics {
+    assert_eq!(preds.len(), gold.len(), "prediction/label length mismatch");
+    assert!(!preds.is_empty(), "cannot evaluate zero examples");
+    let (mut tp, mut fp, mut fn_, mut tn) = (0usize, 0usize, 0usize, 0usize);
+    for (&p, &g) in preds.iter().zip(gold) {
+        match (p, g) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    MatchMetrics {
+        precision,
+        recall,
+        f1,
+        accuracy: (tp + tn) as f64 / preds.len() as f64,
+        confusion: (tp, fp, fn_, tn),
+    }
+}
+
+/// Entity-ID prediction metrics for the two auxiliary tasks (the paper's
+/// Table 3 / Table 5 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdMetrics {
+    /// Accuracy of the first entity-ID task.
+    pub acc1: f64,
+    /// Accuracy of the second entity-ID task.
+    pub acc2: f64,
+    /// Class-averaged F1 over the two tasks' pooled predictions (classes
+    /// averaged over those present in the gold labels).
+    pub f1: f64,
+}
+
+/// Computes [`IdMetrics`].
+///
+/// # Panics
+///
+/// Panics on length mismatches or empty inputs.
+pub fn id_metrics(pred1: &[usize], gold1: &[usize], pred2: &[usize], gold2: &[usize]) -> IdMetrics {
+    assert_eq!(pred1.len(), gold1.len(), "task-1 length mismatch");
+    assert_eq!(pred2.len(), gold2.len(), "task-2 length mismatch");
+    assert!(!pred1.is_empty() && !pred2.is_empty(), "cannot evaluate zero examples");
+    let acc = |p: &[usize], g: &[usize]| {
+        p.iter().zip(g).filter(|(a, b)| a == b).count() as f64 / p.len() as f64
+    };
+
+    // Pool both tasks and compute per-class F1, averaged over gold classes.
+    let preds: Vec<usize> = pred1.iter().chain(pred2).copied().collect();
+    let golds: Vec<usize> = gold1.iter().chain(gold2).copied().collect();
+    let classes: std::collections::BTreeSet<usize> = golds.iter().copied().collect();
+    let mut f1_sum = 0.0;
+    for &c in &classes {
+        let tp = preds
+            .iter()
+            .zip(&golds)
+            .filter(|(&p, &g)| p == c && g == c)
+            .count() as f64;
+        let pred_c = preds.iter().filter(|&&p| p == c).count() as f64;
+        let gold_c = golds.iter().filter(|&&g| g == c).count() as f64;
+        if pred_c > 0.0 && gold_c > 0.0 && tp > 0.0 {
+            let prec = tp / pred_c;
+            let rec = tp / gold_c;
+            f1_sum += 2.0 * prec * rec / (prec + rec);
+        }
+    }
+    IdMetrics {
+        acc1: acc(pred1, gold1),
+        acc2: acc(pred2, gold2),
+        f1: f1_sum / classes.len().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = match_metrics(&[true, false, true], &[true, false, true]);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.confusion, (2, 0, 0, 1));
+    }
+
+    #[test]
+    fn all_negative_predictions_give_zero_f1() {
+        let m = match_metrics(&[false, false], &[true, false]);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.accuracy, 0.5);
+    }
+
+    #[test]
+    fn hand_computed_f1() {
+        // tp=1, fp=1, fn=1 -> P=0.5, R=0.5, F1=0.5
+        let m = match_metrics(&[true, true, false], &[true, false, true]);
+        assert!((m.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_penalizes_precision_and_recall_imbalance() {
+        // Same accuracy, different balance: F1 is the harmonic mean.
+        let balanced = match_metrics(&[true, false], &[true, false]);
+        let skewed = match_metrics(&[true, true], &[true, false]);
+        assert!(balanced.f1 > skewed.f1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let _ = match_metrics(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn id_metrics_perfect() {
+        let m = id_metrics(&[0, 1, 2], &[0, 1, 2], &[2, 1], &[2, 1]);
+        assert_eq!(m.acc1, 1.0);
+        assert_eq!(m.acc2, 1.0);
+        assert!((m.f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn id_metrics_partial() {
+        let m = id_metrics(&[0, 0], &[0, 1], &[1, 1], &[1, 1]);
+        assert_eq!(m.acc1, 0.5);
+        assert_eq!(m.acc2, 1.0);
+        assert!(m.f1 > 0.0 && m.f1 < 1.0);
+    }
+
+    #[test]
+    fn id_f1_averages_over_gold_classes_only() {
+        // Predicting an absent class hurts precision of that class but the
+        // average runs over gold classes only.
+        let m = id_metrics(&[5, 0], &[0, 0], &[0, 0], &[0, 0]);
+        assert!(m.f1 > 0.0);
+        assert!(m.acc1 < 1.0);
+    }
+
+    #[test]
+    fn id_f1_zero_when_nothing_correct() {
+        let m = id_metrics(&[1, 1], &[0, 0], &[1], &[0]);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.acc1, 0.0);
+    }
+}

@@ -1,0 +1,544 @@
+//! The matcher models: EMBA, JointBERT, the ablation variants, and the
+//! single-task transformer baselines, unified behind one parameterized
+//! architecture.
+//!
+//! Every model in the paper's Tables 2 and 4 (except DeepMatcher, which has
+//! its own RNN architecture in [`crate::deepmatcher`]) is a transformer
+//! encoder plus a choice of (a) how the *EM* representation is built and
+//! (b) how the *auxiliary entity-ID* representations are built:
+//!
+//! | Model          | EM input                  | Aux input                |
+//! |----------------|---------------------------|--------------------------|
+//! | EMBA           | AOA over token reps       | learned token aggregation|
+//! | EMBA-CLS       | AOA                       | `[CLS]`                  |
+//! | EMBA-SurfCon   | SurfCon context matching  | learned token aggregation|
+//! | JointBERT      | `[CLS]`                   | `[CLS]` for both         |
+//! | JointBERT-S    | `[CLS]`                   | `[CLS]` / first `[SEP]`  |
+//! | JointBERT-T    | averaged tokens           | averaged tokens          |
+//! | JointBERT-CT   | `[CLS]`                   | averaged tokens          |
+//! | BERT / RoBERTa / DITTO | `[CLS]`           | none (single task)       |
+//! | JointMatcher   | `[CLS]` ‖ relevance ‖ numeric pools | none           |
+
+use emba_nn::{GraphStamp, Module, Param};
+use emba_tensor::{Graph, Tensor, Var};
+use rand::RngCore;
+
+use crate::aoa::attention_over_attention;
+use crate::backbone::Backbone;
+use crate::heads::{MatchHead, TokenAggregationHead};
+use crate::pipeline::EncodedExample;
+
+/// How the EM (binary match) representation is assembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmStrategy {
+    /// The pooled `[CLS]` representation (JointBERT and the single-task
+    /// baselines).
+    Cls,
+    /// Attention-over-attention over the two records' token reps (EMBA).
+    Aoa,
+    /// Concatenated per-record token averages (JointBERT-T).
+    TokenAvgConcat,
+    /// SurfCon-style single-level context matching (the EMBA-SurfCon
+    /// ablation): each RECORD1 token attends once over RECORD2, and the
+    /// gated context is mean-pooled. One attention level instead of two.
+    SurfCon,
+    /// JointMatcher-style: `[CLS]` concatenated with a relevance pool (mean
+    /// of tokens whose id occurs in both records) and a numeric pool (mean
+    /// of digit-bearing tokens).
+    RelevanceNumeric,
+}
+
+/// How the auxiliary entity-ID representations are assembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuxStrategy {
+    /// No auxiliary tasks (single-task models).
+    None,
+    /// `[CLS]` for both tasks (JointBERT).
+    Cls,
+    /// `[CLS]` for the first task, the first `[SEP]` for the second
+    /// (JointBERT-S).
+    ClsSep,
+    /// Mean of each record's token reps (JointBERT-T / -CT).
+    TokenAvg,
+    /// EMBA's learned token aggregation.
+    TokenAttention,
+}
+
+/// Output of one matcher forward pass.
+pub struct ModelOutput {
+    /// Total training loss (Eq. 3 for multi-task models; BCE alone for
+    /// single-task ones).
+    pub loss: Var,
+    /// Match probability.
+    pub match_prob: f32,
+    /// Predicted entity-ID class for RECORD1 (multi-task models only).
+    pub id1_pred: Option<usize>,
+    /// Predicted entity-ID class for RECORD2.
+    pub id2_pred: Option<usize>,
+    /// Summed last-layer self-attention `[seq, seq]`, when the backbone has
+    /// attention (used by the Figure 6 visualization).
+    pub attention: Option<Tensor>,
+    /// AOA γ over RECORD1 token positions, when the EM strategy is AOA.
+    pub gamma: Option<Tensor>,
+}
+
+/// Object-safe interface every matcher implements.
+pub trait Matcher: Module {
+    /// Runs one example through the model.
+    fn forward(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        ex: &EncodedExample,
+        train: bool,
+        rng: &mut dyn RngCore,
+    ) -> ModelOutput;
+
+    /// Short display name (e.g. `"EMBA"`, `"JointBERT-S"`).
+    fn name(&self) -> &str;
+
+    /// Mutable access to a BERT backbone for MLM pre-training, when the
+    /// model has one.
+    fn bert_backbone_mut(&mut self) -> Option<&mut emba_nn::BertEncoder>;
+
+    /// Mutable access to a fastText-style subword embedding table for
+    /// skip-gram pre-training, when the model has one.
+    fn fasttext_embedding_mut(&mut self) -> Option<&mut emba_nn::Embedding> {
+        None
+    }
+}
+
+/// The unified transformer matcher.
+pub struct TransformerMatcher {
+    name: String,
+    backbone: Backbone,
+    em: EmStrategy,
+    aux: AuxStrategy,
+    match_head: MatchHead,
+    id1_head: Option<TokenAggregationHead>,
+    id2_head: Option<TokenAggregationHead>,
+    /// `numeric[token_id]` — whether the subword contains a digit. Present
+    /// only for the RelevanceNumeric strategy.
+    numeric_vocab: Option<Vec<bool>>,
+}
+
+impl TransformerMatcher {
+    /// Builds a matcher.
+    ///
+    /// `num_classes` sizes the auxiliary heads (ignored when
+    /// `aux == AuxStrategy::None`). `numeric_vocab` is required for
+    /// [`EmStrategy::RelevanceNumeric`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy combination is inconsistent.
+    pub fn new<R: rand::Rng + ?Sized>(
+        name: impl Into<String>,
+        backbone: Backbone,
+        em: EmStrategy,
+        aux: AuxStrategy,
+        num_classes: usize,
+        numeric_vocab: Option<Vec<bool>>,
+        rng: &mut R,
+    ) -> Self {
+        let h = backbone.hidden();
+        let match_dim = match em {
+            EmStrategy::Cls | EmStrategy::Aoa => h,
+            EmStrategy::TokenAvgConcat | EmStrategy::SurfCon => 2 * h,
+            EmStrategy::RelevanceNumeric => 3 * h,
+        };
+        assert!(
+            em != EmStrategy::RelevanceNumeric || numeric_vocab.is_some(),
+            "RelevanceNumeric requires a numeric-token vocabulary table"
+        );
+        let (id1_head, id2_head) = if aux == AuxStrategy::None {
+            (None, None)
+        } else {
+            assert!(num_classes >= 2, "auxiliary heads need >= 2 classes");
+            (
+                Some(TokenAggregationHead::new(h, num_classes, rng)),
+                Some(TokenAggregationHead::new(h, num_classes, rng)),
+            )
+        };
+        Self {
+            name: name.into(),
+            backbone,
+            em,
+            aux,
+            match_head: MatchHead::new(match_dim, rng),
+            id1_head,
+            id2_head,
+            numeric_vocab,
+        }
+    }
+
+    /// The EM strategy.
+    pub fn em_strategy(&self) -> EmStrategy {
+        self.em
+    }
+
+    /// The auxiliary strategy.
+    pub fn aux_strategy(&self) -> AuxStrategy {
+        self.aux
+    }
+
+    /// Mean pool of positions (given as absolute row indices); falls back to
+    /// the mean over `range` when `positions` is empty.
+    fn pool_positions(
+        g: &Graph,
+        tokens: Var,
+        positions: &[usize],
+        fallback: &std::ops::Range<usize>,
+    ) -> Var {
+        if positions.is_empty() {
+            let slice = g.slice_rows(tokens, fallback.start, fallback.end);
+            return g.mean_axis0(slice);
+        }
+        let rows: Vec<Var> = positions
+            .iter()
+            .map(|&p| g.slice_rows(tokens, p, p + 1))
+            .collect();
+        let stacked = g.concat_rows(&rows);
+        g.mean_axis0(stacked)
+    }
+}
+
+impl Matcher for TransformerMatcher {
+    fn forward(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        ex: &EncodedExample,
+        train: bool,
+        rng: &mut dyn RngCore,
+    ) -> ModelOutput {
+        let pair = &ex.pair;
+        let seq = self
+            .backbone
+            .encode(g, stamp, &pair.ids, &pair.segments, train, rng);
+        let e1 = g.slice_rows(seq.tokens, pair.left.start, pair.left.end);
+        let e2 = g.slice_rows(seq.tokens, pair.right.start, pair.right.end);
+
+        // ----- EM representation -------------------------------------------------
+        let mut gamma = None;
+        let em_repr = match self.em {
+            EmStrategy::Cls => seq.pooled,
+            EmStrategy::Aoa => {
+                let out = attention_over_attention(g, e1, e2);
+                gamma = Some(g.value(out.gamma));
+                out.pooled
+            }
+            EmStrategy::TokenAvgConcat => {
+                let m1 = g.mean_axis0(e1);
+                let m2 = g.mean_axis0(e2);
+                g.concat_cols(&[m1, m2])
+            }
+            EmStrategy::SurfCon => {
+                let interaction = g.matmul_nt(e1, e2);
+                let attn = g.softmax_rows(interaction);
+                let context = g.matmul(attn, e2); // [m, h]
+                let gated = g.mul(e1, context);
+                let matched = g.mean_axis0(gated);
+                let own = g.mean_axis0(e1);
+                g.concat_cols(&[matched, own])
+            }
+            EmStrategy::RelevanceNumeric => {
+                let numeric = self
+                    .numeric_vocab
+                    .as_ref()
+                    .expect("numeric vocab checked at construction");
+                let left_ids: std::collections::HashSet<usize> =
+                    pair.ids[pair.left.clone()].iter().copied().collect();
+                let right_ids: std::collections::HashSet<usize> =
+                    pair.ids[pair.right.clone()].iter().copied().collect();
+                let mut relevant = Vec::new();
+                let mut numeric_pos = Vec::new();
+                for range in [pair.left.clone(), pair.right.clone()] {
+                    for p in range {
+                        let id = pair.ids[p];
+                        if left_ids.contains(&id) && right_ids.contains(&id) {
+                            relevant.push(p);
+                        }
+                        if numeric.get(id).copied().unwrap_or(false) {
+                            numeric_pos.push(p);
+                        }
+                    }
+                }
+                let full = pair.left.start..pair.right.end;
+                let rel_pool = Self::pool_positions(g, seq.tokens, &relevant, &full);
+                let num_pool = Self::pool_positions(g, seq.tokens, &numeric_pos, &full);
+                g.concat_cols(&[seq.pooled, rel_pool, num_pool])
+            }
+        };
+        let match_logit = self.match_head.forward(g, stamp, em_repr);
+        let target = if ex.is_match { 1.0 } else { 0.0 };
+        let mut loss = g.bce_with_logits(match_logit, &[target]);
+        let match_prob = sigmoid(g.value(match_logit).item());
+
+        // ----- auxiliary entity-ID tasks -----------------------------------------
+        let mut id1_pred = None;
+        let mut id2_pred = None;
+        if self.aux != AuxStrategy::None {
+            let id1 = self.id1_head.as_ref().expect("aux heads exist");
+            let id2 = self.id2_head.as_ref().expect("aux heads exist");
+            let (logits1, logits2) = match self.aux {
+                AuxStrategy::None => unreachable!(),
+                AuxStrategy::Cls => (
+                    id1.classify_pooled(g, stamp, seq.pooled),
+                    id2.classify_pooled(g, stamp, seq.pooled),
+                ),
+                AuxStrategy::ClsSep => {
+                    // First [SEP] sits immediately after the left record.
+                    let sep = g.slice_rows(seq.tokens, pair.left.end, pair.left.end + 1);
+                    (
+                        id1.classify_pooled(g, stamp, seq.pooled),
+                        id2.classify_pooled(g, stamp, sep),
+                    )
+                }
+                AuxStrategy::TokenAvg => (
+                    id1.classify_pooled(g, stamp, g.mean_axis0(e1)),
+                    id2.classify_pooled(g, stamp, g.mean_axis0(e2)),
+                ),
+                AuxStrategy::TokenAttention => {
+                    (id1.forward(g, stamp, e1), id2.forward(g, stamp, e2))
+                }
+            };
+            let ce1 = g.cross_entropy(logits1, &[ex.left_class]);
+            let ce2 = g.cross_entropy(logits2, &[ex.right_class]);
+            loss = g.add(loss, g.add(ce1, ce2));
+            id1_pred = Some(g.value(logits1).argmax_rows()[0]);
+            id2_pred = Some(g.value(logits2).argmax_rows()[0]);
+        }
+
+        let attention = if seq.last_attention.is_empty() {
+            None
+        } else {
+            Some(emba_nn::MultiHeadAttention::summed_probs(g, &seq.last_attention))
+        };
+
+        ModelOutput {
+            loss,
+            match_prob,
+            id1_pred,
+            id2_pred,
+            attention,
+            gamma,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bert_backbone_mut(&mut self) -> Option<&mut emba_nn::BertEncoder> {
+        self.backbone.bert_mut()
+    }
+
+    fn fasttext_embedding_mut(&mut self) -> Option<&mut emba_nn::Embedding> {
+        self.backbone.fasttext_mut().map(|ft| ft.embedding_mut())
+    }
+}
+
+impl Module for TransformerMatcher {
+    fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        self.backbone.visit(f);
+        self.match_head.visit(f);
+        if let Some(h) = &self.id1_head {
+            h.visit(f);
+        }
+        if let Some(h) = &self.id2_head {
+            h.visit(f);
+        }
+    }
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.backbone.visit_mut(f);
+        self.match_head.visit_mut(f);
+        if let Some(h) = &mut self.id1_head {
+            h.visit_mut(f);
+        }
+        if let Some(h) = &mut self.id2_head {
+            h.visit_mut(f);
+        }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Builds the digit-bearing-subword lookup table for JointMatcher's numeric
+/// encoder.
+pub fn numeric_vocab_table(tokenizer: &emba_tokenizer::WordPieceTokenizer) -> Vec<bool> {
+    (0..tokenizer.vocab_size())
+        .map(|id| tokenizer.token(id).chars().any(|c| c.is_ascii_digit()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{PipelineConfig, TextPipeline};
+    use emba_datagen::{build, DatasetId, Scale, WdcCategory, WdcSize};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_backbone(rng: &mut StdRng) -> Backbone {
+        Backbone::from_bert_config(emba_nn::BertConfig::tiny(400), true, rng)
+    }
+
+    fn example() -> (TextPipeline, EncodedExample, usize) {
+        let ds = build(
+            DatasetId::Wdc(WdcCategory::Computers, WdcSize::Small),
+            Scale::TEST,
+            5,
+        );
+        let pipe = TextPipeline::fit(
+            &ds,
+            PipelineConfig {
+                vocab_size: 400,
+                max_len: 32,
+                ..PipelineConfig::default()
+            },
+        );
+        let ex = pipe.encode_example(&ds.train[0]);
+        (pipe, ex, ds.num_classes)
+    }
+
+    fn run(em: EmStrategy, aux: AuxStrategy) -> ModelOutput {
+        let (pipe, ex, classes) = example();
+        let mut rng = StdRng::seed_from_u64(1);
+        let numeric = (em == EmStrategy::RelevanceNumeric)
+            .then(|| numeric_vocab_table(pipe.tokenizer()));
+        let model = TransformerMatcher::new(
+            "test",
+            tiny_backbone(&mut rng),
+            em,
+            aux,
+            classes,
+            numeric,
+            &mut rng,
+        );
+        let g = Graph::new();
+        model.forward(&g, GraphStamp::next(), &ex, false, &mut rng)
+    }
+
+    #[test]
+    fn every_strategy_combination_runs() {
+        for em in [
+            EmStrategy::Cls,
+            EmStrategy::Aoa,
+            EmStrategy::TokenAvgConcat,
+            EmStrategy::SurfCon,
+            EmStrategy::RelevanceNumeric,
+        ] {
+            let out = run(em, AuxStrategy::None);
+            assert!(out.match_prob.is_finite() && (0.0..=1.0).contains(&out.match_prob));
+            assert!(out.id1_pred.is_none());
+        }
+        for aux in [
+            AuxStrategy::Cls,
+            AuxStrategy::ClsSep,
+            AuxStrategy::TokenAvg,
+            AuxStrategy::TokenAttention,
+        ] {
+            let out = run(EmStrategy::Cls, aux);
+            assert!(out.id1_pred.is_some() && out.id2_pred.is_some());
+        }
+    }
+
+    #[test]
+    fn aoa_exposes_gamma_over_record1() {
+        let out = run(EmStrategy::Aoa, AuxStrategy::TokenAttention);
+        let gamma = out.gamma.expect("AOA must expose gamma");
+        let total: f32 = gamma.data().iter().sum();
+        assert!((total - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn non_aoa_has_no_gamma() {
+        assert!(run(EmStrategy::Cls, AuxStrategy::Cls).gamma.is_none());
+    }
+
+    #[test]
+    fn bert_models_expose_attention() {
+        let out = run(EmStrategy::Cls, AuxStrategy::None);
+        let attn = out.attention.expect("transformer exposes attention");
+        assert_eq!(attn.rows(), attn.cols());
+    }
+
+    #[test]
+    fn multitask_loss_exceeds_single_task_loss() {
+        // Same example, same seed: Eq. 3 adds two CE terms, so the
+        // multi-task loss is strictly larger at initialization.
+        let (pipe, ex, classes) = example();
+        let _ = pipe;
+        let mut rng = StdRng::seed_from_u64(2);
+        let single = TransformerMatcher::new(
+            "s",
+            tiny_backbone(&mut rng),
+            EmStrategy::Cls,
+            AuxStrategy::None,
+            classes,
+            None,
+            &mut rng,
+        );
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let multi = TransformerMatcher::new(
+            "m",
+            tiny_backbone(&mut rng2),
+            EmStrategy::Cls,
+            AuxStrategy::Cls,
+            classes,
+            None,
+            &mut rng2,
+        );
+        let g = Graph::new();
+        let ls = single.forward(&g, GraphStamp::next(), &ex, false, &mut rng);
+        let lm = multi.forward(&g, GraphStamp::next(), &ex, false, &mut rng2);
+        assert!(g.value(lm.loss).item() > g.value(ls.loss).item());
+    }
+
+    #[test]
+    fn gradients_reach_aux_heads_only_in_multitask() {
+        let (_, ex, classes) = example();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = TransformerMatcher::new(
+            "m",
+            tiny_backbone(&mut rng),
+            EmStrategy::Aoa,
+            AuxStrategy::TokenAttention,
+            classes,
+            None,
+            &mut rng,
+        );
+        let g = Graph::new();
+        let stamp = GraphStamp::next();
+        let out = model.forward(&g, stamp, &ex, false, &mut rng);
+        let grads = g.backward(out.loss);
+        model.zero_grads();
+        model.accumulate_gradients(&grads);
+        let mut nonzero = 0usize;
+        let mut total = 0usize;
+        model.visit(&mut |p| {
+            total += 1;
+            if p.grad.norm() > 0.0 {
+                nonzero += 1;
+            }
+        });
+        assert!(
+            nonzero as f64 > total as f64 * 0.9,
+            "only {nonzero}/{total} params received gradient"
+        );
+    }
+
+    #[test]
+    fn numeric_vocab_table_flags_digit_tokens() {
+        let (pipe, _, _) = example();
+        let table = numeric_vocab_table(pipe.tokenizer());
+        assert_eq!(table.len(), pipe.vocab_size());
+        // The corpus is full of capacities like 1tb/512gb, so some numeric
+        // subwords must exist.
+        assert!(table.iter().any(|&b| b));
+        assert!(!table[emba_tokenizer::special::CLS]);
+    }
+}

@@ -1,0 +1,238 @@
+//! The text pipeline: dataset → WordPiece vocabulary → encoded examples.
+//!
+//! One [`TextPipeline`] is built per dataset (the paper trains a tokenizer
+//! per experiment family and an MLM-pre-trained encoder on the corpus). It
+//! owns the trained tokenizer, the serialization mode, and the sequence
+//! budget, and converts [`PairExample`]s into the id/segment sequences the
+//! models consume.
+
+use emba_datagen::{Dataset, PairExample, Record};
+use emba_tokenizer::{
+    encode_pair, encode_record, EncodedPair, Serialization, TrainConfig, WordPieceTokenizer,
+};
+
+/// A dataset pair encoded for model consumption.
+#[derive(Debug, Clone)]
+pub struct EncodedExample {
+    /// The assembled `[CLS] D1 [SEP] D2 [SEP]` input.
+    pub pair: EncodedPair,
+    /// Per-attribute token ids of RECORD1 (attribute name, value ids) —
+    /// consumed by the attribute-aligned DeepMatcher baseline.
+    pub left_attrs: Vec<(String, Vec<usize>)>,
+    /// Per-attribute token ids of RECORD2.
+    pub right_attrs: Vec<(String, Vec<usize>)>,
+    /// EM label.
+    pub is_match: bool,
+    /// Entity-ID class for RECORD1.
+    pub left_class: usize,
+    /// Entity-ID class for RECORD2.
+    pub right_class: usize,
+}
+
+/// Pipeline settings.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PipelineConfig {
+    /// WordPiece vocabulary budget.
+    pub vocab_size: usize,
+    /// Maximum assembled sequence length (the paper uses BERT's 512; the
+    /// CPU-scale default is 96).
+    pub max_len: usize,
+    /// Record serialization (plain for most models, DITTO tags for DITTO).
+    pub serialization: Serialization,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            vocab_size: 2048,
+            max_len: 96,
+            serialization: Serialization::Plain,
+        }
+    }
+}
+
+/// Tokenizer + serialization + truncation for one dataset.
+pub struct TextPipeline {
+    tokenizer: WordPieceTokenizer,
+    cfg: PipelineConfig,
+}
+
+impl TextPipeline {
+    /// Trains a WordPiece vocabulary on every record in the dataset and
+    /// returns the ready pipeline.
+    pub fn fit(dataset: &Dataset, cfg: PipelineConfig) -> Self {
+        let corpus: Vec<String> = dataset
+            .all_pairs()
+            .flat_map(|p| [p.left.text(), p.right.text()])
+            .collect();
+        let tokenizer = WordPieceTokenizer::train(
+            &corpus,
+            &TrainConfig {
+                vocab_size: cfg.vocab_size,
+                min_pair_freq: 2,
+            },
+        );
+        Self { tokenizer, cfg }
+    }
+
+    /// Builds a pipeline from an already-trained tokenizer (used when
+    /// several models must share one vocabulary, e.g. the throughput
+    /// comparison).
+    pub fn from_tokenizer(tokenizer: WordPieceTokenizer, cfg: PipelineConfig) -> Self {
+        Self { tokenizer, cfg }
+    }
+
+    /// The trained tokenizer.
+    pub fn tokenizer(&self) -> &WordPieceTokenizer {
+        &self.tokenizer
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Actual vocabulary size (≤ the configured budget).
+    pub fn vocab_size(&self) -> usize {
+        self.tokenizer.vocab_size()
+    }
+
+    /// Maximum assembled sequence length.
+    pub fn max_len(&self) -> usize {
+        self.cfg.max_len
+    }
+
+    /// Encodes a raw record pair.
+    pub fn encode_records(&self, left: &Record, right: &Record) -> EncodedPair {
+        let l = encode_record(&self.tokenizer, &left.attrs, self.cfg.serialization);
+        let r = encode_record(&self.tokenizer, &right.attrs, self.cfg.serialization);
+        encode_pair(&l, &r, self.cfg.max_len)
+    }
+
+    /// Tokenizes each attribute value separately (attribute-aligned view).
+    pub fn encode_attrs(&self, rec: &Record) -> Vec<(String, Vec<usize>)> {
+        rec.attrs
+            .iter()
+            .map(|(name, value)| {
+                let mut ids = self.tokenizer.encode(value);
+                ids.truncate(self.cfg.max_len / 4); // per-attribute budget
+                (name.clone(), ids)
+            })
+            .collect()
+    }
+
+    /// Encodes one labeled example.
+    pub fn encode_example(&self, p: &PairExample) -> EncodedExample {
+        EncodedExample {
+            pair: self.encode_records(&p.left, &p.right),
+            left_attrs: self.encode_attrs(&p.left),
+            right_attrs: self.encode_attrs(&p.right),
+            is_match: p.is_match,
+            left_class: p.left_class,
+            right_class: p.right_class,
+        }
+    }
+
+    /// Encodes a whole split.
+    pub fn encode_split(&self, pairs: &[PairExample]) -> Vec<EncodedExample> {
+        pairs.iter().map(|p| self.encode_example(p)).collect()
+    }
+
+    /// The MLM pre-training corpus: every record serialized alone as
+    /// `[CLS] record [SEP]`, truncated to the sequence budget.
+    pub fn mlm_corpus(&self, dataset: &Dataset) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for p in dataset.all_pairs() {
+            for rec in [&p.left, &p.right] {
+                let mut ids = vec![emba_tokenizer::special::CLS];
+                ids.extend(encode_record(&self.tokenizer, &rec.attrs, self.cfg.serialization));
+                ids.truncate(self.cfg.max_len - 1);
+                ids.push(emba_tokenizer::special::SEP);
+                out.push(ids);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emba_datagen::{build, DatasetId, Scale, WdcCategory, WdcSize};
+
+    fn dataset() -> Dataset {
+        build(
+            DatasetId::Wdc(WdcCategory::Computers, WdcSize::Small),
+            Scale::TEST,
+            3,
+        )
+    }
+
+    #[test]
+    fn fit_and_encode_roundtrip() {
+        let ds = dataset();
+        let pipe = TextPipeline::fit(&ds, PipelineConfig::default());
+        assert!(pipe.vocab_size() > emba_tokenizer::special::NUM_RESERVED);
+        let ex = pipe.encode_example(&ds.train[0]);
+        assert_eq!(ex.pair.ids[0], emba_tokenizer::special::CLS);
+        assert!(ex.pair.len() <= pipe.max_len());
+        assert!(!ex.pair.left.is_empty() && !ex.pair.right.is_empty());
+        assert_eq!(ex.is_match, ds.train[0].is_match);
+    }
+
+    #[test]
+    fn encode_split_preserves_order_and_labels() {
+        let ds = dataset();
+        let pipe = TextPipeline::fit(&ds, PipelineConfig::default());
+        let encoded = pipe.encode_split(&ds.test);
+        assert_eq!(encoded.len(), ds.test.len());
+        for (e, p) in encoded.iter().zip(&ds.test) {
+            assert_eq!(e.is_match, p.is_match);
+            assert_eq!(e.left_class, p.left_class);
+        }
+    }
+
+    #[test]
+    fn mlm_corpus_wraps_every_record() {
+        let ds = dataset();
+        let pipe = TextPipeline::fit(&ds, PipelineConfig::default());
+        let corpus = pipe.mlm_corpus(&ds);
+        assert_eq!(corpus.len(), 2 * ds.all_pairs().count());
+        for seq in &corpus {
+            assert_eq!(seq[0], emba_tokenizer::special::CLS);
+            assert_eq!(*seq.last().unwrap(), emba_tokenizer::special::SEP);
+            assert!(seq.len() <= pipe.max_len());
+        }
+    }
+
+    #[test]
+    fn ditto_serialization_tags_flow_through() {
+        let ds = dataset();
+        let pipe = TextPipeline::fit(
+            &ds,
+            PipelineConfig {
+                serialization: Serialization::Ditto,
+                ..PipelineConfig::default()
+            },
+        );
+        let ex = pipe.encode_example(&ds.train[0]);
+        assert!(ex.pair.ids.contains(&emba_tokenizer::special::COL));
+        assert!(ex.pair.ids.contains(&emba_tokenizer::special::VAL));
+    }
+
+    #[test]
+    fn long_records_are_truncated_to_budget() {
+        let ds = dataset();
+        let pipe = TextPipeline::fit(
+            &ds,
+            PipelineConfig {
+                max_len: 24,
+                ..PipelineConfig::default()
+            },
+        );
+        for p in ds.all_pairs() {
+            let e = pipe.encode_example(p);
+            assert!(e.pair.len() <= 24);
+        }
+    }
+}

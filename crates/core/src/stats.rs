@@ -1,0 +1,251 @@
+//! Run statistics: mean/std over repeated runs and the paper's one-tailed
+//! Welch t-test (EMBA vs JointBERT, Table 2's significance stars).
+
+use serde::{Deserialize, Serialize};
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator; 0 for fewer than 2 samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Result of a one-tailed Welch t-test of `H_a: mean(a) > mean(b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TTest {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// One-tailed p-value for `mean(a) > mean(b)`.
+    pub p: f64,
+}
+
+impl TTest {
+    /// The paper's star notation: `****` p<1e-4, `***` p<1e-3, `**` p<0.01,
+    /// `*` p<0.05, `ns` otherwise.
+    pub fn stars(&self) -> &'static str {
+        match self.p {
+            p if p < 1e-4 => "****",
+            p if p < 1e-3 => "***",
+            p if p < 0.01 => "**",
+            p if p < 0.05 => "*",
+            _ => "ns",
+        }
+    }
+}
+
+/// One-tailed Welch t-test of `H_a: mean(a) > mean(b)`.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than 2 observations.
+pub fn welch_one_tailed(a: &[f64], b: &[f64]) -> TTest {
+    assert!(a.len() >= 2 && b.len() >= 2, "t-test needs >= 2 samples per group");
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (std_dev(a).powi(2), std_dev(b).powi(2));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        // Identical constant samples: no evidence either way unless the
+        // means differ exactly, in which case the direction is certain.
+        let p = if ma > mb { 0.0 } else { 1.0 };
+        return TTest {
+            t: if ma > mb { f64::INFINITY } else { 0.0 },
+            df: na + nb - 2.0,
+            p,
+        };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(f64::MIN_POSITIVE);
+    let p = 1.0 - student_t_cdf(t, df);
+    TTest { t, df, p }
+}
+
+/// CDF of Student's t distribution via the regularized incomplete beta
+/// function.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * incomplete_beta(0.5 * df, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Regularized incomplete beta `I_x(a, b)` via Lentz's continued fraction.
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta).exp();
+    // Use the symmetry that keeps the continued fraction convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - incomplete_beta(b, a, 1.0 - x)
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const EPS: f64 = 1e-12;
+    const TINY: f64 = 1e-300;
+    let mut c = 1.0;
+    let mut d = 1.0 - (a + b) * x / (a + 1.0);
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..200 {
+        let m = m as f64;
+        // Even step.
+        let num = m * (b - m) * x / ((a + 2.0 * m - 1.0) * (a + 2.0 * m));
+        d = 1.0 + num * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + num / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let num = -(a + m) * (a + b + m) * x / ((a + 2.0 * m) * (a + 2.0 * m + 1.0));
+        d = 1.0 + num * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + num / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)`.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 7] = [
+        1.000000000190015,
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = G[0];
+    for (j, &g) in G.iter().enumerate().skip(1) {
+        ser += g / (y + j as f64);
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn t_cdf_matches_known_values() {
+        // t(df=10): CDF(0) = 0.5; CDF(1.812) ≈ 0.95 (the 95th percentile).
+        assert!((student_t_cdf(0.0, 10.0) - 0.5).abs() < 1e-9);
+        assert!((student_t_cdf(1.812, 10.0) - 0.95).abs() < 2e-3);
+        // Symmetry.
+        let v = student_t_cdf(-1.5, 7.0) + student_t_cdf(1.5, 7.0);
+        assert!((v - 1.0).abs() < 1e-9);
+        // Heavy tails vs normal: t CDF at 2 is below the normal's 0.977.
+        assert!(student_t_cdf(2.0, 3.0) < 0.977);
+    }
+
+    #[test]
+    fn clearly_separated_samples_are_significant() {
+        let a = [0.95, 0.96, 0.94, 0.95, 0.97];
+        let b = [0.80, 0.82, 0.81, 0.79, 0.80];
+        let t = welch_one_tailed(&a, &b);
+        assert!(t.p < 1e-4, "p = {}", t.p);
+        assert_eq!(t.stars(), "****");
+    }
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a = [0.5, 0.6, 0.55, 0.52, 0.58];
+        let t = welch_one_tailed(&a, &a);
+        assert!(t.p > 0.4, "p = {}", t.p);
+        assert_eq!(t.stars(), "ns");
+    }
+
+    #[test]
+    fn direction_matters_for_one_tailed() {
+        let lo = [0.1, 0.12, 0.11, 0.13];
+        let hi = [0.9, 0.88, 0.91, 0.92];
+        assert!(welch_one_tailed(&hi, &lo).p < 0.01);
+        assert!(welch_one_tailed(&lo, &hi).p > 0.99);
+    }
+
+    #[test]
+    fn overlapping_samples_are_borderline() {
+        let a = [0.84, 0.86, 0.85, 0.83, 0.87];
+        let b = [0.83, 0.85, 0.84, 0.86, 0.82];
+        let t = welch_one_tailed(&a, &b);
+        assert!(t.p > 0.05, "barely-overlapping means should not be ****, p = {}", t.p);
+    }
+
+    #[test]
+    fn constant_identical_samples_handled() {
+        let a = [0.5, 0.5, 0.5];
+        let t = welch_one_tailed(&a, &a);
+        assert_eq!(t.p, 1.0);
+        let b = [0.4, 0.4, 0.4];
+        let t2 = welch_one_tailed(&a, &b);
+        assert_eq!(t2.p, 0.0);
+        assert_eq!(t2.stars(), "****");
+    }
+
+    #[test]
+    fn stars_thresholds() {
+        let mk = |p| TTest { t: 1.0, df: 4.0, p };
+        assert_eq!(mk(0.2).stars(), "ns");
+        assert_eq!(mk(0.04).stars(), "*");
+        assert_eq!(mk(0.005).stars(), "**");
+        assert_eq!(mk(0.0005).stars(), "***");
+        assert_eq!(mk(0.00005).stars(), "****");
+    }
+}

@@ -1,0 +1,144 @@
+//! Transitive-closure clustering of match pairs.
+//!
+//! The paper (§4.1.2) derives entity-ID classes for abt-buy, dblp-scholar,
+//! and companies from the match labels: "if (A, B) and (B, C) are matches,
+//! then the group will include A, B, C", with one cluster id per group. This
+//! module implements that construction with a union-find.
+
+/// Disjoint-set forest with union by rank and path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        assert!(x < self.parent.len(), "element {x} out of range");
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` when the sets
+    /// were previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Assigns dense cluster ids `0..k` in order of first appearance.
+    /// Returns `(cluster id per element, k)`.
+    pub fn dense_labels(&mut self) -> (Vec<usize>, usize) {
+        let mut next = 0usize;
+        let mut map = vec![usize::MAX; self.parent.len()];
+        let mut labels = Vec::with_capacity(self.parent.len());
+        for x in 0..self.parent.len() {
+            let root = self.find(x);
+            if map[root] == usize::MAX {
+                map[root] = next;
+                next += 1;
+            }
+            labels.push(map[root]);
+        }
+        (labels, next)
+    }
+}
+
+/// Computes dense entity-ID classes from match pairs over `n` records.
+///
+/// Every record appearing in no positive pair gets its own singleton class,
+/// exactly like the paper's construction.
+pub fn cluster_from_matches(n: usize, matches: &[(usize, usize)]) -> (Vec<usize>, usize) {
+    let mut uf = UnionFind::new(n);
+    for &(a, b) in matches {
+        uf.union(a, b);
+    }
+    uf.dense_labels()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitive_closure_example_from_paper() {
+        // (A, B) and (B, C) match => {A, B, C} share one id.
+        let (labels, k) = cluster_from_matches(4, &[(0, 1), (1, 2)]);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn no_matches_yields_singletons() {
+        let (labels, k) = cluster_from_matches(3, &[]);
+        assert_eq!(labels, vec![0, 1, 2]);
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+    }
+
+    #[test]
+    fn dense_labels_are_contiguous() {
+        let (labels, k) = cluster_from_matches(6, &[(5, 4), (0, 5)]);
+        assert!(labels.iter().all(|&l| l < k));
+        let mut seen = vec![false; k];
+        for &l in &labels {
+            seen[l] = true;
+        }
+        assert!(seen.into_iter().all(|s| s), "labels must cover 0..k");
+    }
+
+    #[test]
+    fn dense_label_count_matches_components() {
+        let (_, k) = cluster_from_matches(6, &[(5, 4), (0, 5)]);
+        assert_eq!(k, 4); // {0,4,5}, {1}, {2}, {3}
+    }
+}

@@ -1,0 +1,138 @@
+//! The companies analog: firm descriptions from two web sources.
+//!
+//! Left source reads like a homepage blurb, right source like an encyclopedia
+//! stub. The paper's companies dataset has an enormous class space (28,200
+//! clusters for 22,560 positive pairs) derived from transitive closure, so
+//! the constructor in `specs.rs` uses [`crate::world::generate_with_closure`]
+//! for this world.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::perturb::{perturb_text, PerturbConfig};
+use crate::record::Record;
+use crate::textgen::pick;
+use crate::world::EntityWorld;
+
+const NAME_HEADS: &[&str] = &[
+    "apex", "summit", "vertex", "quantum", "stellar", "pioneer", "atlas", "horizon", "cascade",
+    "beacon", "nimbus", "vanguard", "meridian", "zenith", "aurora", "catalyst", "keystone",
+    "northwind", "bluepeak", "ironwood",
+];
+
+const NAME_TAILS: &[&str] = &[
+    "systems", "technologies", "industries", "solutions", "logistics", "dynamics", "analytics",
+    "robotics", "energy", "materials", "networks", "labs", "holdings", "partners", "group",
+];
+
+const SECTORS: &[&str] = &[
+    "software", "manufacturing", "healthcare", "finance", "retail", "transportation",
+    "agriculture", "construction", "telecommunications", "aerospace", "pharmaceuticals",
+    "insurance",
+];
+
+const CITIES: &[&str] = &[
+    "austin", "berlin", "toronto", "singapore", "bangalore", "dublin", "stockholm", "osaka",
+    "denver", "zurich", "seattle", "amsterdam", "seoul", "lisbon",
+];
+
+/// A canonical company entity.
+#[derive(Debug, Clone)]
+pub struct Company {
+    /// Registered name.
+    pub name: String,
+    /// Legal suffix ("inc", "ltd", ...).
+    pub suffix: String,
+    /// Industry sector.
+    pub sector: String,
+    /// Headquarters city.
+    pub city: String,
+    /// Founding year.
+    pub founded: u32,
+}
+
+/// The companies world.
+pub struct CompanyWorld {
+    perturb: PerturbConfig,
+}
+
+impl Default for CompanyWorld {
+    fn default() -> Self {
+        Self {
+            perturb: PerturbConfig {
+                ops: 1.5,
+                noise_prob: 0.3,
+            },
+        }
+    }
+}
+
+impl EntityWorld for CompanyWorld {
+    type Entity = Company;
+
+    fn make_entity(&self, _idx: usize, rng: &mut StdRng) -> Company {
+        Company {
+            name: format!("{} {}", pick(NAME_HEADS, rng), pick(NAME_TAILS, rng)),
+            suffix: ["inc", "ltd", "llc", "corp", "gmbh"][rng.gen_range(0..5)].to_string(),
+            sector: pick(SECTORS, rng).to_string(),
+            city: pick(CITIES, rng).to_string(),
+            founded: rng.gen_range(1950..2020),
+        }
+    }
+
+    fn render_left(&self, c: &Company, rng: &mut StdRng) -> Record {
+        // Homepage style.
+        let content = format!(
+            "{} {} is a leading {} company headquartered in {} delivering innovative {} services since {}",
+            c.name, c.suffix, c.sector, c.city, c.sector, c.founded
+        );
+        Record::new(vec![("content", perturb_text(&content, &self.perturb, rng))])
+    }
+
+    fn render_right(&self, c: &Company, rng: &mut StdRng) -> Record {
+        // Encyclopedia stub style; sometimes drops the suffix or the year.
+        let mut content = format!(
+            "{} founded {} {} firm based in {}",
+            c.name, c.founded, c.sector, c.city
+        );
+        if rng.gen_bool(0.4) {
+            content = format!("{} {}", content, c.suffix);
+        }
+        Record::new(vec![("content", perturb_text(&content, &self.perturb, rng))])
+    }
+
+    fn family_key(&self, c: &Company) -> String {
+        // Hard negatives share a sector and a city — plausible near-misses.
+        format!("{} {}", c.sector, c.city)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{generate_with_closure, WorldSpec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn renders_single_content_attribute() {
+        let world = CompanyWorld::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = world.make_entity(0, &mut rng);
+        let l = world.render_left(&c, &mut rng);
+        let r = world.render_right(&c, &mut rng);
+        assert_eq!(l.attrs.len(), 1);
+        assert_eq!(r.attrs.len(), 1);
+        assert!(l.get("content").unwrap().contains(&c.city));
+        assert!(r.get("content").unwrap().contains(&c.name.split(' ').next().unwrap().to_string()));
+    }
+
+    #[test]
+    fn closure_dataset_has_huge_class_space() {
+        let world = CompanyWorld::default();
+        let spec = WorldSpec::quick("companies", 50, 40, 120);
+        let ds = generate_with_closure(&world, &spec, 2);
+        ds.validate().unwrap();
+        // Most offers never match, so classes ≳ entities.
+        assert!(ds.num_classes > 100, "{}", ds.num_classes);
+    }
+}

@@ -1,0 +1,6 @@
+//! Domain-specific entity worlds: one module per benchmark family.
+
+pub mod bibliography;
+pub mod companies;
+pub mod magellan;
+pub mod products;

@@ -1,0 +1,334 @@
+//! Product-offer worlds: the four WDC categories and the abt-buy analog.
+//!
+//! Each world invents a canonical product (brand, family, model code,
+//! specs) and renders noisy shop offers for it. The WDC renderers use the
+//! paper's attribute set — `brand`, `title`, `description`,
+//! `specTableContent` — on both sides; abt-buy uses the asymmetric
+//! `name`/`description` vs `name`/`description`/`price` schemas.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::perturb::{perturb_text, PerturbConfig};
+use crate::record::Record;
+use crate::textgen::{marketing_sentence, model_code, pick};
+use crate::world::EntityWorld;
+
+/// Vocabulary pools describing one product category.
+#[derive(Debug, Clone)]
+pub struct ProductVocab {
+    /// Manufacturer names.
+    pub brands: &'static [&'static str],
+    /// Product-line names (e.g. "evo", "ultra").
+    pub families: &'static [&'static str],
+    /// Category nouns (e.g. "ssd", "dslr camera").
+    pub nouns: &'static [&'static str],
+    /// Primary spec values (capacity, megapixels, case size, shoe size...).
+    pub primary_specs: &'static [&'static str],
+    /// Secondary spec values (speed, zoom, water resistance, color...).
+    pub secondary_specs: &'static [&'static str],
+}
+
+/// The WDC computers category.
+pub const COMPUTERS: ProductVocab = ProductVocab {
+    brands: &[
+        "samsung", "sandisk", "transcend", "kingston", "corsair", "crucial", "seagate", "toshiba",
+        "intel", "amd", "asus", "msi", "gigabyte", "lenovo", "dell", "hp", "acer", "logitech",
+        "western digital", "adata",
+    ],
+    families: &[
+        "evo", "pro", "ultra", "extreme", "vengeance", "fury", "barracuda", "blue", "black",
+        "elite", "predator", "rog", "aspire", "thinkpad", "pavilion", "canvio",
+    ],
+    nouns: &[
+        "ssd", "hdd", "ddr4 memory", "ddr3 sodimm", "compactflash card", "sd card", "usb drive",
+        "cpu", "graphics card", "motherboard", "laptop", "monitor",
+    ],
+    primary_specs: &[
+        "128gb", "256gb", "512gb", "1tb", "2tb", "4tb", "4gb", "8gb", "16gb", "32gb", "64gb",
+    ],
+    secondary_specs: &[
+        "30mb/s", "100mb/s", "520mb/s", "550mb/s", "1333mhz", "1600mhz", "2400mhz", "3200mhz",
+        "sata", "m.2", "nvme", "pcie", "100x", "300x", "533x",
+    ],
+};
+
+/// The WDC cameras category.
+pub const CAMERAS: ProductVocab = ProductVocab {
+    brands: &[
+        "canon", "nikon", "sony", "fujifilm", "olympus", "panasonic", "leica", "pentax", "gopro",
+        "kodak", "sigma", "tamron", "hasselblad", "ricoh",
+    ],
+    families: &[
+        "eos", "coolpix", "alpha", "cybershot", "lumix", "powershot", "finepix", "hero", "pixpro",
+        "stylus", "rebel", "zed",
+    ],
+    nouns: &[
+        "dslr camera", "mirrorless camera", "compact camera", "action camera", "camcorder",
+        "zoom lens", "prime lens", "camera kit",
+    ],
+    primary_specs: &[
+        "12mp", "16mp", "20mp", "24mp", "32mp", "42mp", "50mp", "61mp",
+    ],
+    secondary_specs: &[
+        "3x zoom", "5x zoom", "10x zoom", "18-55mm", "24-70mm", "70-200mm", "f1.8", "f2.8",
+        "f4.0", "4k video", "1080p", "wifi",
+    ],
+};
+
+/// The WDC watches category.
+pub const WATCHES: ProductVocab = ProductVocab {
+    brands: &[
+        "casio", "seiko", "citizen", "timex", "fossil", "garmin", "suunto", "orient", "bulova",
+        "tissot", "swatch", "invicta", "luminox",
+    ],
+    families: &[
+        "gshock", "edifice", "prospex", "presage", "ecodrive", "expedition", "fenix", "core",
+        "weekender", "promaster", "navihawk",
+    ],
+    nouns: &[
+        "chronograph watch", "dive watch", "field watch", "smartwatch", "dress watch",
+        "pilot watch", "sports watch",
+    ],
+    primary_specs: &[
+        "38mm", "40mm", "42mm", "44mm", "46mm",
+    ],
+    secondary_specs: &[
+        "100m water resistant", "200m water resistant", "sapphire crystal", "leather strap",
+        "steel bracelet", "resin band", "solar powered", "automatic movement", "quartz",
+    ],
+};
+
+/// The WDC shoes category.
+pub const SHOES: ProductVocab = ProductVocab {
+    brands: &[
+        "nike", "adidas", "puma", "reebok", "asics", "new balance", "brooks", "saucony", "mizuno",
+        "salomon", "hoka", "altra", "merrell",
+    ],
+    families: &[
+        "pegasus", "ultraboost", "gel kayano", "ghost", "clifton", "speedcross", "fresh foam",
+        "wave rider", "vaporfly", "terrex", "ride",
+    ],
+    nouns: &[
+        "running shoes", "trail shoes", "sneakers", "training shoes", "racing flats",
+        "walking shoes", "hiking shoes",
+    ],
+    primary_specs: &[
+        "size 7", "size 8", "size 9", "size 10", "size 11", "size 12",
+    ],
+    secondary_specs: &[
+        "black", "white", "blue", "red", "grey", "green", "mesh upper", "gore-tex", "carbon plate",
+        "mens", "womens",
+    ],
+};
+
+/// Electronics vocabulary for the abt-buy analog (consumer electronics at
+/// large, a superset of the computer category's feel).
+pub const ELECTRONICS: ProductVocab = ProductVocab {
+    brands: &[
+        "sony", "panasonic", "philips", "jbl", "bose", "yamaha", "denon", "onkyo", "pioneer",
+        "sharp", "lg", "samsung", "toshiba", "jvc", "kenwood",
+    ],
+    families: &[
+        "bravia", "viera", "soundlink", "aventage", "diamond", "prestige", "studio", "reference",
+        "quartz", "harmony",
+    ],
+    nouns: &[
+        "lcd tv", "av receiver", "bluetooth speaker", "soundbar", "home theater system",
+        "dvd player", "headphones", "subwoofer", "micro hifi system",
+    ],
+    primary_specs: &[
+        "32in", "40in", "46in", "55in", "100w", "250w", "500w", "5.1 channel", "7.1 channel",
+    ],
+    secondary_specs: &[
+        "hdmi", "usb", "black", "silver", "wall mountable", "remote included", "dolby digital",
+        "1080p", "energy star",
+    ],
+};
+
+/// A canonical product entity.
+#[derive(Debug, Clone)]
+pub struct Product {
+    /// Manufacturer.
+    pub brand: String,
+    /// Product line.
+    pub family: String,
+    /// Category noun.
+    pub noun: String,
+    /// Unique-ish alphanumeric model code.
+    pub code: String,
+    /// Primary spec value.
+    pub primary: String,
+    /// Secondary spec value.
+    pub secondary: String,
+}
+
+impl Product {
+    /// The canonical title phrase shared (modulo noise) by all offers.
+    pub fn title(&self) -> String {
+        format!(
+            "{} {} {} {} {} {}",
+            self.brand, self.family, self.primary, self.noun, self.code, self.secondary
+        )
+    }
+}
+
+/// How a product world renders offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferSchema {
+    /// WDC schema: brand / title / description / specTableContent, both sides.
+    Wdc,
+    /// abt-buy schema: name+description vs name+description+price.
+    AbtBuy,
+}
+
+/// A product category world.
+pub struct ProductWorld {
+    vocab: ProductVocab,
+    schema: OfferSchema,
+    perturb: PerturbConfig,
+}
+
+impl ProductWorld {
+    /// Creates a world over a category vocabulary.
+    pub fn new(vocab: ProductVocab, schema: OfferSchema) -> Self {
+        Self {
+            vocab,
+            schema,
+            perturb: PerturbConfig::default(),
+        }
+    }
+
+    fn offer_wdc(&self, p: &Product, rng: &mut StdRng) -> Record {
+        let title = perturb_text(&p.title(), &self.perturb, rng);
+        let description = perturb_text(
+            &marketing_sentence(&format!("{} {} {}", p.brand, p.family, p.noun), rng),
+            &self.perturb,
+            rng,
+        );
+        let spec_table = format!(
+            "brand {} model {} capacity {} speed {}",
+            p.brand, p.code, p.primary, p.secondary
+        );
+        Record::new(vec![
+            ("brand", p.brand.clone()),
+            ("title", title),
+            ("description", description),
+            ("specTableContent", perturb_text(&spec_table, &self.perturb, rng)),
+        ])
+    }
+}
+
+impl EntityWorld for ProductWorld {
+    type Entity = Product;
+
+    fn make_entity(&self, _idx: usize, rng: &mut StdRng) -> Product {
+        Product {
+            brand: pick(self.vocab.brands, rng).to_string(),
+            family: pick(self.vocab.families, rng).to_string(),
+            noun: pick(self.vocab.nouns, rng).to_string(),
+            code: model_code(rng),
+            primary: pick(self.vocab.primary_specs, rng).to_string(),
+            secondary: pick(self.vocab.secondary_specs, rng).to_string(),
+        }
+    }
+
+    fn render_left(&self, p: &Product, rng: &mut StdRng) -> Record {
+        match self.schema {
+            OfferSchema::Wdc => self.offer_wdc(p, rng),
+            OfferSchema::AbtBuy => {
+                // "abt" side: name + long description.
+                let name = perturb_text(&p.title(), &self.perturb, rng);
+                let description = perturb_text(
+                    &marketing_sentence(&format!("{} {} {}", p.brand, p.noun, p.primary), rng),
+                    &self.perturb,
+                    rng,
+                );
+                Record::new(vec![("name", name), ("description", description)])
+            }
+        }
+    }
+
+    fn render_right(&self, p: &Product, rng: &mut StdRng) -> Record {
+        match self.schema {
+            OfferSchema::Wdc => self.offer_wdc(p, rng),
+            OfferSchema::AbtBuy => {
+                // "buy" side: name + short description + price.
+                let name = perturb_text(
+                    &format!("{} {} {} {}", p.brand, p.code, p.primary, p.noun),
+                    &self.perturb,
+                    rng,
+                );
+                let price = format!("${}.{:02}", rng.gen_range(19..999), rng.gen_range(0..100));
+                Record::new(vec![
+                    ("name", name),
+                    ("description", perturb_text(&p.title(), &self.perturb, rng)),
+                    ("price", price),
+                ])
+            }
+        }
+    }
+
+    fn family_key(&self, p: &Product) -> String {
+        format!("{} {}", p.brand, p.noun)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{generate, WorldSpec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn products_vary_and_carry_codes() {
+        let world = ProductWorld::new(COMPUTERS, OfferSchema::Wdc);
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = world.make_entity(0, &mut rng);
+        let b = world.make_entity(1, &mut rng);
+        assert_ne!(a.title(), b.title());
+        assert!(a.title().contains(&a.code));
+    }
+
+    #[test]
+    fn wdc_offer_has_paper_schema() {
+        let world = ProductWorld::new(CAMERAS, OfferSchema::Wdc);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = world.make_entity(0, &mut rng);
+        let offer = world.render_left(&p, &mut rng);
+        let names: Vec<&str> = offer.attrs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["brand", "title", "description", "specTableContent"]);
+    }
+
+    #[test]
+    fn abtbuy_sides_have_asymmetric_schemas() {
+        let world = ProductWorld::new(ELECTRONICS, OfferSchema::AbtBuy);
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = world.make_entity(0, &mut rng);
+        let left = world.render_left(&p, &mut rng);
+        let right = world.render_right(&p, &mut rng);
+        assert!(left.get("price").is_none());
+        assert!(right.get("price").is_some());
+    }
+
+    #[test]
+    fn matching_offers_share_discriminative_tokens() {
+        let world = ProductWorld::new(COMPUTERS, OfferSchema::Wdc);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = world.make_entity(0, &mut rng);
+        let a = world.render_left(&p, &mut rng);
+        let b = world.render_right(&p, &mut rng);
+        assert_ne!(a, b, "offers should differ in surface form");
+        // Brand attribute is stable across offers.
+        assert_eq!(a.get("brand"), b.get("brand"));
+    }
+
+    #[test]
+    fn end_to_end_generation_for_every_category() {
+        for vocab in [COMPUTERS, CAMERAS, WATCHES, SHOES] {
+            let world = ProductWorld::new(vocab, OfferSchema::Wdc);
+            let ds = generate(&world, &WorldSpec::quick("cat", 15, 12, 24));
+            ds.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Class-imbalance resampling for the paper's Table 6 experiment.
+//!
+//! The paper creates three variants of WDC computers xlarge by downsampling
+//! positives (9690 → 6146 / 1762 / 722) while keeping every negative,
+//! producing positive/negative ratios of 0.104, 0.030, and 0.012.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::Dataset;
+
+/// The three positive/negative ratios evaluated in Table 6.
+pub const TABLE6_RATIOS: [f64; 3] = [0.104, 0.030, 0.012];
+
+/// Returns a copy of `ds` whose *training* split keeps all negatives but
+/// only enough positives to reach `ratio = pos/neg`. Validation and test
+/// splits are untouched (the paper evaluates on the original test set).
+///
+/// # Panics
+///
+/// Panics if `ratio` is not positive or exceeds the dataset's current ratio
+/// (this function only downsamples).
+pub fn downsample_positives(ds: &Dataset, ratio: f64, seed: u64) -> Dataset {
+    assert!(ratio > 0.0, "ratio must be positive, got {ratio}");
+    let (pos, neg) = ds.train_balance();
+    let current = pos as f64 / neg.max(1) as f64;
+    assert!(
+        ratio <= current + 1e-12,
+        "cannot upsample: requested ratio {ratio} exceeds current {current}"
+    );
+    let keep = ((neg as f64 * ratio).round() as usize).clamp(1, pos);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Reservoir-sample `keep` positive indices.
+    let pos_indices: Vec<usize> = ds
+        .train
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_match)
+        .map(|(i, _)| i)
+        .collect();
+    let mut chosen: Vec<usize> = pos_indices.iter().copied().take(keep).collect();
+    for (seen, &idx) in pos_indices.iter().enumerate().skip(keep) {
+        let j = rng.gen_range(0..=seen);
+        if j < keep {
+            chosen[j] = idx;
+        }
+    }
+    let chosen: std::collections::HashSet<usize> = chosen.into_iter().collect();
+
+    let train = ds
+        .train
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| !p.is_match || chosen.contains(i))
+        .map(|(_, p)| p.clone())
+        .collect();
+
+    Dataset {
+        name: format!("{}-ratio{:.3}", ds.name, ratio),
+        train,
+        valid: ds.valid.clone(),
+        test: ds.test.clone(),
+        num_classes: ds.num_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{build, DatasetId, Scale, WdcCategory, WdcSize};
+
+    fn base() -> Dataset {
+        build(
+            DatasetId::Wdc(WdcCategory::Computers, WdcSize::Xlarge),
+            Scale::TEST,
+            1,
+        )
+    }
+
+    #[test]
+    fn downsampling_hits_target_ratio() {
+        let ds = base();
+        let (_, neg_before) = ds.train_balance();
+        let down = downsample_positives(&ds, 0.05, 7);
+        let (pos, neg) = down.train_balance();
+        assert_eq!(neg, neg_before, "negatives must be untouched");
+        let ratio = pos as f64 / neg as f64;
+        assert!((ratio - 0.05).abs() < 0.02, "got ratio {ratio}");
+    }
+
+    #[test]
+    fn test_split_is_preserved() {
+        let ds = base();
+        let down = downsample_positives(&ds, 0.05, 7);
+        assert_eq!(down.test, ds.test);
+        assert_eq!(down.valid, ds.valid);
+        assert_eq!(down.num_classes, ds.num_classes);
+    }
+
+    #[test]
+    fn downsampling_is_deterministic() {
+        let ds = base();
+        let a = downsample_positives(&ds, 0.04, 3);
+        let b = downsample_positives(&ds, 0.04, 3);
+        assert_eq!(a.train, b.train);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot upsample")]
+    fn rejects_upsampling() {
+        let ds = base();
+        let _ = downsample_positives(&ds, 10.0, 1);
+    }
+
+    #[test]
+    fn name_records_the_ratio() {
+        let ds = base();
+        let down = downsample_positives(&ds, 0.03, 1);
+        assert!(down.name.contains("ratio0.030"));
+    }
+}

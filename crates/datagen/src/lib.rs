@@ -1,0 +1,47 @@
+//! Synthetic benchmark datasets reproducing the shape of the EMBA paper's
+//! ten entity-matching corpora.
+//!
+//! The paper evaluates on WDC products (computers/cameras/watches/shoes at
+//! four training sizes), abt-buy, dblp-scholar, companies, and three
+//! Magellan datasets (baby products, bikes, books). Those corpora are
+//! external downloads; this crate generates seeded synthetic analogs that
+//! preserve everything the experiments depend on:
+//!
+//! * Table 1's pair counts, class counts, and positive/negative ratios
+//!   (exact at [`Scale::FULL`], proportional below);
+//! * the entity-ID class construction — true product ids for WDC,
+//!   transitive-closure clusters for abt-buy/companies
+//!   ([`generate_with_closure`]), `(venue, year)` for dblp-scholar, and
+//!   category/brand/publisher for the Magellan trio;
+//! * the imbalance profile (LRID), driven by Zipf skews per domain;
+//! * matching difficulty: positives are independently-noised offers of one
+//!   entity, negatives are dominated by same-family hard cases.
+//!
+//! # Example
+//!
+//! ```
+//! use emba_datagen::{build, dataset_stats, DatasetId, Scale, WdcCategory, WdcSize};
+//!
+//! let ds = build(DatasetId::Wdc(WdcCategory::Computers, WdcSize::Small), Scale::TEST, 42);
+//! ds.validate().unwrap();
+//! let stats = dataset_stats(&ds);
+//! assert!(stats.pos_pairs > 0 && stats.classes >= 6);
+//! ```
+
+pub mod clusters;
+pub mod domains;
+mod imbalance;
+mod perturb;
+mod record;
+mod specs;
+mod stats;
+pub mod textgen;
+mod world;
+
+pub use clusters::{cluster_from_matches, UnionFind};
+pub use imbalance::{downsample_positives, TABLE6_RATIOS};
+pub use perturb::{perturb_text, PerturbConfig};
+pub use record::{Dataset, PairExample, Record};
+pub use specs::{build, dblp_entities, paper_counts, DatasetId, PaperCounts, Scale, WdcCategory, WdcSize};
+pub use stats::{dataset_stats, lrid, DatasetStats};
+pub use world::{generate, generate_with_closure, EntityWorld, WorldSpec};

@@ -1,0 +1,261 @@
+//! The textual perturbation engine.
+//!
+//! Real product-matching corpora (WDC) contain many *offers* per product:
+//! the same entity described by different e-shops with typos, abbreviations,
+//! marketing noise, reordered tokens, and rewritten units. This module
+//! reproduces that noise model so matching is non-trivial: positives share
+//! an underlying entity but differ in surface text; hard negatives share
+//! brand/family vocabulary but differ in the discriminative tokens.
+
+use rand::Rng;
+
+/// Words e-shops sprinkle around product titles.
+const NOISE_WORDS: &[&str] = &[
+    "buy", "online", "best", "price", "cheap", "offer", "sale", "new", "retail", "oem", "original",
+    "genuine", "deal", "shop", "store", "uk", "india", "usa", "free", "shipping",
+];
+
+/// Unit-equivalence rewrites applied in either direction.
+const UNIT_REWRITES: &[(&str, &str)] = &[
+    ("1tb", "1000gb"),
+    ("2tb", "2000gb"),
+    ("4tb", "4000gb"),
+    ("1kg", "1000g"),
+    ("1m", "100cm"),
+    ("1ghz", "1000mhz"),
+    ("2ghz", "2000mhz"),
+    ("3ghz", "3000mhz"),
+];
+
+/// Controls how aggressively text is rewritten.
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbConfig {
+    /// Expected number of edit operations applied per text.
+    pub ops: f32,
+    /// Probability of prepending/appending marketing noise.
+    pub noise_prob: f32,
+}
+
+impl Default for PerturbConfig {
+    fn default() -> Self {
+        Self {
+            ops: 1.0,
+            noise_prob: 0.35,
+        }
+    }
+}
+
+/// Produces an alternative surface form of `text` describing the same
+/// entity. Deterministic given the RNG state.
+pub fn perturb_text<R: Rng + ?Sized>(text: &str, cfg: &PerturbConfig, rng: &mut R) -> String {
+    let mut words: Vec<String> = text.split_whitespace().map(str::to_string).collect();
+    if words.is_empty() {
+        return text.to_string();
+    }
+
+    let ops = sample_poisson(cfg.ops, rng).max(1);
+    for _ in 0..ops {
+        match rng.gen_range(0..6) {
+            0 => typo(&mut words, rng),
+            1 => drop_word(&mut words, rng),
+            2 => abbreviate(&mut words, rng),
+            3 => swap_words(&mut words, rng),
+            4 => rewrite_unit(&mut words, rng),
+            _ => duplicate_word(&mut words, rng),
+        }
+    }
+    if rng.gen::<f32>() < cfg.noise_prob {
+        let noise = NOISE_WORDS[rng.gen_range(0..NOISE_WORDS.len())];
+        if rng.gen::<bool>() {
+            words.insert(0, noise.to_string());
+        } else {
+            words.push(noise.to_string());
+        }
+    }
+    if words.is_empty() {
+        return text.to_string();
+    }
+    words.join(" ")
+}
+
+fn typo<R: Rng + ?Sized>(words: &mut [String], rng: &mut R) {
+    let Some(w) = pick_long_word(words, rng, 3) else { return };
+    let chars: Vec<char> = words[w].chars().collect();
+    let mut chars = chars;
+    let i = rng.gen_range(0..chars.len().saturating_sub(1).max(1));
+    match rng.gen_range(0..3) {
+        0 if i + 1 < chars.len() => chars.swap(i, i + 1),
+        1 if chars.len() > 3 => {
+            chars.remove(i);
+        }
+        _ => {
+            let c = chars[i];
+            chars.insert(i, c);
+        }
+    }
+    words[w] = chars.into_iter().collect();
+}
+
+fn drop_word<R: Rng + ?Sized>(words: &mut Vec<String>, rng: &mut R) {
+    // Identifier-like words (model codes, capacities) survive: shops copy
+    // SKUs verbatim, and they are the discriminative matching signal.
+    let droppable: Vec<usize> = words
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| !has_digit(w))
+        .map(|(i, _)| i)
+        .collect();
+    if words.len() > 2 && !droppable.is_empty() {
+        words.remove(droppable[rng.gen_range(0..droppable.len())]);
+    }
+}
+
+fn abbreviate<R: Rng + ?Sized>(words: &mut [String], rng: &mut R) {
+    let Some(w) = pick_long_word(words, rng, 5) else { return };
+    let keep = rng.gen_range(3..5);
+    words[w] = words[w].chars().take(keep).collect();
+}
+
+fn swap_words<R: Rng + ?Sized>(words: &mut [String], rng: &mut R) {
+    if words.len() >= 2 {
+        let i = rng.gen_range(0..words.len() - 1);
+        words.swap(i, i + 1);
+    }
+}
+
+fn rewrite_unit<R: Rng + ?Sized>(words: &mut [String], rng: &mut R) {
+    for w in words.iter_mut() {
+        for &(a, b) in UNIT_REWRITES {
+            if w == a {
+                *w = b.to_string();
+                return;
+            }
+            if w == b {
+                *w = a.to_string();
+                return;
+            }
+        }
+    }
+    // Nothing rewritable; degrade to a no-op half the time, else duplicate.
+    if rng.gen::<bool>() && !words.is_empty() {
+        let i = rng.gen_range(0..words.len());
+        let dup = words[i].clone();
+        words[i] = dup;
+    }
+}
+
+fn duplicate_word<R: Rng + ?Sized>(words: &mut Vec<String>, rng: &mut R) {
+    if !words.is_empty() && words.len() < 48 {
+        let i = rng.gen_range(0..words.len());
+        let w = words[i].clone();
+        words.insert(i, w);
+    }
+}
+
+fn has_digit(w: &str) -> bool {
+    w.chars().any(|c| c.is_ascii_digit())
+}
+
+fn pick_long_word<R: Rng + ?Sized>(
+    words: &[String],
+    rng: &mut R,
+    min_len: usize,
+) -> Option<usize> {
+    let candidates: Vec<usize> = words
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.chars().count() >= min_len && !has_digit(w))
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0..candidates.len())])
+    }
+}
+
+/// Small-λ Poisson sampler via Knuth's method.
+fn sample_poisson<R: Rng + ?Sized>(lambda: f32, rng: &mut R) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f32;
+    loop {
+        p *= rng.gen::<f32>();
+        if p <= l || k > 32 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SAMPLE: &str = "samsung 850 evo 1tb ssd mz-75e1t0bw internal sata drive";
+
+    #[test]
+    fn perturbation_changes_text_but_keeps_overlap() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = PerturbConfig::default();
+        let mut changed = 0;
+        for _ in 0..20 {
+            let out = perturb_text(SAMPLE, &cfg, &mut rng);
+            if out != SAMPLE {
+                changed += 1;
+            }
+            // Most original words should survive a default-strength edit.
+            let orig: std::collections::HashSet<&str> = SAMPLE.split_whitespace().collect();
+            let kept = out
+                .split_whitespace()
+                .filter(|w| orig.contains(w))
+                .count();
+            assert!(kept >= 4, "too little overlap: {out:?}");
+        }
+        assert!(changed >= 18, "perturbation was a no-op {}/20 times", 20 - changed);
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_given_seed() {
+        let cfg = PerturbConfig::default();
+        let a = perturb_text(SAMPLE, &cfg, &mut StdRng::seed_from_u64(7));
+        let b = perturb_text(SAMPLE, &cfg, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_text_is_returned_unchanged() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(perturb_text("", &PerturbConfig::default(), &mut rng), "");
+    }
+
+    #[test]
+    fn single_word_never_disappears() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let out = perturb_text("samsung", &PerturbConfig::default(), &mut rng);
+            assert!(!out.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn unit_rewrite_swaps_known_units() {
+        let mut words = vec!["ssd".to_string(), "1tb".to_string()];
+        let mut rng = StdRng::seed_from_u64(3);
+        rewrite_unit(&mut words, &mut rng);
+        assert_eq!(words[1], "1000gb");
+        rewrite_unit(&mut words, &mut rng);
+        assert_eq!(words[1], "1tb");
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_lambda() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 2000;
+        let total: usize = (0..n).map(|_| sample_poisson(2.0, &mut rng)).sum();
+        let mean = total as f32 / n as f32;
+        assert!((mean - 2.0).abs() < 0.2, "poisson mean {mean}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Core data-model types: entity records, labeled pairs, and datasets.
+
+use serde::{Deserialize, Serialize};
+
+/// One entity description: an ordered list of `(attribute name, value)`
+/// pairs. Schemas are free-form — the two records of a pair need not share
+/// attributes (the paper's §3.1 explicitly allows heterogeneous schemas).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Attribute name/value pairs in serialization order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Record {
+    /// Builds a record from string pairs.
+    pub fn new<N: Into<String>, V: Into<String>>(attrs: Vec<(N, V)>) -> Self {
+        Self {
+            attrs: attrs
+                .into_iter()
+                .map(|(n, v)| (n.into(), v.into()))
+                .collect(),
+        }
+    }
+
+    /// Value of the first attribute with the given name, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All attribute values joined with spaces (the paper's plain
+    /// serialization, before tokenization).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for (_, v) in &self.attrs {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(v);
+        }
+        out
+    }
+}
+
+/// One labeled example: a record pair with the EM label and the two entity-ID
+/// classes used by the auxiliary prediction tasks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairExample {
+    /// RECORD1.
+    pub left: Record,
+    /// RECORD2.
+    pub right: Record,
+    /// Whether the two records refer to the same real-world entity.
+    pub is_match: bool,
+    /// Entity-ID class of the left record, in `0..num_classes`.
+    pub left_class: usize,
+    /// Entity-ID class of the right record, in `0..num_classes`.
+    pub right_class: usize,
+}
+
+/// A complete benchmark dataset with fixed splits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable name, e.g. `"wdc-computers-small"`.
+    pub name: String,
+    /// Training pairs.
+    pub train: Vec<PairExample>,
+    /// Validation pairs (early stopping / LR selection).
+    pub valid: Vec<PairExample>,
+    /// Test pairs.
+    pub test: Vec<PairExample>,
+    /// Number of entity-ID classes across the dataset.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// All splits chained, in train → valid → test order.
+    pub fn all_pairs(&self) -> impl Iterator<Item = &PairExample> {
+        self.train.iter().chain(&self.valid).chain(&self.test)
+    }
+
+    /// Positive / negative pair counts in the training split.
+    pub fn train_balance(&self) -> (usize, usize) {
+        let pos = self.train.iter().filter(|p| p.is_match).count();
+        (pos, self.train.len() - pos)
+    }
+
+    /// Validates internal consistency: class ids in range, matching pairs
+    /// share a class, and no split is empty. Returns a description of the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.train.is_empty() || self.valid.is_empty() || self.test.is_empty() {
+            return Err(format!(
+                "dataset {}: empty split (train {}, valid {}, test {})",
+                self.name,
+                self.train.len(),
+                self.valid.len(),
+                self.test.len()
+            ));
+        }
+        for (split, pairs) in [
+            ("train", &self.train),
+            ("valid", &self.valid),
+            ("test", &self.test),
+        ] {
+            for (i, p) in pairs.iter().enumerate() {
+                if p.left_class >= self.num_classes || p.right_class >= self.num_classes {
+                    return Err(format!(
+                        "dataset {}: {split}[{i}] class out of range ({}, {}) >= {}",
+                        self.name, p.left_class, p.right_class, self.num_classes
+                    ));
+                }
+                if p.is_match && p.left_class != p.right_class {
+                    return Err(format!(
+                        "dataset {}: {split}[{i}] is a match but classes differ ({} vs {})",
+                        self.name, p.left_class, p.right_class
+                    ));
+                }
+                if p.left.attrs.is_empty() || p.right.attrs.is_empty() {
+                    return Err(format!("dataset {}: {split}[{i}] has an empty record", self.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(vals: &[(&str, &str)]) -> Record {
+        Record::new(vals.to_vec())
+    }
+
+    fn pair(is_match: bool, lc: usize, rc: usize) -> PairExample {
+        PairExample {
+            left: rec(&[("title", "a")]),
+            right: rec(&[("title", "b")]),
+            is_match,
+            left_class: lc,
+            right_class: rc,
+        }
+    }
+
+    #[test]
+    fn record_text_and_get() {
+        let r = rec(&[("title", "samsung evo"), ("brand", "samsung")]);
+        assert_eq!(r.text(), "samsung evo samsung");
+        assert_eq!(r.get("brand"), Some("samsung"));
+        assert_eq!(r.get("missing"), None);
+    }
+
+    #[test]
+    fn dataset_validation_catches_class_mismatch_on_match() {
+        let d = Dataset {
+            name: "t".into(),
+            train: vec![pair(true, 0, 1)],
+            valid: vec![pair(false, 0, 1)],
+            test: vec![pair(false, 1, 0)],
+            num_classes: 2,
+        };
+        let err = d.validate().unwrap_err();
+        assert!(err.contains("classes differ"));
+    }
+
+    #[test]
+    fn dataset_validation_catches_out_of_range_class() {
+        let d = Dataset {
+            name: "t".into(),
+            train: vec![pair(false, 0, 5)],
+            valid: vec![pair(false, 0, 1)],
+            test: vec![pair(false, 1, 0)],
+            num_classes: 2,
+        };
+        assert!(d.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn dataset_validation_accepts_consistent_data() {
+        let d = Dataset {
+            name: "t".into(),
+            train: vec![pair(true, 1, 1), pair(false, 0, 1)],
+            valid: vec![pair(false, 0, 1)],
+            test: vec![pair(true, 0, 0)],
+            num_classes: 2,
+        };
+        d.validate().unwrap();
+        assert_eq!(d.train_balance(), (1, 1));
+        assert_eq!(d.all_pairs().count(), 4);
+    }
+}

@@ -1,0 +1,115 @@
+//! Dataset statistics: the likelihood-ratio imbalance degree (LRID) and the
+//! per-dataset summary rows of the paper's Table 1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::Dataset;
+
+/// Likelihood-ratio imbalance degree (Zhu et al., 2018) of a class-count
+/// vector, normalized by the sample count.
+///
+/// The paper's Table 1 reports `LRID = -2 Σ_c n_c ln(N / (C n_c))`; we
+/// normalize by `N` (equivalently, compute over class proportions:
+/// `2 Σ_c p_c ln(C p_c)`, twice the KL divergence from the uniform
+/// distribution) so the value is comparable across dataset sizes, matching
+/// the magnitude range of the published table (0 for balanced data, larger
+/// for more imbalance). Empty classes contribute nothing.
+pub fn lrid(class_counts: &[usize]) -> f64 {
+    let c = class_counts.iter().filter(|&&n| n > 0).count();
+    let n: usize = class_counts.iter().sum();
+    if c <= 1 || n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    let c = c as f64;
+    2.0 * class_counts
+        .iter()
+        .filter(|&&nc| nc > 0)
+        .map(|&nc| {
+            let p = nc as f64 / n;
+            p * (c * p).ln()
+        })
+        .sum::<f64>()
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Positive pairs in the training split.
+    pub pos_pairs: usize,
+    /// Negative pairs in the training split.
+    pub neg_pairs: usize,
+    /// LRID of the entity-ID class distribution over the training split.
+    pub lrid: f64,
+    /// Number of entity-ID classes.
+    pub classes: usize,
+    /// Test-set size.
+    pub test_size: usize,
+}
+
+/// Computes the Table 1 row for a dataset. The class distribution counts
+/// each record occurrence in the training split (both sides of every pair),
+/// matching how the auxiliary tasks see the data.
+pub fn dataset_stats(ds: &Dataset) -> DatasetStats {
+    let (pos, neg) = ds.train_balance();
+    let mut counts = vec![0usize; ds.num_classes];
+    for p in &ds.train {
+        counts[p.left_class] += 1;
+        counts[p.right_class] += 1;
+    }
+    DatasetStats {
+        name: ds.name.clone(),
+        pos_pairs: pos,
+        neg_pairs: neg,
+        lrid: lrid(&counts),
+        classes: ds.num_classes,
+        test_size: ds.test.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lrid_zero_for_balanced() {
+        assert_eq!(lrid(&[10, 10, 10, 10]), 0.0);
+        assert!(lrid(&[7, 7]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lrid_grows_with_imbalance() {
+        let mild = lrid(&[60, 40]);
+        let severe = lrid(&[99, 1]);
+        assert!(mild > 0.0);
+        assert!(severe > mild);
+    }
+
+    #[test]
+    fn lrid_ignores_empty_classes() {
+        assert_eq!(lrid(&[5, 5, 0]), lrid(&[5, 5]));
+    }
+
+    #[test]
+    fn lrid_degenerate_inputs() {
+        assert_eq!(lrid(&[]), 0.0);
+        assert_eq!(lrid(&[42]), 0.0);
+        assert_eq!(lrid(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn lrid_is_scale_invariant() {
+        let a = lrid(&[30, 10]);
+        let b = lrid(&[300, 100]);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn lrid_bounded_by_twice_log_c() {
+        // KL(p || uniform) <= ln C, so LRID <= 2 ln C.
+        let v = lrid(&[1000, 1, 1, 1]);
+        assert!(v <= 2.0 * (4.0f64).ln() + 1e-9);
+    }
+}

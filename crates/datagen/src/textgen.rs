@@ -1,0 +1,149 @@
+//! Word pools and low-level text synthesis shared by the domain generators.
+
+use rand::Rng;
+
+/// Picks one element of a non-empty slice.
+pub fn pick<'a, T: ?Sized, R: Rng + ?Sized>(pool: &'a [&'a T], rng: &mut R) -> &'a T {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Picks an index from Zipf-like weights `w_i ∝ 1/(i+1)^exponent`.
+/// `exponent = 0` is uniform; larger exponents concentrate mass on low
+/// indices (used to control each dataset's LRID).
+pub fn zipf_index<R: Rng + ?Sized>(n: usize, exponent: f64, rng: &mut R) -> usize {
+    assert!(n > 0, "zipf over an empty range");
+    if exponent == 0.0 {
+        return rng.gen_range(0..n);
+    }
+    // Inverse-CDF sampling over explicit weights; n stays small (≤ a few
+    // thousand classes), so the O(n) scan is irrelevant next to training.
+    let total: f64 = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).sum();
+    let mut target = rng.gen::<f64>() * total;
+    for i in 0..n {
+        target -= 1.0 / ((i + 1) as f64).powf(exponent);
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+/// Generates an alphanumeric model code such as `mz-75e1t0bw` or `sdcfh-004g`.
+pub fn model_code<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const CONS: &[u8] = b"bcdfghklmnprstvwxz";
+    const DIGITS: &[u8] = b"0123456789";
+    let mut code = String::new();
+    for _ in 0..rng.gen_range(2..4) {
+        code.push(CONS[rng.gen_range(0..CONS.len())] as char);
+    }
+    if rng.gen_bool(0.6) {
+        code.push('-');
+    }
+    for _ in 0..rng.gen_range(2..5) {
+        code.push(DIGITS[rng.gen_range(0..DIGITS.len())] as char);
+    }
+    for _ in 0..rng.gen_range(0..3) {
+        code.push(CONS[rng.gen_range(0..CONS.len())] as char);
+    }
+    code
+}
+
+/// Generates a person name (`firstname lastname`).
+pub fn person_name<R: Rng + ?Sized>(rng: &mut R) -> (String, String) {
+    const FIRST: &[&str] = &[
+        "james", "maria", "wei", "anna", "rahul", "yuki", "omar", "lena", "carlos", "ivy", "noah",
+        "sofia", "david", "mei", "lucas", "priya", "ethan", "zoe", "daniel", "amara",
+    ];
+    const LAST: &[&str] = &[
+        "smith", "garcia", "chen", "mueller", "patel", "tanaka", "hassan", "novak", "silva",
+        "brown", "kim", "rossi", "dubois", "olsen", "kowalski", "haddad", "nguyen", "ivanov",
+        "costa", "walker",
+    ];
+    (
+        pick(FIRST, rng).to_string(),
+        pick(LAST, rng).to_string(),
+    )
+}
+
+/// Marketing adjectives used in product descriptions.
+pub const ADJECTIVES: &[&str] = &[
+    "premium", "professional", "compact", "lightweight", "durable", "advanced", "reliable",
+    "high-performance", "ergonomic", "versatile", "rugged", "sleek", "portable", "innovative",
+];
+
+/// Generic description fillers.
+pub const FILLERS: &[&str] = &[
+    "designed for everyday use",
+    "with extended warranty",
+    "ideal for professionals",
+    "featuring the latest technology",
+    "backed by industry leading support",
+    "engineered for maximum performance",
+    "perfect for home and office",
+    "trusted by millions worldwide",
+];
+
+/// Builds a noisy marketing sentence around a product phrase.
+pub fn marketing_sentence<R: Rng + ?Sized>(phrase: &str, rng: &mut R) -> String {
+    format!(
+        "{} {} {}",
+        pick(ADJECTIVES, rng),
+        phrase,
+        pick(FILLERS, rng)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_uniform_covers_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[zipf_index(5, 0.0, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipf_skew_prefers_low_indices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..5000 {
+            counts[zipf_index(10, 1.5, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 5, "{counts:?}");
+        assert!(counts[0] > counts[4], "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_single_element() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(zipf_index(1, 2.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn model_codes_look_alphanumeric_and_vary() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let codes: Vec<String> = (0..50).map(|_| model_code(&mut rng)).collect();
+        for c in &codes {
+            assert!(c.len() >= 4, "{c}");
+            assert!(c.chars().all(|ch| ch.is_ascii_alphanumeric() || ch == '-'));
+            assert!(c.chars().any(|ch| ch.is_ascii_digit()));
+        }
+        let distinct: std::collections::HashSet<&String> = codes.iter().collect();
+        assert!(distinct.len() > 40, "codes should rarely collide");
+    }
+
+    #[test]
+    fn marketing_sentence_contains_phrase() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = marketing_sentence("samsung evo ssd", &mut rng);
+        assert!(s.contains("samsung evo ssd"));
+        assert!(s.split_whitespace().count() >= 5);
+    }
+}

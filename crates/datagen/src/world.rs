@@ -1,0 +1,447 @@
+//! The generic dataset generator: an [`EntityWorld`] describes one domain
+//! (how to invent an entity and how each of the two data sources renders
+//! it); [`generate`] samples labeled pairs with the paper's structure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use crate::record::{Dataset, PairExample, Record};
+use crate::textgen::zipf_index;
+
+/// One synthetic domain: entity construction plus the two sources' renderers.
+///
+/// `render_left` and `render_right` correspond to the two data sources being
+/// integrated (e.g. two e-shops, or DBLP vs Google Scholar); they may use
+/// entirely different schemas, as in the paper's Figure 1a. Each call should
+/// inject independent surface noise so two renderings of the same entity are
+/// matching-but-not-identical *offers*.
+pub trait EntityWorld {
+    /// The canonical (noise-free) entity for a class.
+    type Entity;
+
+    /// Invents the entity for class `idx` (called once per class).
+    fn make_entity(&self, idx: usize, rng: &mut StdRng) -> Self::Entity;
+
+    /// Renders the first source's view of an entity.
+    fn render_left(&self, entity: &Self::Entity, rng: &mut StdRng) -> Record;
+
+    /// Renders the second source's view of an entity.
+    fn render_right(&self, entity: &Self::Entity, rng: &mut StdRng) -> Record;
+
+    /// A grouping key for hard negatives: entities sharing a key look alike
+    /// (same brand/family/venue), so a non-match drawn inside a group forces
+    /// the matcher to attend to discriminative tokens rather than topic
+    /// vocabulary.
+    fn family_key(&self, entity: &Self::Entity) -> String;
+}
+
+/// Pair counts and sampling knobs for [`generate`].
+#[derive(Debug, Clone)]
+pub struct WorldSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Number of entity-ID classes.
+    pub classes: usize,
+    /// Positive / negative training pairs.
+    pub train_pos: usize,
+    /// Negative training pairs.
+    pub train_neg: usize,
+    /// Positive / negative validation pairs.
+    pub valid_pos: usize,
+    /// Negative validation pairs.
+    pub valid_neg: usize,
+    /// Positive / negative test pairs.
+    pub test_pos: usize,
+    /// Negative test pairs.
+    pub test_neg: usize,
+    /// Zipf exponent over classes (0 = balanced; larger = higher LRID).
+    pub class_skew: f64,
+    /// Fraction of negatives drawn from the same family group.
+    pub hard_negative_frac: f64,
+    /// Master seed; everything derives deterministically from it.
+    pub seed: u64,
+}
+
+impl WorldSpec {
+    /// A spec with the given name/classes and round-number split sizes,
+    /// useful in tests.
+    pub fn quick(name: &str, classes: usize, train_pos: usize, train_neg: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            classes,
+            train_pos,
+            train_neg,
+            valid_pos: (train_pos / 4).max(2),
+            valid_neg: (train_neg / 4).max(2),
+            test_pos: (train_pos / 3).max(2),
+            test_neg: (train_neg / 3).max(2),
+            class_skew: 0.3,
+            hard_negative_frac: 0.6,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates a dataset from a world and a spec.
+///
+/// Properties guaranteed (and asserted via [`Dataset::validate`]):
+/// * matching pairs share their entity-ID class;
+/// * every class id is `< spec.classes`;
+/// * test entities also appear in training with *different* renderings
+///   (fresh noise per pair), mirroring the WDC benchmark design.
+///
+/// # Panics
+///
+/// Panics if `spec.classes < 2` or any split has zero pairs.
+pub fn generate<W: EntityWorld>(world: &W, spec: &WorldSpec) -> Dataset {
+    assert!(spec.classes >= 2, "need at least 2 classes, got {}", spec.classes);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let entities: Vec<W::Entity> = (0..spec.classes)
+        .map(|i| world.make_entity(i, &mut rng))
+        .collect();
+
+    // Family groups for hard negatives.
+    let mut families: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, e) in entities.iter().enumerate() {
+        families.entry(world.family_key(e)).or_default().push(i);
+    }
+
+    let sample_split = |pos: usize, neg: usize, rng: &mut StdRng| -> Vec<PairExample> {
+        let mut pairs = Vec::with_capacity(pos + neg);
+        for _ in 0..pos {
+            let i = zipf_index(spec.classes, spec.class_skew, rng);
+            pairs.push(PairExample {
+                left: world.render_left(&entities[i], rng),
+                right: world.render_right(&entities[i], rng),
+                is_match: true,
+                left_class: i,
+                right_class: i,
+            });
+        }
+        for _ in 0..neg {
+            let i = zipf_index(spec.classes, spec.class_skew, rng);
+            let j = sample_negative(world, &entities, &families, i, spec, rng);
+            pairs.push(PairExample {
+                left: world.render_left(&entities[i], rng),
+                right: world.render_right(&entities[j], rng),
+                is_match: false,
+                left_class: i,
+                right_class: j,
+            });
+        }
+        shuffle(&mut pairs, rng);
+        pairs
+    };
+
+    let train = sample_split(spec.train_pos, spec.train_neg, &mut rng);
+    let valid = sample_split(spec.valid_pos, spec.valid_neg, &mut rng);
+    let test = sample_split(spec.test_pos, spec.test_neg, &mut rng);
+
+    let ds = Dataset {
+        name: spec.name.clone(),
+        train,
+        valid,
+        test,
+        num_classes: spec.classes,
+    };
+    if let Err(e) = ds.validate() {
+        panic!("generated dataset failed validation: {e}");
+    }
+    ds
+}
+
+/// Pool-based generation with transitive-closure entity IDs (paper §4.1.2).
+///
+/// Unlike [`generate`], which knows the true class of every record, this
+/// variant mirrors how the paper labels abt-buy, dblp-scholar, and
+/// companies: a fixed pool of record *instances* is rendered first, pairs
+/// reference pool entries, and entity-ID classes are the connected
+/// components of the positive-pair graph (records in no positive pair
+/// become singleton classes). This is what makes those datasets' auxiliary
+/// tasks hard — most classes have a single example.
+///
+/// `spec.classes` is interpreted as the number of underlying entities;
+/// the resulting `Dataset::num_classes` is the closure's component count.
+pub fn generate_with_closure<W: EntityWorld>(
+    world: &W,
+    spec: &WorldSpec,
+    offers_per_entity: usize,
+) -> Dataset {
+    assert!(spec.classes >= 2, "need at least 2 entities, got {}", spec.classes);
+    assert!(offers_per_entity >= 1, "need at least one offer per entity per side");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let entities: Vec<W::Entity> = (0..spec.classes)
+        .map(|i| world.make_entity(i, &mut rng))
+        .collect();
+    let mut families: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, e) in entities.iter().enumerate() {
+        families.entry(world.family_key(e)).or_default().push(i);
+    }
+
+    // Fixed offer pool: `offers_per_entity` renders per side per entity,
+    // laid out so entity `i`'s offers occupy indices
+    // `i*offers_per_entity..(i+1)*offers_per_entity` in each side's pool.
+    let mut left_pool: Vec<Record> = Vec::new();
+    let mut right_pool: Vec<Record> = Vec::new();
+    for e in &entities {
+        for _ in 0..offers_per_entity {
+            left_pool.push(world.render_left(e, &mut rng));
+            right_pool.push(world.render_right(e, &mut rng));
+        }
+    }
+    // Pool node ids: left offers first, then right offers.
+    let right_base = left_pool.len();
+    let total_nodes = left_pool.len() + right_pool.len();
+
+    // Draw raw pairs as pool-index tuples.
+    let draw = |pos: usize, neg: usize, rng: &mut StdRng| -> Vec<(usize, usize, bool)> {
+        let mut out = Vec::with_capacity(pos + neg);
+        for _ in 0..pos {
+            let i = zipf_index(spec.classes, spec.class_skew, rng);
+            let l = i * offers_per_entity + rng.gen_range(0..offers_per_entity);
+            let r = i * offers_per_entity + rng.gen_range(0..offers_per_entity);
+            out.push((l, right_base + r, true));
+        }
+        for _ in 0..neg {
+            let i = zipf_index(spec.classes, spec.class_skew, rng);
+            let j = sample_negative(world, &entities, &families, i, spec, rng);
+            let l = i * offers_per_entity + rng.gen_range(0..offers_per_entity);
+            let r = j * offers_per_entity + rng.gen_range(0..offers_per_entity);
+            out.push((l, right_base + r, false));
+        }
+        out
+    };
+    let train_raw = draw(spec.train_pos, spec.train_neg, &mut rng);
+    let valid_raw = draw(spec.valid_pos, spec.valid_neg, &mut rng);
+    let test_raw = draw(spec.test_pos, spec.test_neg, &mut rng);
+
+    // Transitive closure over positives from ALL splits (the paper labels
+    // the full dataset once).
+    let positives: Vec<(usize, usize)> = train_raw
+        .iter()
+        .chain(&valid_raw)
+        .chain(&test_raw)
+        .filter(|(_, _, m)| *m)
+        .map(|&(a, b, _)| (a, b))
+        .collect();
+    let (labels, num_classes) = crate::clusters::cluster_from_matches(total_nodes, &positives);
+
+    let materialize = |raw: Vec<(usize, usize, bool)>, rng: &mut StdRng| -> Vec<PairExample> {
+        let mut pairs: Vec<PairExample> = raw
+            .into_iter()
+            .map(|(l, r, m)| PairExample {
+                left: left_pool[l].clone(),
+                right: right_pool[r - right_base].clone(),
+                is_match: m,
+                left_class: labels[l],
+                right_class: labels[r],
+            })
+            .collect();
+        shuffle(&mut pairs, rng);
+        pairs
+    };
+    let train = materialize(train_raw, &mut rng);
+    let valid = materialize(valid_raw, &mut rng);
+    let test = materialize(test_raw, &mut rng);
+
+    let ds = Dataset {
+        name: spec.name.clone(),
+        train,
+        valid,
+        test,
+        num_classes,
+    };
+    if let Err(e) = ds.validate() {
+        panic!("generated dataset failed validation: {e}");
+    }
+    ds
+}
+
+fn sample_negative<W: EntityWorld>(
+    world: &W,
+    entities: &[W::Entity],
+    families: &HashMap<String, Vec<usize>>,
+    i: usize,
+    spec: &WorldSpec,
+    rng: &mut StdRng,
+) -> usize {
+    // Both sides of a negative follow the same popularity (Zipf) profile —
+    // in real corpora popular entities dominate negatives too, which is
+    // what produces the published LRID values.
+    if rng.gen::<f64>() < spec.hard_negative_frac {
+        let key = world.family_key(&entities[i]);
+        if let Some(group) = families.get(&key) {
+            if group.len() > 1 {
+                loop {
+                    let j = group[zipf_index(group.len(), spec.class_skew, rng)];
+                    if j != i {
+                        return j;
+                    }
+                }
+            }
+        }
+    }
+    loop {
+        let j = zipf_index(entities.len(), spec.class_skew, rng);
+        if j != i {
+            return j;
+        }
+    }
+}
+
+fn shuffle<T, R: Rng + ?Sized>(xs: &mut [T], rng: &mut R) {
+    for i in (1..xs.len()).rev() {
+        xs.swap(i, rng.gen_range(0..=i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal world for testing the sampler itself.
+    struct ToyWorld;
+
+    impl EntityWorld for ToyWorld {
+        type Entity = (usize, String);
+
+        fn make_entity(&self, idx: usize, _rng: &mut StdRng) -> Self::Entity {
+            (idx, format!("fam{}", idx % 3))
+        }
+        fn render_left(&self, e: &Self::Entity, rng: &mut StdRng) -> Record {
+            Record::new(vec![("title", format!("left entity {} v{}", e.0, rng.gen_range(0..1000)))])
+        }
+        fn render_right(&self, e: &Self::Entity, rng: &mut StdRng) -> Record {
+            Record::new(vec![("name", format!("right entity {} v{}", e.0, rng.gen_range(0..1000)))])
+        }
+        fn family_key(&self, e: &Self::Entity) -> String {
+            e.1.clone()
+        }
+    }
+
+    #[test]
+    fn split_sizes_match_spec() {
+        let spec = WorldSpec::quick("toy", 12, 20, 40);
+        let ds = generate(&ToyWorld, &spec);
+        assert_eq!(ds.train.len(), 60);
+        assert_eq!(ds.train_balance(), (20, 40));
+        assert_eq!(ds.valid.len(), spec.valid_pos + spec.valid_neg);
+        assert_eq!(ds.test.len(), spec.test_pos + spec.test_neg);
+        assert_eq!(ds.num_classes, 12);
+    }
+
+    #[test]
+    fn positives_share_class_and_differ_in_text() {
+        let ds = generate(&ToyWorld, &WorldSpec::quick("toy", 6, 30, 30));
+        for p in ds.all_pairs().filter(|p| p.is_match) {
+            assert_eq!(p.left_class, p.right_class);
+            assert_ne!(p.left, p.right, "renderings must be distinct offers");
+        }
+    }
+
+    #[test]
+    fn negatives_have_distinct_classes() {
+        let ds = generate(&ToyWorld, &WorldSpec::quick("toy", 6, 10, 50));
+        for p in ds.all_pairs().filter(|p| !p.is_match) {
+            assert_ne!(p.left_class, p.right_class);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorldSpec::quick("toy", 8, 15, 15);
+        let a = generate(&ToyWorld, &spec);
+        let b = generate(&ToyWorld, &spec);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut spec = WorldSpec::quick("toy", 8, 15, 15);
+        let a = generate(&ToyWorld, &spec);
+        spec.seed = 99;
+        let b = generate(&ToyWorld, &spec);
+        assert_ne!(a.train, b.train);
+    }
+
+    #[test]
+    fn hard_negatives_come_from_same_family() {
+        let mut spec = WorldSpec::quick("toy", 30, 5, 200);
+        spec.hard_negative_frac = 1.0;
+        spec.class_skew = 0.0;
+        let ds = generate(&ToyWorld, &spec);
+        // With family = idx % 3 and 30 classes every class has 9 same-family
+        // alternatives; all negatives must pair classes congruent mod 3.
+        let same_family = ds
+            .all_pairs()
+            .filter(|p| !p.is_match)
+            .filter(|p| p.left_class % 3 == p.right_class % 3)
+            .count();
+        let total = ds.all_pairs().filter(|p| !p.is_match).count();
+        assert_eq!(same_family, total);
+    }
+
+    #[test]
+    fn class_skew_increases_lrid() {
+        let balanced = {
+            let mut s = WorldSpec::quick("toy", 20, 100, 100);
+            s.class_skew = 0.0;
+            generate(&ToyWorld, &s)
+        };
+        let skewed = {
+            let mut s = WorldSpec::quick("toy", 20, 100, 100);
+            s.class_skew = 1.6;
+            generate(&ToyWorld, &s)
+        };
+        let stat = |ds: &Dataset| crate::stats::dataset_stats(ds).lrid;
+        assert!(stat(&skewed) > stat(&balanced) + 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 classes")]
+    fn rejects_single_class() {
+        let _ = generate(&ToyWorld, &WorldSpec::quick("toy", 1, 5, 5));
+    }
+
+    #[test]
+    fn closure_generation_keeps_match_invariant() {
+        let ds = generate_with_closure(&ToyWorld, &WorldSpec::quick("toy", 10, 30, 60), 2);
+        ds.validate().unwrap();
+        for p in ds.all_pairs() {
+            if p.is_match {
+                assert_eq!(p.left_class, p.right_class);
+            } else {
+                assert_ne!(p.left_class, p.right_class);
+            }
+        }
+    }
+
+    #[test]
+    fn closure_generation_produces_many_singleton_classes() {
+        // With few positives over many offers, most pool records stay
+        // unmatched and become singleton classes — the paper's explanation
+        // for why abt-buy/companies have huge class counts.
+        let spec = WorldSpec::quick("toy", 40, 10, 100);
+        let ds = generate_with_closure(&ToyWorld, &spec, 2);
+        // 40 entities × 2 offers × 2 sides = 160 pool records; ≤10 distinct
+        // positive links. Class count must stay near the pool size.
+        assert!(
+            ds.num_classes > 120,
+            "expected mostly singletons, got {} classes",
+            ds.num_classes
+        );
+    }
+
+    #[test]
+    fn closure_generation_is_deterministic() {
+        let spec = WorldSpec::quick("toy", 10, 20, 20);
+        let a = generate_with_closure(&ToyWorld, &spec, 3);
+        let b = generate_with_closure(&ToyWorld, &spec, 3);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.num_classes, b.num_classes);
+    }
+}

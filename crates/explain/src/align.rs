@@ -1,0 +1,175 @@
+//! Word ↔ token-position alignment for an encoded record pair.
+//!
+//! The attention analyses (Figure 6) need scores *per word*, while the model
+//! works on WordPiece tokens: "for a split-up word, we sum the attention
+//! scores over its tokens". This module recovers which token positions of an
+//! assembled `[CLS] D1 [SEP] D2 [SEP]` sequence belong to which surface
+//! word, tolerating tail truncation.
+
+use emba_core::TextPipeline;
+use emba_datagen::Record;
+use emba_tokenizer::EncodedPair;
+
+/// Which record a word came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// RECORD1.
+    Left,
+    /// RECORD2.
+    Right,
+}
+
+/// One surface word with its absolute token positions in the pair sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordSpan {
+    /// The (lowercased) surface word.
+    pub word: String,
+    /// Which record it belongs to.
+    pub side: Side,
+    /// Absolute token positions in `EncodedPair::ids`. Possibly shorter
+    /// than the word's full piece count when truncation cut the tail.
+    pub positions: Vec<usize>,
+}
+
+/// Aligns the words of a plain-serialized record pair to the token
+/// positions of its encoding.
+///
+/// Only valid for [`emba_tokenizer::Serialization::Plain`] pipelines (the
+/// serialization EMBA and JointBERT use); DITTO's structural tags would
+/// interleave non-word tokens.
+pub fn align_words(
+    pipeline: &TextPipeline,
+    left: &Record,
+    right: &Record,
+    pair: &EncodedPair,
+) -> Vec<WordSpan> {
+    let mut spans = Vec::new();
+    for (side, rec, range) in [
+        (Side::Left, left, pair.left.clone()),
+        (Side::Right, right, pair.right.clone()),
+    ] {
+        let mut cursor = range.start;
+        for (_, value) in &rec.attrs {
+            for wp in pipeline.tokenizer().encode_with_words(value) {
+                let mut positions = Vec::with_capacity(wp.ids.len());
+                for (k, &id) in wp.ids.iter().enumerate() {
+                    let pos = cursor + k;
+                    if pos >= range.end {
+                        break; // truncated tail
+                    }
+                    debug_assert_eq!(
+                        pair.ids[pos], id,
+                        "alignment drift at position {pos} for word {:?}",
+                        wp.word
+                    );
+                    positions.push(pos);
+                }
+                cursor += wp.ids.len();
+                if !positions.is_empty() {
+                    spans.push(WordSpan {
+                        word: wp.word,
+                        side,
+                        positions,
+                    });
+                }
+                if cursor >= range.end {
+                    break;
+                }
+            }
+            if cursor >= range.end {
+                break;
+            }
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emba_core::PipelineConfig;
+    use emba_datagen::{build, DatasetId, Scale, WdcCategory, WdcSize};
+
+    fn setup() -> (TextPipeline, Record, Record) {
+        let ds = build(
+            DatasetId::Wdc(WdcCategory::Computers, WdcSize::Small),
+            Scale::TEST,
+            3,
+        );
+        let pipe = TextPipeline::fit(
+            &ds,
+            PipelineConfig {
+                vocab_size: 600,
+                max_len: 64,
+                ..PipelineConfig::default()
+            },
+        );
+        let p = ds.train[0].clone();
+        (pipe, p.left, p.right)
+    }
+
+    #[test]
+    fn every_span_matches_its_token_ids() {
+        let (pipe, left, right) = setup();
+        let pair = pipe.encode_records(&left, &right);
+        let spans = align_words(&pipe, &left, &right, &pair);
+        assert!(!spans.is_empty());
+        for s in &spans {
+            for &p in &s.positions {
+                assert!(p < pair.ids.len());
+            }
+            // Positions are consecutive.
+            for w in s.positions.windows(2) {
+                assert_eq!(w[1], w[0] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sides_partition_the_content_ranges() {
+        let (pipe, left, right) = setup();
+        let pair = pipe.encode_records(&left, &right);
+        let spans = align_words(&pipe, &left, &right, &pair);
+        for s in &spans {
+            let in_left = s.positions.iter().all(|&p| pair.left.contains(&p));
+            let in_right = s.positions.iter().all(|&p| pair.right.contains(&p));
+            match s.side {
+                Side::Left => assert!(in_left, "left word {s:?} outside left range"),
+                Side::Right => assert!(in_right, "right word {s:?} outside right range"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_coverage_when_untruncated() {
+        let (pipe, left, right) = setup();
+        let pair = pipe.encode_records(&left, &right);
+        if pair.len() < pipe.max_len() {
+            let spans = align_words(&pipe, &left, &right, &pair);
+            let covered: usize = spans.iter().map(|s| s.positions.len()).sum();
+            assert_eq!(covered, pair.left.len() + pair.right.len());
+        }
+    }
+
+    #[test]
+    fn truncation_drops_tail_words_without_panicking() {
+        let (_, left, right) = setup();
+        let ds = build(
+            DatasetId::Wdc(WdcCategory::Computers, WdcSize::Small),
+            Scale::TEST,
+            3,
+        );
+        let tight = TextPipeline::fit(
+            &ds,
+            PipelineConfig {
+                vocab_size: 600,
+                max_len: 16,
+                ..PipelineConfig::default()
+            },
+        );
+        let pair = tight.encode_records(&left, &right);
+        let spans = align_words(&tight, &left, &right, &pair);
+        let covered: usize = spans.iter().map(|s| s.positions.len()).sum();
+        assert_eq!(covered, pair.left.len() + pair.right.len());
+    }
+}

@@ -1,0 +1,20 @@
+//! Explanations for entity-matching decisions: LIME word importances
+//! (Figure 5) and attention-score analyses (Figure 6).
+//!
+//! * [`lime`] — the Mojito/LIME recipe the paper uses: word-drop
+//!   perturbations, locality-weighted ridge regression, per-word signed
+//!   weights;
+//! * [`attention`] — word-level attention received (summing a split word's
+//!   WordPiece scores over the last layer's multi-head attention) plus
+//!   EMBA's AOA γ distribution over RECORD1;
+//! * [`render`] — terminal rendering in plain ASCII or ANSI color.
+
+pub mod align;
+pub mod attention;
+pub mod lime;
+pub mod render;
+
+pub use align::{align_words, Side, WordSpan};
+pub use attention::{analyze, attention_by_word, gamma_by_word, AttentionAnalysis, WordScore};
+pub use lime::{explain, LimeConfig, LimeExplanation, WordWeight};
+pub use render::{render_attention, render_lime, Style};

@@ -1,0 +1,205 @@
+//! Terminal rendering of explanations: Figure 5 (LIME word colors) and
+//! Figure 6 (attention intensity bars) as plain text or ANSI color.
+
+use crate::attention::WordScore;
+use crate::lime::{LimeExplanation, WordWeight};
+
+/// Output style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// Pure ASCII annotations (safe for logs and files).
+    Plain,
+    /// ANSI 256-color backgrounds (blue = match signal, orange = non-match).
+    Ansi,
+}
+
+/// Renders a LIME explanation: each word annotated with its signed weight.
+/// Blue/`+` pushes toward match, orange/`-` toward non-match — the paper's
+/// Figure 5 color coding.
+pub fn render_lime(explanation: &LimeExplanation, style: Style) -> String {
+    let max_abs = explanation
+        .words
+        .iter()
+        .map(|w| w.weight.abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "match probability: {:.3}\n",
+        explanation.base_prob
+    ));
+    let mut current_side = None;
+    for w in &explanation.words {
+        if current_side != Some(w.side) {
+            if current_side.is_some() {
+                out.push('\n');
+            }
+            out.push_str(match w.side {
+                crate::align::Side::Left => "entity 1: ",
+                crate::align::Side::Right => "entity 2: ",
+            });
+            current_side = Some(w.side);
+        }
+        out.push_str(&render_word(w, max_abs, style));
+        out.push(' ');
+    }
+    out.push('\n');
+    out
+}
+
+fn render_word(w: &WordWeight, max_abs: f64, style: Style) -> String {
+    let intensity = (w.weight.abs() / max_abs * 4.0).round() as usize;
+    match style {
+        Style::Plain => {
+            if intensity == 0 {
+                w.word.clone()
+            } else {
+                let sign = if w.weight > 0.0 { "+" } else { "-" };
+                format!("{}[{}{}]", w.word, sign.repeat(intensity), "")
+            }
+        }
+        Style::Ansi => {
+            if intensity == 0 {
+                return w.word.clone();
+            }
+            // Blue shades for match, orange/red shades for non-match.
+            let color = if w.weight > 0.0 {
+                [153u8, 111, 69, 27][intensity.min(4) - 1]
+            } else {
+                [223u8, 216, 208, 202][intensity.min(4) - 1]
+            };
+            format!("\x1b[48;5;{color}m{}\x1b[0m", w.word)
+        }
+    }
+}
+
+/// Renders word-level attention scores as an intensity bar chart (Figure 6).
+pub fn render_attention(scores: &[WordScore], style: Style) -> String {
+    let max = scores
+        .iter()
+        .map(|w| w.score)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let mut out = String::new();
+    for w in scores {
+        let frac = w.score / max;
+        let bar_len = (frac * 24.0).round() as usize;
+        match style {
+            Style::Plain => {
+                out.push_str(&format!(
+                    "{:>18} | {:<24} {:.4}\n",
+                    truncate(&w.word, 18),
+                    "#".repeat(bar_len),
+                    w.score
+                ));
+            }
+            Style::Ansi => {
+                let shade = 232 + (frac * 23.0).round() as u8; // grayscale ramp
+                out.push_str(&format!(
+                    "{:>18} | \x1b[38;5;{shade}m{}\x1b[0m {:.4}\n",
+                    truncate(&w.word, 18),
+                    "█".repeat(bar_len.max(1)),
+                    w.score
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n - 1).chain(std::iter::once('…')).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::Side;
+
+    fn explanation() -> LimeExplanation {
+        LimeExplanation {
+            base_prob: 0.83,
+            words: vec![
+                WordWeight {
+                    word: "sandisk".into(),
+                    side: Side::Left,
+                    weight: -0.5,
+                },
+                WordWeight {
+                    word: "card".into(),
+                    side: Side::Left,
+                    weight: 0.3,
+                },
+                WordWeight {
+                    word: "transcend".into(),
+                    side: Side::Right,
+                    weight: -0.8,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn plain_lime_marks_signs_and_sides() {
+        let s = render_lime(&explanation(), Style::Plain);
+        assert!(s.contains("entity 1:"));
+        assert!(s.contains("entity 2:"));
+        assert!(s.contains("sandisk[-"));
+        assert!(s.contains("card[+"));
+        assert!(s.contains("0.830"));
+    }
+
+    #[test]
+    fn ansi_lime_emits_color_codes() {
+        let s = render_lime(&explanation(), Style::Ansi);
+        assert!(s.contains("\x1b[48;5;"));
+        assert!(s.contains("\x1b[0m"));
+    }
+
+    #[test]
+    fn attention_bars_scale_to_max() {
+        let scores = vec![
+            WordScore {
+                word: "compactflash".into(),
+                side: Side::Left,
+                score: 2.0,
+            },
+            WordScore {
+                word: "retail".into(),
+                side: Side::Left,
+                score: 0.5,
+            },
+        ];
+        let s = render_attention(&scores, Style::Plain);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let bars0 = lines[0].matches('#').count();
+        let bars1 = lines[1].matches('#').count();
+        assert_eq!(bars0, 24);
+        assert!(bars1 < bars0);
+    }
+
+    #[test]
+    fn truncate_handles_long_words() {
+        assert_eq!(truncate("short", 18), "short");
+        let long = "a".repeat(30);
+        let t = truncate(&long, 18);
+        assert!(t.chars().count() <= 18);
+        assert!(t.ends_with('…'));
+    }
+
+    #[test]
+    fn zero_scores_do_not_divide_by_zero() {
+        let scores = vec![WordScore {
+            word: "x".into(),
+            side: Side::Left,
+            score: 0.0,
+        }];
+        let s = render_attention(&scores, Style::Plain);
+        assert!(s.contains('x'));
+    }
+}

@@ -1,0 +1,203 @@
+//! Multi-head scaled dot-product self-attention.
+//!
+//! Sequences are processed one example at a time (the paper computes the AOA
+//! module per sample for the same reason), so no padding mask is needed: the
+//! input is always exactly `[seq_len, hidden]`.
+
+use emba_tensor::{Graph, Tensor, Var};
+use rand::Rng;
+
+use crate::layers::{dropout, Linear};
+use crate::param::{GraphStamp, Module, Param};
+
+/// Multi-head self-attention with output projection.
+#[derive(Debug)]
+pub struct MultiHeadAttention {
+    query: Linear,
+    key: Linear,
+    value: Linear,
+    output: Linear,
+    heads: usize,
+    head_dim: usize,
+    dropout_p: f32,
+}
+
+impl MultiHeadAttention {
+    /// Creates attention over `hidden` dims split across `heads` heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not divisible by `heads`.
+    pub fn new<R: Rng + ?Sized>(hidden: usize, heads: usize, dropout_p: f32, rng: &mut R) -> Self {
+        assert!(heads > 0 && hidden % heads == 0, "hidden {hidden} must be divisible by heads {heads}");
+        Self {
+            query: Linear::new(hidden, hidden, rng),
+            key: Linear::new(hidden, hidden, rng),
+            value: Linear::new(hidden, hidden, rng),
+            output: Linear::new(hidden, hidden, rng),
+            heads,
+            head_dim: hidden / heads,
+            dropout_p,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Runs self-attention over `x: [seq, hidden]`, returning the attended
+    /// output and, per head, the `[seq, seq]` attention probability
+    /// variables (used for the paper's Figure 6 visualizations).
+    pub fn forward_with_probs<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        x: Var,
+        train: bool,
+        rng: &mut R,
+    ) -> (Var, Vec<Var>) {
+        let q = self.query.forward(g, stamp, x);
+        let k = self.key.forward(g, stamp, x);
+        let v = self.value.forward(g, stamp, x);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+
+        let mut contexts = Vec::with_capacity(self.heads);
+        let mut probs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let c0 = h * self.head_dim;
+            let c1 = c0 + self.head_dim;
+            let qh = g.slice_cols(q, c0, c1);
+            let kh = g.slice_cols(k, c0, c1);
+            let vh = g.slice_cols(v, c0, c1);
+            let scores = g.scale(g.matmul_nt(qh, kh), scale);
+            let p = g.softmax_rows(scores);
+            let p_dropped = dropout(g, p, self.dropout_p, train, rng);
+            contexts.push(g.matmul(p_dropped, vh));
+            probs.push(p);
+        }
+        let ctx = g.concat_cols(&contexts);
+        let out = self.output.forward(g, stamp, ctx);
+        let out = dropout(g, out, self.dropout_p, train, rng);
+        (out, probs)
+    }
+
+    /// [`MultiHeadAttention::forward_with_probs`] without retaining the
+    /// probability handles.
+    pub fn forward<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        x: Var,
+        train: bool,
+        rng: &mut R,
+    ) -> Var {
+        self.forward_with_probs(g, stamp, x, train, rng).0
+    }
+
+    /// Sums the per-head attention probabilities of a recorded forward pass
+    /// into a single `[seq, seq]` matrix, the form used by the paper's
+    /// attention-score visualizations.
+    pub fn summed_probs(g: &Graph, probs: &[Var]) -> Tensor {
+        assert!(!probs.is_empty(), "no attention probabilities recorded");
+        let mut total = g.value(probs[0]);
+        for &p in &probs[1..] {
+            total.add_scaled_in_place(&g.value(p), 1.0);
+        }
+        total
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        self.query.visit(f);
+        self.key.visit(f);
+        self.value.visit(f);
+        self.output.visit(f);
+    }
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.query.visit_mut(f);
+        self.key.visit_mut(f);
+        self.value.visit_mut(f);
+        self.output.visit_mut(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mha = MultiHeadAttention::new(16, 4, 0.0, &mut rng);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::rand_normal(5, 16, 0.0, 1.0, &mut rng));
+        let (y, probs) = mha.forward_with_probs(&g, GraphStamp::next(), x, false, &mut rng);
+        assert_eq!(g.value(y).shape(), (5, 16));
+        assert_eq!(probs.len(), 4);
+        for p in &probs {
+            assert_eq!(g.value(*p).shape(), (5, 5));
+        }
+    }
+
+    #[test]
+    fn attention_rows_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mha = MultiHeadAttention::new(8, 2, 0.0, &mut rng);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::rand_normal(4, 8, 0.0, 1.0, &mut rng));
+        let (_, probs) = mha.forward_with_probs(&g, GraphStamp::next(), x, false, &mut rng);
+        for p in probs {
+            let v = g.value(p);
+            for r in 0..v.rows() {
+                let s: f32 = v.row_slice(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn summed_probs_rows_sum_to_head_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mha = MultiHeadAttention::new(8, 2, 0.0, &mut rng);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::rand_normal(3, 8, 0.0, 1.0, &mut rng));
+        let (_, probs) = mha.forward_with_probs(&g, GraphStamp::next(), x, false, &mut rng);
+        let summed = MultiHeadAttention::summed_probs(&g, &probs);
+        for r in 0..3 {
+            let s: f32 = summed.row_slice(r).iter().sum();
+            assert!((s - 2.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_all_projections() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mha = MultiHeadAttention::new(8, 2, 0.0, &mut rng);
+        let g = Graph::new();
+        let stamp = GraphStamp::next();
+        let x = g.leaf(Tensor::rand_normal(3, 8, 0.0, 1.0, &mut rng));
+        let y = mha.forward(&g, stamp, x, false, &mut rng);
+        let sq = g.mul(y, y);
+        let loss = g.mean_all(sq);
+        let grads = g.backward(loss);
+        mha.accumulate_gradients(&grads);
+        let mut all_nonzero = true;
+        mha.visit(&mut |p| {
+            if p.grad.norm() == 0.0 {
+                all_nonzero = false;
+            }
+        });
+        assert!(all_nonzero, "every projection should receive gradient");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn rejects_indivisible_heads() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = MultiHeadAttention::new(10, 3, 0.0, &mut rng);
+    }
+}

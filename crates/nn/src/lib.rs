@@ -1,0 +1,48 @@
+//! Neural-network building blocks for the EMBA reproduction.
+//!
+//! Everything the paper's models need, implemented from scratch on top of
+//! [`emba_tensor`]:
+//!
+//! * [`Param`]/[`Module`] — trainable parameters with graph binding and a
+//!   deterministic visitor used by optimizers and checkpoints.
+//! * [`Linear`], [`Embedding`], [`LayerNorm`] — the basic layers.
+//! * [`MultiHeadAttention`], [`BertEncoder`] — a miniature BERT with
+//!   token/position/segment embeddings, post-LN encoder layers, and a tanh
+//!   pooler. The paper's `[CLS]`-based baselines read `pooled`; EMBA reads
+//!   the per-token outputs.
+//! * [`GruCell`]/[`BiGru`] — the RNN substrate for the DeepMatcher baseline.
+//! * [`Adam`], [`LinearSchedule`] — the paper's optimizer and LR schedule
+//!   (linear decay with one epoch of warmup).
+//! * [`mlm`] — masked-language-model pre-training, standing in for the
+//!   public BERT checkpoint the paper fine-tunes.
+//!
+//! # Example: a tiny encoder forward pass
+//!
+//! ```
+//! use emba_nn::{BertConfig, BertEncoder, GraphStamp};
+//! use emba_tensor::Graph;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let enc = BertEncoder::new(BertConfig::tiny(100), &mut rng);
+//! let g = Graph::new();
+//! let out = enc.forward(&g, GraphStamp::next(), &[2, 17, 42, 3], &[0, 0, 1, 1], false, &mut rng);
+//! assert_eq!(g.value(out.tokens).shape(), (4, 16));
+//! ```
+
+mod attention;
+mod gru;
+mod layers;
+pub mod mlm;
+mod optim;
+mod param;
+pub mod skipgram;
+mod transformer;
+
+pub use attention::MultiHeadAttention;
+pub use gru::{BiGru, GruCell};
+pub use layers::{dropout, Embedding, LayerNorm, Linear};
+pub use optim::{Adam, LinearSchedule};
+pub use param::{clip_grad_norm, GraphStamp, Module, Param};
+pub use skipgram::{pretrain_skipgram, SkipGramConfig};
+pub use transformer::{summed_last_attention, BertConfig, BertEncoder, BertOutput};

@@ -1,0 +1,222 @@
+//! Adam optimization with the paper's linearly decaying learning-rate
+//! schedule and one-epoch warmup.
+
+use std::collections::HashMap;
+
+use emba_tensor::Tensor;
+
+use crate::param::Module;
+
+/// Adam (Kingma & Ba, 2015) with optional decoupled weight decay.
+///
+/// Per-parameter first/second-moment state is keyed by [`crate::Param::id`],
+/// so one optimizer instance can be reused across any module whose parameter
+/// set is stable.
+pub struct Adam {
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    step: u64,
+    state: HashMap<u64, Moments>,
+}
+
+struct Moments {
+    m: Tensor,
+    v: Tensor,
+}
+
+impl Adam {
+    /// Adam with the conventional betas `(0.9, 0.999)` and `eps = 1e-8`.
+    pub fn new() -> Self {
+        Self {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            step: 0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Enables decoupled (AdamW-style) weight decay.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Number of completed steps.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one update to every parameter of `module` using its
+    /// accumulated gradients, then leaves the gradients untouched (callers
+    /// zero them at the start of the next accumulation window).
+    pub fn step(&mut self, module: &mut dyn Module, lr: f32) {
+        self.step += 1;
+        let t = self.step as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (beta1, beta2, eps, wd) = (self.beta1, self.beta2, self.eps, self.weight_decay);
+        let state = &mut self.state;
+
+        module.visit_mut(&mut |p| {
+            let (rows, cols) = p.value.shape();
+            let moments = state.entry(p.id()).or_insert_with(|| Moments {
+                m: Tensor::zeros(rows, cols),
+                v: Tensor::zeros(rows, cols),
+            });
+            debug_assert_eq!(moments.m.shape(), p.value.shape(), "optimizer state shape drift");
+
+            let m = moments.m.data_mut();
+            let v = moments.v.data_mut();
+            let grad = p.grad.data();
+            let value = p.value.data_mut();
+            for i in 0..grad.len() {
+                let gi = grad[i];
+                m[i] = beta1 * m[i] + (1.0 - beta1) * gi;
+                v[i] = beta2 * v[i] + (1.0 - beta2) * gi * gi;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                let mut update = mhat / (vhat.sqrt() + eps);
+                if wd > 0.0 {
+                    update += wd * value[i];
+                }
+                value[i] -= lr * update;
+            }
+        });
+    }
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The paper's learning-rate schedule: linear warmup for the first epoch,
+/// then linear decay to zero at `total_steps`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearSchedule {
+    /// Peak learning rate reached at the end of warmup.
+    pub base_lr: f32,
+    /// Steps spent warming up (one epoch in the paper).
+    pub warmup_steps: u64,
+    /// Total optimization steps over the whole run.
+    pub total_steps: u64,
+}
+
+impl LinearSchedule {
+    /// Creates a schedule; `total_steps` is clamped to at least
+    /// `warmup_steps + 1` so the decay phase is non-empty.
+    pub fn new(base_lr: f32, warmup_steps: u64, total_steps: u64) -> Self {
+        Self {
+            base_lr,
+            warmup_steps,
+            total_steps: total_steps.max(warmup_steps + 1),
+        }
+    }
+
+    /// Learning rate at `step` (0-based).
+    pub fn lr(&self, step: u64) -> f32 {
+        if self.warmup_steps > 0 && step < self.warmup_steps {
+            self.base_lr * (step + 1) as f32 / self.warmup_steps as f32
+        } else {
+            let remaining = self.total_steps.saturating_sub(step) as f32;
+            let decay_span = (self.total_steps - self.warmup_steps) as f32;
+            self.base_lr * (remaining / decay_span).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::param::{GraphStamp, Module};
+    use emba_tensor::{Graph, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        // Minimize ||W||^2 from a random start; Adam should cut the norm by
+        // an order of magnitude in a few hundred steps.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(3, 3, &mut rng);
+        let start_norm = lin.weight.value.norm();
+        let mut adam = Adam::new();
+        for _ in 0..300 {
+            lin.zero_grads();
+            let g = Graph::new();
+            let stamp = GraphStamp::next();
+            let w = lin.weight.bind(&g, stamp);
+            let sq = g.mul(w, w);
+            let loss = g.sum_all(sq);
+            let grads = g.backward(loss);
+            lin.accumulate_gradients(&grads);
+            adam.step(&mut lin, 1e-2);
+        }
+        assert!(lin.weight.value.norm() < start_norm / 10.0);
+        assert_eq!(adam.steps(), 300);
+    }
+
+    #[test]
+    fn adam_fits_a_linear_map() {
+        // Learn y = x * T for a fixed target T from squared error.
+        let mut rng = StdRng::seed_from_u64(1);
+        let target = Tensor::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        let mut adam = Adam::new();
+        let xs = Tensor::rand_normal(16, 2, 0.0, 1.0, &mut rng);
+        let ys = xs.matmul(&target);
+        for _ in 0..400 {
+            lin.zero_grads();
+            let g = Graph::new();
+            let stamp = GraphStamp::next();
+            let x = g.leaf(xs.clone());
+            let pred = lin.forward(&g, stamp, x);
+            let diff = g.sub(pred, g.leaf(ys.clone()));
+            let sq = g.mul(diff, diff);
+            let loss = g.mean_all(sq);
+            let grads = g.backward(loss);
+            lin.accumulate_gradients(&grads);
+            adam.step(&mut lin, 5e-2);
+        }
+        let err = lin.weight.value.sub(&target).norm();
+        assert!(err < 0.1, "weight error {err} too large");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_untouched_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        lin.weight.value = Tensor::ones(2, 2);
+        let before = lin.weight.value.norm();
+        let mut adam = Adam::new().with_weight_decay(0.1);
+        // Zero gradients: only decay acts.
+        lin.zero_grads();
+        for _ in 0..10 {
+            adam.step(&mut lin, 1e-2);
+        }
+        assert!(lin.weight.value.norm() < before);
+    }
+
+    #[test]
+    fn schedule_warms_up_then_decays() {
+        let s = LinearSchedule::new(1e-3, 10, 100);
+        assert!(s.lr(0) < s.lr(9));
+        assert!((s.lr(9) - 1e-3).abs() < 1e-9);
+        assert!(s.lr(50) < s.lr(10));
+        assert!(s.lr(99) > 0.0);
+        assert_eq!(s.lr(100), 0.0);
+        assert_eq!(s.lr(200), 0.0);
+    }
+
+    #[test]
+    fn schedule_without_warmup_starts_at_base() {
+        let s = LinearSchedule::new(2e-4, 0, 50);
+        assert!((s.lr(0) - 2e-4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,414 @@
+//! A miniature BERT: learned token/position/segment embeddings and a stack
+//! of post-layer-norm transformer encoder layers.
+//!
+//! Architecturally this is `bert-base-uncased` scaled down to dimensions a
+//! single CPU core can pre-train from scratch (see `DESIGN.md` §2); every
+//! structural element of the original — WordPiece input ids, segment ids,
+//! multi-head self-attention, GELU feed-forward, residual + LayerNorm, a
+//! tanh pooler over `[CLS]` — is present so the EMBA/JointBERT heads built
+//! on top match the paper exactly.
+
+use emba_tensor::{Graph, Tensor, Var};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::attention::MultiHeadAttention;
+use crate::layers::{dropout, Embedding, LayerNorm, Linear};
+use crate::param::{GraphStamp, Module, Param};
+
+/// Hyperparameters of a [`BertEncoder`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct BertConfig {
+    /// WordPiece vocabulary size.
+    pub vocab_size: usize,
+    /// Hidden width of every layer.
+    pub hidden: usize,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Feed-forward inner width.
+    pub ff_dim: usize,
+    /// Maximum sequence length (learned position table size).
+    pub max_len: usize,
+    /// Dropout probability applied to embeddings, attention, and FFN.
+    pub dropout: f32,
+}
+
+impl BertConfig {
+    /// The repo's stand-in for BERT-base: 4 layers × 128 dims × 4 heads.
+    pub fn base(vocab_size: usize) -> Self {
+        Self {
+            vocab_size,
+            hidden: 128,
+            layers: 4,
+            heads: 4,
+            ff_dim: 256,
+            max_len: 128,
+            dropout: 0.1,
+        }
+    }
+
+    /// Stand-in for BERT-small (the paper's EMBA (SB) variant): fewer layers
+    /// and a narrower hidden width.
+    pub fn small(vocab_size: usize) -> Self {
+        Self {
+            hidden: 64,
+            layers: 2,
+            heads: 4,
+            ff_dim: 128,
+            ..Self::base(vocab_size)
+        }
+    }
+
+    /// Stand-in for distilBERT (the paper's EMBA (DB) variant): half the
+    /// layers at the full hidden width.
+    pub fn distil(vocab_size: usize) -> Self {
+        Self {
+            layers: 2,
+            ..Self::base(vocab_size)
+        }
+    }
+
+    /// A micro config for unit tests.
+    pub fn tiny(vocab_size: usize) -> Self {
+        Self {
+            vocab_size,
+            hidden: 16,
+            layers: 1,
+            heads: 2,
+            ff_dim: 32,
+            max_len: 32,
+            dropout: 0.0,
+        }
+    }
+}
+
+/// GELU feed-forward block: `Linear -> GELU -> Linear`.
+#[derive(Debug)]
+struct FeedForward {
+    up: Linear,
+    down: Linear,
+}
+
+impl FeedForward {
+    fn new<R: Rng + ?Sized>(hidden: usize, ff_dim: usize, rng: &mut R) -> Self {
+        Self {
+            up: Linear::new(hidden, ff_dim, rng),
+            down: Linear::new(ff_dim, hidden, rng),
+        }
+    }
+
+    fn forward(&self, g: &Graph, stamp: GraphStamp, x: Var) -> Var {
+        let h = self.up.forward(g, stamp, x);
+        let h = g.gelu(h);
+        self.down.forward(g, stamp, h)
+    }
+}
+
+impl Module for FeedForward {
+    fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        self.up.visit(f);
+        self.down.visit(f);
+    }
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.up.visit_mut(f);
+        self.down.visit_mut(f);
+    }
+}
+
+/// One post-LN transformer encoder layer.
+#[derive(Debug)]
+struct EncoderLayer {
+    attention: MultiHeadAttention,
+    attn_norm: LayerNorm,
+    ff: FeedForward,
+    ff_norm: LayerNorm,
+    dropout_p: f32,
+}
+
+impl EncoderLayer {
+    fn new<R: Rng + ?Sized>(cfg: &BertConfig, rng: &mut R) -> Self {
+        Self {
+            attention: MultiHeadAttention::new(cfg.hidden, cfg.heads, cfg.dropout, rng),
+            attn_norm: LayerNorm::new(cfg.hidden),
+            ff: FeedForward::new(cfg.hidden, cfg.ff_dim, rng),
+            ff_norm: LayerNorm::new(cfg.hidden),
+            dropout_p: cfg.dropout,
+        }
+    }
+
+    fn forward<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        x: Var,
+        train: bool,
+        rng: &mut R,
+    ) -> (Var, Vec<Var>) {
+        let (attn_out, probs) = self.attention.forward_with_probs(g, stamp, x, train, rng);
+        let x = self.attn_norm.forward(g, stamp, g.add(x, attn_out));
+        let ff_out = self.ff.forward(g, stamp, x);
+        let ff_out = dropout(g, ff_out, self.dropout_p, train, rng);
+        let x = self.ff_norm.forward(g, stamp, g.add(x, ff_out));
+        (x, probs)
+    }
+}
+
+impl Module for EncoderLayer {
+    fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        self.attention.visit(f);
+        self.attn_norm.visit(f);
+        self.ff.visit(f);
+        self.ff_norm.visit(f);
+    }
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.attention.visit_mut(f);
+        self.attn_norm.visit_mut(f);
+        self.ff.visit_mut(f);
+        self.ff_norm.visit_mut(f);
+    }
+}
+
+/// Output of one [`BertEncoder`] forward pass.
+pub struct BertOutput {
+    /// `[seq, hidden]` final-layer token representations.
+    pub tokens: Var,
+    /// Tanh-pooled `[1, hidden]` representation of the `[CLS]` position.
+    pub pooled: Var,
+    /// Per-head `[seq, seq]` attention probabilities of the **last** layer,
+    /// kept for the paper's attention-score analysis (Figure 6).
+    pub last_attention: Vec<Var>,
+}
+
+/// The miniature BERT encoder.
+#[derive(Debug)]
+pub struct BertEncoder {
+    cfg: BertConfig,
+    token_emb: Embedding,
+    position_emb: Embedding,
+    segment_emb: Embedding,
+    emb_norm: LayerNorm,
+    layers: Vec<EncoderLayer>,
+    pooler: Linear,
+}
+
+impl BertEncoder {
+    /// Randomly initialized encoder for `cfg`.
+    pub fn new<R: Rng + ?Sized>(cfg: BertConfig, rng: &mut R) -> Self {
+        let layers = (0..cfg.layers).map(|_| EncoderLayer::new(&cfg, rng)).collect();
+        Self {
+            token_emb: Embedding::new(cfg.vocab_size, cfg.hidden, rng),
+            position_emb: Embedding::new(cfg.max_len, cfg.hidden, rng),
+            segment_emb: Embedding::new(2, cfg.hidden, rng),
+            emb_norm: LayerNorm::new(cfg.hidden),
+            pooler: Linear::new(cfg.hidden, cfg.hidden, rng),
+            layers,
+            cfg,
+        }
+    }
+
+    /// The encoder's configuration.
+    pub fn config(&self) -> &BertConfig {
+        &self.cfg
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.cfg.hidden
+    }
+
+    /// Encodes one token sequence.
+    ///
+    /// `token_ids` and `segment_ids` must have equal length not exceeding
+    /// `config().max_len`. Position ids are implicit (0..len).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty, too long, or the id slices have
+    /// mismatched lengths.
+    pub fn forward<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        token_ids: &[usize],
+        segment_ids: &[usize],
+        train: bool,
+        rng: &mut R,
+    ) -> BertOutput {
+        let len = token_ids.len();
+        assert!(len > 0, "cannot encode an empty sequence");
+        assert!(
+            len <= self.cfg.max_len,
+            "sequence length {len} exceeds max_len {}",
+            self.cfg.max_len
+        );
+        assert_eq!(
+            segment_ids.len(),
+            len,
+            "segment ids length {} != token ids length {len}",
+            segment_ids.len()
+        );
+
+        let positions: Vec<usize> = (0..len).collect();
+        let tok = self.token_emb.forward(g, stamp, token_ids);
+        let pos = self.position_emb.forward(g, stamp, &positions);
+        let seg = self.segment_emb.forward(g, stamp, segment_ids);
+        let sum = g.add(g.add(tok, pos), seg);
+        let mut x = self.emb_norm.forward(g, stamp, sum);
+        x = dropout(g, x, self.cfg.dropout, train, rng);
+
+        let mut last_attention = Vec::new();
+        for layer in &self.layers {
+            let (next, probs) = layer.forward(g, stamp, x, train, rng);
+            x = next;
+            last_attention = probs;
+        }
+
+        let cls = g.slice_rows(x, 0, 1);
+        let pooled = g.tanh(self.pooler.forward(g, stamp, cls));
+        BertOutput {
+            tokens: x,
+            pooled,
+            last_attention,
+        }
+    }
+}
+
+impl Module for BertEncoder {
+    fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        self.token_emb.visit(f);
+        self.position_emb.visit(f);
+        self.segment_emb.visit(f);
+        self.emb_norm.visit(f);
+        for l in &self.layers {
+            l.visit(f);
+        }
+        self.pooler.visit(f);
+    }
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.token_emb.visit_mut(f);
+        self.position_emb.visit_mut(f);
+        self.segment_emb.visit_mut(f);
+        self.emb_norm.visit_mut(f);
+        for l in &mut self.layers {
+            l.visit_mut(f);
+        }
+        self.pooler.visit_mut(f);
+    }
+}
+
+/// Sums the last-layer per-head attention into a `[seq, seq]` matrix, as the
+/// paper does (summing over the multi-head attention of the last layer,
+/// following Wolf et al.).
+pub fn summed_last_attention(g: &Graph, out: &BertOutput) -> Tensor {
+    MultiHeadAttention::summed_probs(g, &out.last_attention)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn encoder(seed: u64) -> BertEncoder {
+        let mut rng = StdRng::seed_from_u64(seed);
+        BertEncoder::new(BertConfig::tiny(50), &mut rng)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let enc = encoder(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Graph::new();
+        let out = enc.forward(
+            &g,
+            GraphStamp::next(),
+            &[2, 5, 9, 3],
+            &[0, 0, 1, 1],
+            false,
+            &mut rng,
+        );
+        assert_eq!(g.value(out.tokens).shape(), (4, 16));
+        assert_eq!(g.value(out.pooled).shape(), (1, 16));
+        assert_eq!(out.last_attention.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_in_eval_mode() {
+        let enc = encoder(7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let run = |rng: &mut StdRng| {
+            let g = Graph::new();
+            let out = enc.forward(&g, GraphStamp::next(), &[1, 2, 3], &[0, 0, 0], false, rng);
+            g.value(out.tokens)
+        };
+        let a = run(&mut rng);
+        let b = run(&mut rng);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn segments_change_output() {
+        let enc = encoder(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = Graph::new();
+        let a = enc.forward(&g, GraphStamp::next(), &[1, 2], &[0, 0], false, &mut rng);
+        let b = enc.forward(&g, GraphStamp::next(), &[1, 2], &[0, 1], false, &mut rng);
+        assert_ne!(g.value(a.tokens), g.value(b.tokens));
+    }
+
+    #[test]
+    fn all_params_receive_gradient() {
+        let mut enc = encoder(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = Graph::new();
+        let stamp = GraphStamp::next();
+        let out = enc.forward(&g, stamp, &[1, 2, 3, 4], &[0, 0, 1, 1], false, &mut rng);
+        let combined = g.concat_rows(&[out.tokens, out.pooled]);
+        let sq = g.mul(combined, combined);
+        let loss = g.mean_all(sq);
+        let grads = g.backward(loss);
+        enc.accumulate_gradients(&grads);
+        let mut zero_params = 0usize;
+        let mut total = 0usize;
+        enc.visit(&mut |p| {
+            total += 1;
+            if p.grad.norm() == 0.0 {
+                zero_params += 1;
+            }
+        });
+        // Embedding tables only receive gradient at gathered rows; they are
+        // still nonzero overall. Every parameter tensor should be touched.
+        assert_eq!(zero_params, 0, "{zero_params}/{total} params got no gradient");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_len")]
+    fn rejects_overlong_sequence() {
+        let enc = encoder(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = Graph::new();
+        let ids: Vec<usize> = (0..40).map(|i| i % 10).collect();
+        let segs = vec![0; 40];
+        let _ = enc.forward(&g, GraphStamp::next(), &ids, &segs, false, &mut rng);
+    }
+
+    #[test]
+    fn config_presets_are_consistent() {
+        let base = BertConfig::base(1000);
+        let small = BertConfig::small(1000);
+        let distil = BertConfig::distil(1000);
+        assert!(small.hidden < base.hidden && small.layers < base.layers);
+        assert_eq!(distil.hidden, base.hidden);
+        assert!(distil.layers < base.layers);
+    }
+
+    #[test]
+    fn param_count_scales_with_config() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let base = BertEncoder::new(BertConfig::base(500), &mut rng);
+        let small = BertEncoder::new(BertConfig::small(500), &mut rng);
+        assert!(base.num_params() > 2 * small.num_params());
+    }
+}

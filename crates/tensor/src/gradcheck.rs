@@ -1,0 +1,126 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the property-test suite to validate every analytic gradient in
+//! [`crate::Graph`] against central differences. Exposed publicly so
+//! downstream crates (the nn layers, the AOA module) can gradient-check
+//! their own composite operations.
+
+use crate::{Gradients, Graph, Tensor, Var};
+
+/// Builds a scalar loss from leaf variables. Called repeatedly by
+/// [`check_gradients`], so it must be deterministic in its inputs.
+pub trait LossFn: Fn(&Graph, &[Var]) -> Var {}
+impl<F: Fn(&Graph, &[Var]) -> Var> LossFn for F {}
+
+/// Result of a single gradient comparison that exceeded tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradMismatch {
+    /// Which input tensor disagreed.
+    pub input: usize,
+    /// Flat element index within that tensor.
+    pub element: usize,
+    /// Analytic gradient from the tape.
+    pub analytic: f32,
+    /// Central-difference estimate.
+    pub numeric: f32,
+}
+
+impl std::fmt::Display for GradMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "input {} element {}: analytic {} vs numeric {}",
+            self.input, self.element, self.analytic, self.numeric
+        )
+    }
+}
+
+/// Evaluates the loss once, returning `(loss value, gradients, vars)`.
+fn evaluate(inputs: &[Tensor], f: &impl LossFn) -> (f32, Gradients, Vec<Var>) {
+    let g = Graph::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| g.leaf(t.clone())).collect();
+    let loss = f(&g, &vars);
+    let value = g.value(loss).item();
+    let grads = g.backward(loss);
+    (value, grads, vars)
+}
+
+/// Compares the tape's analytic gradients against central finite differences.
+///
+/// For every element `x` of every input, the numeric estimate is
+/// `(f(x + eps) - f(x - eps)) / (2 eps)`. The comparison passes when
+/// `|analytic - numeric| <= tol * (1 + |analytic| + |numeric|)`.
+///
+/// Returns the first mismatch found, or `Ok(())`.
+pub fn check_gradients(
+    inputs: &[Tensor],
+    f: impl LossFn,
+    eps: f32,
+    tol: f32,
+) -> Result<(), GradMismatch> {
+    let (_, grads, vars) = evaluate(inputs, &f);
+
+    for (i, input) in inputs.iter().enumerate() {
+        let analytic = grads.get(vars[i]);
+        for e in 0..input.len() {
+            let a = analytic.map_or(0.0, |t| t.data()[e]);
+
+            let mut plus = inputs.to_vec();
+            let mut minus = inputs.to_vec();
+            plus[i].data_mut()[e] += eps;
+            minus[i].data_mut()[e] -= eps;
+
+            let (fp, _, _) = evaluate(&plus, &f);
+            let (fm, _, _) = evaluate(&minus, &f);
+            let n = (fp - fm) / (2.0 * eps);
+
+            if (a - n).abs() > tol * (1.0 + a.abs() + n.abs()) {
+                return Err(GradMismatch {
+                    input: i,
+                    element: e,
+                    analytic: a,
+                    numeric: n,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_for_correct_gradient() {
+        let x = Tensor::from_rows(&[&[0.5, -0.3], &[1.2, 0.1]]);
+        check_gradients(&[x], |g, vars| {
+            let y = g.tanh(vars[0]);
+            g.sum_all(y)
+        }, 1e-3, 1e-2)
+        .unwrap();
+    }
+
+    #[test]
+    fn detects_wrong_gradient() {
+        // scale's forward doubles but we compare against a loss whose true
+        // derivative is 2; sabotage by building sum(x*2) forward but checking
+        // against sum(x^2)-style numeric... instead simply verify the checker
+        // flags an intentionally inconsistent function: the loss reads the
+        // input through a detached leaf so the analytic gradient is zero while
+        // the numeric one is not.
+        let x = Tensor::row(&[1.0, 2.0]);
+        let result = check_gradients(&[x], |g, vars| {
+            // Analytic path: gradient flows only through `vars[0]` once, but
+            // we add a term computed from a *fresh leaf* with the same value,
+            // which the tape treats as a constant. Numerically perturbing the
+            // input changes both terms, so analytic (1.0) != numeric (2.0).
+            let detached = g.leaf(g.value(vars[0]));
+            let s = g.add(vars[0], detached);
+            g.sum_all(s)
+        }, 1e-3, 1e-3);
+        assert!(result.is_err());
+        let err = result.unwrap_err();
+        assert!(err.to_string().contains("analytic"));
+    }
+}

@@ -1,0 +1,1028 @@
+//! Reverse-mode automatic differentiation over a single-use tape.
+//!
+//! A [`Graph`] records every operation executed during a forward pass. Each
+//! recorded node keeps its output tensor, the indices of its parents, and a
+//! boxed closure that maps the gradient of the node's output to gradient
+//! contributions for each parent. [`Graph::backward`] walks the tape in
+//! reverse insertion order (which is a valid reverse topological order,
+//! because parents are always recorded before children) and accumulates
+//! gradients for every node.
+//!
+//! Graphs are cheap to create; the training loops in `emba-core` build one
+//! graph per example and accumulate parameter gradients across a mini-batch,
+//! mirroring the paper's remark that the AOA module is computed per sample.
+
+use std::cell::RefCell;
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+use crate::NORM_EPS;
+
+/// Handle to a node recorded on a [`Graph`].
+///
+/// A `Var` is only meaningful for the graph that created it; using it with a
+/// different graph is a logic error that panics on out-of-bounds access or
+/// silently reads the wrong node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// Receives gradient contributions for the parents of a node, indexed by the
+/// parent's position in the node's parent list.
+type GradSink<'a> = dyn FnMut(usize, Tensor) + 'a;
+
+type BackwardFn = Box<dyn Fn(&Tensor, &mut GradSink)>;
+
+struct Node {
+    value: Tensor,
+    parents: Vec<usize>,
+    backward: Option<BackwardFn>,
+}
+
+/// A single-use reverse-mode autodiff tape.
+///
+/// All operation methods take `&self`; interior mutability keeps call sites
+/// ergonomic while the tape grows.
+#[derive(Default)]
+pub struct Graph {
+    nodes: RefCell<Vec<Node>>,
+}
+
+/// Gradients produced by [`Graph::backward`], addressable by [`Var`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// The gradient of the backward root with respect to `v`, if `v`
+    /// participated in the computation.
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records a leaf (input or parameter) node.
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(value, vec![], None)
+    }
+
+    /// The forward value of `v` (O(1) buffer share).
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes.borrow()[v.0].value.clone()
+    }
+
+    /// Shape of the forward value of `v`.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes.borrow()[v.0].value.shape()
+    }
+
+    fn push(&self, value: Tensor, parents: Vec<usize>, backward: Option<BackwardFn>) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node {
+            value,
+            parents,
+            backward,
+        });
+        Var(nodes.len() - 1)
+    }
+
+    // ----- elementwise arithmetic ------------------------------------------------
+
+    /// Elementwise `a + b` (same shape).
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let out = self.value(a).add(&self.value(b));
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(|g, sink| {
+                sink(0, g.clone());
+                sink(1, g.clone());
+            })),
+        )
+    }
+
+    /// Elementwise `a - b` (same shape).
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let out = self.value(a).sub(&self.value(b));
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(|g, sink| {
+                sink(0, g.clone());
+                sink(1, g.scale(-1.0));
+            })),
+        )
+    }
+
+    /// Elementwise (Hadamard) `a ⊙ b` (same shape).
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let va = self.value(a);
+        let vb = self.value(b);
+        let out = va.mul(&vb);
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(move |g, sink| {
+                sink(0, g.mul(&vb));
+                sink(1, g.mul(&va));
+            })),
+        )
+    }
+
+    /// `a * s` for a compile-time constant `s` (no gradient flows to `s`).
+    pub fn scale(&self, a: Var, s: f32) -> Var {
+        let out = self.value(a).scale(s);
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| sink(0, g.scale(s)))),
+        )
+    }
+
+    /// Adds a `[1, n]` bias row to every row of an `[m, n]` matrix.
+    pub fn add_bias(&self, x: Var, bias: Var) -> Var {
+        let vx = self.value(x);
+        let vb = self.value(bias);
+        assert_eq!(vb.rows(), 1, "add_bias: bias must be a [1, n] row vector");
+        assert_eq!(
+            vx.cols(),
+            vb.cols(),
+            "add_bias: width mismatch {} vs {}",
+            vx.cols(),
+            vb.cols()
+        );
+        let mut out = vx.clone();
+        {
+            let cols = out.cols();
+            let data = out.data_mut();
+            for r in 0..vx.rows() {
+                for c in 0..cols {
+                    data[r * cols + c] += vb.data()[c];
+                }
+            }
+        }
+        self.push(
+            out,
+            vec![x.0, bias.0],
+            Some(Box::new(|g, sink| {
+                sink(0, g.clone());
+                // Bias gradient is the column sum of the upstream gradient.
+                sink(1, g.mean_axis0().scale(g.rows() as f32));
+            })),
+        )
+    }
+
+    // ----- matrix products -------------------------------------------------------
+
+    /// Matrix product `a · b`.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let va = self.value(a);
+        let vb = self.value(b);
+        let out = va.matmul(&vb);
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(move |g, sink| {
+                sink(0, g.matmul_nt(&vb));
+                sink(1, va.matmul_tn(g));
+            })),
+        )
+    }
+
+    /// `a · bᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, a: Var, b: Var) -> Var {
+        let va = self.value(a);
+        let vb = self.value(b);
+        let out = va.matmul_nt(&vb);
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(move |g, sink| {
+                sink(0, g.matmul(&vb));
+                sink(1, g.matmul_tn(&va));
+            })),
+        )
+    }
+
+    /// `aᵀ · b` without materializing the transpose.
+    pub fn matmul_tn(&self, a: Var, b: Var) -> Var {
+        let va = self.value(a);
+        let vb = self.value(b);
+        let out = va.matmul_tn(&vb);
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(move |g, sink| {
+                sink(0, vb.matmul_nt(g));
+                sink(1, va.matmul(g));
+            })),
+        )
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self, a: Var) -> Var {
+        let out = self.value(a).transpose();
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(|g, sink| sink(0, g.transpose()))),
+        )
+    }
+
+    // ----- nonlinearities ----------------------------------------------------------
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        let out = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let y = out.clone();
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                sink(0, g.zip(&y, |gi, yi| gi * yi * (1.0 - yi)));
+            })),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        let out = self.value(a).map(f32::tanh);
+        let y = out.clone();
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                sink(0, g.zip(&y, |gi, yi| gi * (1.0 - yi * yi)));
+            })),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self, a: Var) -> Var {
+        let vx = self.value(a);
+        let out = vx.map(|x| x.max(0.0));
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                sink(0, g.zip(&vx, |gi, xi| if xi > 0.0 { gi } else { 0.0 }));
+            })),
+        )
+    }
+
+    /// GELU with the tanh approximation used by BERT.
+    pub fn gelu(&self, a: Var) -> Var {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        const K: f32 = 0.044_715;
+        let vx = self.value(a);
+        let out = vx.map(|x| {
+            let u = C * (x + K * x * x * x);
+            0.5 * x * (1.0 + u.tanh())
+        });
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                sink(
+                    0,
+                    g.zip(&vx, |gi, x| {
+                        let u = C * (x + K * x * x * x);
+                        let t = u.tanh();
+                        let du = C * (1.0 + 3.0 * K * x * x);
+                        gi * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
+                    }),
+                );
+            })),
+        )
+    }
+
+    // ----- softmax family ------------------------------------------------------------
+
+    /// Softmax over each row.
+    pub fn softmax_rows(&self, a: Var) -> Var {
+        let out = self.value(a).softmax_rows();
+        let p = out.clone();
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                sink(0, softmax_rows_backward(g, &p));
+            })),
+        )
+    }
+
+    /// Softmax over each column.
+    pub fn softmax_cols(&self, a: Var) -> Var {
+        let out = self.value(a).softmax_cols();
+        let p = out.clone();
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                let gt = g.transpose();
+                let pt = p.transpose();
+                sink(0, softmax_rows_backward(&gt, &pt).transpose());
+            })),
+        )
+    }
+
+    /// Log-softmax over each row (numerically stable).
+    pub fn log_softmax_rows(&self, a: Var) -> Var {
+        let vx = self.value(a);
+        let (m, n) = vx.shape();
+        let mut out = vec![0.0f32; m * n];
+        for r in 0..m {
+            let row = vx.row_slice(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+            for (o, &x) in out[r * n..(r + 1) * n].iter_mut().zip(row) {
+                *o = x - lse;
+            }
+        }
+        let out = Tensor::from_vec(m, n, out);
+        let p = out.map(f32::exp);
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                // dx = g - softmax(x) * rowsum(g)
+                let (m, n) = g.shape();
+                let mut dx = g.clone();
+                {
+                    let data = dx.data_mut();
+                    for r in 0..m {
+                        let s: f32 = g.row_slice(r).iter().sum();
+                        for c in 0..n {
+                            data[r * n + c] -= p.get(r, c) * s;
+                        }
+                    }
+                }
+                sink(0, dx);
+            })),
+        )
+    }
+
+    // ----- normalization -----------------------------------------------------------
+
+    /// Per-row layer normalization with learned scale and shift:
+    /// `y = gamma ⊙ (x - mean)/sqrt(var + eps) + beta`.
+    ///
+    /// `gamma` and `beta` must be `[1, n]` rows matching the width of `x`.
+    pub fn layer_norm(&self, x: Var, gamma: Var, beta: Var) -> Var {
+        let vx = self.value(x);
+        let vg = self.value(gamma);
+        let vb = self.value(beta);
+        let (m, n) = vx.shape();
+        assert_eq!(vg.shape(), (1, n), "layer_norm: gamma must be [1,{n}]");
+        assert_eq!(vb.shape(), (1, n), "layer_norm: beta must be [1,{n}]");
+
+        let mut xhat = vec![0.0f32; m * n];
+        let mut inv_std = vec![0.0f32; m];
+        for r in 0..m {
+            let row = vx.row_slice(r);
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+            let istd = 1.0 / (var + NORM_EPS).sqrt();
+            inv_std[r] = istd;
+            for (o, &v) in xhat[r * n..(r + 1) * n].iter_mut().zip(row) {
+                *o = (v - mean) * istd;
+            }
+        }
+        let xhat = Tensor::from_vec(m, n, xhat);
+        let mut out = vec![0.0f32; m * n];
+        for r in 0..m {
+            for c in 0..n {
+                out[r * n + c] = vg.data()[c] * xhat.get(r, c) + vb.data()[c];
+            }
+        }
+        let out = Tensor::from_vec(m, n, out);
+
+        self.push(
+            out,
+            vec![x.0, gamma.0, beta.0],
+            Some(Box::new(move |g, sink| {
+                let (m, n) = g.shape();
+                // Parameter gradients: column sums.
+                let mut dgamma = vec![0.0f32; n];
+                let mut dbeta = vec![0.0f32; n];
+                for r in 0..m {
+                    for c in 0..n {
+                        dgamma[c] += g.get(r, c) * xhat.get(r, c);
+                        dbeta[c] += g.get(r, c);
+                    }
+                }
+                // Input gradient per row.
+                let mut dx = vec![0.0f32; m * n];
+                for r in 0..m {
+                    let mut mean_dxhat = 0.0f32;
+                    let mut mean_dxhat_xhat = 0.0f32;
+                    for c in 0..n {
+                        let dxh = g.get(r, c) * vg.data()[c];
+                        mean_dxhat += dxh;
+                        mean_dxhat_xhat += dxh * xhat.get(r, c);
+                    }
+                    mean_dxhat /= n as f32;
+                    mean_dxhat_xhat /= n as f32;
+                    for c in 0..n {
+                        let dxh = g.get(r, c) * vg.data()[c];
+                        dx[r * n + c] =
+                            inv_std[r] * (dxh - mean_dxhat - xhat.get(r, c) * mean_dxhat_xhat);
+                    }
+                }
+                sink(0, Tensor::from_vec(m, n, dx));
+                sink(1, Tensor::from_vec(1, n, dgamma));
+                sink(2, Tensor::from_vec(1, n, dbeta));
+            })),
+        )
+    }
+
+    // ----- gather / structure ops --------------------------------------------------
+
+    /// Gathers rows `ids` of an embedding matrix: `[V, h] -> [len(ids), h]`.
+    ///
+    /// The backward pass scatter-adds the output gradient into the rows of
+    /// the weight gradient.
+    pub fn embedding(&self, weight: Var, ids: &[usize]) -> Var {
+        let vw = self.value(weight);
+        let (v, h) = vw.shape();
+        let mut out = Vec::with_capacity(ids.len() * h);
+        for &id in ids {
+            assert!(id < v, "embedding id {id} out of range for vocab {v}");
+            out.extend_from_slice(vw.row_slice(id));
+        }
+        let out = Tensor::from_vec(ids.len(), h, out);
+        let ids = ids.to_vec();
+        self.push(
+            out,
+            vec![weight.0],
+            Some(Box::new(move |g, sink| {
+                let mut dw = Tensor::zeros(v, h);
+                {
+                    let data = dw.data_mut();
+                    for (row, &id) in ids.iter().enumerate() {
+                        let src = g.row_slice(row);
+                        let dst = &mut data[id * h..(id + 1) * h];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                }
+                sink(0, dw);
+            })),
+        )
+    }
+
+    /// Mean over rows: `[m, n] -> [1, n]`.
+    pub fn mean_axis0(&self, a: Var) -> Var {
+        let va = self.value(a);
+        let m = va.rows();
+        let out = va.mean_axis0();
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                let scaled = g.scale(1.0 / m as f32);
+                let parts: Vec<&Tensor> = (0..m).map(|_| &scaled).collect();
+                sink(0, Tensor::concat_rows(&parts));
+            })),
+        )
+    }
+
+    /// Mean over columns: `[m, n] -> [m, 1]`.
+    pub fn mean_axis1(&self, a: Var) -> Var {
+        let va = self.value(a);
+        let (m, n) = va.shape();
+        let out = va.mean_axis1();
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                let mut dx = Tensor::zeros(m, n);
+                {
+                    let data = dx.data_mut();
+                    for r in 0..m {
+                        let gv = g.get(r, 0) / n as f32;
+                        for c in 0..n {
+                            data[r * n + c] = gv;
+                        }
+                    }
+                }
+                sink(0, dx);
+            })),
+        )
+    }
+
+    /// Sum of all elements, producing a `[1, 1]` scalar.
+    pub fn sum_all(&self, a: Var) -> Var {
+        let va = self.value(a);
+        let (m, n) = va.shape();
+        let out = Tensor::scalar(va.sum());
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                sink(0, Tensor::full(m, n, g.item()));
+            })),
+        )
+    }
+
+    /// Mean of all elements, producing a `[1, 1]` scalar.
+    pub fn mean_all(&self, a: Var) -> Var {
+        let va = self.value(a);
+        let (m, n) = va.shape();
+        let count = (m * n).max(1) as f32;
+        let out = Tensor::scalar(va.mean());
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                sink(0, Tensor::full(m, n, g.item() / count));
+            })),
+        )
+    }
+
+    /// Vertically stacks variables with identical widths.
+    pub fn concat_rows(&self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows requires at least one input");
+        let values: Vec<Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let out = Tensor::concat_rows(&refs);
+        let row_counts: Vec<usize> = values.iter().map(|t| t.rows()).collect();
+        self.push(
+            out,
+            parts.iter().map(|p| p.0).collect(),
+            Some(Box::new(move |g, sink| {
+                let mut r = 0;
+                for (i, &rc) in row_counts.iter().enumerate() {
+                    sink(i, g.slice_rows(r, r + rc));
+                    r += rc;
+                }
+            })),
+        )
+    }
+
+    /// Horizontally stacks variables with identical heights.
+    pub fn concat_cols(&self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols requires at least one input");
+        let values: Vec<Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let out = Tensor::concat_cols(&refs);
+        let col_counts: Vec<usize> = values.iter().map(|t| t.cols()).collect();
+        self.push(
+            out,
+            parts.iter().map(|p| p.0).collect(),
+            Some(Box::new(move |g, sink| {
+                let mut c = 0;
+                for (i, &cc) in col_counts.iter().enumerate() {
+                    sink(i, g.slice_cols(c, c + cc));
+                    c += cc;
+                }
+            })),
+        )
+    }
+
+    /// Rows `[r0, r1)` of `a`.
+    pub fn slice_rows(&self, a: Var, r0: usize, r1: usize) -> Var {
+        let va = self.value(a);
+        let (m, n) = va.shape();
+        let out = va.slice_rows(r0, r1);
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                let mut dx = Tensor::zeros(m, n);
+                {
+                    let data = dx.data_mut();
+                    data[r0 * n..r1 * n].copy_from_slice(g.data());
+                }
+                sink(0, dx);
+            })),
+        )
+    }
+
+    /// Columns `[c0, c1)` of `a`.
+    pub fn slice_cols(&self, a: Var, c0: usize, c1: usize) -> Var {
+        let va = self.value(a);
+        let (m, n) = va.shape();
+        let out = va.slice_cols(c0, c1);
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                let mut dx = Tensor::zeros(m, n);
+                {
+                    let data = dx.data_mut();
+                    for r in 0..m {
+                        for c in c0..c1 {
+                            data[r * n + c] = g.get(r, c - c0);
+                        }
+                    }
+                }
+                sink(0, dx);
+            })),
+        )
+    }
+
+    /// Inverted dropout: with probability `p` an element is zeroed, surviving
+    /// elements are scaled by `1/(1-p)`. The sampled mask is reused in the
+    /// backward pass. `p = 0` records a cheap identity node.
+    pub fn dropout<R: Rng + ?Sized>(&self, a: Var, p: f32, rng: &mut R) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1), got {p}");
+        if p == 0.0 {
+            // Identity; still record a node so callers can treat train/eval
+            // uniformly.
+            let out = self.value(a);
+            return self.push(
+                out,
+                vec![a.0],
+                Some(Box::new(|g, sink| sink(0, g.clone()))),
+            );
+        }
+        let va = self.value(a);
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_vec(
+            va.rows(),
+            va.cols(),
+            (0..va.len())
+                .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+                .collect(),
+        );
+        let out = va.mul(&mask);
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| sink(0, g.mul(&mask)))),
+        )
+    }
+
+    // ----- losses --------------------------------------------------------------------
+
+    /// Mean cross-entropy between row logits and integer class targets.
+    ///
+    /// `logits` is `[m, C]`; `targets` has length `m` with values `< C`.
+    pub fn cross_entropy(&self, logits: Var, targets: &[usize]) -> Var {
+        self.cross_entropy_weighted(logits, targets, None)
+    }
+
+    /// Cross-entropy with optional per-class weights (used to reproduce
+    /// DeepMatcher's positive/negative class weighting). The loss is the
+    /// weighted mean `Σ w_yi · nll_i / Σ w_yi`.
+    pub fn cross_entropy_weighted(
+        &self,
+        logits: Var,
+        targets: &[usize],
+        class_weights: Option<&[f32]>,
+    ) -> Var {
+        let vx = self.value(logits);
+        let (m, c) = vx.shape();
+        assert_eq!(targets.len(), m, "cross_entropy: {m} logit rows but {} targets", targets.len());
+        if let Some(w) = class_weights {
+            assert_eq!(w.len(), c, "cross_entropy: {c} classes but {} class weights", w.len());
+        }
+
+        // Stable log-softmax + NLL, plus the softmax probabilities for the
+        // backward pass.
+        let mut probs = vec![0.0f32; m * c];
+        let mut loss = 0.0f64;
+        let mut weight_sum = 0.0f64;
+        let mut sample_w = vec![0.0f32; m];
+        for r in 0..m {
+            let row = vx.row_slice(r);
+            let t = targets[r];
+            assert!(t < c, "cross_entropy: target {t} out of range for {c} classes");
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+            for (o, &x) in probs[r * c..(r + 1) * c].iter_mut().zip(row) {
+                *o = (x - lse).exp();
+            }
+            let w = class_weights.map_or(1.0, |ws| ws[t]);
+            sample_w[r] = w;
+            loss += f64::from(w) * f64::from(lse - row[t]);
+            weight_sum += f64::from(w);
+        }
+        let weight_sum = weight_sum.max(f64::EPSILON);
+        let out = Tensor::scalar((loss / weight_sum) as f32);
+        let probs = Tensor::from_vec(m, c, probs);
+        let targets = targets.to_vec();
+        let inv_wsum = (1.0 / weight_sum) as f32;
+        self.push(
+            out,
+            vec![logits.0],
+            Some(Box::new(move |g, sink| {
+                let scale = g.item() * inv_wsum;
+                let mut dx = probs.clone();
+                {
+                    let data = dx.data_mut();
+                    for (r, &t) in targets.iter().enumerate() {
+                        let w = sample_w[r];
+                        for cc in 0..c {
+                            let onehot = if cc == t { 1.0 } else { 0.0 };
+                            data[r * c + cc] = w * scale * (data[r * c + cc] - onehot);
+                        }
+                    }
+                }
+                sink(0, dx);
+            })),
+        )
+    }
+
+    /// Mean binary cross-entropy with logits. `logits` is `[m, 1]`; `targets`
+    /// holds `m` values in `[0, 1]`.
+    ///
+    /// Uses the standard stable formulation
+    /// `max(z, 0) - z·y + ln(1 + e^(-|z|))`.
+    pub fn bce_with_logits(&self, logits: Var, targets: &[f32]) -> Var {
+        let vx = self.value(logits);
+        let (m, n) = vx.shape();
+        assert_eq!(n, 1, "bce_with_logits expects [m, 1] logits, got {m}x{n}");
+        assert_eq!(targets.len(), m, "bce_with_logits: {m} logits but {} targets", targets.len());
+        let mut loss = 0.0f64;
+        for (r, &y) in targets.iter().enumerate() {
+            let z = vx.get(r, 0);
+            loss += f64::from(z.max(0.0) - z * y + (-z.abs()).exp().ln_1p());
+        }
+        let out = Tensor::scalar((loss / m as f64) as f32);
+        let targets = targets.to_vec();
+        self.push(
+            out,
+            vec![logits.0],
+            Some(Box::new(move |g, sink| {
+                let scale = g.item() / m as f32;
+                let dx = (0..m)
+                    .map(|r| {
+                        let z = vx.get(r, 0);
+                        let p = 1.0 / (1.0 + (-z).exp());
+                        scale * (p - targets[r])
+                    })
+                    .collect();
+                sink(0, Tensor::from_vec(m, 1, dx));
+            })),
+        )
+    }
+
+    // ----- backward ------------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from the scalar `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a `[1, 1]` tensor.
+    pub fn backward(&self, root: Var) -> Gradients {
+        let nodes = self.nodes.borrow();
+        assert_eq!(
+            nodes[root.0].value.shape(),
+            (1, 1),
+            "backward root must be a scalar"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[root.0] = Some(Tensor::scalar(1.0));
+
+        for idx in (0..=root.0).rev() {
+            let Some(g) = grads[idx].take() else { continue };
+            let node = &nodes[idx];
+            if let Some(backward) = &node.backward {
+                let parents = &node.parents;
+                backward(&g, &mut |pos, contribution| {
+                    let pid = parents[pos];
+                    match &mut grads[pid] {
+                        Some(existing) => existing.add_scaled_in_place(&contribution, 1.0),
+                        slot @ None => *slot = Some(contribution),
+                    }
+                });
+            }
+            grads[idx] = Some(g);
+        }
+        Gradients { grads }
+    }
+}
+
+/// Jacobian-vector product of a row softmax: `dx = p ⊙ (g − rowdot(g, p))`.
+fn softmax_rows_backward(g: &Tensor, p: &Tensor) -> Tensor {
+    let (m, n) = g.shape();
+    let mut dx = vec![0.0f32; m * n];
+    for r in 0..m {
+        let grow = g.row_slice(r);
+        let prow = p.row_slice(r);
+        let dot: f32 = grow.iter().zip(prow).map(|(&a, &b)| a * b).sum();
+        for c in 0..n {
+            dx[r * n + c] = prow[c] * (grow[c] - dot);
+        }
+    }
+    Tensor::from_vec(m, n, dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() <= 1e-4 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn linear_chain_gradient() {
+        // loss = sum(2 * x) -> d/dx = 2 everywhere.
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]));
+        let y = g.scale(x, 2.0);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn fanout_accumulates_gradients() {
+        // loss = sum(x + x) -> d/dx = 2.
+        let g = Graph::new();
+        let x = g.leaf(Tensor::ones(1, 3));
+        let y = g.add(x, x);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_product_rule() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::row(&[2.0, 3.0]));
+        let b = g.leaf(Tensor::row(&[5.0, 7.0]));
+        let y = g.mul(a, b);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[5.0, 7.0]);
+        assert_eq!(grads.get(b).unwrap().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_gradients_match_formulas() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = g.leaf(Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let c = g.matmul(a, b);
+        let loss = g.sum_all(c);
+        let grads = g.backward(loss);
+        // dA = 1 · Bᵀ, dB = Aᵀ · 1
+        assert_eq!(grads.get(a).unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(grads.get(b).unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_has_small_loss() {
+        let g = Graph::new();
+        let logits = g.leaf(Tensor::from_rows(&[&[10.0, -10.0], &[-10.0, 10.0]]));
+        let loss = g.cross_entropy(logits, &[0, 1]);
+        assert!(g.value(loss).item() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits_is_log_c() {
+        let g = Graph::new();
+        let logits = g.leaf(Tensor::zeros(3, 4));
+        let loss = g.cross_entropy(logits, &[0, 1, 2]);
+        assert!(approx(g.value(loss).item(), (4.0f32).ln()));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_softmax_minus_onehot() {
+        let g = Graph::new();
+        let logits = g.leaf(Tensor::zeros(1, 2));
+        let loss = g.cross_entropy(logits, &[1]);
+        let grads = g.backward(loss);
+        let dl = grads.get(logits).unwrap();
+        assert!(approx(dl.get(0, 0), 0.5));
+        assert!(approx(dl.get(0, 1), -0.5));
+    }
+
+    #[test]
+    fn weighted_cross_entropy_upweights_class() {
+        let g = Graph::new();
+        let logits = g.leaf(Tensor::from_rows(&[&[0.0, 0.0], &[0.0, 0.0]]));
+        // Class 1 has weight 3: loss stays ln(2) (weighted mean of equal
+        // per-sample losses), but gradients tilt toward the upweighted class.
+        let loss = g.cross_entropy_weighted(logits, &[0, 1], Some(&[1.0, 3.0]));
+        assert!(approx(g.value(loss).item(), (2.0f32).ln()));
+        let grads = g.backward(loss);
+        let dl = grads.get(logits).unwrap();
+        assert!(dl.get(1, 1).abs() > dl.get(0, 0).abs());
+    }
+
+    #[test]
+    fn bce_with_logits_matches_closed_form() {
+        let g = Graph::new();
+        let logits = g.leaf(Tensor::column(&[0.0]));
+        let loss = g.bce_with_logits(logits, &[1.0]);
+        assert!(approx(g.value(loss).item(), (2.0f32).ln()));
+        let grads = g.backward(loss);
+        assert!(approx(grads.get(logits).unwrap().item(), -0.5));
+    }
+
+    #[test]
+    fn bce_is_stable_for_extreme_logits() {
+        let g = Graph::new();
+        let logits = g.leaf(Tensor::column(&[500.0, -500.0]));
+        let loss = g.bce_with_logits(logits, &[1.0, 0.0]);
+        let v = g.value(loss).item();
+        assert!(v.is_finite() && v < 1e-3);
+    }
+
+    #[test]
+    fn embedding_scatter_adds_duplicate_ids() {
+        let g = Graph::new();
+        let w = g.leaf(Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]));
+        let e = g.embedding(w, &[1, 1, 2]);
+        let loss = g.sum_all(e);
+        let grads = g.backward(loss);
+        let dw = grads.get(w).unwrap();
+        assert_eq!(dw.row_slice(0), &[0.0, 0.0]);
+        assert_eq!(dw.row_slice(1), &[2.0, 2.0]); // used twice
+        assert_eq!(dw.row_slice(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::row(&[1.0, 2.0, 3.0]));
+        let y = g.dropout(x, 0.0, &mut rng);
+        assert_eq!(g.value(y).data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_roughly() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::full(1, 10_000, 1.0));
+        let y = g.dropout(x, 0.3, &mut rng);
+        let mean = g.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean} drifted from 1.0");
+    }
+
+    #[test]
+    fn layer_norm_output_is_normalized() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]));
+        let gamma = g.leaf(Tensor::ones(1, 4));
+        let beta = g.leaf(Tensor::zeros(1, 4));
+        let y = g.layer_norm(x, gamma, beta);
+        let v = g.value(y);
+        assert!(approx(v.mean(), 0.0));
+        let var = v.data().iter().map(|&x| x * x).sum::<f32>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_grad_sums_to_zero_per_row() {
+        // Because softmax outputs sum to 1, the gradient of any function of
+        // the outputs wrt the inputs must sum to zero across each row.
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[0.3, -1.2, 2.0]]));
+        let p = g.softmax_rows(x);
+        let w = g.leaf(Tensor::row(&[1.0, -2.0, 0.5]));
+        let y = g.mul(p, w);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        let dx = grads.get(x).unwrap();
+        assert!(dx.data().iter().sum::<f32>().abs() < 1e-5);
+    }
+
+    #[test]
+    fn slice_and_concat_gradients_route_correctly() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        let top = g.slice_rows(x, 0, 1);
+        let rest = g.slice_rows(x, 1, 3);
+        let doubled = g.scale(rest, 2.0);
+        let all = g.concat_rows(&[top, doubled]);
+        let loss = g.sum_all(all);
+        let grads = g.backward(loss);
+        let dx = grads.get(x).unwrap();
+        assert_eq!(dx.data(), &[1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward root must be a scalar")]
+    fn backward_requires_scalar_root() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::ones(2, 2));
+        let _ = g.backward(x);
+    }
+}

@@ -1,0 +1,49 @@
+//! Dense f32 tensors and reverse-mode automatic differentiation.
+//!
+//! This crate is the numerical substrate for the EMBA entity-matching
+//! reproduction. It provides:
+//!
+//! * [`Tensor`] — an immutable, reference-counted, row-major dense matrix of
+//!   `f32` values with the raw linear-algebra kernels (matmul, softmax,
+//!   layer-norm, ...) used by the neural-network layers.
+//! * [`Graph`] — a single-use autodiff tape. Operations are recorded during
+//!   the forward pass and [`Graph::backward`] replays them in reverse to
+//!   produce gradients for every recorded node.
+//! * [`gradcheck`] — finite-difference gradient checking used by the property
+//!   tests to validate every analytic gradient in the tape.
+//!
+//! # Design notes
+//!
+//! The engine is deliberately small and single-threaded: the reproduction
+//! trains miniature BERT encoders (a few layers, ≤256 dims) where a simple
+//! cache-friendly `ikj` matmul is fast enough, and a tape of boxed backward
+//! closures keeps the op set trivially extensible. Tensors share their buffer
+//! through an `Arc`, so cloning a tensor (e.g. capturing activations inside a
+//! backward closure) is O(1); mutation copies-on-write.
+//!
+//! # Example
+//!
+//! ```
+//! use emba_tensor::{Graph, Tensor};
+//!
+//! let g = Graph::new();
+//! let x = g.leaf(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+//! let w = g.leaf(Tensor::from_rows(&[&[0.5], &[-0.5]]));
+//! let y = g.matmul(x, w);          // [2,1]
+//! let loss = g.sum_all(y);         // scalar
+//! let grads = g.backward(loss);
+//! let dw = grads.get(w).unwrap();
+//! assert_eq!(dw.shape(), (2, 1));
+//! assert_eq!(dw.data(), &[4.0, 6.0]); // column sums of x
+//! ```
+
+pub mod gradcheck;
+mod graph;
+mod tensor;
+
+pub use graph::{Gradients, Graph, Var};
+pub use tensor::Tensor;
+
+/// Numerical epsilon used by layer normalization and other
+/// divide-by-variance operations.
+pub const NORM_EPS: f32 = 1e-5;

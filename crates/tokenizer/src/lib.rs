@@ -1,0 +1,36 @@
+//! WordPiece tokenization and entity-record serialization.
+//!
+//! The paper feeds entity pairs to BERT as
+//! `[CLS] RECORD1 [SEP] RECORD2 [SEP]`, with each record's attribute values
+//! concatenated and WordPiece-tokenized (DITTO additionally inserts
+//! `[COL]`/`[VAL]` tags). This crate implements that entire input pipeline:
+//!
+//! * [`WordPieceTokenizer`] — trainable subword vocabulary (BPE-style merge
+//!   training, greedy longest-match encoding, `##` continuations);
+//! * [`special`] — the reserved token ids shared across the workspace;
+//! * [`encode_record`] / [`encode_pair`] — record serialization in the
+//!   paper's plain format or DITTO's tagged format, with `longest_first`
+//!   truncation and per-record token ranges (needed by EMBA's AOA module,
+//!   which slices the two records' token representations apart).
+//!
+//! # Example
+//!
+//! ```
+//! use emba_tokenizer::{encode_pair, encode_record, Serialization, TrainConfig, WordPieceTokenizer};
+//!
+//! let corpus = ["samsung 850 evo ssd", "sandisk ultra card"];
+//! let tok = WordPieceTokenizer::train(&corpus, &TrainConfig::default());
+//! let rec1 = vec![("title".to_string(), "samsung 850 evo".to_string())];
+//! let rec2 = vec![("title".to_string(), "samsung ssd 850".to_string())];
+//! let left = encode_record(&tok, &rec1, Serialization::Plain);
+//! let right = encode_record(&tok, &rec2, Serialization::Plain);
+//! let pair = encode_pair(&left, &right, 64);
+//! assert_eq!(pair.ids[0], emba_tokenizer::special::CLS);
+//! ```
+
+pub mod special;
+mod serialize;
+mod wordpiece;
+
+pub use serialize::{encode_pair, encode_record, EncodedPair, Serialization};
+pub use wordpiece::{pre_tokenize, TrainConfig, WordPieceTokenizer, WordPieces, CONTINUATION};

@@ -1,0 +1,225 @@
+//! Entity-record serialization into BERT input sequences.
+//!
+//! Two serializations from the literature are supported:
+//!
+//! * **plain** — attribute values concatenated into a single string, the
+//!   format used by the paper's BERT/RoBERTa/JointBERT/EMBA runs;
+//! * **DITTO** — `[COL] name [VAL] value ...` structural tags (Li et al.,
+//!   VLDB 2020), used by the DITTO baseline.
+//!
+//! [`encode_pair`] assembles the final `[CLS] D1 [SEP] D2 [SEP]` sequence
+//! with segment ids and per-record token ranges, truncating the longer
+//! record first when the budget is exceeded (the standard `longest_first`
+//! strategy).
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use crate::special;
+use crate::wordpiece::WordPieceTokenizer;
+
+/// How a record's attributes are rendered into tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Serialization {
+    /// Concatenated attribute values.
+    #[default]
+    Plain,
+    /// DITTO-style `[COL] name [VAL] value` tagging.
+    Ditto,
+}
+
+/// Tokenizes one record (a list of `(attribute name, value)` pairs).
+pub fn encode_record(
+    tok: &WordPieceTokenizer,
+    attrs: &[(String, String)],
+    mode: Serialization,
+) -> Vec<usize> {
+    let mut ids = Vec::new();
+    for (name, value) in attrs {
+        match mode {
+            Serialization::Plain => {
+                ids.extend(tok.encode(value));
+            }
+            Serialization::Ditto => {
+                ids.push(special::COL);
+                ids.extend(tok.encode(name));
+                ids.push(special::VAL);
+                ids.extend(tok.encode(value));
+            }
+        }
+    }
+    ids
+}
+
+/// A fully assembled BERT input for a record pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedPair {
+    /// `[CLS] left [SEP] right [SEP]`.
+    pub ids: Vec<usize>,
+    /// `0` for `[CLS]`, the left record and its `[SEP]`; `1` afterwards.
+    pub segments: Vec<usize>,
+    /// Positions of the left record's content tokens.
+    pub left: Range<usize>,
+    /// Positions of the right record's content tokens.
+    pub right: Range<usize>,
+}
+
+impl EncodedPair {
+    /// Total sequence length.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the sequence is empty (never true for a valid pair).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Assembles `[CLS] left [SEP] right [SEP]` within `max_len` tokens.
+///
+/// When the combined length exceeds the budget, tokens are trimmed from the
+/// tail of whichever record is currently longer, preserving at least one
+/// token per record.
+///
+/// # Panics
+///
+/// Panics if `max_len < 5` (room for the three specials plus one token per
+/// record).
+pub fn encode_pair(left_ids: &[usize], right_ids: &[usize], max_len: usize) -> EncodedPair {
+    assert!(max_len >= 5, "max_len {max_len} cannot hold [CLS] t [SEP] t [SEP]");
+    let budget = max_len - 3;
+    let mut l = left_ids.len();
+    let mut r = right_ids.len();
+    while l + r > budget {
+        if l >= r && l > 1 {
+            l -= 1;
+        } else if r > 1 {
+            r -= 1;
+        } else {
+            l -= 1; // both at 1 can't happen while l + r > budget >= 2
+        }
+    }
+
+    let mut ids = Vec::with_capacity(l + r + 3);
+    let mut segments = Vec::with_capacity(l + r + 3);
+    ids.push(special::CLS);
+    segments.push(0);
+    let left_start = ids.len();
+    ids.extend_from_slice(&left_ids[..l]);
+    segments.extend(std::iter::repeat(0).take(l));
+    let left_end = ids.len();
+    ids.push(special::SEP);
+    segments.push(0);
+    let right_start = ids.len();
+    ids.extend_from_slice(&right_ids[..r]);
+    segments.extend(std::iter::repeat(1).take(r));
+    let right_end = ids.len();
+    ids.push(special::SEP);
+    segments.push(1);
+
+    EncodedPair {
+        ids,
+        segments,
+        left: left_start..left_end,
+        right: right_start..right_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wordpiece::TrainConfig;
+
+    fn tok() -> WordPieceTokenizer {
+        WordPieceTokenizer::train(
+            &[
+                "samsung evo ssd title brand description",
+                "sandisk ultra card title brand description",
+            ],
+            &TrainConfig {
+                vocab_size: 300,
+                min_pair_freq: 1,
+            },
+        )
+    }
+
+    fn attrs(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn plain_serialization_concatenates_values() {
+        let t = tok();
+        let rec = attrs(&[("title", "samsung evo"), ("brand", "samsung")]);
+        let ids = encode_record(&t, &rec, Serialization::Plain);
+        assert_eq!(ids, t.encode("samsung evo samsung"));
+        assert!(!ids.contains(&special::COL));
+    }
+
+    #[test]
+    fn ditto_serialization_inserts_structural_tags() {
+        let t = tok();
+        let rec = attrs(&[("title", "samsung evo")]);
+        let ids = encode_record(&t, &rec, Serialization::Ditto);
+        assert_eq!(ids[0], special::COL);
+        let val_pos = ids.iter().position(|&i| i == special::VAL).unwrap();
+        assert!(val_pos > 0);
+        assert_eq!(
+            ids.iter().filter(|&&i| i == special::COL).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn encode_pair_layout_and_ranges() {
+        let p = encode_pair(&[10, 11, 12], &[20, 21], 64);
+        assert_eq!(p.ids, vec![special::CLS, 10, 11, 12, special::SEP, 20, 21, special::SEP]);
+        assert_eq!(p.segments, vec![0, 0, 0, 0, 0, 1, 1, 1]);
+        assert_eq!(&p.ids[p.left.clone()], &[10, 11, 12]);
+        assert_eq!(&p.ids[p.right.clone()], &[20, 21]);
+        assert_eq!(p.len(), 8);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn truncation_trims_longer_record_first() {
+        let left: Vec<usize> = (10..30).collect(); // 20 tokens
+        let right: Vec<usize> = (50..55).collect(); // 5 tokens
+        let p = encode_pair(&left, &right, 16); // budget 13 content tokens
+        assert_eq!(p.len(), 16);
+        let l_len = p.left.len();
+        let r_len = p.right.len();
+        assert_eq!(l_len + r_len, 13);
+        assert_eq!(r_len, 5, "shorter record should be untouched");
+        assert_eq!(&p.ids[p.left.clone()], &left[..l_len]);
+    }
+
+    #[test]
+    fn truncation_preserves_one_token_each() {
+        let left: Vec<usize> = (10..100).collect();
+        let right: Vec<usize> = (200..290).collect();
+        let p = encode_pair(&left, &right, 5);
+        assert_eq!(p.left.len(), 1);
+        assert_eq!(p.right.len(), 1);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn rejects_tiny_budget() {
+        let _ = encode_pair(&[1], &[2], 4);
+    }
+
+    #[test]
+    fn segments_flip_after_first_sep() {
+        let p = encode_pair(&[9, 9], &[8, 8, 8], 32);
+        let first_sep = p.ids.iter().position(|&i| i == special::SEP).unwrap();
+        assert!(p.segments[..=first_sep].iter().all(|&s| s == 0));
+        assert!(p.segments[first_sep + 1..].iter().all(|&s| s == 1));
+    }
+}

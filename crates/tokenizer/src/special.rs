@@ -1,0 +1,38 @@
+//! Special-token ids shared by every model in the workspace.
+//!
+//! The layout mirrors BERT's conventions plus DITTO's two structural tags:
+//! ids below [`NUM_RESERVED`] are never produced by WordPiece training, never
+//! masked by MLM pre-training, and never counted as content words by the
+//! explanation tooling.
+
+/// Padding (unused by the per-sample pipelines but reserved for parity with
+/// the original vocabulary layout).
+pub const PAD: usize = 0;
+/// Unknown token.
+pub const UNK: usize = 1;
+/// Classification token prepended to every sequence.
+pub const CLS: usize = 2;
+/// Separator token closing each record.
+pub const SEP: usize = 3;
+/// Mask token used by MLM pre-training.
+pub const MASK: usize = 4;
+/// DITTO's attribute-name tag.
+pub const COL: usize = 5;
+/// DITTO's attribute-value tag.
+pub const VAL: usize = 6;
+/// Number of reserved ids; real subwords start here.
+pub const NUM_RESERVED: usize = 7;
+
+/// Printable surface form of a special token id, if it is one.
+pub fn name(id: usize) -> Option<&'static str> {
+    match id {
+        PAD => Some("[PAD]"),
+        UNK => Some("[UNK]"),
+        CLS => Some("[CLS]"),
+        SEP => Some("[SEP]"),
+        MASK => Some("[MASK]"),
+        COL => Some("[COL]"),
+        VAL => Some("[VAL]"),
+        _ => None,
+    }
+}

@@ -1,0 +1,448 @@
+//! A trainable WordPiece tokenizer.
+//!
+//! Training uses BPE-style greedy pair merging over a word-frequency table
+//! (the practical construction behind published WordPiece vocabularies);
+//! encoding uses WordPiece's greedy longest-match-first algorithm with `##`
+//! continuation pieces. Ids below [`crate::special::NUM_RESERVED`] are
+//! reserved for special tokens.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::special;
+
+/// Continuation prefix marking non-initial subwords.
+pub const CONTINUATION: &str = "##";
+
+/// A trained WordPiece vocabulary and encoder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WordPieceTokenizer {
+    /// id → surface form. Index 0..NUM_RESERVED are the special tokens.
+    vocab: Vec<String>,
+    #[serde(skip)]
+    lookup: HashMap<String, usize>,
+}
+
+/// One pre-tokenized word together with the subword ids it produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordPieces {
+    /// The surface word (lowercased).
+    pub word: String,
+    /// WordPiece ids (a single `[UNK]` if the word could not be segmented).
+    pub ids: Vec<usize>,
+}
+
+/// Settings for [`WordPieceTokenizer::train`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Upper bound on vocabulary size, including special tokens and base
+    /// characters.
+    pub vocab_size: usize,
+    /// Merges stop once the best pair occurs fewer times than this.
+    pub min_pair_freq: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            vocab_size: 4096,
+            min_pair_freq: 2,
+        }
+    }
+}
+
+impl WordPieceTokenizer {
+    /// Trains a vocabulary on raw text lines.
+    pub fn train<S: AsRef<str>>(corpus: &[S], cfg: &TrainConfig) -> Self {
+        // 1. Word frequencies over the pre-tokenized corpus.
+        let mut word_freq: HashMap<String, u64> = HashMap::new();
+        for line in corpus {
+            for w in pre_tokenize(line.as_ref()) {
+                *word_freq.entry(w).or_insert(0) += 1;
+            }
+        }
+
+        // 2. Symbol sequences: first char bare, the rest with ##.
+        let mut words: Vec<(Vec<String>, u64)> = word_freq
+            .into_iter()
+            .map(|(w, f)| (symbolize(&w), f))
+            .collect();
+        // Deterministic order regardless of hash seeds.
+        words.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // Base symbol inventory.
+        let mut symbols: HashMap<String, u64> = HashMap::new();
+        for (seq, f) in &words {
+            for s in seq {
+                *symbols.entry(s.clone()).or_insert(0) += f;
+            }
+        }
+
+        // 3. Greedy merges until the vocabulary budget is reached.
+        while special::NUM_RESERVED + symbols.len() < cfg.vocab_size {
+            let mut pair_freq: HashMap<(String, String), u64> = HashMap::new();
+            for (seq, f) in &words {
+                for win in seq.windows(2) {
+                    *pair_freq
+                        .entry((win[0].clone(), win[1].clone()))
+                        .or_insert(0) += f;
+                }
+            }
+            let Some((best_pair, best_freq)) = pair_freq.into_iter().fold(
+                None::<((String, String), u64)>,
+                |acc, (pair, freq)| match acc {
+                    Some((ap, af)) if (af, &ap) >= (freq, &pair) => Some((ap, af)),
+                    _ => Some((pair, freq)),
+                },
+            ) else {
+                break;
+            };
+            if best_freq < cfg.min_pair_freq {
+                break;
+            }
+            let merged = merge_symbols(&best_pair.0, &best_pair.1);
+            let mut merged_count = 0u64;
+            for (seq, f) in &mut words {
+                let mut i = 0;
+                while i + 1 < seq.len() {
+                    if seq[i] == best_pair.0 && seq[i + 1] == best_pair.1 {
+                        seq[i] = merged.clone();
+                        seq.remove(i + 1);
+                        merged_count += *f;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            symbols.insert(merged, merged_count);
+        }
+
+        // 4. Assemble the final vocabulary: specials, then symbols sorted by
+        // descending frequency (ties lexicographic) for stable ids.
+        let mut ranked: Vec<(String, u64)> = symbols.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut vocab: Vec<String> = (0..special::NUM_RESERVED)
+            .map(|i| special::name(i).expect("reserved id must be special").to_string())
+            .collect();
+        vocab.extend(
+            ranked
+                .into_iter()
+                .take(cfg.vocab_size.saturating_sub(special::NUM_RESERVED))
+                .map(|(s, _)| s),
+        );
+        Self::from_vocab(vocab)
+    }
+
+    /// Rebuilds a tokenizer from an id-ordered vocabulary (e.g. after
+    /// deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vocabulary is shorter than the reserved-token block or
+    /// contains duplicates.
+    pub fn from_vocab(vocab: Vec<String>) -> Self {
+        assert!(
+            vocab.len() >= special::NUM_RESERVED,
+            "vocabulary must include the {} reserved tokens",
+            special::NUM_RESERVED
+        );
+        let mut lookup = HashMap::with_capacity(vocab.len());
+        for (i, tok) in vocab.iter().enumerate() {
+            let prev = lookup.insert(tok.clone(), i);
+            assert!(prev.is_none(), "duplicate vocabulary entry {tok:?}");
+        }
+        Self { vocab, lookup }
+    }
+
+    /// Restores the lookup table after serde deserialization.
+    pub fn rehydrate(&mut self) {
+        if self.lookup.is_empty() && !self.vocab.is_empty() {
+            self.lookup = self
+                .vocab
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.clone(), i))
+                .collect();
+        }
+    }
+
+    /// Vocabulary size including special tokens.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The id-ordered vocabulary (for checkpoint serialization; rebuild
+    /// with [`WordPieceTokenizer::from_vocab`]).
+    pub fn vocab(&self) -> &[String] {
+        &self.vocab
+    }
+
+    /// Surface form of an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn token(&self, id: usize) -> &str {
+        &self.vocab[id]
+    }
+
+    /// Id of a surface form, if present.
+    pub fn id(&self, token: &str) -> Option<usize> {
+        self.lookup.get(token).copied()
+    }
+
+    /// Segments one (already pre-tokenized, lowercased) word into WordPiece
+    /// ids using greedy longest-match-first. Returns `[UNK]` when no
+    /// segmentation exists.
+    pub fn encode_word(&self, word: &str) -> Vec<usize> {
+        if word.is_empty() {
+            return Vec::new();
+        }
+        let chars: Vec<char> = word.chars().collect();
+        let mut ids = Vec::new();
+        let mut start = 0;
+        while start < chars.len() {
+            let mut matched = None;
+            let mut end = chars.len();
+            while end > start {
+                let piece: String = if start == 0 {
+                    chars[start..end].iter().collect()
+                } else {
+                    format!("{CONTINUATION}{}", chars[start..end].iter().collect::<String>())
+                };
+                if let Some(&id) = self.lookup.get(&piece) {
+                    matched = Some((id, end));
+                    break;
+                }
+                end -= 1;
+            }
+            match matched {
+                Some((id, next)) => {
+                    ids.push(id);
+                    start = next;
+                }
+                None => return vec![special::UNK],
+            }
+        }
+        ids
+    }
+
+    /// Tokenizes raw text into WordPiece ids.
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        pre_tokenize(text)
+            .iter()
+            .flat_map(|w| self.encode_word(w))
+            .collect()
+    }
+
+    /// Tokenizes raw text, retaining the word ↔ subword alignment needed by
+    /// the attention visualizations and LIME perturbations.
+    pub fn encode_with_words(&self, text: &str) -> Vec<WordPieces> {
+        pre_tokenize(text)
+            .into_iter()
+            .map(|word| {
+                let ids = self.encode_word(&word);
+                WordPieces { word, ids }
+            })
+            .collect()
+    }
+
+    /// Renders ids back to a human-readable string. Continuation pieces are
+    /// glued to their predecessor; special tokens print their bracket form.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            let tok = self.token(id);
+            if let Some(stripped) = tok.strip_prefix(CONTINUATION) {
+                out.push_str(stripped);
+            } else {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(tok);
+            }
+        }
+        out
+    }
+}
+
+/// Lowercases and splits text into words: alphanumeric runs stay together,
+/// every punctuation character becomes its own token, whitespace separates.
+pub fn pre_tokenize(text: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        let ch = ch.to_ascii_lowercase();
+        if ch.is_alphanumeric() {
+            current.push(ch);
+        } else {
+            if !current.is_empty() {
+                words.push(std::mem::take(&mut current));
+            }
+            if !ch.is_whitespace() {
+                words.push(ch.to_string());
+            }
+        }
+    }
+    if !current.is_empty() {
+        words.push(current);
+    }
+    words
+}
+
+fn symbolize(word: &str) -> Vec<String> {
+    word.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if i == 0 {
+                c.to_string()
+            } else {
+                format!("{CONTINUATION}{c}")
+            }
+        })
+        .collect()
+}
+
+fn merge_symbols(a: &str, b: &str) -> String {
+    let tail = b.strip_prefix(CONTINUATION).unwrap_or(b);
+    format!("{a}{tail}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> WordPieceTokenizer {
+        let corpus = vec![
+            "samsung 850 evo 1tb ssd".to_string(),
+            "samsung 850 evo 500gb ssd retail".to_string(),
+            "sandisk ultra compactflash card retail".to_string(),
+            "transcend compactflash card 4gb".to_string(),
+            "samsung ssd 850 evo sata".to_string(),
+        ];
+        WordPieceTokenizer::train(
+            &corpus,
+            &TrainConfig {
+                vocab_size: 200,
+                min_pair_freq: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn pre_tokenize_separates_punctuation_and_lowercases() {
+        assert_eq!(
+            pre_tokenize("SanDisk SDCFH-004G, 30MB/s!"),
+            vec!["sandisk", "sdcfh", "-", "004g", ",", "30mb", "/", "s", "!"]
+        );
+    }
+
+    #[test]
+    fn pre_tokenize_empty_and_whitespace() {
+        assert!(pre_tokenize("").is_empty());
+        assert!(pre_tokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn frequent_words_become_single_tokens() {
+        let tok = trained();
+        let ids = tok.encode_word("samsung");
+        assert_eq!(ids.len(), 1, "'samsung' should merge fully, got {ids:?}");
+        assert_eq!(tok.token(ids[0]), "samsung");
+    }
+
+    #[test]
+    fn rare_words_split_into_pieces_not_unk() {
+        let tok = trained();
+        // 'sata' appears once; its characters all exist, so greedy matching
+        // must segment rather than emit [UNK].
+        let ids = tok.encode_word("sata");
+        assert!(!ids.contains(&special::UNK), "got {ids:?}");
+        let decoded = tok.decode(&ids);
+        assert_eq!(decoded.replace(' ', ""), "sata");
+    }
+
+    #[test]
+    fn unknown_characters_yield_unk() {
+        let tok = trained();
+        assert_eq!(tok.encode_word("日本語"), vec![special::UNK]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_on_training_text() {
+        let tok = trained();
+        let text = "samsung 850 evo ssd retail";
+        let ids = tok.encode(text);
+        assert_eq!(tok.decode(&ids), text);
+    }
+
+    #[test]
+    fn specials_occupy_reserved_ids() {
+        let tok = trained();
+        assert_eq!(tok.id("[CLS]"), Some(special::CLS));
+        assert_eq!(tok.id("[SEP]"), Some(special::SEP));
+        assert_eq!(tok.id("[MASK]"), Some(special::MASK));
+        assert_eq!(tok.token(special::COL), "[COL]");
+    }
+
+    #[test]
+    fn encode_with_words_aligns_subwords() {
+        let tok = trained();
+        let pieces = tok.encode_with_words("samsung compactflash");
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(pieces[0].word, "samsung");
+        let flat: Vec<usize> = pieces.iter().flat_map(|p| p.ids.clone()).collect();
+        assert_eq!(flat, tok.encode("samsung compactflash"));
+    }
+
+    #[test]
+    fn training_respects_vocab_budget() {
+        let corpus = vec!["aaa bbb ccc ddd eee aaa bbb".to_string()];
+        let tok = WordPieceTokenizer::train(
+            &corpus,
+            &TrainConfig {
+                vocab_size: 12,
+                min_pair_freq: 1,
+            },
+        );
+        assert!(tok.vocab_size() <= 12);
+        assert!(tok.vocab_size() > special::NUM_RESERVED);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus: Vec<String> = (0..30)
+            .map(|i| format!("product model {} gamma beta-{}", i % 7, i % 5))
+            .collect();
+        let cfg = TrainConfig {
+            vocab_size: 120,
+            min_pair_freq: 2,
+        };
+        let a = WordPieceTokenizer::train(&corpus, &cfg);
+        let b = WordPieceTokenizer::train(&corpus, &cfg);
+        assert_eq!(a.vocab, b.vocab);
+    }
+
+    #[test]
+    fn from_vocab_rejects_duplicates() {
+        let mut vocab: Vec<String> = (0..special::NUM_RESERVED)
+            .map(|i| special::name(i).unwrap().to_string())
+            .collect();
+        vocab.push("dup".into());
+        vocab.push("dup".into());
+        let r = std::panic::catch_unwind(|| WordPieceTokenizer::from_vocab(vocab));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rehydrate_restores_lookup() {
+        let tok = trained();
+        let mut copy = WordPieceTokenizer {
+            vocab: tok.vocab.clone(),
+            lookup: HashMap::new(),
+        };
+        copy.rehydrate();
+        assert_eq!(copy.id("samsung"), tok.id("samsung"));
+    }
+}

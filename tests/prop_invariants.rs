@@ -1,0 +1,132 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! datasets, records, and model inputs.
+
+use emba::core::{id_metrics, match_metrics, stats};
+use emba::core::{PipelineConfig, TextPipeline};
+use emba::datagen::{build, lrid, DatasetId, Scale, WdcCategory, WdcSize};
+use emba::tokenizer::{encode_pair, special};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn any_seed_produces_a_valid_wdc_dataset(seed in 0u64..10_000) {
+        let ds = build(
+            DatasetId::Wdc(WdcCategory::Shoes, WdcSize::Small),
+            Scale::TEST,
+            seed,
+        );
+        prop_assert!(ds.validate().is_ok());
+        // Positives always share classes; encoded text is non-empty.
+        for p in ds.all_pairs() {
+            if p.is_match {
+                prop_assert_eq!(p.left_class, p.right_class);
+            }
+            prop_assert!(!p.left.text().is_empty());
+            prop_assert!(!p.right.text().is_empty());
+        }
+    }
+
+    #[test]
+    fn pipelines_never_exceed_their_budget(
+        seed in 0u64..500,
+        max_len in 8usize..64,
+    ) {
+        let ds = build(
+            DatasetId::Wdc(WdcCategory::Cameras, WdcSize::Small),
+            Scale::TEST,
+            seed,
+        );
+        let pipe = TextPipeline::fit(
+            &ds,
+            PipelineConfig {
+                vocab_size: 256,
+                max_len,
+                ..PipelineConfig::default()
+            },
+        );
+        for p in ds.train.iter().take(5) {
+            let e = pipe.encode_example(p);
+            prop_assert!(e.pair.len() <= max_len);
+            prop_assert_eq!(e.pair.ids[0], special::CLS);
+            prop_assert_eq!(*e.pair.ids.last().unwrap(), special::SEP);
+            prop_assert!(!e.pair.left.is_empty());
+            prop_assert!(!e.pair.right.is_empty());
+        }
+    }
+
+    #[test]
+    fn encode_pair_respects_any_budget(
+        left in proptest::collection::vec(7usize..200, 1..80),
+        right in proptest::collection::vec(7usize..200, 1..80),
+        max_len in 5usize..128,
+    ) {
+        let p = encode_pair(&left, &right, max_len);
+        prop_assert!(p.len() <= max_len);
+        prop_assert_eq!(p.ids.iter().filter(|&&i| i == special::SEP).count(), 2);
+        // Content ranges reference the original prefixes.
+        prop_assert_eq!(&p.ids[p.left.clone()], &left[..p.left.len()]);
+        prop_assert_eq!(&p.ids[p.right.clone()], &right[..p.right.len()]);
+    }
+
+    #[test]
+    fn f1_is_bounded_and_symmetric_under_perfect_prediction(
+        labels in proptest::collection::vec(any::<bool>(), 1..100)
+    ) {
+        let m = match_metrics(&labels, &labels);
+        prop_assert!(m.accuracy == 1.0);
+        if labels.iter().any(|&l| l) {
+            prop_assert_eq!(m.f1, 1.0);
+        } else {
+            // No positives at all: F1 degenerates to 0 by convention.
+            prop_assert_eq!(m.f1, 0.0);
+        }
+    }
+
+    #[test]
+    fn f1_never_exceeds_one(
+        preds in proptest::collection::vec(any::<bool>(), 20),
+        gold in proptest::collection::vec(any::<bool>(), 20),
+    ) {
+        let m = match_metrics(&preds, &gold);
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+    }
+
+    #[test]
+    fn id_metrics_bounded(
+        pred in proptest::collection::vec(0usize..5, 1..40),
+        gold in proptest::collection::vec(0usize..5, 1..40),
+    ) {
+        let n = pred.len().min(gold.len());
+        let m = id_metrics(&pred[..n], &gold[..n], &pred[..n], &gold[..n]);
+        prop_assert!((0.0..=1.0).contains(&m.acc1));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        prop_assert_eq!(m.acc1, m.acc2);
+    }
+
+    #[test]
+    fn lrid_nonnegative_and_zero_iff_balanced(count in 1usize..500, classes in 2usize..12) {
+        let balanced = vec![count; classes];
+        prop_assert!(lrid(&balanced).abs() < 1e-9);
+        let mut skewed = balanced.clone();
+        skewed[0] += count * 3;
+        prop_assert!(lrid(&skewed) > 0.0);
+    }
+
+    #[test]
+    fn welch_t_test_p_values_are_probabilities(
+        a in proptest::collection::vec(0.0f64..1.0, 3..10),
+        b in proptest::collection::vec(0.0f64..1.0, 3..10),
+    ) {
+        let t = stats::welch_one_tailed(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&t.p), "p = {}", t.p);
+        // Reversing the direction complements the p-value (up to ties).
+        let rev = stats::welch_one_tailed(&b, &a);
+        if t.t.is_finite() && t.t.abs() > 1e-9 {
+            prop_assert!((t.p + rev.p - 1.0).abs() < 1e-6);
+        }
+    }
+}
