@@ -1,7 +1,14 @@
 //! Microbenchmarks of the tensor kernels that dominate training time.
+//!
+//! The `matmul` group pits the blocked, packed kernels against the seed
+//! repository's branchy `ikj` loops (`seed/*` entries) so the speedup from
+//! the kernel layer is measurable in one run. Shapes cover the model's real
+//! hot paths: the AOA interaction matrix `E1·E2ᵀ` at `max_len × hidden`
+//! (128×128 · (128×128)ᵀ), the per-head transformer `Q·Kᵀ` at
+//! `seq × head_dim` (128×32), and a rectangular projection 64×128 · 128×64.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use emba_tensor::{Graph, Tensor};
+use emba_tensor::{kernels, Graph, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -19,7 +26,74 @@ fn bench_matmul(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
             bench.iter(|| black_box(a.matmul_nt(&b)));
         });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_tn(&b)));
+        });
+        // The seed repository's kernels (with the `aik == 0.0` skip branch),
+        // for the before/after comparison at the same shapes.
+        let mut out = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::new("seed_nn", n), &n, |bench, _| {
+            bench.iter(|| {
+                kernels::gemm_nn_seed_branchy(n, n, n, a.data(), b.data(), &mut out);
+                black_box(out[0]);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("seed_tn", n), &n, |bench, _| {
+            bench.iter(|| {
+                kernels::gemm_tn_seed_branchy(n, n, n, a.data(), b.data(), &mut out);
+                black_box(out[0]);
+            });
+        });
     }
+    group.finish();
+}
+
+fn bench_model_shapes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("model_shapes");
+    group.sample_size(20);
+
+    // AOA interaction matrix at full length: E1 [128,128] · E2ᵀ [128,128].
+    let e1 = Tensor::rand_normal(128, 128, 0.0, 1.0, &mut rng);
+    let e2 = Tensor::rand_normal(128, 128, 0.0, 1.0, &mut rng);
+    group.bench_function("aoa_interaction_128x128", |b| {
+        b.iter(|| black_box(e1.matmul_nt(&e2)));
+    });
+
+    // Per-head attention scores: Q [128,32] · Kᵀ [32,128].
+    let q = Tensor::rand_normal(128, 32, 0.0, 1.0, &mut rng);
+    let k = Tensor::rand_normal(128, 32, 0.0, 1.0, &mut rng);
+    group.bench_function("attn_qkt_128x32", |b| {
+        b.iter(|| black_box(q.matmul_nt(&k)));
+    });
+
+    // Rectangular projection: 64×128 · 128×64.
+    let x = Tensor::rand_normal(64, 128, 0.0, 1.0, &mut rng);
+    let w = Tensor::rand_normal(128, 64, 0.0, 1.0, &mut rng);
+    group.bench_function("proj_64x128x64", |b| {
+        b.iter(|| black_box(x.matmul(&w)));
+    });
+
+    // Fused attention scores vs the three-op sequence they replace.
+    let scale = 1.0 / 32.0f32.sqrt();
+    group.bench_function("fused_attention_scores_128x32", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let (vq, vk) = (g.leaf(q.clone()), g.leaf(k.clone()));
+            let p = g.attention_scores(vq, vk, scale);
+            black_box(g.value(p));
+            g.recycle();
+        });
+    });
+    group.bench_function("unfused_attention_scores_128x32", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let (vq, vk) = (g.leaf(q.clone()), g.leaf(k.clone()));
+            let p = g.softmax_rows(g.scale(g.matmul_nt(vq, vk), scale));
+            black_box(g.value(p));
+            g.recycle();
+        });
+    });
     group.finish();
 }
 
@@ -51,11 +125,19 @@ fn bench_autograd_overhead(c: &mut Criterion) {
             let h = g.gelu(g.matmul(xv, w1v));
             let y = g.matmul(h, w2v);
             let loss = g.mean_all(g.mul(y, y));
-            black_box(g.backward(loss));
+            let grads = g.backward(loss);
+            grads.recycle();
+            g.recycle();
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_softmax, bench_autograd_overhead);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_model_shapes,
+    bench_softmax,
+    bench_autograd_overhead
+);
 criterion_main!(benches);

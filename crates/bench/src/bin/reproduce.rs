@@ -12,8 +12,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use emba_bench::{
-    figure5, figure6, render_table2, render_table3, render_table4, render_table5, table1,
-    table2_data, table4_data, table6, table7, Artifact, Profile,
+    bench_tensor_kernels, figure5, figure6, render_table2, render_table3, render_table4,
+    render_table5, table1, table2_data, table4_data, table6, table7, Artifact, Profile,
 };
 
 fn main() {
@@ -130,6 +130,12 @@ fn main() {
     if wants("figure6") {
         emit(figure6(&profile));
     }
+    if wants("bench") {
+        // Kernel timing runs fewer samples on the smoke profile so CI-style
+        // smoke runs stay fast.
+        let samples = if profile.name == "smoke" { 5 } else { 9 };
+        emit(bench_tensor_kernels(samples));
+    }
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -156,6 +162,8 @@ TARGETS (default: all):
     table7   training / inference throughput
     figure5  LIME explanations of the case-study pair
     figure6  attention visualization of the case-study pair
+    bench    tensor-kernel timings vs the seed loops (BENCH_tensor.json);
+             not part of `all` — run as `reproduce bench --profile smoke`
 
 OPTIONS:
     --profile smoke|quick|full   compute budget (default quick)

@@ -1,0 +1,168 @@
+//! Self-contained kernel timing for the `reproduce bench` target.
+//!
+//! Criterion benches need `cargo bench`; this module gives the reproduce
+//! binary a dependency-free way to time the blocked kernels against the seed
+//! repository's branchy loops and emit `BENCH_tensor.json`, so the kernel
+//! speedup is recorded alongside the paper artifacts.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::tables::Artifact;
+use emba_tensor::kernels;
+
+/// One timed shape: the blocked kernel, and where the seed repository had an
+/// equivalent loop, its time and the resulting speedup.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelTiming {
+    /// Benchmark name (mirrors the criterion ids, e.g. `matmul/nn/128`).
+    pub name: String,
+    /// Product dimensions `[m, k, n]`.
+    pub shape: [usize; 3],
+    /// Median ns per call of the blocked kernel.
+    pub blocked_ns: f64,
+    /// Median ns per call of the seed kernel (`None` when the seed had no
+    /// equivalent, e.g. the fused/nt paths).
+    pub seed_ns: Option<f64>,
+    /// `seed_ns / blocked_ns`.
+    pub speedup: Option<f64>,
+}
+
+/// Times `f` and returns the median ns per call over `samples` samples,
+/// calibrating the per-sample iteration count to at least ~2 ms.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_micros() >= 2_000 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut times: Vec<f64> = (0..samples.max(3))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn rand_vec(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Runs the kernel comparison and renders it as an [`Artifact`] with id
+/// `BENCH_tensor`.
+pub fn bench_tensor_kernels(samples: usize) -> Artifact {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut timings: Vec<KernelTiming> = Vec::new();
+
+    // Square products at the criterion shapes, blocked vs seed.
+    for &n in &[32usize, 64, 128] {
+        let a = rand_vec(&mut rng, n * n);
+        let b = rand_vec(&mut rng, n * n);
+        let mut out = vec![0.0f32; n * n];
+
+        let blocked = median_ns(samples, || {
+            kernels::gemm_nn(n, n, n, &a, &b, &mut out);
+            std::hint::black_box(out[0]);
+        });
+        let seed = median_ns(samples, || {
+            kernels::gemm_nn_seed_branchy(n, n, n, &a, &b, &mut out);
+            std::hint::black_box(out[0]);
+        });
+        timings.push(KernelTiming {
+            name: format!("matmul/nn/{n}"),
+            shape: [n, n, n],
+            blocked_ns: blocked,
+            seed_ns: Some(seed),
+            speedup: Some(seed / blocked),
+        });
+
+        let blocked = median_ns(samples, || {
+            kernels::gemm_tn(n, n, n, &a, &b, &mut out);
+            std::hint::black_box(out[0]);
+        });
+        let seed = median_ns(samples, || {
+            kernels::gemm_tn_seed_branchy(n, n, n, &a, &b, &mut out);
+            std::hint::black_box(out[0]);
+        });
+        timings.push(KernelTiming {
+            name: format!("matmul/tn/{n}"),
+            shape: [n, n, n],
+            blocked_ns: blocked,
+            seed_ns: Some(seed),
+            speedup: Some(seed / blocked),
+        });
+    }
+
+    // The model's real hot shapes (blocked only; the seed had no nt loop —
+    // it materialized the transpose first, which the kernel layer removed).
+    let model_shapes: [(&str, usize, usize, usize); 3] = [
+        ("model/aoa_interaction", 128, 128, 128),
+        ("model/attn_qkt", 128, 32, 128),
+        ("model/proj", 64, 128, 64),
+    ];
+    for (name, m, k, n) in model_shapes {
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, n * k);
+        let mut out = vec![0.0f32; m * n];
+        let blocked = median_ns(samples, || {
+            kernels::gemm_nt(m, k, n, &a, &b, &mut out);
+            std::hint::black_box(out[0]);
+        });
+        timings.push(KernelTiming {
+            name: format!("{name}/{m}x{k}x{n}"),
+            shape: [m, k, n],
+            blocked_ns: blocked,
+            seed_ns: None,
+            speedup: None,
+        });
+    }
+
+    let mut text = String::from(
+        "BENCH_tensor — blocked kernels vs the seed repository's branchy loops\n\
+         (median ns per call; speedup = seed / blocked)\n\n",
+    );
+    for t in &timings {
+        let seed = t
+            .seed_ns
+            .map_or("      —".to_string(), |s| format!("{s:>9.0}"));
+        let speedup = t
+            .speedup
+            .map_or("   —".to_string(), |s| format!("{s:>5.2}x"));
+        text.push_str(&format!(
+            "{:<32} {:>9.0} ns  seed {seed} ns  {speedup}\n",
+            t.name, t.blocked_ns
+        ));
+    }
+
+    #[derive(Serialize)]
+    struct Report {
+        description: &'static str,
+        samples: usize,
+        timings: Vec<KernelTiming>,
+    }
+    let report = Report {
+        description: "Median ns/call of the blocked GEMM kernels vs the seed's branchy ikj loops",
+        samples,
+        timings,
+    };
+    Artifact {
+        id: "BENCH_tensor",
+        text,
+        json: serde_json::to_value(&report).expect("kernel report serializes"),
+    }
+}

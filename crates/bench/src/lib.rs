@@ -5,10 +5,12 @@
 //! function returns both a human-readable text block and a JSON artifact so
 //! `EXPERIMENTS.md` can cite machine-checkable numbers.
 
+pub mod kernel_bench;
 pub mod profile;
 pub mod render;
 pub mod tables;
 
+pub use kernel_bench::bench_tensor_kernels;
 pub use profile::Profile;
 pub use render::Table;
 pub use tables::{

@@ -13,7 +13,8 @@
 //!    RECORD1 token matters, weighting each column's α by RECORD2's averaged
 //!    importance;
 //! 6. `x = E1ᵀ · γ` (`[h, 1]`) — the pooled pair representation fed to the
-//!    match classifier.
+//!    match classifier. The implementation computes `xᵀ = γᵀ · E1` in one
+//!    `matmul_tn`, so no transpose node is recorded.
 //!
 //! The module is computed per sample (no intermediate padding), exactly as
 //! the paper prescribes after its padding ablation showed that padding the
@@ -46,8 +47,7 @@ pub fn attention_over_attention(g: &Graph, e1: Var, e2: Var) -> AoaOutput {
     let beta = g.softmax_rows(interaction); // rows sum to 1
     let beta_bar = g.mean_axis0(beta); // [1, n]
     let gamma = g.matmul_nt(alpha, beta_bar); // [m, 1]
-    let pooled_col = g.matmul_tn(e1, gamma); // [h, 1]
-    let pooled = g.transpose(pooled_col); // [1, h]
+    let pooled = g.matmul_tn(gamma, e1); // γᵀ·E1 = (E1ᵀγ)ᵀ: [1, h] directly
     AoaOutput {
         pooled,
         gamma,

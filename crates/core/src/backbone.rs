@@ -104,6 +104,10 @@ impl Module for FastTextEncoder {
 }
 
 /// A unified encoder backbone.
+//
+// The variants differ greatly in size, but exactly one long-lived Backbone
+// exists per model, so boxing the large variant would buy nothing.
+#[allow(clippy::large_enum_variant)]
 pub enum Backbone {
     /// Transformer variants. `use_segments = false` for the RoBERTa style.
     Bert {

@@ -118,6 +118,7 @@ pub fn evaluate(model: &dyn Matcher, examples: &[EncodedExample], rng: &mut StdR
             id1_gold.push(ex.left_class);
             id2_gold.push(ex.right_class);
         }
+        g.recycle();
     }
     let ids = if id1_pred.is_empty() {
         None
@@ -182,6 +183,10 @@ pub fn train_matcher(
             epoch_loss += f64::from(g.value(out.loss).item());
             let grads = g.backward(out.loss);
             model.accumulate_gradients(&grads);
+            // Return this example's activations and gradients to the scratch
+            // pool before the next graph is built.
+            grads.recycle();
+            g.recycle();
             in_batch += 1;
             trained_pairs += 1;
 

@@ -40,8 +40,8 @@ pub fn attention_by_word(
     let seq = attn.rows();
     let mut received = vec![0.0f64; seq];
     for r in 0..seq {
-        for c in 0..seq {
-            received[c] += f64::from(attn.get(r, c));
+        for (c, total) in received.iter_mut().enumerate() {
+            *total += f64::from(attn.get(r, c));
         }
     }
     Some(score_spans(&spans, &received))

@@ -183,6 +183,9 @@ fn apply_mask(left: &Record, right: &Record, features: &[Feature], mask: &[bool]
 /// Solves the locality-weighted ridge regression
 /// `(XᵀΠX + λI) β = XᵀΠ y` by Gaussian elimination with partial pivoting.
 /// A bias column is appended internally and its coefficient discarded.
+// The mirror step reads row `b` while writing row `a`; index form beats a
+// split_at_mut dance for a d×d matrix this small.
+#[allow(clippy::needless_range_loop)]
 fn weighted_ridge(xs: &[Vec<f64>], ys: &[f64], weights: &[f64], ridge: f64) -> Vec<f64> {
     let n = xs.len();
     let d = xs[0].len() + 1; // + bias
@@ -209,6 +212,9 @@ fn weighted_ridge(xs: &[Vec<f64>], ys: &[f64], weights: &[f64], ridge: f64) -> V
     beta[..d - 1].to_vec()
 }
 
+// Elimination updates row `row` from pivot row `col`; same two-rows-at-once
+// aliasing as above, so indices stay.
+#[allow(clippy::needless_range_loop)]
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {

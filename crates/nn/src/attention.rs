@@ -29,7 +29,10 @@ impl MultiHeadAttention {
     ///
     /// Panics if `hidden` is not divisible by `heads`.
     pub fn new<R: Rng + ?Sized>(hidden: usize, heads: usize, dropout_p: f32, rng: &mut R) -> Self {
-        assert!(heads > 0 && hidden % heads == 0, "hidden {hidden} must be divisible by heads {heads}");
+        assert!(
+            heads > 0 && hidden.is_multiple_of(heads),
+            "hidden {hidden} must be divisible by heads {heads}"
+        );
         Self {
             query: Linear::new(hidden, hidden, rng),
             key: Linear::new(hidden, hidden, rng),
@@ -70,8 +73,7 @@ impl MultiHeadAttention {
             let qh = g.slice_cols(q, c0, c1);
             let kh = g.slice_cols(k, c0, c1);
             let vh = g.slice_cols(v, c0, c1);
-            let scores = g.scale(g.matmul_nt(qh, kh), scale);
-            let p = g.softmax_rows(scores);
+            let p = g.attention_scores(qh, kh, scale);
             let p_dropped = dropout(g, p, self.dropout_p, train, rng);
             contexts.push(g.matmul(p_dropped, vh));
             probs.push(p);

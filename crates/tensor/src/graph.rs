@@ -17,7 +17,26 @@ use std::cell::RefCell;
 use rand::Rng;
 
 use crate::tensor::Tensor;
-use crate::NORM_EPS;
+use crate::{kernels, pool, NORM_EPS};
+
+/// `sqrt(2/pi)`, for the tanh GELU approximation used by BERT.
+const GELU_C: f32 = 0.797_884_6;
+/// Cubic coefficient of the tanh GELU approximation.
+const GELU_K: f32 = 0.044_715;
+
+#[inline]
+fn gelu_forward(x: f32) -> f32 {
+    let u = GELU_C * (x + GELU_K * x * x * x);
+    0.5 * x * (1.0 + u.tanh())
+}
+
+#[inline]
+fn gelu_derivative(x: f32) -> f32 {
+    let u = GELU_C * (x + GELU_K * x * x * x);
+    let t = u.tanh();
+    let du = GELU_C * (1.0 + 3.0 * GELU_K * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
 
 /// Handle to a node recorded on a [`Graph`].
 ///
@@ -58,6 +77,15 @@ impl Gradients {
     /// participated in the computation.
     pub fn get(&self, v: Var) -> Option<&Tensor> {
         self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Hands every uniquely-owned gradient buffer back to the scratch
+    /// [`pool`]. Call after copying what you need (e.g. accumulating into
+    /// parameter `.grad` fields); shared buffers are left untouched.
+    pub fn recycle(self) {
+        for g in self.grads.into_iter().flatten() {
+            g.recycle();
+        }
     }
 }
 
@@ -235,6 +263,93 @@ impl Graph {
         )
     }
 
+    // ----- fused ops -------------------------------------------------------------
+    //
+    // Each fused op records ONE tape node for a sequence the layers used to
+    // record as two or three, which saves the intermediate value tensors, the
+    // boxed closures, and the extra full passes over the data in both
+    // directions.
+
+    /// Fused affine map `x · w + bias` (one node instead of matmul + add_bias).
+    ///
+    /// `bias` must be a `[1, n]` row matching the width of `w`.
+    pub fn linear(&self, x: Var, w: Var, bias: Var) -> Var {
+        let vx = self.value(x);
+        let vw = self.value(w);
+        let vb = self.value(bias);
+        let out = affine_forward(&vx, &vw, &vb);
+        self.push(
+            out,
+            vec![x.0, w.0, bias.0],
+            Some(Box::new(move |g, sink| {
+                sink(0, g.matmul_nt(&vw));
+                sink(1, vx.matmul_tn(g));
+                sink(2, col_sums(g));
+            })),
+        )
+    }
+
+    /// Fused `gelu(x · w + bias)` (one node instead of matmul + add_bias +
+    /// gelu). The pre-activation is saved for the backward pass.
+    pub fn linear_bias_gelu(&self, x: Var, w: Var, bias: Var) -> Var {
+        let vx = self.value(x);
+        let vw = self.value(w);
+        let vb = self.value(bias);
+        let pre = affine_forward(&vx, &vw, &vb);
+        let out = pre.map(gelu_forward);
+        self.push(
+            out,
+            vec![x.0, w.0, bias.0],
+            Some(Box::new(move |g, sink| {
+                // Gradient at the pre-activation, then the affine backward.
+                let dh = g.zip(&pre, |gi, u| gi * gelu_derivative(u));
+                sink(0, dh.matmul_nt(&vw));
+                sink(1, vx.matmul_tn(&dh));
+                sink(2, col_sums(&dh));
+                dh.recycle();
+            })),
+        )
+    }
+
+    /// Fused attention-score map `softmax_rows(scale · q · kᵀ)` (one node
+    /// instead of matmul_nt + scale + softmax_rows).
+    ///
+    /// The scale multiply is folded into the softmax pass on the way forward
+    /// and into the softmax Jacobian-vector product on the way back, so the
+    /// `[seq, seq]` score matrix is only traversed once in each direction.
+    pub fn attention_scores(&self, q: Var, k: Var, scale: f32) -> Var {
+        let vq = self.value(q);
+        let vk = self.value(k);
+        assert_eq!(
+            vq.cols(),
+            vk.cols(),
+            "attention_scores: q width {} vs k width {}",
+            vq.cols(),
+            vk.cols()
+        );
+        let (m, d, n) = (vq.rows(), vq.cols(), vk.rows());
+        let mut buf = pool::take_uninit(m * n);
+        kernels::gemm_nt(m, d, n, vq.data(), vk.data(), &mut buf);
+        for row in buf.chunks_exact_mut(n.max(1)) {
+            kernels::scaled_softmax_in_place(row, scale);
+        }
+        let out = Tensor::from_vec(m, n, buf);
+        let p = out.clone();
+        self.push(
+            out,
+            vec![q.0, k.0],
+            Some(Box::new(move |g, sink| {
+                let (m, n) = g.shape();
+                let mut ds = pool::take_uninit(m * n);
+                kernels::softmax_rows_backward_scaled(m, n, g.data(), p.data(), scale, &mut ds);
+                let ds = Tensor::from_vec(m, n, ds);
+                sink(0, ds.matmul(&vk));
+                sink(1, ds.matmul_tn(&vq));
+                ds.recycle();
+            })),
+        )
+    }
+
     /// Matrix transpose.
     pub fn transpose(&self, a: Var) -> Var {
         let out = self.value(a).transpose();
@@ -288,26 +403,13 @@ impl Graph {
 
     /// GELU with the tanh approximation used by BERT.
     pub fn gelu(&self, a: Var) -> Var {
-        const C: f32 = 0.797_884_6; // sqrt(2/pi)
-        const K: f32 = 0.044_715;
         let vx = self.value(a);
-        let out = vx.map(|x| {
-            let u = C * (x + K * x * x * x);
-            0.5 * x * (1.0 + u.tanh())
-        });
+        let out = vx.map(gelu_forward);
         self.push(
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
-                sink(
-                    0,
-                    g.zip(&vx, |gi, x| {
-                        let u = C * (x + K * x * x * x);
-                        let t = u.tanh();
-                        let du = C * (1.0 + 3.0 * K * x * x);
-                        gi * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
-                    }),
-                );
+                sink(0, g.zip(&vx, |gi, x| gi * gelu_derivative(x)));
             })),
         )
     }
@@ -335,9 +437,10 @@ impl Graph {
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
-                let gt = g.transpose();
-                let pt = p.transpose();
-                sink(0, softmax_rows_backward(&gt, &pt).transpose());
+                let (m, n) = g.shape();
+                let mut dx = pool::take_uninit(m * n);
+                kernels::softmax_cols_backward(m, n, g.data(), p.data(), &mut dx);
+                sink(0, Tensor::from_vec(m, n, dx));
             })),
         )
     }
@@ -811,21 +914,69 @@ impl Graph {
         }
         Gradients { grads }
     }
-}
 
-/// Jacobian-vector product of a row softmax: `dx = p ⊙ (g − rowdot(g, p))`.
-fn softmax_rows_backward(g: &Tensor, p: &Tensor) -> Tensor {
-    let (m, n) = g.shape();
-    let mut dx = vec![0.0f32; m * n];
-    for r in 0..m {
-        let grow = g.row_slice(r);
-        let prow = p.row_slice(r);
-        let dot: f32 = grow.iter().zip(prow).map(|(&a, &b)| a * b).sum();
-        for c in 0..n {
-            dx[r * n + c] = prow[c] * (grow[c] - dot);
+    /// Consumes the tape and hands every uniquely-owned forward buffer back
+    /// to the scratch [`pool`], so the next example's tape allocates nothing.
+    ///
+    /// Backward closures hold `Arc` clones of saved activations, so they are
+    /// all dropped before any value is offered to the pool; leaf values that
+    /// are still shared (parameters, cached inputs) are left untouched.
+    pub fn recycle(self) {
+        let mut nodes = self.nodes.into_inner();
+        for node in &mut nodes {
+            node.backward = None;
+        }
+        for node in nodes {
+            node.value.recycle();
         }
     }
+}
+
+/// Jacobian-vector product of a row softmax: `dx = p ⊙ (g − rowdot(g, p))`,
+/// computed into a pooled scratch buffer.
+fn softmax_rows_backward(g: &Tensor, p: &Tensor) -> Tensor {
+    let (m, n) = g.shape();
+    let mut dx = pool::take_uninit(m * n);
+    kernels::softmax_rows_backward_scaled(m, n, g.data(), p.data(), 1.0, &mut dx);
     Tensor::from_vec(m, n, dx)
+}
+
+/// `x · w + bias` into a single pooled buffer: the blocked GEMM writes the
+/// product and the bias row is folded in without materializing an
+/// intermediate tensor or recording a separate tape node.
+fn affine_forward(x: &Tensor, w: &Tensor, bias: &Tensor) -> Tensor {
+    let (m, k) = x.shape();
+    let n = w.cols();
+    assert_eq!(
+        k,
+        w.rows(),
+        "linear: {}x{} · {}x{} inner dimensions disagree",
+        m,
+        k,
+        w.rows(),
+        n
+    );
+    assert_eq!(bias.shape(), (1, n), "linear: bias must be [1,{n}]");
+    let mut out = pool::take_uninit(m * n);
+    kernels::gemm_nn(m, k, n, x.data(), w.data(), &mut out);
+    for row in out.chunks_exact_mut(n.max(1)) {
+        for (o, &b) in row.iter_mut().zip(bias.data()) {
+            *o += b;
+        }
+    }
+    Tensor::from_vec(m, n, out)
+}
+
+/// Column sums of `g` as a `[1, n]` row (the bias gradient).
+fn col_sums(g: &Tensor) -> Tensor {
+    let (m, n) = g.shape();
+    let mut out = pool::take(n);
+    for r in 0..m {
+        for (o, &v) in out.iter_mut().zip(g.row_slice(r)) {
+            *o += v;
+        }
+    }
+    Tensor::from_vec(1, n, out)
 }
 
 #[cfg(test)]

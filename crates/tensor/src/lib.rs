@@ -15,11 +15,14 @@
 //! # Design notes
 //!
 //! The engine is deliberately small and single-threaded: the reproduction
-//! trains miniature BERT encoders (a few layers, ≤256 dims) where a simple
-//! cache-friendly `ikj` matmul is fast enough, and a tape of boxed backward
-//! closures keeps the op set trivially extensible. Tensors share their buffer
-//! through an `Arc`, so cloning a tensor (e.g. capturing activations inside a
-//! backward closure) is O(1); mutation copies-on-write.
+//! trains miniature BERT encoders (a few layers, ≤256 dims), and a tape of
+//! boxed backward closures keeps the op set trivially extensible. Tensors
+//! share their buffer through an `Arc`, so cloning a tensor (e.g. capturing
+//! activations inside a backward closure) is O(1); mutation copies-on-write.
+//! Matrix products route through [`kernels`] — cache-blocked, panel-packed
+//! GEMM with a register-tiled branch-free micro-kernel — and hot-path
+//! allocations draw from the thread-local scratch [`pool`], which `Graph` and
+//! `Gradients` refill via their `recycle` methods at the end of each step.
 //!
 //! # Example
 //!
@@ -39,6 +42,8 @@
 
 pub mod gradcheck;
 mod graph;
+pub mod kernels;
+pub mod pool;
 mod tensor;
 
 pub use graph::{Gradients, Graph, Var};

@@ -6,6 +6,8 @@ use std::sync::Arc;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::{kernels, pool};
+
 /// A dense, row-major matrix of `f32` values.
 ///
 /// Every tensor in this crate is rank 2; vectors are represented as `[1, n]`
@@ -321,9 +323,18 @@ impl Tensor {
         self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
     }
 
+    /// Hands the underlying buffer back to the scratch [`pool`] if this was
+    /// its last reference; a no-op for shared buffers (parameters,
+    /// checkpointed values), which stay untouched.
+    pub fn recycle(self) {
+        if let Ok(buf) = Arc::try_unwrap(self.data) {
+            pool::put(buf);
+        }
+    }
+
     /// Matrix transpose.
     pub fn transpose(&self) -> Self {
-        let mut out = vec![0.0; self.len()];
+        let mut out = pool::take_uninit(self.len());
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out[c * self.rows + r] = self.data[r * self.cols + c];
@@ -334,8 +345,10 @@ impl Tensor {
 
     /// Matrix product `self · other`.
     ///
-    /// Uses the cache-friendly `ikj` loop ordering so the inner loop is a
-    /// contiguous scaled-add the compiler can vectorize.
+    /// Routes through the blocked, panel-packed kernel in
+    /// [`kernels`](crate::kernels); small products use a branch-free `ikj`
+    /// loop whose inner body is a contiguous scaled-add the compiler
+    /// vectorizes.
     ///
     /// # Panics
     ///
@@ -347,22 +360,8 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; m * n];
-        let a = &self.data[..];
-        let b = &other.data[..];
-        for i in 0..m {
-            let out_row = &mut out[i * n..(i + 1) * n];
-            let a_row = &a[i * k..(i + 1) * k];
-            for (kk, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += aik * bv;
-                }
-            }
-        }
+        let mut out = pool::take_uninit(m * n);
+        kernels::gemm_nn(m, k, n, &self.data, &other.data, &mut out);
         Self::from_vec(m, n, out)
     }
 
@@ -374,15 +373,8 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                *o = dot(a_row, b_row);
-            }
-        }
+        let mut out = pool::take_uninit(m * n);
+        kernels::gemm_nt(m, k, n, &self.data, &other.data, &mut out);
         Self::from_vec(m, n, out)
     }
 
@@ -394,20 +386,8 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
-        let mut out = vec![0.0f32; m * n];
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (i, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += aik * bv;
-                }
-            }
-        }
+        let mut out = pool::take_uninit(m * n);
+        kernels::gemm_tn(m, k, n, &self.data, &other.data, &mut out);
         Self::from_vec(m, n, out)
     }
 
@@ -422,15 +402,15 @@ impl Tensor {
 
     /// Numerically stable softmax applied independently to each column.
     pub fn softmax_cols(&self) -> Self {
-        let mut out = vec![0.0f32; self.len()];
+        let mut out = pool::take_uninit(self.len());
         let mut col = vec![0.0f32; self.rows];
         for c in 0..self.cols {
-            for r in 0..self.rows {
-                col[r] = self.data[r * self.cols + c];
+            for (r, v) in col.iter_mut().enumerate() {
+                *v = self.data[r * self.cols + c];
             }
             softmax_in_place(&mut col);
-            for r in 0..self.rows {
-                out[r * self.cols + c] = col[r];
+            for (r, &v) in col.iter().enumerate() {
+                out[r * self.cols + c] = v;
             }
         }
         Self::from_vec(self.rows, self.cols, out)
@@ -572,25 +552,11 @@ impl fmt::Display for ShapeError {
 
 impl std::error::Error for ShapeError {}
 
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
-}
-
 fn softmax_in_place(xs: &mut [f32]) {
     if xs.is_empty() {
         return;
     }
-    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0;
-    for x in xs.iter_mut() {
-        *x = (*x - max).exp();
-        sum += *x;
-    }
-    let inv = 1.0 / sum;
-    for x in xs.iter_mut() {
-        *x *= inv;
-    }
+    kernels::scaled_softmax_in_place(xs, 1.0);
 }
 
 #[cfg(test)]

@@ -163,7 +163,92 @@ proptest! {
         });
     }
 
+    // ----- fused ops ---------------------------------------------------------
+
+    #[test]
+    fn grad_fused_linear(x in tensor(3, 4), w in tensor(4, 5), b in tensor(1, 5)) {
+        check(&[x, w, b], |g, v| {
+            let y = g.linear(v[0], v[1], v[2]);
+            let sq = g.mul(y, y);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn grad_fused_linear_bias_gelu(x in tensor(2, 3), w in tensor(3, 4), b in tensor(1, 4)) {
+        check(&[x, w, b], |g, v| {
+            let y = g.linear_bias_gelu(v[0], v[1], v[2]);
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_fused_attention_scores(q in tensor(3, 4), k in tensor(5, 4), w in tensor(3, 5)) {
+        check(&[q, k, w], |g, v| {
+            let p = g.attention_scores(v[0], v[1], 0.5);
+            let y = g.mul(p, v[2]);
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn fused_linear_matches_unfused(x in tensor(3, 4), w in tensor(4, 5), b in tensor(1, 5)) {
+        let g = Graph::new();
+        let (vx, vw, vb) = (g.leaf(x.clone()), g.leaf(w.clone()), g.leaf(b.clone()));
+        let fused = g.value(g.linear(vx, vw, vb));
+        let unfused = g.value(g.add_bias(g.matmul(vx, vw), vb));
+        for (a, e) in fused.data().iter().zip(unfused.data()) {
+            prop_assert!((a - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fused_attention_matches_unfused(q in tensor(4, 6), k in tensor(5, 6)) {
+        let g = Graph::new();
+        let (vq, vk) = (g.leaf(q), g.leaf(k));
+        let scale = 1.0 / 6.0f32.sqrt();
+        let fused = g.value(g.attention_scores(vq, vk, scale));
+        let unfused = g.value(g.softmax_rows(g.scale(g.matmul_nt(vq, vk), scale)));
+        for (a, e) in fused.data().iter().zip(unfused.data()) {
+            prop_assert!((a - e).abs() < 1e-5);
+        }
+    }
+
     // ----- algebraic invariants of the raw kernels ---------------------------
+
+    #[test]
+    fn blocked_matmuls_match_naive_on_random_rectangles(
+        m in 1usize..48, k in 1usize..48, n in 1usize..48, seed in 0u64..1u64 << 32
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fill = |r: usize, c: usize| {
+            Tensor::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        };
+        let a = fill(m, k);
+        let b = fill(k, n);
+        // f64 reference product.
+        let mut expected = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for p in 0..k {
+                    s += f64::from(a.get(i, p)) * f64::from(b.get(p, j));
+                }
+                expected[i * n + j] = s as f32;
+            }
+        }
+        let close = |got: &Tensor| {
+            got.data()
+                .iter()
+                .zip(&expected)
+                .all(|(&x, &y)| (x - y).abs() <= 1e-5 * (1.0 + y.abs()))
+        };
+        prop_assert!(close(&a.matmul(&b)), "nn {m}x{k}x{n}");
+        prop_assert!(close(&a.matmul_nt(&b.transpose())), "nt {m}x{k}x{n}");
+        prop_assert!(close(&a.transpose().matmul_tn(&b)), "tn {m}x{k}x{n}");
+    }
 
     #[test]
     fn softmax_rows_is_simplex(x in tensor(4, 6)) {

@@ -108,13 +108,13 @@ pub fn encode_pair(left_ids: &[usize], right_ids: &[usize], max_len: usize) -> E
     segments.push(0);
     let left_start = ids.len();
     ids.extend_from_slice(&left_ids[..l]);
-    segments.extend(std::iter::repeat(0).take(l));
+    segments.extend(std::iter::repeat_n(0, l));
     let left_end = ids.len();
     ids.push(special::SEP);
     segments.push(0);
     let right_start = ids.len();
     ids.extend_from_slice(&right_ids[..r]);
-    segments.extend(std::iter::repeat(1).take(r));
+    segments.extend(std::iter::repeat_n(1, r));
     let right_end = ids.len();
     ids.push(special::SEP);
     segments.push(1);

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, the fast test suite, and a warning-free clippy
+# pass. Run from the workspace root before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

@@ -1,0 +1,285 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the criterion 0.5 API surface this workspace's benches use —
+//! `Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId::new`, `Bencher::iter`, the
+//! `criterion_group!` / `criterion_main!` macros, and `black_box` — backed by
+//! a simple but honest wall-clock timer: per sample it calibrates an
+//! iteration count targeting ~5 ms, runs it, and reports the median
+//! per-iteration time in ns alongside min/max across samples.
+//!
+//! Output format (one line per benchmark, parseable by tooling):
+//! `bench: <group>/<id> median <ns> ns/iter (min <ns>, max <ns>, samples <n>)`
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Re-export hub matching `use criterion::{...}` lines in benches.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` plus any user filter; take the first
+        // free-standing arg as a substring filter like real criterion does.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI-style configuration (no-op; kept for API parity).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let filter = self.filter.clone();
+        run_benchmark(&filter, "", id, 10, Duration::from_millis(400), f);
+        self
+    }
+
+    fn matches(&self, full: &str) -> bool {
+        match &self.filter {
+            Some(f) => full.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure under a string or [`BenchmarkId`] label.
+    pub fn bench_function<I: IntoBenchmarkId, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_benchmark(&None, &self.name, &id, self.sample_size, self.measurement_time, f);
+        }
+        self
+    }
+
+    /// Benchmarks a closure that borrows an input value.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Label for one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("nn", 128)` renders as `nn/128`.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId { text: format!("{function}/{parameter}") }
+    }
+
+    /// Parameter-only id, renders as the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] labels.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    filter: &Option<String>,
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let full = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    if let Some(flt) = filter {
+        if !full.contains(flt.as_str()) {
+            return;
+        }
+    }
+
+    // Calibrate: grow the iteration count until one sample takes >= ~2 ms,
+    // so short routines are timed in bulk rather than per-call.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+            break;
+        }
+        iters = iters.saturating_mul(if b.elapsed < Duration::from_micros(50) { 16 } else { 2 });
+    }
+
+    // Fit the sample budget.
+    let per_sample = measurement_time.as_nanos() / sample_size.max(1) as u128;
+    {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = (b.elapsed.as_nanos() / iters as u128).max(1);
+        let target = (per_sample / per_iter).clamp(1, 1 << 24) as u64;
+        iters = target.max(1);
+    }
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples_ns[samples_ns.len() / 2];
+    let min = samples_ns[0];
+    let max = samples_ns[samples_ns.len() - 1];
+
+    println!(
+        "bench: {full} median {median:.1} ns/iter (min {min:.1}, max {max:.1}, samples {n}, iters {iters})",
+        n = samples_ns.len()
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion 0.5.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_runs_and_times() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3).measurement_time(Duration::from_millis(30));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("nn", 128).to_string(), "nn/128");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

@@ -1,0 +1,349 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest 1.x API this workspace's property
+//! tests use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), [`Strategy`] with `prop_map`, numeric range
+//! strategies, [`collection::vec`], [`any`], [`ProptestConfig::with_cases`],
+//! and the `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! No shrinking: a failing case reports its deterministic case index and the
+//! failed assertion, and the per-test seed stream is stable across runs (the
+//! RNG is seeded from the test name + case number), so failures reproduce
+//! exactly by re-running the test.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 16 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG for one test case.
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    /// Seeds from the test name and case index so each case's inputs are
+    /// stable across runs and independent across tests.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng(rand::rngs::StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy for "any value of T" (uniform over the type's natural domain).
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// Types [`any`] can generate.
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.gen()
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Sizes accepted by [`vec`]: an exact `usize` or a half-open range.
+    pub trait IntoSizeRange {
+        /// Half-open `[lo, hi)` bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with random length in the given bounds.
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(strategy, len)` / `vec(strategy, lo..hi)`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "collection::vec: empty size range");
+        VecStrategy { element, lo, hi }
+    }
+}
+
+/// One-stop import matching upstream proptest.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, Strategy, TestRng};
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the current
+/// case returns an error instead of panicking mid-closure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err(format!(
+                "assertion failed at {}:{}: `{}` == `{}` ({:?} != {:?})",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err(format!(
+                "assertion failed at {}:{}: {} ({:?} != {:?})",
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg); $($rest)*);
+    };
+    (@funcs ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), &mut __rng);
+                    )*
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(__msg) = __outcome {
+                        panic!(
+                            "proptest {}: case {}/{} failed: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __cfg.cases,
+                            __msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair(lo: f32, hi: f32) -> impl Strategy<Value = (f32, f32)> {
+        (lo..hi).prop_map(move |x| (x, x * 2.0))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn vec_lengths_respected(
+            fixed in collection::vec(0usize..5, 20),
+            ranged in collection::vec(any::<bool>(), 1..80),
+        ) {
+            prop_assert_eq!(fixed.len(), 20);
+            prop_assert!((1..80).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn prop_map_applies(p in pair(0.0, 1.0)) {
+            prop_assert!((p.1 - p.0 * 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        let s = 0u64..100;
+        let xs: Vec<u64> = (0..10).map(|_| Strategy::generate(&s, &mut a)).collect();
+        let ys: Vec<u64> = (0..10).map(|_| Strategy::generate(&s, &mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+}

@@ -1,0 +1,331 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize, Deserialize)]` for the item shapes this
+//! workspace actually contains — structs with named fields, tuple structs,
+//! and enums whose variants are unit or tuple — generating impls of the stub
+//! `serde::Serialize` / `serde::Deserialize` traits (an eager `Value`-tree
+//! data model). The only field attribute honored is `#[serde(skip)]`, which
+//! omits the field on serialize and fills it from `Default` on deserialize;
+//! that is the full attribute surface the repository uses.
+//!
+//! The parser is hand-rolled over `proc_macro::TokenTree` (no `syn`/`quote`
+//! in a hermetic build) and panics with a clear message on shapes it does
+//! not support, which turns unsupported input into a compile error at the
+//! derive site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// Number of tuple payload fields; 0 = unit variant.
+    arity: usize,
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Derives the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ----- parsing ------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + [...]
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body for {name}, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, body }
+}
+
+/// Splits a token stream on top-level commas, where "top level" also means
+/// outside any `<...>` generic argument list (angle brackets are bare puncts
+/// in a token stream, not delimited groups).
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                cur.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                cur.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_commas(stream).len()
+}
+
+/// Whether a field's leading attribute tokens contain `#[serde(skip)]`.
+fn strip_attrs(tokens: &[TokenTree]) -> (usize, bool) {
+    let mut i = 0;
+    let mut skip = false;
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            let text = g.stream().to_string().replace(' ', "");
+            if text.starts_with("serde(") && text.contains("skip") {
+                skip = true;
+            }
+        }
+        i += 2;
+    }
+    (i, skip)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let (mut i, skip) = strip_attrs(&tokens);
+            if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => Field { name: id.to_string(), skip },
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let (mut i, _) = strip_attrs(&tokens);
+            let name = match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other:?}"),
+            };
+            i += 1;
+            let arity = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    count_top_level_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    panic!("serde_derive stub: struct enum variant `{name}` is not supported")
+                }
+                _ => 0,
+            };
+            Variant { name, arity }
+        })
+        .collect()
+}
+
+// ----- code generation ----------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__m.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut __m: Vec<(String, serde::Value)> = Vec::new();\n{pushes}serde::Value::Object(__m)"
+            )
+        }
+        Body::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match v.arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{vn}(ref __f0) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    n => {
+                        let binds: Vec<String> = (0..n).map(|i| format!("ref __f{i}")).collect();
+                        let elems: Vec<String> = (0..n)
+                            .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Array(vec![{elems}]))]),\n",
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match *self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!("{n}: ::std::default::Default::default(),\n", n = f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: serde::Deserialize::from_value(__v.get(\"{n}\").ok_or_else(|| serde::Error::custom(\"missing field `{n}` in {name}\"))?)?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "if __v.as_object().is_none() {{ return Err(serde::Error::custom(\"expected object for {name}\")); }}\nOk({name} {{\n{inits}}})"
+            )
+        }
+        Body::TupleStruct(1) => format!("Ok({name}(serde::Deserialize::from_value(__v)?))"),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!(
+                    "serde::Deserialize::from_value(__xs.get({i}).ok_or_else(|| serde::Error::custom(\"tuple struct {name} too short\"))?)?"
+                ))
+                .collect();
+            format!(
+                "let __xs = __v.as_array().ok_or_else(|| serde::Error::custom(\"expected array for {name}\"))?;\nOk({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match v.arity {
+                    0 => unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n")),
+                    1 => payload_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    n => {
+                        let elems: Vec<String> = (0..n)
+                            .map(|i| format!(
+                                "serde::Deserialize::from_value(__xs.get({i}).ok_or_else(|| serde::Error::custom(\"variant {vn} payload too short\"))?)?"
+                            ))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet __xs = __payload.as_array().ok_or_else(|| serde::Error::custom(\"expected array payload for {vn}\"))?;\nreturn Ok({name}::{vn}({elems}));\n}}\n",
+                            elems = elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __v.as_str() {{\n match __s {{\n{unit_arms} _ => {{}}\n }}\n}}\nif let Some(__obj) = __v.as_object() {{\n if __obj.len() == 1 {{\n  let (__tag, __payload) = (&__obj[0].0, &__obj[0].1);\n  match __tag.as_str() {{\n{payload_arms}  _ => {{}}\n  }}\n }}\n}}\nErr(serde::Error::custom(format!(\"no matching variant of {name} for {{__v:?}}\")))"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n{body}\n}}\n}}"
+    )
+}
