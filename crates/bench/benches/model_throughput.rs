@@ -30,7 +30,7 @@ fn setup(kind: ModelKind) -> (Box<dyn Matcher>, EncodedExample) {
         },
     );
     let mut rng = StdRng::seed_from_u64(0);
-    let model = kind.build(&pipe, ds.num_classes, 0.2, &mut rng);
+    let model = kind.build(&pipe, ds.num_classes, 0.2, emba_core::DEFAULT_DROPOUT, &mut rng);
     let ex = pipe.encode_example(&ds.train[0]);
     (model, ex)
 }

@@ -13,7 +13,7 @@ use std::path::PathBuf;
 
 use emba_bench::{
     bench_tensor_kernels, figure5, figure6, render_table2, render_table3, render_table4,
-    render_table5, table1, table2_data, table4_data, table6, table7, Artifact, Profile,
+    render_table5, table1, table2_data, table4_data, table6, table7, trace_run, Artifact, Profile,
 };
 
 fn main() {
@@ -136,6 +136,33 @@ fn main() {
         let samples = if profile.name == "smoke" { 5 } else { 9 };
         emit(bench_tensor_kernels(samples));
     }
+    if wants("trace") {
+        let name = flag_value(&args, "--trace-name")
+            .unwrap_or_else(|| format!("trace-{}", profile.name));
+        match trace_run(&profile, emba_core::ModelKind::EmbaSb, &name, &out_dir) {
+            Ok(outcome) => {
+                eprintln!(
+                    "[saved] {} ({} events validated)",
+                    outcome.path.display(),
+                    outcome.events
+                );
+                println!(
+                    "trace run: {} epochs, {} steps, best valid F1 {:.4}, test F1 {:.4}, \
+                     pool hit-rate {:.1}%, {} non-finite events",
+                    outcome.summary.epochs_run,
+                    outcome.summary.steps,
+                    outcome.summary.best_valid_f1,
+                    outcome.test_f1,
+                    100.0 * outcome.summary.pool_hit_rate,
+                    outcome.summary.non_finite_events,
+                );
+            }
+            Err(msg) => {
+                eprintln!("trace run failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -164,6 +191,9 @@ TARGETS (default: all):
     figure6  attention visualization of the case-study pair
     bench    tensor-kernel timings vs the seed loops (BENCH_tensor.json);
              not part of `all` — run as `reproduce bench --profile smoke`
+    trace    one observed training run with the non-finite guard on; writes
+             the event log to results/runs/<name>.jsonl and validates it.
+             Not part of `all` — run as `reproduce trace --profile smoke`
 
 OPTIONS:
     --profile smoke|quick|full   compute budget (default quick)
@@ -171,6 +201,8 @@ OPTIONS:
     --epochs N                   fine-tuning epochs
     --scale F                    dataset scale vs Table 1 counts
     --datasets a,b,c             restrict table2-5 dataset rows by name
-    --out DIR                    artifact directory (default results/)"
+    --out DIR                    artifact directory (default results/)
+    --trace-name NAME            run-log name for the trace target
+                                 (default trace-<profile>)"
     );
 }

@@ -9,10 +9,12 @@ pub mod kernel_bench;
 pub mod profile;
 pub mod render;
 pub mod tables;
+pub mod trace_run;
 
 pub use kernel_bench::bench_tensor_kernels;
 pub use profile::Profile;
 pub use render::Table;
+pub use trace_run::{trace_run, validate_jsonl, TraceOutcome};
 pub use tables::{
     figure5, figure6, render_table2, render_table3, render_table4, render_table5, table1,
     table2_data, table4_data, table6, table7, Artifact,

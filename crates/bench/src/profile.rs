@@ -55,10 +55,12 @@ impl Profile {
                     patience: 5,
                     clip_norm: 1.0,
                     seed: 0,
+                    nan_guard: false,
                 },
                 mlm_epochs: 8,
                 mlm_lr: 5e-4,
                 runs: 2,
+                dropout: emba_core::DEFAULT_DROPOUT,
             },
             table2_datasets: vec![
                 DatasetId::Wdc(WdcCategory::Computers, WdcSize::Small),
@@ -110,6 +112,7 @@ impl Profile {
                 mlm_epochs: 20,
                 mlm_lr: 5e-4,
                 runs: 5,
+                dropout: emba_core::DEFAULT_DROPOUT,
             },
             table2_datasets: DatasetId::all(),
             table4_datasets: DatasetId::all(),

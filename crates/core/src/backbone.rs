@@ -10,6 +10,10 @@ use emba_tensor::{Graph, Var};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
+/// Transformer dropout rate used when nothing overrides it — the BERT
+/// default of 0.1, matching what [`emba_nn::BertConfig`]'s presets use.
+pub const DEFAULT_DROPOUT: f32 = 0.1;
+
 /// Which encoder architecture to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BackboneKind {
@@ -122,15 +126,18 @@ pub enum Backbone {
 
 impl Backbone {
     /// Instantiates a backbone of the given kind over `vocab` subwords with
-    /// sequences up to `max_len`.
+    /// sequences up to `max_len`, training with the given `dropout` rate
+    /// (ignored by the dropout-free FastText encoder).
     pub fn new<R: rand::Rng + ?Sized>(
         kind: BackboneKind,
         vocab: usize,
         max_len: usize,
+        dropout: f32,
         rng: &mut R,
     ) -> Self {
         let bert = |mut cfg: BertConfig, use_segments: bool, rng: &mut R| {
             cfg.max_len = max_len;
+            cfg.dropout = dropout;
             Backbone::Bert {
                 encoder: BertEncoder::new(cfg, rng),
                 use_segments,
@@ -242,7 +249,7 @@ mod tests {
 
     fn encode_with(kind: BackboneKind) -> (usize, usize) {
         let mut rng = StdRng::seed_from_u64(0);
-        let b = Backbone::new(kind, 100, 32, &mut rng);
+        let b = Backbone::new(kind, 100, 32, DEFAULT_DROPOUT, &mut rng);
         let g = Graph::new();
         let out = b.encode(
             &g,
@@ -269,7 +276,7 @@ mod tests {
     #[test]
     fn roberta_ignores_segments() {
         let mut rng = StdRng::seed_from_u64(1);
-        let b = Backbone::new(BackboneKind::Roberta, 50, 16, &mut rng);
+        let b = Backbone::new(BackboneKind::Roberta, 50, 16, DEFAULT_DROPOUT, &mut rng);
         let g = Graph::new();
         let a = b.encode(&g, GraphStamp::next(), &[2, 5, 3], &[0, 0, 0], false, &mut rng);
         let c = b.encode(&g, GraphStamp::next(), &[2, 5, 3], &[0, 1, 1], false, &mut rng);
@@ -279,7 +286,7 @@ mod tests {
     #[test]
     fn bert_respects_segments() {
         let mut rng = StdRng::seed_from_u64(2);
-        let b = Backbone::new(BackboneKind::Small, 50, 16, &mut rng);
+        let b = Backbone::new(BackboneKind::Small, 50, 16, DEFAULT_DROPOUT, &mut rng);
         let g = Graph::new();
         let a = b.encode(&g, GraphStamp::next(), &[2, 5, 3], &[0, 0, 0], false, &mut rng);
         let c = b.encode(&g, GraphStamp::next(), &[2, 5, 3], &[0, 1, 1], false, &mut rng);
@@ -289,7 +296,7 @@ mod tests {
     #[test]
     fn fasttext_has_no_attention_and_no_position() {
         let mut rng = StdRng::seed_from_u64(3);
-        let b = Backbone::new(BackboneKind::FastText, 50, 16, &mut rng);
+        let b = Backbone::new(BackboneKind::FastText, 50, 16, DEFAULT_DROPOUT, &mut rng);
         let g = Graph::new();
         let out = b.encode(&g, GraphStamp::next(), &[5, 6], &[0, 0], false, &mut rng);
         assert!(out.last_attention.is_empty());
@@ -306,9 +313,9 @@ mod tests {
     #[test]
     fn param_counts_ordered_by_capacity() {
         let mut rng = StdRng::seed_from_u64(4);
-        let base = Backbone::new(BackboneKind::Base, 200, 32, &mut rng);
-        let small = Backbone::new(BackboneKind::Small, 200, 32, &mut rng);
-        let distil = Backbone::new(BackboneKind::Distil, 200, 32, &mut rng);
+        let base = Backbone::new(BackboneKind::Base, 200, 32, DEFAULT_DROPOUT, &mut rng);
+        let small = Backbone::new(BackboneKind::Small, 200, 32, DEFAULT_DROPOUT, &mut rng);
+        let distil = Backbone::new(BackboneKind::Distil, 200, 32, DEFAULT_DROPOUT, &mut rng);
         assert!(base.num_params() > distil.num_params());
         assert!(distil.num_params() > small.num_params());
     }

@@ -27,8 +27,25 @@ pub struct Checkpoint {
     pub pipeline: PipelineConfig,
     /// Auxiliary-head class count the model was built with.
     pub num_classes: usize,
+    /// Transformer dropout rate the model was built with. Older snapshots
+    /// predate this field; they default to [`crate::DEFAULT_DROPOUT`], the
+    /// rate every model was actually built with back then.
+    #[serde(default = "default_dropout")]
+    pub dropout: f32,
+    /// Training positive rate the model was built with (DeepMatcher class
+    /// weighting). Older snapshots default to the neutral 0.5.
+    #[serde(default = "default_pos_fraction")]
+    pub pos_fraction: f64,
     /// Every parameter tensor in module visit order.
     pub params: Vec<Tensor>,
+}
+
+fn default_dropout() -> f32 {
+    crate::backbone::DEFAULT_DROPOUT
+}
+
+fn default_pos_fraction() -> f64 {
+    0.5
 }
 
 /// Errors returned by [`Checkpoint::restore`].
@@ -59,6 +76,8 @@ impl Checkpoint {
             vocab: trained.pipeline.tokenizer().vocab().to_vec(),
             pipeline: trained.pipeline.config().clone(),
             num_classes,
+            dropout: trained.dropout,
+            pos_fraction: trained.pos_fraction,
             params: trained.model.state(),
         }
     }
@@ -68,10 +87,19 @@ impl Checkpoint {
         let tokenizer = WordPieceTokenizer::from_vocab(self.vocab.clone());
         let pipeline = TextPipeline::from_tokenizer(tokenizer, self.pipeline.clone());
         // The architecture is fully determined by (kind, vocab, max_len,
-        // num_classes); the init seed is irrelevant because every parameter
-        // is overwritten below.
+        // num_classes, dropout, pos_fraction); the init seed is irrelevant
+        // because every parameter is overwritten below. Dropout and the
+        // positive rate must come from the snapshot: the pre-fix restore
+        // hardcoded 0.5 here, silently rebuilding every restored model with
+        // a rate its training never used.
         let mut rng = StdRng::seed_from_u64(0);
-        let mut model = self.kind.build(&pipeline, self.num_classes, 0.5, &mut rng);
+        let mut model = self.kind.build(
+            &pipeline,
+            self.num_classes,
+            self.pos_fraction,
+            self.dropout,
+            &mut rng,
+        );
 
         // Validate shapes before committing.
         let mut i = 0usize;
@@ -100,7 +128,12 @@ impl Checkpoint {
             return Err(CheckpointError::ShapeMismatch(msg));
         }
         model.load_state(&self.params);
-        Ok(TrainedMatcher { pipeline, model })
+        Ok(TrainedMatcher {
+            pipeline,
+            model,
+            dropout: self.dropout,
+            pos_fraction: self.pos_fraction,
+        })
     }
 }
 
@@ -153,6 +186,77 @@ mod tests {
         let back: Checkpoint = serde_json::from_str(&json).unwrap();
         let restored = back.restore().unwrap();
         let p = &ds.test[0];
+        assert_eq!(
+            trained.predict(&p.left, &p.right).prob,
+            restored.predict(&p.left, &p.right).prob
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_nondefault_dropout() {
+        let ds = build(
+            DatasetId::Wdc(WdcCategory::Computers, WdcSize::Small),
+            Scale::TEST,
+            4,
+        );
+        let cfg = ExperimentConfig {
+            vocab_size: 400,
+            max_len: 32,
+            train: TrainConfig {
+                epochs: 1,
+                batch_size: 4,
+                ..TrainConfig::default()
+            },
+            mlm_epochs: 0,
+            runs: 1,
+            dropout: 0.37,
+            ..ExperimentConfig::default()
+        };
+        let (trained, _) = train_single(ModelKind::EmbaSb, &ds, &cfg, 3);
+        let ckpt = Checkpoint::capture(&trained, ModelKind::EmbaSb, ds.num_classes);
+        assert_eq!(ckpt.dropout, 0.37);
+        let restored = ckpt.restore().unwrap();
+        assert_eq!(restored.dropout, 0.37);
+
+        // Behavioral check: a train-mode forward pass applies dropout, so
+        // with identically seeded RNGs the original and the restored model
+        // produce bit-identical losses only if the restored architecture
+        // uses the same dropout rate. The pre-fix restore rebuilt with a
+        // hardcoded rate, which this catches.
+        let ex = trained.pipeline.encode_example(&ds.test[0]);
+        let loss_of = |t: &TrainedMatcher| {
+            use emba_nn::GraphStamp;
+            let mut rng = StdRng::seed_from_u64(99);
+            let g = emba_tensor::Graph::new();
+            let out = t.model.forward(&g, GraphStamp::next(), &ex, true, &mut rng);
+            g.value(out.loss).item()
+        };
+        assert_eq!(loss_of(&trained), loss_of(&restored));
+    }
+
+    #[test]
+    fn old_snapshots_without_dropout_fields_still_restore() {
+        use serde::Value;
+        let (trained, ds) = trained();
+        let ckpt = Checkpoint::capture(&trained, ModelKind::EmbaSb, ds.num_classes);
+        // Simulate a snapshot written before `dropout` / `pos_fraction`
+        // existed by stripping both fields from the serialized tree.
+        let stripped = match serde_json::to_value(&ckpt).unwrap() {
+            Value::Object(fields) => Value::Object(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "dropout" && k != "pos_fraction")
+                    .collect(),
+            ),
+            other => panic!("checkpoint serialized to a non-object: {other:?}"),
+        };
+        let back: Checkpoint = serde_json::from_value(stripped).unwrap();
+        assert_eq!(back.dropout, crate::backbone::DEFAULT_DROPOUT);
+        assert_eq!(back.pos_fraction, 0.5);
+        let restored = back.restore().unwrap();
+        let p = &ds.test[0];
+        // Eval-mode predictions are dropout-free, so the restored model
+        // still reproduces the original's outputs exactly.
         assert_eq!(
             trained.predict(&p.left, &p.right).prob,
             restored.predict(&p.left, &p.right).prob

@@ -13,7 +13,7 @@ use crate::kind::ModelKind;
 use crate::models::Matcher;
 use crate::pipeline::{EncodedExample, PipelineConfig, TextPipeline};
 use crate::stats::{mean, std_dev};
-use crate::train::{train_matcher, TrainConfig, TrainReport};
+use crate::train::{train_matcher_observed, TrainConfig, TrainReport};
 
 /// Settings for one experiment cell.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -31,6 +31,13 @@ pub struct ExperimentConfig {
     pub mlm_lr: f32,
     /// Number of repeated runs (the paper uses 5).
     pub runs: usize,
+    /// Transformer dropout rate (ignored by DeepMatcher and fastText).
+    #[serde(default = "default_dropout")]
+    pub dropout: f32,
+}
+
+fn default_dropout() -> f32 {
+    crate::backbone::DEFAULT_DROPOUT
 }
 
 impl Default for ExperimentConfig {
@@ -42,6 +49,7 @@ impl Default for ExperimentConfig {
             mlm_epochs: 1,
             mlm_lr: 5e-4,
             runs: 1,
+            dropout: default_dropout(),
         }
     }
 }
@@ -121,6 +129,19 @@ pub fn train_single_cached(
     seed: u64,
     cache: &mut PretrainCache,
 ) -> (TrainedMatcher, TrainReport) {
+    train_single_cached_observed(kind, dataset, cfg, seed, cache, &mut emba_trace::NullObserver)
+}
+
+/// [`train_single_cached`] that reports the training run through `observer`
+/// (see [`crate::train_matcher_observed`]).
+pub fn train_single_cached_observed(
+    kind: ModelKind,
+    dataset: &Dataset,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    cache: &mut PretrainCache,
+    observer: &mut dyn emba_trace::TrainObserver,
+) -> (TrainedMatcher, TrainReport) {
     let pipeline = TextPipeline::fit(
         dataset,
         PipelineConfig {
@@ -132,7 +153,13 @@ pub fn train_single_cached(
     let mut rng = StdRng::seed_from_u64(seed);
     let (pos, neg) = dataset.train_balance();
     let pos_fraction = pos as f64 / (pos + neg).max(1) as f64;
-    let mut model = kind.build(&pipeline, dataset.num_classes, pos_fraction, &mut rng);
+    let mut model = kind.build(
+        &pipeline,
+        dataset.num_classes,
+        pos_fraction,
+        cfg.dropout,
+        &mut rng,
+    );
 
     // Pre-training before fine-tuning, cached so every model starts from
     // the same checkpoint: MLM for transformer backbones, skip-gram for
@@ -184,8 +211,17 @@ pub fn train_single_cached(
     let test = pipeline.encode_split(&dataset.test);
     let mut train_cfg = cfg.train.clone();
     train_cfg.seed = seed;
-    let report = train_matcher(model.as_mut(), &train, &valid, &test, &train_cfg);
-    (TrainedMatcher { pipeline, model }, report)
+    let report =
+        train_matcher_observed(model.as_mut(), &train, &valid, &test, &train_cfg, observer);
+    (
+        TrainedMatcher {
+            pipeline,
+            model,
+            dropout: cfg.dropout,
+            pos_fraction,
+        },
+        report,
+    )
 }
 
 /// Runs the full multi-run protocol for one table cell.
@@ -239,6 +275,12 @@ pub struct TrainedMatcher {
     pub pipeline: TextPipeline,
     /// The trained model.
     pub model: Box<dyn Matcher>,
+    /// Transformer dropout rate the model was built with (needed to rebuild
+    /// the identical architecture when restoring from a checkpoint).
+    pub dropout: f32,
+    /// Training positive rate the model was built with (DeepMatcher class
+    /// weighting).
+    pub pos_fraction: f64,
 }
 
 /// One prediction over a raw record pair.

@@ -132,12 +132,15 @@ impl ModelKind {
     /// Instantiates the model against a fitted pipeline.
     ///
     /// `num_classes` sizes the auxiliary heads; `pos_fraction` is the
-    /// training positive rate (used by DeepMatcher's class weighting).
+    /// training positive rate (used by DeepMatcher's class weighting);
+    /// `dropout` is the transformer dropout rate (see
+    /// [`crate::DEFAULT_DROPOUT`]; ignored by DeepMatcher and fastText).
     pub fn build(
         self,
         pipeline: &TextPipeline,
         num_classes: usize,
         pos_fraction: f64,
+        dropout: f32,
         rng: &mut StdRng,
     ) -> Box<dyn Matcher> {
         let vocab = pipeline.vocab_size();
@@ -147,7 +150,13 @@ impl ModelKind {
             return Box::new(DeepMatcher::new(vocab, cfg, rng));
         }
 
-        let backbone = Backbone::new(self.backbone().expect("non-DeepMatcher"), vocab, max_len, rng);
+        let backbone = Backbone::new(
+            self.backbone().expect("non-DeepMatcher"),
+            vocab,
+            max_len,
+            dropout,
+            rng,
+        );
         let (em, aux) = match self {
             ModelKind::Emba | ModelKind::EmbaFt | ModelKind::EmbaSb | ModelKind::EmbaDb => {
                 (EmStrategy::Aoa, AuxStrategy::TokenAttention)
@@ -204,7 +213,7 @@ mod tests {
                 },
             );
             let mut rng = StdRng::seed_from_u64(0);
-            let model = kind.build(&pipe, ds.num_classes, 0.25, &mut rng);
+            let model = kind.build(&pipe, ds.num_classes, 0.25, crate::DEFAULT_DROPOUT, &mut rng);
             let ex = pipe.encode_example(&ds.train[0]);
             let g = Graph::new();
             let out = model.forward(&g, GraphStamp::next(), &ex, false, &mut rng);

@@ -40,12 +40,13 @@ mod pipeline;
 pub mod stats;
 mod train;
 
-pub use backbone::{Backbone, BackboneKind, FastTextEncoder, SeqOutput};
+pub use backbone::{Backbone, BackboneKind, FastTextEncoder, SeqOutput, DEFAULT_DROPOUT};
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use deepmatcher::{DeepMatcher, DeepMatcherConfig};
 pub use experiment::{
-    run_experiment, run_experiment_cached, train_single, train_single_cached, ExperimentConfig,
-    ExperimentResult, Prediction, PretrainCache, TrainedMatcher,
+    run_experiment, run_experiment_cached, train_single, train_single_cached,
+    train_single_cached_observed, ExperimentConfig, ExperimentResult, Prediction, PretrainCache,
+    TrainedMatcher,
 };
 pub use heads::{MatchHead, TokenAggregationHead};
 pub use kind::ModelKind;
@@ -54,4 +55,7 @@ pub use models::{
     numeric_vocab_table, AuxStrategy, EmStrategy, Matcher, ModelOutput, TransformerMatcher,
 };
 pub use pipeline::{EncodedExample, PipelineConfig, TextPipeline};
-pub use train::{evaluate, train_matcher, train_with_lr_sweep, EvalResult, TrainConfig, TrainReport};
+pub use train::{
+    evaluate, evaluate_observed, train_matcher, train_matcher_observed, train_with_lr_sweep,
+    EarlyStopper, EvalResult, StopVerdict, TrainConfig, TrainReport,
+};

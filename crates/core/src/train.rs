@@ -11,7 +11,8 @@
 use std::time::Instant;
 
 use emba_nn::{clip_grad_norm, Adam, GraphStamp, LinearSchedule, Module};
-use emba_tensor::Graph;
+use emba_tensor::{guard, Graph};
+use emba_trace::{EvalRecord, NullObserver, RunMeta, StepRecord, TrainObserver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -37,6 +38,12 @@ pub struct TrainConfig {
     pub clip_norm: f32,
     /// RNG seed for shuffling and dropout.
     pub seed: u64,
+    /// Enables the debug non-finite guard ([`emba_tensor::guard`]) for the
+    /// run: every op output on the tape is scanned for NaN/Inf and offenders
+    /// are reported through the observer with their op name. Adds a full
+    /// pass over every activation, so it defaults to off.
+    #[serde(default)]
+    pub nan_guard: bool,
 }
 
 impl Default for TrainConfig {
@@ -49,6 +56,7 @@ impl Default for TrainConfig {
             patience: 4,
             clip_norm: 1.0,
             seed: 0,
+            nan_guard: false,
         }
     }
 }
@@ -66,7 +74,78 @@ impl TrainConfig {
             patience: 10,
             clip_norm: 1.0,
             seed: 0,
+            nan_guard: false,
         }
+    }
+}
+
+/// What [`EarlyStopper::observe`] concluded about one validation score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopVerdict {
+    /// New best — capture the model state.
+    Improved,
+    /// Worse than the best, but patience remains.
+    NoImprovement,
+    /// Patience exhausted — stop training.
+    Halt,
+    /// The score is NaN/Inf — stop training and keep the best finite state.
+    NonFinite,
+}
+
+/// Patience-based early stopping on validation F1.
+///
+/// Split out of the training loop so the NaN handling is independently
+/// testable: a NaN score compares false against any best (`NaN > x` is
+/// always false), which in the pre-fix loop counted as "no improvement"
+/// and silently burned patience while the model diverged. The stopper
+/// instead classifies non-finite scores explicitly.
+#[derive(Debug, Clone)]
+pub struct EarlyStopper {
+    patience: usize,
+    stale: usize,
+    best_f1: f64,
+    best_epoch: usize,
+}
+
+impl EarlyStopper {
+    /// A stopper that halts after `patience` epochs without improvement.
+    pub fn new(patience: usize) -> Self {
+        Self {
+            patience,
+            stale: 0,
+            best_f1: f64::NEG_INFINITY,
+            best_epoch: 0,
+        }
+    }
+
+    /// Classifies the validation score of `epoch`.
+    pub fn observe(&mut self, epoch: usize, f1: f64) -> StopVerdict {
+        if !f1.is_finite() {
+            return StopVerdict::NonFinite;
+        }
+        if f1 > self.best_f1 {
+            self.best_f1 = f1;
+            self.best_epoch = epoch;
+            self.stale = 0;
+            StopVerdict::Improved
+        } else {
+            self.stale += 1;
+            if self.stale >= self.patience {
+                StopVerdict::Halt
+            } else {
+                StopVerdict::NoImprovement
+            }
+        }
+    }
+
+    /// Best finite F1 seen, or `-inf` if none yet.
+    pub fn best_f1(&self) -> f64 {
+        self.best_f1
+    }
+
+    /// Epoch of the best finite F1.
+    pub fn best_epoch(&self) -> usize {
+        self.best_epoch
     }
 }
 
@@ -100,7 +179,21 @@ pub struct TrainReport {
 
 /// Evaluates a model over a split.
 pub fn evaluate(model: &dyn Matcher, examples: &[EncodedExample], rng: &mut StdRng) -> EvalResult {
+    evaluate_observed(model, examples, rng, 0, "eval", &mut NullObserver)
+}
+
+/// [`evaluate`] that also times the pass and reports it through `observer`
+/// as an [`EvalRecord`] tagged with `epoch` and `split`.
+pub fn evaluate_observed(
+    model: &dyn Matcher,
+    examples: &[EncodedExample],
+    rng: &mut StdRng,
+    epoch: usize,
+    split: &str,
+    observer: &mut dyn TrainObserver,
+) -> EvalResult {
     assert!(!examples.is_empty(), "cannot evaluate an empty split");
+    let start = Instant::now();
     let mut preds = Vec::with_capacity(examples.len());
     let mut gold = Vec::with_capacity(examples.len());
     let mut id1_pred = Vec::new();
@@ -125,10 +218,20 @@ pub fn evaluate(model: &dyn Matcher, examples: &[EncodedExample], rng: &mut StdR
     } else {
         Some(id_metrics(&id1_pred, &id1_gold, &id2_pred, &id2_gold))
     };
-    EvalResult {
+    let result = EvalResult {
         matching: match_metrics(&preds, &gold),
         ids,
-    }
+    };
+    observer.on_eval(&EvalRecord {
+        epoch,
+        split: split.to_string(),
+        precision: result.matching.precision,
+        recall: result.matching.recall,
+        f1: result.matching.f1,
+        accuracy: result.matching.accuracy,
+        wall_secs: start.elapsed().as_secs_f64(),
+    });
+    result
 }
 
 /// Trains `model` on `train`, early-stops on `valid`, reports on `test`.
@@ -145,6 +248,37 @@ pub fn train_matcher(
     test: &[EncodedExample],
     cfg: &TrainConfig,
 ) -> TrainReport {
+    train_matcher_observed(model, train, valid, test, cfg, &mut NullObserver)
+}
+
+/// Drains buffered non-finite guard reports into the observer.
+fn drain_guard(observer: &mut dyn TrainObserver) {
+    for r in guard::take_reports() {
+        observer.on_non_finite(
+            &format!("op:{}", r.op),
+            &format!("non-finite [{}, {}] output from `{}`", r.rows, r.cols, r.op),
+        );
+    }
+}
+
+/// [`train_matcher`] that reports the run through `observer`: run metadata,
+/// epoch boundaries, per-step loss / pre-clip gradient norm / effective
+/// learning rate / wall time, evaluation passes, best-state checkpointing,
+/// and non-finite events.
+///
+/// Two divergence conditions abort the run early, leaving the model at its
+/// best finite state: a non-finite per-example training loss, and a
+/// non-finite validation F1 (which the pre-fix loop treated as "no
+/// improvement", silently defeating early stopping — `NaN > best` is always
+/// false, so patience ticked down while the model diverged).
+pub fn train_matcher_observed(
+    model: &mut dyn Matcher,
+    train: &[EncodedExample],
+    valid: &[EncodedExample],
+    test: &[EncodedExample],
+    cfg: &TrainConfig,
+    observer: &mut dyn TrainObserver,
+) -> TrainReport {
     assert!(
         !train.is_empty() && !valid.is_empty() && !test.is_empty(),
         "all three splits must be non-empty"
@@ -158,10 +292,18 @@ pub fn train_matcher(
         steps_per_epoch * cfg.epochs as u64,
     );
 
-    let mut best_f1 = f64::NEG_INFINITY;
-    let mut best_epoch = 0usize;
+    observer.on_run_start(&RunMeta {
+        model: model.name().to_string(),
+        train_examples: train.len(),
+        valid_examples: valid.len(),
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        base_lr: f64::from(cfg.lr),
+    });
+    let guard_was = cfg.nan_guard.then(|| guard::enable(true));
+
+    let mut stopper = EarlyStopper::new(cfg.patience);
     let mut best_state: Vec<emba_tensor::Tensor> = model.state();
-    let mut epochs_without_improvement = 0usize;
     let mut step = 0u64;
     let mut final_train_loss = 0.0f64;
     let mut trained_pairs = 0usize;
@@ -169,50 +311,85 @@ pub fn train_matcher(
 
     let train_start = Instant::now();
     let mut order: Vec<usize> = (0..train.len()).collect();
-    for epoch in 0..cfg.epochs {
+    'epochs: for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
+        observer.on_epoch_start(epoch);
         shuffle(&mut order, &mut rng);
         let mut epoch_loss = 0.0f64;
         model.zero_grads();
         let mut in_batch = 0usize;
+        let mut batch_loss = 0.0f64;
+        let mut batch_start = Instant::now();
         for (i, &idx) in order.iter().enumerate() {
             let ex = &train[idx];
             let g = Graph::new();
             let stamp = GraphStamp::next();
             let out = model.forward(&g, stamp, ex, true, &mut rng);
-            epoch_loss += f64::from(g.value(out.loss).item());
+            let loss = f64::from(g.value(out.loss).item());
+            epoch_loss += loss;
+            batch_loss += loss;
             let grads = g.backward(out.loss);
             model.accumulate_gradients(&grads);
             // Return this example's activations and gradients to the scratch
             // pool before the next graph is built.
             grads.recycle();
             g.recycle();
+            if cfg.nan_guard {
+                drain_guard(observer);
+            }
+            if !loss.is_finite() {
+                observer.on_non_finite(
+                    "train_loss",
+                    &format!("loss {loss} at epoch {epoch}, example {i}; aborting run"),
+                );
+                break 'epochs;
+            }
             in_batch += 1;
             trained_pairs += 1;
 
             if in_batch == cfg.batch_size || i + 1 == order.len() {
-                // Average the accumulated gradients over the batch.
+                // Average the accumulated gradients over the batch, in place.
                 let scale = 1.0 / in_batch as f32;
-                model.visit_mut(&mut |p| p.grad = p.grad.scale(scale));
-                clip_grad_norm(model.as_module_mut(), cfg.clip_norm);
-                adam.step(model.as_module_mut(), schedule.lr(step));
+                model.visit_mut(&mut |p| p.grad.scale_mut(scale));
+                let grad_norm = clip_grad_norm(model.as_module_mut(), cfg.clip_norm);
+                let lr = schedule.lr(step);
+                adam.step(model.as_module_mut(), lr);
                 model.zero_grads();
+                observer.on_step(&StepRecord {
+                    epoch,
+                    step,
+                    loss: batch_loss / in_batch as f64,
+                    grad_norm: f64::from(grad_norm),
+                    lr: f64::from(lr),
+                    wall_ms: batch_start.elapsed().as_secs_f64() * 1e3,
+                    examples: in_batch,
+                });
                 step += 1;
                 in_batch = 0;
+                batch_loss = 0.0;
+                batch_start = Instant::now();
             }
         }
         final_train_loss = epoch_loss / train.len() as f64;
+        observer.on_epoch_end(epoch, final_train_loss);
 
-        let valid_metrics = evaluate(model, valid, &mut rng);
+        let valid_metrics = evaluate_observed(model, valid, &mut rng, epoch, "valid", observer);
+        if cfg.nan_guard {
+            drain_guard(observer);
+        }
         let f1 = valid_metrics.matching.f1;
-        if f1 > best_f1 {
-            best_f1 = f1;
-            best_epoch = epoch;
-            best_state = model.state();
-            epochs_without_improvement = 0;
-        } else {
-            epochs_without_improvement += 1;
-            if epochs_without_improvement >= cfg.patience {
+        match stopper.observe(epoch, f1) {
+            StopVerdict::Improved => {
+                best_state = model.state();
+                observer.on_checkpoint_save(epoch, f1);
+            }
+            StopVerdict::NoImprovement => {}
+            StopVerdict::Halt => break,
+            StopVerdict::NonFinite => {
+                observer.on_non_finite(
+                    "valid_f1",
+                    &format!("validation F1 {f1} at epoch {epoch}; aborting run"),
+                );
                 break;
             }
         }
@@ -220,14 +397,21 @@ pub fn train_matcher(
     let train_secs = train_start.elapsed().as_secs_f64();
 
     model.load_state(&best_state);
+    observer.on_checkpoint_restore(stopper.best_epoch());
 
     let infer_start = Instant::now();
-    let test_metrics = evaluate(model, test, &mut rng);
+    let test_metrics = evaluate_observed(model, test, &mut rng, epochs_run, "test", observer);
     let infer_secs = infer_start.elapsed().as_secs_f64();
+    if cfg.nan_guard {
+        drain_guard(observer);
+    }
+    if let Some(prev) = guard_was {
+        guard::enable(prev);
+    }
 
     TrainReport {
-        valid_f1: best_f1,
-        best_epoch,
+        valid_f1: stopper.best_f1(),
+        best_epoch: stopper.best_epoch(),
         epochs_run,
         test: test_metrics,
         train_pairs_per_sec: trained_pairs as f64 / train_secs.max(1e-9),
@@ -404,6 +588,190 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let again = evaluate(&model, &valid, &mut rng);
         assert!((again.matching.f1 - report.valid_f1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_stopper_halts_after_patience_and_tracks_best() {
+        let mut s = EarlyStopper::new(2);
+        assert_eq!(s.observe(0, 0.4), StopVerdict::Improved);
+        assert_eq!(s.observe(1, 0.3), StopVerdict::NoImprovement);
+        assert_eq!(s.observe(2, 0.6), StopVerdict::Improved); // resets patience
+        assert_eq!(s.observe(3, 0.5), StopVerdict::NoImprovement);
+        assert_eq!(s.observe(4, 0.5), StopVerdict::Halt);
+        assert_eq!(s.best_epoch(), 2);
+        assert!((s.best_f1() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_stopper_flags_non_finite_scores() {
+        // Pre-fix, `NaN > best` evaluated false, so a diverged model's NaN
+        // F1 burned patience as ordinary "no improvement" — for patience 10
+        // that is ten wasted epochs of NaN training. The stopper must
+        // classify it explicitly instead.
+        let mut s = EarlyStopper::new(10);
+        assert_eq!(s.observe(0, 0.4), StopVerdict::Improved);
+        assert_eq!(s.observe(1, f64::NAN), StopVerdict::NonFinite);
+        assert_eq!(s.observe(1, f64::INFINITY), StopVerdict::NonFinite);
+        // The best finite state is untouched by the NaN observation.
+        assert_eq!(s.best_epoch(), 0);
+        assert!((s.best_f1() - 0.4).abs() < 1e-12);
+    }
+
+    /// Observer that records the event sequence for assertions.
+    #[derive(Default)]
+    struct Recording {
+        events: Vec<String>,
+        non_finite_sources: Vec<String>,
+    }
+
+    impl emba_trace::TrainObserver for Recording {
+        fn on_run_start(&mut self, _m: &emba_trace::RunMeta) {
+            self.events.push("run_start".into());
+        }
+        fn on_epoch_start(&mut self, _e: usize) {
+            self.events.push("epoch_start".into());
+        }
+        fn on_step(&mut self, r: &emba_trace::StepRecord) {
+            assert!(r.lr.is_finite(), "schedule produced a non-finite lr");
+            assert!(r.examples > 0);
+            self.events.push("step".into());
+        }
+        fn on_epoch_end(&mut self, _e: usize, _l: f64) {
+            self.events.push("epoch_end".into());
+        }
+        fn on_eval(&mut self, r: &emba_trace::EvalRecord) {
+            self.events.push(format!("eval:{}", r.split));
+        }
+        fn on_checkpoint_save(&mut self, _e: usize, _f: f64) {
+            self.events.push("checkpoint_save".into());
+        }
+        fn on_checkpoint_restore(&mut self, _e: usize) {
+            self.events.push("checkpoint_restore".into());
+        }
+        fn on_non_finite(&mut self, source: &str, _detail: &str) {
+            self.events.push("non_finite".into());
+            self.non_finite_sources.push(source.to_string());
+        }
+    }
+
+    #[test]
+    fn observer_sees_an_ordered_event_stream() {
+        let (train, valid, test, vocab, classes) = setup();
+        let mut model = tiny_model(vocab, classes, 5);
+        let cfg = TrainConfig {
+            epochs: 2,
+            lr: 1e-3,
+            batch_size: 4,
+            ..TrainConfig::default()
+        };
+        let mut obs = Recording::default();
+        let report = train_matcher_observed(&mut model, &train, &valid, &test, &cfg, &mut obs);
+        assert_eq!(obs.events.first().map(String::as_str), Some("run_start"));
+        assert_eq!(obs.events.last().map(String::as_str), Some("eval:test"));
+        let count = |name: &str| obs.events.iter().filter(|e| *e == name).count();
+        assert_eq!(count("epoch_start"), report.epochs_run);
+        assert_eq!(count("epoch_end"), report.epochs_run);
+        assert_eq!(count("eval:valid"), report.epochs_run);
+        assert_eq!(count("checkpoint_restore"), 1);
+        assert!(count("checkpoint_save") >= 1, "at least one epoch improves on -inf");
+        let steps_per_epoch = train.len().div_ceil(cfg.batch_size);
+        assert_eq!(count("step"), steps_per_epoch * report.epochs_run);
+        // epoch_end precedes its validation eval; restore precedes the test eval.
+        let pos = |name: &str| obs.events.iter().position(|e| e == name).unwrap();
+        assert!(pos("epoch_end") < pos("eval:valid"));
+        assert!(pos("checkpoint_restore") < obs.events.len() - 1);
+        assert!(obs.non_finite_sources.is_empty(), "{:?}", obs.non_finite_sources);
+    }
+
+    /// A matcher whose loss is always NaN — a stand-in for a diverged model.
+    struct NanMatcher {
+        p: emba_nn::Param,
+    }
+
+    impl NanMatcher {
+        fn new() -> Self {
+            Self {
+                p: emba_nn::Param::new(emba_tensor::Tensor::row(&[1.0])),
+            }
+        }
+    }
+
+    impl Module for NanMatcher {
+        fn visit(&self, f: &mut dyn FnMut(&emba_nn::Param)) {
+            f(&self.p);
+        }
+        fn visit_mut(&mut self, f: &mut dyn FnMut(&mut emba_nn::Param)) {
+            f(&mut self.p);
+        }
+    }
+
+    impl Matcher for NanMatcher {
+        fn forward(
+            &self,
+            g: &Graph,
+            stamp: GraphStamp,
+            _ex: &EncodedExample,
+            _train: bool,
+            _rng: &mut dyn rand::RngCore,
+        ) -> crate::models::ModelOutput {
+            let v = self.p.bind(g, stamp);
+            let loss = g.scale(g.sum_all(v), f32::NAN);
+            crate::models::ModelOutput {
+                loss,
+                match_prob: 0.5,
+                id1_pred: None,
+                id2_pred: None,
+                attention: None,
+                gamma: None,
+            }
+        }
+        fn name(&self) -> &str {
+            "nan-stub"
+        }
+        fn bert_backbone_mut(&mut self) -> Option<&mut emba_nn::BertEncoder> {
+            None
+        }
+    }
+
+    #[test]
+    fn nan_training_loss_aborts_the_run() {
+        let (train, valid, test, _vocab, _classes) = setup();
+        let mut model = NanMatcher::new();
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch_size: 4,
+            ..TrainConfig::default()
+        };
+        let mut obs = Recording::default();
+        let report = train_matcher_observed(&mut model, &train, &valid, &test, &cfg, &mut obs);
+        // The run aborts inside the first epoch instead of grinding through
+        // all ten on NaN gradients.
+        assert_eq!(report.epochs_run, 1);
+        assert!(
+            obs.non_finite_sources.iter().any(|s| s == "train_loss"),
+            "expected a train_loss report, got {:?}",
+            obs.non_finite_sources
+        );
+    }
+
+    #[test]
+    fn nan_guard_names_the_offending_op() {
+        let (train, valid, test, _vocab, _classes) = setup();
+        let mut model = NanMatcher::new();
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            nan_guard: true,
+            ..TrainConfig::default()
+        };
+        let mut obs = Recording::default();
+        train_matcher_observed(&mut model, &train, &valid, &test, &cfg, &mut obs);
+        // The guard attributes the NaN to the tape op that produced it.
+        assert!(
+            obs.non_finite_sources.iter().any(|s| s == "op:scale"),
+            "expected an op:scale report, got {:?}",
+            obs.non_finite_sources
+        );
     }
 
     #[test]

@@ -118,14 +118,20 @@ impl LinearSchedule {
         }
     }
 
-    /// Learning rate at `step` (0-based).
+    /// Learning rate at `step` (0-based). Never NaN: a schedule whose decay
+    /// phase is empty (possible through direct construction of the public
+    /// fields, which bypasses the [`LinearSchedule::new`] clamp) reports a
+    /// zero rate once warmup is over instead of dividing by zero.
     pub fn lr(&self, step: u64) -> f32 {
         if self.warmup_steps > 0 && step < self.warmup_steps {
             self.base_lr * (step + 1) as f32 / self.warmup_steps as f32
         } else {
+            let decay_span = self.total_steps.saturating_sub(self.warmup_steps);
+            if decay_span == 0 {
+                return 0.0;
+            }
             let remaining = self.total_steps.saturating_sub(step) as f32;
-            let decay_span = (self.total_steps - self.warmup_steps) as f32;
-            self.base_lr * (remaining / decay_span).clamp(0.0, 1.0)
+            self.base_lr * (remaining / decay_span as f32).clamp(0.0, 1.0)
         }
     }
 }
@@ -218,5 +224,34 @@ mod tests {
     fn schedule_without_warmup_starts_at_base() {
         let s = LinearSchedule::new(2e-4, 0, 50);
         assert!((s.lr(0) - 2e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direct_construction_with_empty_decay_span_never_yields_nan() {
+        // Public fields allow bypassing `new()`'s clamp; before the lr()
+        // guard this divided zero by zero past warmup and fed NaN to Adam.
+        let s = LinearSchedule {
+            base_lr: 1e-3,
+            warmup_steps: 10,
+            total_steps: 10,
+        };
+        for step in [0, 5, 9, 10, 11, 1000] {
+            assert!(s.lr(step).is_finite(), "lr({step}) = {}", s.lr(step));
+        }
+        // Warmup still ramps; the exhausted decay phase pins the rate to 0.
+        assert!(s.lr(0) > 0.0);
+        assert_eq!(s.lr(10), 0.0);
+        assert_eq!(s.lr(1000), 0.0);
+    }
+
+    #[test]
+    fn zero_step_schedule_is_all_zero() {
+        let s = LinearSchedule {
+            base_lr: 1.0,
+            warmup_steps: 0,
+            total_steps: 0,
+        };
+        assert_eq!(s.lr(0), 0.0);
+        assert_eq!(s.lr(7), 0.0);
     }
 }

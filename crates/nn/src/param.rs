@@ -164,8 +164,11 @@ pub fn clip_grad_norm(module: &mut dyn Module, max_norm: f32) -> f32 {
     let norm = sq.sqrt();
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
+        // In place: gradient accumulators are uniquely owned here, so this
+        // reuses their buffers instead of allocating one per parameter per
+        // optimizer step.
         module.visit_mut(&mut |p| {
-            p.grad = p.grad.scale(scale);
+            p.grad.scale_mut(scale);
         });
     }
     norm

@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use rand::Rng;
 
 use crate::tensor::Tensor;
-use crate::{kernels, pool, NORM_EPS};
+use crate::{guard, kernels, pool, NORM_EPS};
 
 /// `sqrt(2/pi)`, for the tanh GELU approximation used by BERT.
 const GELU_C: f32 = 0.797_884_6;
@@ -107,7 +107,7 @@ impl Graph {
 
     /// Records a leaf (input or parameter) node.
     pub fn leaf(&self, value: Tensor) -> Var {
-        self.push(value, vec![], None)
+        self.push("leaf", value, vec![], None)
     }
 
     /// The forward value of `v` (O(1) buffer share).
@@ -120,7 +120,13 @@ impl Graph {
         self.nodes.borrow()[v.0].value.shape()
     }
 
-    fn push(&self, value: Tensor, parents: Vec<usize>, backward: Option<BackwardFn>) -> Var {
+    fn push(&self, op: &'static str, value: Tensor, parents: Vec<usize>, backward: Option<BackwardFn>) -> Var {
+        // Debug-only non-finite guard: when enabled, scan every op output as
+        // it is recorded and report offenders by op name (see [`guard`]).
+        if guard::enabled() && !value.all_finite() {
+            let (rows, cols) = value.shape();
+            guard::record(op, rows, cols);
+        }
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node {
             value,
@@ -135,7 +141,7 @@ impl Graph {
     /// Elementwise `a + b` (same shape).
     pub fn add(&self, a: Var, b: Var) -> Var {
         let out = self.value(a).add(&self.value(b));
-        self.push(
+        self.push("add",
             out,
             vec![a.0, b.0],
             Some(Box::new(|g, sink| {
@@ -148,7 +154,7 @@ impl Graph {
     /// Elementwise `a - b` (same shape).
     pub fn sub(&self, a: Var, b: Var) -> Var {
         let out = self.value(a).sub(&self.value(b));
-        self.push(
+        self.push("sub",
             out,
             vec![a.0, b.0],
             Some(Box::new(|g, sink| {
@@ -163,7 +169,7 @@ impl Graph {
         let va = self.value(a);
         let vb = self.value(b);
         let out = va.mul(&vb);
-        self.push(
+        self.push("mul",
             out,
             vec![a.0, b.0],
             Some(Box::new(move |g, sink| {
@@ -176,7 +182,7 @@ impl Graph {
     /// `a * s` for a compile-time constant `s` (no gradient flows to `s`).
     pub fn scale(&self, a: Var, s: f32) -> Var {
         let out = self.value(a).scale(s);
-        self.push(
+        self.push("scale",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| sink(0, g.scale(s)))),
@@ -205,7 +211,7 @@ impl Graph {
                 }
             }
         }
-        self.push(
+        self.push("add_bias",
             out,
             vec![x.0, bias.0],
             Some(Box::new(|g, sink| {
@@ -223,7 +229,7 @@ impl Graph {
         let va = self.value(a);
         let vb = self.value(b);
         let out = va.matmul(&vb);
-        self.push(
+        self.push("matmul",
             out,
             vec![a.0, b.0],
             Some(Box::new(move |g, sink| {
@@ -238,7 +244,7 @@ impl Graph {
         let va = self.value(a);
         let vb = self.value(b);
         let out = va.matmul_nt(&vb);
-        self.push(
+        self.push("matmul_nt",
             out,
             vec![a.0, b.0],
             Some(Box::new(move |g, sink| {
@@ -253,7 +259,7 @@ impl Graph {
         let va = self.value(a);
         let vb = self.value(b);
         let out = va.matmul_tn(&vb);
-        self.push(
+        self.push("matmul_tn",
             out,
             vec![a.0, b.0],
             Some(Box::new(move |g, sink| {
@@ -278,7 +284,7 @@ impl Graph {
         let vw = self.value(w);
         let vb = self.value(bias);
         let out = affine_forward(&vx, &vw, &vb);
-        self.push(
+        self.push("linear",
             out,
             vec![x.0, w.0, bias.0],
             Some(Box::new(move |g, sink| {
@@ -297,7 +303,7 @@ impl Graph {
         let vb = self.value(bias);
         let pre = affine_forward(&vx, &vw, &vb);
         let out = pre.map(gelu_forward);
-        self.push(
+        self.push("linear_bias_gelu",
             out,
             vec![x.0, w.0, bias.0],
             Some(Box::new(move |g, sink| {
@@ -335,7 +341,7 @@ impl Graph {
         }
         let out = Tensor::from_vec(m, n, buf);
         let p = out.clone();
-        self.push(
+        self.push("attention_scores",
             out,
             vec![q.0, k.0],
             Some(Box::new(move |g, sink| {
@@ -353,7 +359,7 @@ impl Graph {
     /// Matrix transpose.
     pub fn transpose(&self, a: Var) -> Var {
         let out = self.value(a).transpose();
-        self.push(
+        self.push("transpose",
             out,
             vec![a.0],
             Some(Box::new(|g, sink| sink(0, g.transpose()))),
@@ -366,7 +372,7 @@ impl Graph {
     pub fn sigmoid(&self, a: Var) -> Var {
         let out = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
         let y = out.clone();
-        self.push(
+        self.push("sigmoid",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
@@ -379,7 +385,7 @@ impl Graph {
     pub fn tanh(&self, a: Var) -> Var {
         let out = self.value(a).map(f32::tanh);
         let y = out.clone();
-        self.push(
+        self.push("tanh",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
@@ -392,7 +398,7 @@ impl Graph {
     pub fn relu(&self, a: Var) -> Var {
         let vx = self.value(a);
         let out = vx.map(|x| x.max(0.0));
-        self.push(
+        self.push("relu",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
@@ -405,7 +411,7 @@ impl Graph {
     pub fn gelu(&self, a: Var) -> Var {
         let vx = self.value(a);
         let out = vx.map(gelu_forward);
-        self.push(
+        self.push("gelu",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
@@ -420,7 +426,7 @@ impl Graph {
     pub fn softmax_rows(&self, a: Var) -> Var {
         let out = self.value(a).softmax_rows();
         let p = out.clone();
-        self.push(
+        self.push("softmax_rows",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
@@ -433,7 +439,7 @@ impl Graph {
     pub fn softmax_cols(&self, a: Var) -> Var {
         let out = self.value(a).softmax_cols();
         let p = out.clone();
-        self.push(
+        self.push("softmax_cols",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
@@ -460,7 +466,7 @@ impl Graph {
         }
         let out = Tensor::from_vec(m, n, out);
         let p = out.map(f32::exp);
-        self.push(
+        self.push("log_softmax_rows",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
@@ -516,7 +522,7 @@ impl Graph {
         }
         let out = Tensor::from_vec(m, n, out);
 
-        self.push(
+        self.push("layer_norm",
             out,
             vec![x.0, gamma.0, beta.0],
             Some(Box::new(move |g, sink| {
@@ -571,7 +577,7 @@ impl Graph {
         }
         let out = Tensor::from_vec(ids.len(), h, out);
         let ids = ids.to_vec();
-        self.push(
+        self.push("embedding",
             out,
             vec![weight.0],
             Some(Box::new(move |g, sink| {
@@ -596,7 +602,7 @@ impl Graph {
         let va = self.value(a);
         let m = va.rows();
         let out = va.mean_axis0();
-        self.push(
+        self.push("mean_axis0",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
@@ -612,7 +618,7 @@ impl Graph {
         let va = self.value(a);
         let (m, n) = va.shape();
         let out = va.mean_axis1();
-        self.push(
+        self.push("mean_axis1",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
@@ -636,7 +642,7 @@ impl Graph {
         let va = self.value(a);
         let (m, n) = va.shape();
         let out = Tensor::scalar(va.sum());
-        self.push(
+        self.push("sum_all",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
@@ -651,7 +657,7 @@ impl Graph {
         let (m, n) = va.shape();
         let count = (m * n).max(1) as f32;
         let out = Tensor::scalar(va.mean());
-        self.push(
+        self.push("mean_all",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
@@ -667,7 +673,7 @@ impl Graph {
         let refs: Vec<&Tensor> = values.iter().collect();
         let out = Tensor::concat_rows(&refs);
         let row_counts: Vec<usize> = values.iter().map(|t| t.rows()).collect();
-        self.push(
+        self.push("concat_rows",
             out,
             parts.iter().map(|p| p.0).collect(),
             Some(Box::new(move |g, sink| {
@@ -687,7 +693,7 @@ impl Graph {
         let refs: Vec<&Tensor> = values.iter().collect();
         let out = Tensor::concat_cols(&refs);
         let col_counts: Vec<usize> = values.iter().map(|t| t.cols()).collect();
-        self.push(
+        self.push("concat_cols",
             out,
             parts.iter().map(|p| p.0).collect(),
             Some(Box::new(move |g, sink| {
@@ -705,7 +711,7 @@ impl Graph {
         let va = self.value(a);
         let (m, n) = va.shape();
         let out = va.slice_rows(r0, r1);
-        self.push(
+        self.push("slice_rows",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
@@ -724,7 +730,7 @@ impl Graph {
         let va = self.value(a);
         let (m, n) = va.shape();
         let out = va.slice_cols(c0, c1);
-        self.push(
+        self.push("slice_cols",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
@@ -751,7 +757,7 @@ impl Graph {
             // Identity; still record a node so callers can treat train/eval
             // uniformly.
             let out = self.value(a);
-            return self.push(
+            return self.push("dropout",
                 out,
                 vec![a.0],
                 Some(Box::new(|g, sink| sink(0, g.clone()))),
@@ -768,7 +774,7 @@ impl Graph {
                 .collect(),
         );
         let out = va.mul(&mask);
-        self.push(
+        self.push("dropout",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| sink(0, g.mul(&mask)))),
@@ -825,7 +831,7 @@ impl Graph {
         let probs = Tensor::from_vec(m, c, probs);
         let targets = targets.to_vec();
         let inv_wsum = (1.0 / weight_sum) as f32;
-        self.push(
+        self.push("cross_entropy",
             out,
             vec![logits.0],
             Some(Box::new(move |g, sink| {
@@ -863,7 +869,7 @@ impl Graph {
         }
         let out = Tensor::scalar((loss / m as f64) as f32);
         let targets = targets.to_vec();
-        self.push(
+        self.push("bce_with_logits",
             out,
             vec![logits.0],
             Some(Box::new(move |g, sink| {

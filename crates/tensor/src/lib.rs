@@ -11,6 +11,8 @@
 //!   produce gradients for every recorded node.
 //! * [`gradcheck`] — finite-difference gradient checking used by the property
 //!   tests to validate every analytic gradient in the tape.
+//! * [`guard`] — an opt-in non-finite guard that scans every recorded op
+//!   output for NaN/Inf and reports the offending op by name.
 //!
 //! # Design notes
 //!
@@ -42,6 +44,7 @@
 
 pub mod gradcheck;
 mod graph;
+pub mod guard;
 pub mod kernels;
 pub mod pool;
 mod tensor;

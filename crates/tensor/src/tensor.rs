@@ -286,6 +286,17 @@ impl Tensor {
         self.map(|x| x * s)
     }
 
+    /// In-place `self *= s`, reusing the buffer when unshared.
+    ///
+    /// The gradient batch-average and clip paths run this once per parameter
+    /// per optimizer step; the allocating [`Tensor::scale`] there would churn
+    /// a fresh buffer each time and bypass the scratch [`pool`].
+    pub fn scale_mut(&mut self, s: f32) {
+        for v in self.data_mut() {
+            *v *= s;
+        }
+    }
+
     /// In-place `self += other * s`, reusing the buffer when unshared.
     ///
     /// This is the accumulation primitive used by gradient aggregation and
@@ -700,6 +711,24 @@ mod tests {
         let b = Tensor::from_rows(&[&[1.0, 2.0, 3.0]]);
         a.add_scaled_in_place(&b, 0.5);
         assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn scale_mut_reuses_unshared_buffer() {
+        let mut a = Tensor::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        let ptr = a.data().as_ptr();
+        a.scale_mut(0.5);
+        assert_eq!(a.data(), &[0.5, -1.0, 1.5, 2.0]);
+        assert_eq!(a.data().as_ptr(), ptr, "unshared scale_mut must not reallocate");
+    }
+
+    #[test]
+    fn scale_mut_copies_on_write_when_shared() {
+        let mut a = Tensor::from_rows(&[&[2.0, 4.0]]);
+        let b = a.clone();
+        a.scale_mut(2.0);
+        assert_eq!(a.data(), &[4.0, 8.0]);
+        assert_eq!(b.data(), &[2.0, 4.0], "shared holder must see the old values");
     }
 
     #[test]

@@ -1,0 +1,644 @@
+//! Training-run observability for the EMBA reproduction.
+//!
+//! The training loop in `emba-core` is deliberately silent: it returns a
+//! final report and nothing else, which makes divergence (a NaN loss, a dead
+//! learning-rate schedule, an early stop that never fires) invisible until
+//! the run is over. This crate adds a thin observer seam:
+//!
+//! * [`TrainObserver`] — a trait with default no-op hooks for every
+//!   interesting moment of a run: epoch boundaries, optimizer steps (loss,
+//!   pre-clip gradient norm, effective learning rate, wall time), evaluation
+//!   passes, best-state checkpointing, and non-finite events.
+//! * [`JsonlLogger`] — streams one JSON object per event to any `Write`
+//!   sink, conventionally `results/runs/<name>.jsonl`. Every object carries
+//!   an `"event"` discriminator; non-finite floats are sanitized to `null`
+//!   so the log always parses.
+//! * [`SummaryBuilder`] — folds the same event stream into a [`RunSummary`]:
+//!   per-epoch loss curve, gradient-norm statistics, scratch-pool hit rate
+//!   (via [`emba_tensor::pool::stats`]), and per-phase timers.
+//! * [`TraceSession`] — the usual pairing of both, plus the output path.
+//!
+//! The crate deliberately does not depend on `emba-core` (core depends on
+//! it), so hooks traffic only in plain numbers, strings, and the record
+//! structs defined here.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use emba_tensor::pool;
+use serde::{Deserialize, Serialize, Value};
+
+/// Static facts about a run, emitted once before the first epoch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// Model name as reported by the matcher.
+    pub model: String,
+    /// Number of training examples.
+    pub train_examples: usize,
+    /// Number of validation examples.
+    pub valid_examples: usize,
+    /// Configured epoch budget.
+    pub epochs: usize,
+    /// Optimizer batch size.
+    pub batch_size: usize,
+    /// Peak learning rate of the schedule.
+    pub base_lr: f64,
+}
+
+/// One optimizer step: the numbers a divergence postmortem needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Zero-based epoch the step belongs to.
+    pub epoch: usize,
+    /// Global optimizer step index (zero-based).
+    pub step: u64,
+    /// Mean training loss over the examples in this batch.
+    pub loss: f64,
+    /// Global L2 gradient norm *before* clipping.
+    pub grad_norm: f64,
+    /// Effective learning rate applied by the schedule at this step.
+    pub lr: f64,
+    /// Wall-clock time of the batch in milliseconds.
+    pub wall_ms: f64,
+    /// Number of examples in the batch.
+    pub examples: usize,
+}
+
+/// One evaluation pass over a split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Epoch after which the evaluation ran.
+    pub epoch: usize,
+    /// Split name: `"valid"` or `"test"`.
+    pub split: String,
+    /// Precision on the positive (match) class.
+    pub precision: f64,
+    /// Recall on the positive (match) class.
+    pub recall: f64,
+    /// F1 on the positive (match) class.
+    pub f1: f64,
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Wall-clock time of the pass in seconds.
+    pub wall_secs: f64,
+}
+
+/// Aggregate view of a finished run, assembled by [`SummaryBuilder`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Epochs actually executed (early stopping may cut the budget short).
+    pub epochs_run: usize,
+    /// Optimizer steps taken.
+    pub steps: u64,
+    /// Mean training loss per epoch, in epoch order.
+    pub loss_curve: Vec<f64>,
+    /// Smallest pre-clip gradient norm observed.
+    pub grad_norm_min: f64,
+    /// Mean pre-clip gradient norm over all steps.
+    pub grad_norm_mean: f64,
+    /// Largest pre-clip gradient norm observed.
+    pub grad_norm_max: f64,
+    /// Pre-clip gradient norm of the final step.
+    pub grad_norm_last: f64,
+    /// Epoch whose validation F1 was best.
+    pub best_epoch: usize,
+    /// Best validation F1 seen.
+    pub best_valid_f1: f64,
+    /// Scratch-pool buffer hits during the run.
+    pub pool_hits: u64,
+    /// Scratch-pool buffer misses (fresh allocations) during the run.
+    pub pool_misses: u64,
+    /// `hits / (hits + misses)`, or 0 when the pool went untouched.
+    pub pool_hit_rate: f64,
+    /// Seconds spent in optimizer steps (forward + backward + update).
+    pub train_secs: f64,
+    /// Seconds spent in evaluation passes.
+    pub eval_secs: f64,
+    /// Times the best state was (re)captured.
+    pub checkpoint_saves: usize,
+    /// Non-finite events reported (guard hits, NaN losses, NaN metrics).
+    pub non_finite_events: usize,
+}
+
+/// Hooks into a training run. Every method has a no-op default, so observers
+/// implement only what they care about.
+pub trait TrainObserver {
+    /// Called once before the first epoch.
+    fn on_run_start(&mut self, _meta: &RunMeta) {}
+    /// Called at the start of each epoch (zero-based).
+    fn on_epoch_start(&mut self, _epoch: usize) {}
+    /// Called after each optimizer step.
+    fn on_step(&mut self, _record: &StepRecord) {}
+    /// Called at the end of each epoch with its mean training loss.
+    fn on_epoch_end(&mut self, _epoch: usize, _mean_loss: f64) {}
+    /// Called after each evaluation pass.
+    fn on_eval(&mut self, _record: &EvalRecord) {}
+    /// Called when the best-so-far state is captured.
+    fn on_checkpoint_save(&mut self, _epoch: usize, _valid_f1: f64) {}
+    /// Called when the best state is restored at the end of the run.
+    fn on_checkpoint_restore(&mut self, _epoch: usize) {}
+    /// Called when a non-finite value is detected. `source` identifies where
+    /// (`"op:softmax_rows"`, `"train_loss"`, `"valid_f1"`); `detail` is a
+    /// human-readable elaboration.
+    fn on_non_finite(&mut self, _source: &str, _detail: &str) {}
+    /// Called once after the run with the aggregate summary.
+    fn on_run_end(&mut self, _summary: &RunSummary) {}
+}
+
+/// Observer that ignores every event; the default when callers pass no
+/// observer of their own.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl TrainObserver for NullObserver {}
+
+/// Replaces non-finite floats with `Null`, recursively. The vendored JSON
+/// writer already emits `null` for them, but sanitizing the tree keeps the
+/// in-memory event copies consistent with what lands on disk.
+fn sanitize(v: Value) -> Value {
+    match v {
+        Value::Float(f) if !f.is_finite() => Value::Null,
+        Value::Array(items) => Value::Array(items.into_iter().map(sanitize).collect()),
+        Value::Object(fields) => {
+            Value::Object(fields.into_iter().map(|(k, v)| (k, sanitize(v))).collect())
+        }
+        other => other,
+    }
+}
+
+/// Tags a record's object form with an `"event"` discriminator as the first
+/// key and sanitizes non-finite floats.
+fn tagged(event: &str, v: Value) -> Value {
+    let mut fields = vec![("event".to_string(), Value::Str(event.to_string()))];
+    match sanitize(v) {
+        Value::Object(rest) => fields.extend(rest),
+        other => fields.push(("value".to_string(), other)),
+    }
+    Value::Object(fields)
+}
+
+/// Streams one JSON object per observer event to a `Write` sink.
+///
+/// Events are written in arrival order, one per line, each with an `"event"`
+/// field naming the hook. All floats in the output are finite or `null`.
+pub struct JsonlLogger<W: Write> {
+    out: W,
+    events: u64,
+    io_error: Option<io::Error>,
+}
+
+impl JsonlLogger<BufWriter<File>> {
+    /// Creates `<dir>/<name>.jsonl` (and `dir` itself if missing) and logs
+    /// into it.
+    pub fn create(dir: &Path, name: &str) -> io::Result<(Self, PathBuf)> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.jsonl"));
+        let file = File::create(&path)?;
+        Ok((Self::new(BufWriter::new(file)), path))
+    }
+}
+
+impl<W: Write> JsonlLogger<W> {
+    /// Wraps an arbitrary sink.
+    pub fn new(out: W) -> Self {
+        Self { out, events: 0, io_error: None }
+    }
+
+    /// Number of events written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Flushes the sink and surfaces any write error swallowed by the
+    /// observer hooks (which cannot return `Result`).
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.io_error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn emit<T: Serialize>(&mut self, event: &str, record: &T) {
+        if self.io_error.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(&tagged(event, record.to_value()))
+            .expect("value serialization is infallible");
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.io_error = Some(e);
+            return;
+        }
+        self.events += 1;
+    }
+}
+
+impl<W: Write> TrainObserver for JsonlLogger<W> {
+    fn on_run_start(&mut self, meta: &RunMeta) {
+        self.emit("run_start", meta);
+    }
+    fn on_epoch_start(&mut self, epoch: usize) {
+        self.emit("epoch_start", &EpochEvent { epoch, mean_loss: None });
+    }
+    fn on_step(&mut self, record: &StepRecord) {
+        self.emit("step", record);
+    }
+    fn on_epoch_end(&mut self, epoch: usize, mean_loss: f64) {
+        self.emit("epoch_end", &EpochEvent { epoch, mean_loss: Some(mean_loss) });
+    }
+    fn on_eval(&mut self, record: &EvalRecord) {
+        self.emit("eval", record);
+    }
+    fn on_checkpoint_save(&mut self, epoch: usize, valid_f1: f64) {
+        self.emit("checkpoint_save", &CheckpointEvent { epoch, valid_f1: Some(valid_f1) });
+    }
+    fn on_checkpoint_restore(&mut self, epoch: usize) {
+        self.emit("checkpoint_restore", &CheckpointEvent { epoch, valid_f1: None });
+    }
+    fn on_non_finite(&mut self, source: &str, detail: &str) {
+        self.emit(
+            "non_finite",
+            &NonFiniteEvent { source: source.to_string(), detail: detail.to_string() },
+        );
+    }
+    fn on_run_end(&mut self, summary: &RunSummary) {
+        self.emit("run_summary", summary);
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct EpochEvent {
+    epoch: usize,
+    mean_loss: Option<f64>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct CheckpointEvent {
+    epoch: usize,
+    valid_f1: Option<f64>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct NonFiniteEvent {
+    source: String,
+    detail: String,
+}
+
+/// Folds the observer event stream into a [`RunSummary`].
+///
+/// Pool statistics are measured as a delta from construction time, so a
+/// builder made just before `train_matcher` reports only that run's hits and
+/// misses even when earlier runs already warmed the pool.
+pub struct SummaryBuilder {
+    pool_baseline: pool::PoolStats,
+    epochs_run: usize,
+    steps: u64,
+    loss_curve: Vec<f64>,
+    grad_norms: Vec<f64>,
+    best_epoch: usize,
+    best_valid_f1: f64,
+    train_secs: f64,
+    eval_secs: f64,
+    checkpoint_saves: usize,
+    non_finite_events: usize,
+}
+
+impl SummaryBuilder {
+    /// Starts aggregating; snapshots the pool counters as the baseline.
+    pub fn new() -> Self {
+        Self {
+            pool_baseline: pool::stats(),
+            epochs_run: 0,
+            steps: 0,
+            loss_curve: Vec::new(),
+            grad_norms: Vec::new(),
+            best_epoch: 0,
+            best_valid_f1: f64::NEG_INFINITY,
+            train_secs: 0.0,
+            eval_secs: 0.0,
+            checkpoint_saves: 0,
+            non_finite_events: 0,
+        }
+    }
+
+    /// Finalizes the aggregate.
+    pub fn finish(&self) -> RunSummary {
+        let now = pool::stats();
+        let hits = now.hits.saturating_sub(self.pool_baseline.hits);
+        let misses = now.misses.saturating_sub(self.pool_baseline.misses);
+        let lookups = hits + misses;
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for &g in &self.grad_norms {
+            min = min.min(g);
+            max = max.max(g);
+            sum += g;
+        }
+        let n = self.grad_norms.len();
+        RunSummary {
+            epochs_run: self.epochs_run,
+            steps: self.steps,
+            loss_curve: self.loss_curve.clone(),
+            grad_norm_min: if n == 0 { 0.0 } else { min },
+            grad_norm_mean: if n == 0 { 0.0 } else { sum / n as f64 },
+            grad_norm_max: if n == 0 { 0.0 } else { max },
+            grad_norm_last: self.grad_norms.last().copied().unwrap_or(0.0),
+            best_epoch: self.best_epoch,
+            best_valid_f1: if self.best_valid_f1.is_finite() { self.best_valid_f1 } else { 0.0 },
+            pool_hits: hits,
+            pool_misses: misses,
+            pool_hit_rate: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+            train_secs: self.train_secs,
+            eval_secs: self.eval_secs,
+            checkpoint_saves: self.checkpoint_saves,
+            non_finite_events: self.non_finite_events,
+        }
+    }
+}
+
+impl Default for SummaryBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrainObserver for SummaryBuilder {
+    fn on_step(&mut self, record: &StepRecord) {
+        self.steps += 1;
+        self.grad_norms.push(record.grad_norm);
+        self.train_secs += record.wall_ms / 1e3;
+    }
+    fn on_epoch_end(&mut self, _epoch: usize, mean_loss: f64) {
+        self.epochs_run += 1;
+        self.loss_curve.push(mean_loss);
+    }
+    fn on_eval(&mut self, record: &EvalRecord) {
+        self.eval_secs += record.wall_secs;
+    }
+    fn on_checkpoint_save(&mut self, epoch: usize, valid_f1: f64) {
+        self.checkpoint_saves += 1;
+        if valid_f1 > self.best_valid_f1 {
+            self.best_valid_f1 = valid_f1;
+            self.best_epoch = epoch;
+        }
+    }
+    fn on_non_finite(&mut self, _source: &str, _detail: &str) {
+        self.non_finite_events += 1;
+    }
+}
+
+/// A [`JsonlLogger`] writing to `results/runs/<name>.jsonl` paired with a
+/// [`SummaryBuilder`]; forwards every event to both and appends the final
+/// `run_summary` line when finished.
+pub struct TraceSession {
+    logger: JsonlLogger<BufWriter<File>>,
+    summary: SummaryBuilder,
+    path: PathBuf,
+}
+
+impl TraceSession {
+    /// Opens `<dir>/<name>.jsonl` for a new run.
+    pub fn create(dir: &Path, name: &str) -> io::Result<Self> {
+        let (logger, path) = JsonlLogger::create(dir, name)?;
+        Ok(Self { logger, summary: SummaryBuilder::new(), path })
+    }
+
+    /// Path of the log file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Builds the final summary, writes it as the last JSONL line, and
+    /// flushes the file.
+    pub fn finish(mut self) -> io::Result<RunSummary> {
+        let summary = self.summary.finish();
+        self.logger.on_run_end(&summary);
+        self.logger.finish()?;
+        Ok(summary)
+    }
+}
+
+impl TrainObserver for TraceSession {
+    fn on_run_start(&mut self, meta: &RunMeta) {
+        self.logger.on_run_start(meta);
+        self.summary.on_run_start(meta);
+    }
+    fn on_epoch_start(&mut self, epoch: usize) {
+        self.logger.on_epoch_start(epoch);
+        self.summary.on_epoch_start(epoch);
+    }
+    fn on_step(&mut self, record: &StepRecord) {
+        self.logger.on_step(record);
+        self.summary.on_step(record);
+    }
+    fn on_epoch_end(&mut self, epoch: usize, mean_loss: f64) {
+        self.logger.on_epoch_end(epoch, mean_loss);
+        self.summary.on_epoch_end(epoch, mean_loss);
+    }
+    fn on_eval(&mut self, record: &EvalRecord) {
+        self.logger.on_eval(record);
+        self.summary.on_eval(record);
+    }
+    fn on_checkpoint_save(&mut self, epoch: usize, valid_f1: f64) {
+        self.logger.on_checkpoint_save(epoch, valid_f1);
+        self.summary.on_checkpoint_save(epoch, valid_f1);
+    }
+    fn on_checkpoint_restore(&mut self, epoch: usize) {
+        self.logger.on_checkpoint_restore(epoch);
+        self.summary.on_checkpoint_restore(epoch);
+    }
+    fn on_non_finite(&mut self, source: &str, detail: &str) {
+        self.logger.on_non_finite(source, detail);
+        self.summary.on_non_finite(source, detail);
+    }
+    fn on_run_end(&mut self, summary: &RunSummary) {
+        self.logger.on_run_end(summary);
+        self.summary.on_run_end(summary);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            model: "emba-sb".to_string(),
+            train_examples: 64,
+            valid_examples: 16,
+            epochs: 2,
+            batch_size: 8,
+            base_lr: 1e-3,
+        }
+    }
+
+    fn step(epoch: usize, step: u64, loss: f64, grad_norm: f64) -> StepRecord {
+        StepRecord { epoch, step, loss, grad_norm, lr: 1e-3, wall_ms: 2.0, examples: 8 }
+    }
+
+    fn eval(epoch: usize, split: &str, f1: f64) -> EvalRecord {
+        EvalRecord {
+            epoch,
+            split: split.to_string(),
+            precision: 0.9,
+            recall: 0.8,
+            f1,
+            accuracy: 0.85,
+            wall_secs: 0.01,
+        }
+    }
+
+    /// Drives a miniature two-epoch run through any observer.
+    fn drive(obs: &mut dyn TrainObserver) {
+        obs.on_run_start(&meta());
+        obs.on_epoch_start(0);
+        obs.on_step(&step(0, 0, 0.9, 2.0));
+        obs.on_step(&step(0, 1, 0.7, 4.0));
+        obs.on_epoch_end(0, 0.8);
+        obs.on_eval(&eval(0, "valid", 0.5));
+        obs.on_checkpoint_save(0, 0.5);
+        obs.on_epoch_start(1);
+        obs.on_step(&step(1, 2, 0.5, 1.0));
+        obs.on_epoch_end(1, 0.5);
+        obs.on_eval(&eval(1, "valid", 0.6));
+        obs.on_checkpoint_save(1, 0.6);
+        obs.on_checkpoint_restore(1);
+        obs.on_eval(&eval(2, "test", 0.55));
+    }
+
+    fn parse_lines(bytes: &[u8]) -> Vec<Value> {
+        let text = std::str::from_utf8(bytes).unwrap();
+        text.lines().map(|l| serde_json::from_str::<Value>(l).unwrap()).collect()
+    }
+
+    fn event_names(lines: &[Value]) -> Vec<String> {
+        lines
+            .iter()
+            .map(|v| v.get("event").and_then(Value::as_str).unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn jsonl_logger_emits_events_in_order() {
+        let mut logger = JsonlLogger::new(Vec::new());
+        drive(&mut logger);
+        assert_eq!(logger.events(), 14);
+        let out = logger.finish().unwrap();
+        let lines = parse_lines(&out);
+        assert_eq!(
+            event_names(&lines),
+            [
+                "run_start",
+                "epoch_start",
+                "step",
+                "step",
+                "epoch_end",
+                "eval",
+                "checkpoint_save",
+                "epoch_start",
+                "step",
+                "epoch_end",
+                "eval",
+                "checkpoint_save",
+                "checkpoint_restore",
+                "eval",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+        );
+        // Spot-check payload fields survive the round trip.
+        assert_eq!(lines[0].get("model").and_then(Value::as_str), Some("emba-sb"));
+        assert_eq!(lines[2].get("loss").and_then(Value::as_f64), Some(0.9));
+        assert_eq!(lines[2].get("grad_norm").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(lines[5].get("split").and_then(Value::as_str), Some("valid"));
+    }
+
+    /// Asserts no Float anywhere in the tree is non-finite.
+    fn assert_all_floats_finite(v: &Value) {
+        match v {
+            Value::Float(f) => assert!(f.is_finite(), "non-finite float in log: {f}"),
+            Value::Array(items) => items.iter().for_each(assert_all_floats_finite),
+            Value::Object(fields) => fields.iter().for_each(|(_, v)| assert_all_floats_finite(v)),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut logger = JsonlLogger::new(Vec::new());
+        logger.on_step(&step(0, 0, f64::NAN, f64::INFINITY));
+        logger.on_non_finite("train_loss", "loss went NaN at step 0");
+        let out = logger.finish().unwrap();
+        let lines = parse_lines(&out);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].get("loss").unwrap().is_null());
+        assert!(lines[0].get("grad_norm").unwrap().is_null());
+        lines.iter().for_each(assert_all_floats_finite);
+        assert_eq!(lines[1].get("source").and_then(Value::as_str), Some("train_loss"));
+    }
+
+    #[test]
+    fn summary_builder_aggregates_the_run() {
+        let mut b = SummaryBuilder::new();
+        drive(&mut b);
+        let s = b.finish();
+        assert_eq!(s.epochs_run, 2);
+        assert_eq!(s.steps, 3);
+        assert_eq!(s.loss_curve, vec![0.8, 0.5]);
+        assert_eq!(s.grad_norm_min, 1.0);
+        assert_eq!(s.grad_norm_max, 4.0);
+        assert!((s.grad_norm_mean - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.grad_norm_last, 1.0);
+        assert_eq!(s.best_epoch, 1);
+        assert!((s.best_valid_f1 - 0.6).abs() < 1e-12);
+        assert_eq!(s.checkpoint_saves, 2);
+        assert_eq!(s.non_finite_events, 0);
+        assert!(s.train_secs > 0.0);
+        assert!(s.eval_secs > 0.0);
+        assert!((0.0..=1.0).contains(&s.pool_hit_rate));
+    }
+
+    #[test]
+    fn summary_of_empty_run_is_all_zero() {
+        let s = SummaryBuilder::new().finish();
+        assert_eq!(s.steps, 0);
+        assert_eq!(s.grad_norm_min, 0.0);
+        assert_eq!(s.grad_norm_mean, 0.0);
+        assert_eq!(s.best_valid_f1, 0.0);
+        assert!(s.loss_curve.is_empty());
+    }
+
+    #[test]
+    fn summary_counts_pool_traffic_as_a_delta() {
+        // Warm the pool, then measure only what happens after the baseline.
+        pool::put(vec![0.0; 16]);
+        let b = SummaryBuilder::new();
+        pool::put(pool::take(16)); // guaranteed hit after the baseline
+        let s = b.finish();
+        assert!(s.pool_hits >= 1, "expected at least one hit, got {}", s.pool_hits);
+    }
+
+    #[test]
+    fn trace_session_writes_summary_line_to_disk() {
+        let dir = std::env::temp_dir().join(format!("emba-trace-test-{}", std::process::id()));
+        let mut session = TraceSession::create(&dir, "unit").unwrap();
+        let path = session.path().to_path_buf();
+        drive(&mut session);
+        let summary = session.finish().unwrap();
+        assert_eq!(summary.steps, 3);
+        let text = fs::read_to_string(&path).unwrap();
+        let lines = parse_lines(text.as_bytes());
+        assert_eq!(event_names(&lines).first().map(String::as_str), Some("run_start"));
+        assert_eq!(event_names(&lines).last().map(String::as_str), Some("run_summary"));
+        let last = lines.last().unwrap();
+        assert_eq!(last.get("steps").and_then(Value::as_u64), Some(3));
+        lines.iter().for_each(assert_all_floats_finite);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn null_observer_accepts_everything() {
+        drive(&mut NullObserver);
+    }
+}

@@ -1,0 +1,74 @@
+//! Observed training: attach a trace session to a run and get a streaming
+//! JSONL event log plus an aggregate summary.
+//!
+//! ```sh
+//! cargo run --release --example traced_training
+//! ```
+//!
+//! Writes `results/runs/example.jsonl` — one JSON object per event (run
+//! metadata, per-step loss / gradient norm / learning rate, evaluation
+//! passes, checkpointing) with a final `run_summary` line.
+
+use std::path::Path;
+
+use emba::core::{train_single_cached_observed, ExperimentConfig, ModelKind, PretrainCache, TrainConfig};
+use emba::datagen::{build, DatasetId, Scale, WdcCategory, WdcSize};
+use emba::trace::TraceSession;
+
+fn main() {
+    let dataset = build(
+        DatasetId::Wdc(WdcCategory::Computers, WdcSize::Small),
+        Scale(0.05),
+        42,
+    );
+    let cfg = ExperimentConfig {
+        vocab_size: 512,
+        max_len: 48,
+        train: TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            lr: 1e-3,
+            patience: 3,
+            // Scan every op output for NaN/Inf; offenders are reported in
+            // the event log with the op name that produced them.
+            nan_guard: true,
+            ..TrainConfig::default()
+        },
+        mlm_epochs: 1,
+        runs: 1,
+        ..ExperimentConfig::default()
+    };
+
+    let mut session =
+        TraceSession::create(Path::new("results/runs"), "example").expect("open event log");
+    println!("logging to {} ...", session.path().display());
+    let (_, report) = train_single_cached_observed(
+        ModelKind::EmbaSb,
+        &dataset,
+        &cfg,
+        0,
+        &mut PretrainCache::new(),
+        &mut session,
+    );
+    let summary = session.finish().expect("flush event log");
+
+    println!(
+        "{} epochs, {} optimizer steps, best valid F1 {:.3} (epoch {}), test F1 {:.3}",
+        summary.epochs_run,
+        summary.steps,
+        summary.best_valid_f1,
+        summary.best_epoch,
+        report.test.matching.f1,
+    );
+    println!(
+        "grad norm min/mean/max = {:.3}/{:.3}/{:.3}; pool hit-rate {:.1}%; \
+         {:.1}s training, {:.1}s evaluation; {} non-finite events",
+        summary.grad_norm_min,
+        summary.grad_norm_mean,
+        summary.grad_norm_max,
+        100.0 * summary.pool_hit_rate,
+        summary.train_secs,
+        summary.eval_secs,
+        summary.non_finite_events,
+    );
+}

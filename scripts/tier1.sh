@@ -7,3 +7,11 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# Observability smoke: a tiny traced training run must produce a non-empty,
+# well-formed JSONL event log (the trace target itself validates every line
+# and exits non-zero on empty/malformed output).
+rm -f results/runs/tier1-smoke.jsonl
+cargo run --release -p emba-bench --bin reproduce -- \
+    trace --profile smoke --trace-name tier1-smoke
+test -s results/runs/tier1-smoke.jsonl

@@ -12,6 +12,7 @@
 //! | [`datagen`] | `emba-datagen` | the ten synthetic benchmark datasets |
 //! | [`core`] | `emba-core` | EMBA + every baseline, training, metrics, stats |
 //! | [`explain`] | `emba-explain` | LIME and attention analyses |
+//! | [`trace`] | `emba-trace` | training-run observability: JSONL logs + summaries |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and the `emba-bench`
 //! crate's `reproduce` binary for regenerating every table and figure of the
@@ -32,3 +33,4 @@ pub use emba_explain as explain;
 pub use emba_nn as nn;
 pub use emba_tensor as tensor;
 pub use emba_tokenizer as tokenizer;
+pub use emba_trace as trace;

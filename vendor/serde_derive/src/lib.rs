@@ -4,9 +4,11 @@
 //! workspace actually contains — structs with named fields, tuple structs,
 //! and enums whose variants are unit or tuple — generating impls of the stub
 //! `serde::Serialize` / `serde::Deserialize` traits (an eager `Value`-tree
-//! data model). The only field attribute honored is `#[serde(skip)]`, which
-//! omits the field on serialize and fills it from `Default` on deserialize;
-//! that is the full attribute surface the repository uses.
+//! data model). The field attributes honored are `#[serde(skip)]` (omit on
+//! serialize, fill from `Default` on deserialize), `#[serde(default)]`, and
+//! `#[serde(default = "path")]` (fill a *missing* field from
+//! `Default::default()` / `path()` — used for backward-compatible snapshot
+//! formats); that is the full attribute surface the repository uses.
 //!
 //! The parser is hand-rolled over `proc_macro::TokenTree` (no `syn`/`quote`
 //! in a hermetic build) and panics with a clear message on shapes it does
@@ -15,10 +17,22 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// How a missing field is filled during deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FieldDefault {
+    /// No default: a missing field is a deserialization error.
+    None,
+    /// `#[serde(default)]`: fill from `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]`: fill by calling `path()`.
+    Path(String),
+}
+
 #[derive(Debug)]
 struct Field {
     name: String,
     skip: bool,
+    default: FieldDefault,
 }
 
 #[derive(Debug)]
@@ -149,27 +163,39 @@ fn count_top_level_fields(stream: TokenStream) -> usize {
     split_commas(stream).len()
 }
 
-/// Whether a field's leading attribute tokens contain `#[serde(skip)]`.
-fn strip_attrs(tokens: &[TokenTree]) -> (usize, bool) {
+/// Parses a field's leading attribute tokens, honoring `#[serde(skip)]`,
+/// `#[serde(default)]`, and `#[serde(default = "path")]`. Returns the index
+/// of the first non-attribute token plus the parsed options.
+fn strip_attrs(tokens: &[TokenTree]) -> (usize, bool, FieldDefault) {
     let mut i = 0;
     let mut skip = false;
+    let mut default = FieldDefault::None;
     while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
             let text = g.stream().to_string().replace(' ', "");
-            if text.starts_with("serde(") && text.contains("skip") {
-                skip = true;
+            if let Some(inner) = text.strip_prefix("serde(").and_then(|t| t.strip_suffix(')')) {
+                for part in inner.split(',') {
+                    if part == "skip" {
+                        skip = true;
+                    } else if part == "default" {
+                        default = FieldDefault::Trait;
+                    } else if let Some(path) = part.strip_prefix("default=") {
+                        let path = path.trim_matches('"');
+                        default = FieldDefault::Path(path.to_string());
+                    }
+                }
             }
         }
         i += 2;
     }
-    (i, skip)
+    (i, skip, default)
 }
 
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     split_commas(stream)
         .into_iter()
         .map(|tokens| {
-            let (mut i, skip) = strip_attrs(&tokens);
+            let (mut i, skip, default) = strip_attrs(&tokens);
             if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
                 i += 1;
                 if let Some(TokenTree::Group(g)) = tokens.get(i) {
@@ -179,7 +205,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                 }
             }
             match tokens.get(i) {
-                Some(TokenTree::Ident(id)) => Field { name: id.to_string(), skip },
+                Some(TokenTree::Ident(id)) => Field { name: id.to_string(), skip, default },
                 other => panic!("serde_derive: expected field name, found {other:?}"),
             }
         })
@@ -190,7 +216,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     split_commas(stream)
         .into_iter()
         .map(|tokens| {
-            let (mut i, _) = strip_attrs(&tokens);
+            let (mut i, _, _) = strip_attrs(&tokens);
             let name = match tokens.get(i) {
                 Some(TokenTree::Ident(id)) => id.to_string(),
                 other => panic!("serde_derive: expected variant name, found {other:?}"),
@@ -275,10 +301,21 @@ fn gen_deserialize(item: &Item) -> String {
                 if f.skip {
                     inits.push_str(&format!("{n}: ::std::default::Default::default(),\n", n = f.name));
                 } else {
-                    inits.push_str(&format!(
-                        "{n}: serde::Deserialize::from_value(__v.get(\"{n}\").ok_or_else(|| serde::Error::custom(\"missing field `{n}` in {name}\"))?)?,\n",
-                        n = f.name
-                    ));
+                    let fallback = match &f.default {
+                        FieldDefault::None => None,
+                        FieldDefault::Trait => Some("::std::default::Default::default()".to_string()),
+                        FieldDefault::Path(path) => Some(format!("{path}()")),
+                    };
+                    match fallback {
+                        Some(expr) => inits.push_str(&format!(
+                            "{n}: match __v.get(\"{n}\") {{ Some(__f) => serde::Deserialize::from_value(__f)?, None => {expr} }},\n",
+                            n = f.name
+                        )),
+                        None => inits.push_str(&format!(
+                            "{n}: serde::Deserialize::from_value(__v.get(\"{n}\").ok_or_else(|| serde::Error::custom(\"missing field `{n}` in {name}\"))?)?,\n",
+                            n = f.name
+                        )),
+                    }
                 }
             }
             format!(
