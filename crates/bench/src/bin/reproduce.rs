@@ -12,7 +12,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use emba_bench::{
-    bench_tensor_kernels, figure5, figure6, render_table2, render_table3, render_table4,
+    bench_tensor_kernels, crash_run, figure5, figure6, render_table2, render_table3, render_table4,
     render_table5, table1, table2_data, table4_data, table6, table7, trace_run, Artifact, Profile,
 };
 
@@ -163,6 +163,31 @@ fn main() {
             }
         }
     }
+    if wants("crash") {
+        let name = flag_value(&args, "--trace-name")
+            .unwrap_or_else(|| format!("crash-{}", profile.name));
+        match crash_run(&profile, emba_core::ModelKind::EmbaSb, &name, &out_dir) {
+            Ok(outcome) => {
+                eprintln!(
+                    "[saved] {} ({} events validated)",
+                    outcome.path.display(),
+                    outcome.events
+                );
+                println!(
+                    "crash harness: killed at step {}, {} steps replayed bit-identically, \
+                     {} corrupt snapshots skipped, test F1 {:.4}",
+                    outcome.killed_at_step,
+                    outcome.resumed_steps,
+                    outcome.corrupt_skipped,
+                    outcome.test_f1,
+                );
+            }
+            Err(msg) => {
+                eprintln!("crash harness failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -194,6 +219,11 @@ TARGETS (default: all):
     trace    one observed training run with the non-finite guard on; writes
              the event log to results/runs/<name>.jsonl and validates it.
              Not part of `all` — run as `reproduce trace --profile smoke`
+    crash    fault-injection harness for crash-safe training: kills a run
+             mid-epoch, resumes from the checkpoint store, corrupts
+             snapshots, and asserts every replay is bit-identical to the
+             uninterrupted baseline. Not part of `all` — run as
+             `reproduce crash --profile smoke`
 
 OPTIONS:
     --profile smoke|quick|full   compute budget (default quick)

@@ -5,12 +5,14 @@
 //! function returns both a human-readable text block and a JSON artifact so
 //! `EXPERIMENTS.md` can cite machine-checkable numbers.
 
+pub mod crash;
 pub mod kernel_bench;
 pub mod profile;
 pub mod render;
 pub mod tables;
 pub mod trace_run;
 
+pub use crash::{crash_run, CrashOutcome};
 pub use kernel_bench::bench_tensor_kernels;
 pub use profile::Profile;
 pub use render::Table;

@@ -1,0 +1,77 @@
+//! Typed errors for the fallible core paths (checkpoint I/O, resume).
+//!
+//! Training itself is infallible by construction — model code panics only on
+//! internal invariant violations — but anything that touches the filesystem
+//! or deserializes untrusted bytes returns [`CoreError`] instead.
+
+use std::fmt;
+use std::io;
+
+/// Error type for checkpoint persistence and resumable training.
+#[derive(Debug)]
+pub enum CoreError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// Serialization or deserialization failed.
+    Serde(String),
+    /// A snapshot exists but its contents are not usable for this run
+    /// (config mismatch, wrong dataset fingerprint, ...).
+    Incompatible(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CoreError::Serde(msg) => write!(f, "checkpoint (de)serialization failed: {msg}"),
+            CoreError::Incompatible(msg) => write!(f, "checkpoint incompatible with run: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CoreError {
+    fn from(e: io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CoreError {
+    fn from(e: serde_json::Error) -> Self {
+        CoreError::Serde(e.0)
+    }
+}
+
+impl From<serde::Error> for CoreError {
+    fn from(e: serde::Error) -> Self {
+        CoreError::Serde(e.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_errors_convert_and_display() {
+        let e: CoreError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn serde_errors_convert_and_display() {
+        let e: CoreError = serde_json::Error("bad token".to_string()).into();
+        assert!(e.to_string().contains("bad token"));
+        let e: CoreError = serde::Error::custom("missing field").into();
+        assert!(e.to_string().contains("missing field"));
+    }
+}

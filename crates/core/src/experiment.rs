@@ -142,6 +142,76 @@ pub fn train_single_cached_observed(
     cache: &mut PretrainCache,
     observer: &mut dyn emba_trace::TrainObserver,
 ) -> (TrainedMatcher, TrainReport) {
+    let mut p = prepare(kind, dataset, cfg, seed, cache);
+    let report =
+        train_matcher_observed(p.model.as_mut(), &p.train, &p.valid, &p.test, &p.cfg, observer);
+    (p.into_trained(cfg.dropout), report)
+}
+
+/// [`train_single_cached_observed`] with crash safety: training snapshots
+/// into `store` and, when `opts.resume` is set, continues from the newest
+/// valid snapshot (see [`crate::train_matcher_durable`]).
+///
+/// Everything before the training loop — pipeline fitting, model
+/// construction, MLM/skip-gram pre-training — is deterministic in `seed`
+/// and is re-executed on resume; the snapshot then overwrites the model
+/// parameters, so the resumed run continues bit-exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn train_single_durable(
+    kind: ModelKind,
+    dataset: &Dataset,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    cache: &mut PretrainCache,
+    store: &mut crate::CheckpointStore,
+    opts: &crate::DurabilityConfig,
+    observer: &mut dyn emba_trace::TrainObserver,
+) -> Result<(TrainedMatcher, TrainReport), crate::CoreError> {
+    let mut p = prepare(kind, dataset, cfg, seed, cache);
+    let report = crate::train_matcher_durable(
+        p.model.as_mut(),
+        &p.train,
+        &p.valid,
+        &p.test,
+        &p.cfg,
+        store,
+        opts,
+        observer,
+    )?;
+    Ok((p.into_trained(cfg.dropout), report))
+}
+
+/// A model plus encoded splits, ready for the training loop.
+struct Prepared {
+    pipeline: TextPipeline,
+    model: Box<dyn Matcher>,
+    pos_fraction: f64,
+    train: Vec<EncodedExample>,
+    valid: Vec<EncodedExample>,
+    test: Vec<EncodedExample>,
+    cfg: TrainConfig,
+}
+
+impl Prepared {
+    fn into_trained(self, dropout: f32) -> TrainedMatcher {
+        TrainedMatcher {
+            pipeline: self.pipeline,
+            model: self.model,
+            dropout,
+            pos_fraction: self.pos_fraction,
+        }
+    }
+}
+
+/// The deterministic run prefix shared by plain and durable training:
+/// pipeline fitting, model construction, cached pre-training, encoding.
+fn prepare(
+    kind: ModelKind,
+    dataset: &Dataset,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    cache: &mut PretrainCache,
+) -> Prepared {
     let pipeline = TextPipeline::fit(
         dataset,
         PipelineConfig {
@@ -211,17 +281,15 @@ pub fn train_single_cached_observed(
     let test = pipeline.encode_split(&dataset.test);
     let mut train_cfg = cfg.train.clone();
     train_cfg.seed = seed;
-    let report =
-        train_matcher_observed(model.as_mut(), &train, &valid, &test, &train_cfg, observer);
-    (
-        TrainedMatcher {
-            pipeline,
-            model,
-            dropout: cfg.dropout,
-            pos_fraction,
-        },
-        report,
-    )
+    Prepared {
+        pipeline,
+        model,
+        pos_fraction,
+        train,
+        valid,
+        test,
+        cfg: train_cfg,
+    }
 }
 
 /// Runs the full multi-run protocol for one table cell.

@@ -31,22 +31,26 @@ pub mod aoa;
 mod backbone;
 mod checkpoint;
 mod deepmatcher;
+mod error;
 mod experiment;
 mod heads;
 mod kind;
 mod metrics;
 mod models;
 mod pipeline;
+mod resume;
 pub mod stats;
+mod store;
 mod train;
 
 pub use backbone::{Backbone, BackboneKind, FastTextEncoder, SeqOutput, DEFAULT_DROPOUT};
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use deepmatcher::{DeepMatcher, DeepMatcherConfig};
+pub use error::CoreError;
 pub use experiment::{
     run_experiment, run_experiment_cached, train_single, train_single_cached,
-    train_single_cached_observed, ExperimentConfig, ExperimentResult, Prediction, PretrainCache,
-    TrainedMatcher,
+    train_single_cached_observed, train_single_durable, ExperimentConfig, ExperimentResult,
+    Prediction, PretrainCache, TrainedMatcher,
 };
 pub use heads::{MatchHead, TokenAggregationHead};
 pub use kind::ModelKind;
@@ -55,7 +59,9 @@ pub use models::{
     numeric_vocab_table, AuxStrategy, EmStrategy, Matcher, ModelOutput, TransformerMatcher,
 };
 pub use pipeline::{EncodedExample, PipelineConfig, TextPipeline};
+pub use resume::{train_matcher_durable, DurabilityConfig, TrainState};
+pub use store::CheckpointStore;
 pub use train::{
     evaluate, evaluate_observed, train_matcher, train_matcher_observed, train_with_lr_sweep,
-    EarlyStopper, EvalResult, StopVerdict, TrainConfig, TrainReport,
+    EarlyStopper, EvalResult, StopVerdict, StopperState, TrainConfig, TrainReport,
 };

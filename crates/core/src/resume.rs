@@ -1,0 +1,567 @@
+//! Crash-safe training: the serializable [`TrainState`] and the
+//! [`train_matcher_durable`] entry point that checkpoints through a
+//! [`CheckpointStore`] and resumes from the newest valid snapshot.
+//!
+//! The invariant, enforced by the fault-injection harness in `emba-bench`
+//! (`reproduce crash`): a run killed at any point and resumed from disk
+//! produces per-step losses and final test metrics *bit-identical* to the
+//! same-seed uninterrupted run. See DESIGN.md §6d for the format.
+
+use emba_nn::AdamState;
+use emba_tensor::Tensor;
+use emba_trace::TrainObserver;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::models::Matcher;
+use crate::pipeline::EncodedExample;
+use crate::store::CheckpointStore;
+use crate::train::{train_loop, Persist, StopperState, TrainConfig, TrainReport};
+
+/// Complete, serializable snapshot of a training run in flight.
+///
+/// Everything with a numeric effect on the remainder of the run is here;
+/// wall-clock timing is deliberately absent (throughput is allowed to
+/// differ across a crash). Snapshots are taken only at optimizer-step
+/// boundaries, so there is never a half-accumulated batch to represent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainState {
+    /// The configuration that produced this state. A resume under a
+    /// different configuration is rejected as incompatible.
+    pub cfg: TrainConfig,
+    /// Training-split size, as a cheap dataset fingerprint.
+    pub train_examples: usize,
+    /// Validation-split size, same purpose.
+    pub valid_examples: usize,
+    /// Current model parameters, in module visit order.
+    pub params: Vec<Tensor>,
+    /// Best-validation parameters captured so far, same order.
+    pub best_params: Vec<Tensor>,
+    /// Adam step count and first/second moments, in visit order.
+    pub optim: AdamState,
+    /// The xoshiro256++ RNG state (4 words) driving shuffles and dropout.
+    pub rng: Vec<u64>,
+    /// Early-stopping progress.
+    pub stopper: StopperState,
+    /// Epoch to (re-)enter.
+    pub epoch: usize,
+    /// Position within `order` to continue from; `0` means the epoch has
+    /// not started (fresh shuffle on entry).
+    pub cursor: usize,
+    /// The current example permutation. With `cursor > 0` it is replayed
+    /// from `cursor`; with `cursor == 0` it seeds the next reshuffle (the
+    /// in-place Fisher-Yates makes each epoch's order a function of the
+    /// previous one).
+    pub order: Vec<usize>,
+    /// Global optimizer step count.
+    pub step: u64,
+    /// Training loss accumulated over `order[..cursor]` this epoch.
+    pub epoch_loss: f64,
+    /// Total examples trained on so far.
+    pub trained_pairs: usize,
+    /// Epochs entered so far.
+    pub epochs_run: usize,
+    /// Mean training loss of the last completed epoch.
+    pub final_train_loss: f64,
+}
+
+/// Persistence and resume settings for [`train_matcher_durable`].
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Write a snapshot every this many optimizer steps, on top of the
+    /// unconditional snapshot at every epoch boundary. `0` keeps only the
+    /// epoch-boundary saves.
+    pub every_steps: u64,
+    /// Look for an existing snapshot in the store and continue from it.
+    /// With `false` the store is used for writing only.
+    pub resume: bool,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        Self {
+            every_steps: 0,
+            resume: true,
+        }
+    }
+}
+
+/// [`crate::train_matcher_observed`] with crash safety: periodically
+/// snapshots the complete training state into `store` and, when
+/// `opts.resume` is set, continues from the newest *valid* snapshot found
+/// there.
+///
+/// Corrupt snapshots (truncation, bit flips, torn writes) are skipped —
+/// reported via [`TrainObserver::on_corrupt_skipped`] — and the next-newest
+/// one is used; if every snapshot is corrupt or the store is empty, the run
+/// starts from scratch. A snapshot that parses but belongs to a different
+/// run (other config, other splits, other architecture) is an error, not a
+/// silent restart: [`CoreError::Incompatible`].
+///
+/// Resuming is bit-exact: the continued run's per-step losses and final
+/// metrics equal the uninterrupted same-seed run's.
+#[allow(clippy::too_many_arguments)]
+pub fn train_matcher_durable(
+    model: &mut dyn Matcher,
+    train: &[EncodedExample],
+    valid: &[EncodedExample],
+    test: &[EncodedExample],
+    cfg: &TrainConfig,
+    store: &mut CheckpointStore,
+    opts: &DurabilityConfig,
+    observer: &mut dyn TrainObserver,
+) -> Result<TrainReport, CoreError> {
+    let init = if opts.resume {
+        load_resume_state(store, model, train, valid, cfg, observer)?
+    } else {
+        None
+    };
+    train_loop(
+        model,
+        train,
+        valid,
+        test,
+        cfg,
+        observer,
+        Some(Persist {
+            store,
+            every: opts.every_steps,
+        }),
+        init,
+    )
+}
+
+/// Pulls the newest valid snapshot out of `store` and checks it belongs to
+/// this run. `Ok(None)` means "nothing usable — start fresh" (empty store,
+/// or every snapshot corrupt); a parseable-but-foreign snapshot is an
+/// [`CoreError::Incompatible`] error.
+fn load_resume_state(
+    store: &CheckpointStore,
+    model: &dyn Matcher,
+    train: &[EncodedExample],
+    valid: &[EncodedExample],
+    cfg: &TrainConfig,
+    observer: &mut dyn TrainObserver,
+) -> Result<Option<TrainState>, CoreError> {
+    let Some((_seq, state)) =
+        store.load_latest::<TrainState>(|file, reason| observer.on_corrupt_skipped(file, reason))?
+    else {
+        return Ok(None);
+    };
+    if state.cfg != *cfg {
+        return Err(CoreError::Incompatible(
+            "snapshot was written under a different training configuration".to_string(),
+        ));
+    }
+    if state.train_examples != train.len() || state.valid_examples != valid.len() {
+        return Err(CoreError::Incompatible(format!(
+            "snapshot trained on {}/{} train/valid examples, this run has {}/{}",
+            state.train_examples,
+            state.valid_examples,
+            train.len(),
+            valid.len()
+        )));
+    }
+    check_param_shapes(model, &state.params, "params")?;
+    check_param_shapes(model, &state.best_params, "best_params")?;
+    if state.rng.len() != 4 {
+        return Err(CoreError::Incompatible(format!(
+            "rng state has {} words, expected 4",
+            state.rng.len()
+        )));
+    }
+    if state.order.len() != train.len() {
+        return Err(CoreError::Incompatible(format!(
+            "snapshot carries an order of {} examples, split has {}",
+            state.order.len(),
+            train.len()
+        )));
+    }
+    if state.cursor > train.len() || state.epoch > state.cfg.epochs {
+        return Err(CoreError::Incompatible(format!(
+            "snapshot cursor {}/epoch {} out of range",
+            state.cursor, state.epoch
+        )));
+    }
+    Ok(Some(state))
+}
+
+/// Rejects snapshots whose tensor list cannot be loaded into `model`
+/// (different architecture), so `Module::load_state` never panics on
+/// on-disk data.
+fn check_param_shapes(
+    model: &dyn Matcher,
+    params: &[Tensor],
+    which: &str,
+) -> Result<(), CoreError> {
+    let mut shapes = Vec::new();
+    model.visit(&mut |p| shapes.push(p.value.shape()));
+    if shapes.len() != params.len() {
+        return Err(CoreError::Incompatible(format!(
+            "snapshot {which} holds {} tensors, model has {} parameters",
+            params.len(),
+            shapes.len()
+        )));
+    }
+    for (i, (t, &(rows, cols))) in params.iter().zip(&shapes).enumerate() {
+        if t.shape() != (rows, cols) {
+            return Err(CoreError::Incompatible(format!(
+                "snapshot {which}[{i}] is {:?}, model expects ({rows}, {cols})",
+                t.shape()
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbone::Backbone;
+    use crate::models::{AuxStrategy, EmStrategy, TransformerMatcher};
+    use crate::pipeline::{PipelineConfig, TextPipeline};
+    use crate::train::train_matcher_observed;
+    use emba_datagen::{build, DatasetId, Scale, WdcCategory, WdcSize};
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::collections::HashMap;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn setup() -> (
+        Vec<EncodedExample>,
+        Vec<EncodedExample>,
+        Vec<EncodedExample>,
+        usize,
+        usize,
+    ) {
+        let ds = build(
+            DatasetId::Wdc(WdcCategory::Computers, WdcSize::Small),
+            Scale::TEST,
+            7,
+        );
+        let pipe = TextPipeline::fit(
+            &ds,
+            PipelineConfig {
+                vocab_size: 500,
+                max_len: 32,
+                ..PipelineConfig::default()
+            },
+        );
+        (
+            pipe.encode_split(&ds.train),
+            pipe.encode_split(&ds.valid),
+            pipe.encode_split(&ds.test),
+            pipe.vocab_size(),
+            ds.num_classes,
+        )
+    }
+
+    fn tiny_model(vocab: usize, classes: usize, seed: u64) -> TransformerMatcher {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let backbone = Backbone::from_bert_config(emba_nn::BertConfig::tiny(vocab), true, &mut rng);
+        TransformerMatcher::new(
+            "EMBA-tiny",
+            backbone,
+            EmStrategy::Aoa,
+            AuxStrategy::TokenAttention,
+            classes,
+            None,
+            &mut rng,
+        )
+    }
+
+    fn cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 3,
+            lr: 2e-3,
+            batch_size: 4,
+            patience: 6,
+            ..TrainConfig::default()
+        }
+    }
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new() -> Self {
+            static N: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "emba-resume-test-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Records per-step losses and the recovery events.
+    #[derive(Default)]
+    struct LossTrace {
+        steps: Vec<(u64, f64)>,
+        resumes: usize,
+        corrupt_skipped: usize,
+        checkpoint_writes: usize,
+    }
+
+    impl TrainObserver for LossTrace {
+        fn on_step(&mut self, r: &emba_trace::StepRecord) {
+            self.steps.push((r.step, r.loss));
+        }
+        fn on_resume(&mut self, _epoch: usize, _step: u64) {
+            self.resumes += 1;
+        }
+        fn on_checkpoint_write(&mut self, _seq: u64, _epoch: usize, _step: u64) {
+            self.checkpoint_writes += 1;
+        }
+        fn on_corrupt_skipped(&mut self, _file: &str, _reason: &str) {
+            self.corrupt_skipped += 1;
+        }
+    }
+
+    /// [`LossTrace`] that simulates a crash by panicking after a given step.
+    struct Killer {
+        kill_at: u64,
+        inner: LossTrace,
+    }
+
+    impl TrainObserver for Killer {
+        fn on_step(&mut self, r: &emba_trace::StepRecord) {
+            self.inner.on_step(r);
+            if r.step >= self.kill_at {
+                panic!("injected crash at step {}", r.step);
+            }
+        }
+        fn on_checkpoint_write(&mut self, seq: u64, epoch: usize, step: u64) {
+            self.inner.on_checkpoint_write(seq, epoch, step);
+        }
+    }
+
+    /// Runs training under an observer that crashes at `kill_at`,
+    /// swallowing the injected panic.
+    fn run_killed(
+        model: &mut dyn Matcher,
+        splits: (&[EncodedExample], &[EncodedExample], &[EncodedExample]),
+        cfg: &TrainConfig,
+        store: &mut CheckpointStore,
+        every_steps: u64,
+        kill_at: u64,
+    ) -> LossTrace {
+        let mut killer = Killer {
+            kill_at,
+            inner: LossTrace::default(),
+        };
+        let opts = DurabilityConfig {
+            every_steps,
+            resume: false,
+        };
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            train_matcher_durable(
+                model, splits.0, splits.1, splits.2, cfg, store, &opts, &mut killer,
+            )
+        }));
+        std::panic::set_hook(hook);
+        assert!(outcome.is_err(), "the injected crash should have fired");
+        killer.inner
+    }
+
+    #[test]
+    fn resumed_run_is_bit_identical_to_uninterrupted() {
+        let (train, valid, test, vocab, classes) = setup();
+        let cfg = cfg();
+
+        // Uninterrupted baseline.
+        let mut baseline = LossTrace::default();
+        let mut m = tiny_model(vocab, classes, 0);
+        let report_a = train_matcher_observed(&mut m, &train, &valid, &test, &cfg, &mut baseline);
+
+        // Same-seed twin, killed mid-way through the second epoch.
+        let steps_per_epoch = train.len().div_ceil(cfg.batch_size) as u64;
+        let tmp = TempDir::new();
+        let mut store = CheckpointStore::open(&tmp.0, 4).unwrap();
+        let mut m = tiny_model(vocab, classes, 0);
+        let killed = run_killed(
+            &mut m,
+            (&train, &valid, &test),
+            &cfg,
+            &mut store,
+            2,
+            steps_per_epoch + 1,
+        );
+        assert!(killed.checkpoint_writes >= 1);
+        assert!(!store.snapshots().unwrap().is_empty());
+
+        // "New process": fresh model object, resume from disk.
+        let mut resumed = LossTrace::default();
+        let mut m = tiny_model(vocab, classes, 0);
+        let opts = DurabilityConfig {
+            every_steps: 2,
+            resume: true,
+        };
+        let report_b = train_matcher_durable(
+            &mut m, &train, &valid, &test, &cfg, &mut store, &opts, &mut resumed,
+        )
+        .unwrap();
+
+        assert_eq!(resumed.resumes, 1);
+        assert_eq!(resumed.corrupt_skipped, 0);
+        assert!(!resumed.steps.is_empty());
+        // Every post-resume step reproduces the uninterrupted run's loss at
+        // the same global step, bit for bit.
+        let by_step: HashMap<u64, f64> = baseline.steps.iter().copied().collect();
+        for &(s, l) in &resumed.steps {
+            assert_eq!(
+                by_step[&s].to_bits(),
+                l.to_bits(),
+                "loss diverged at step {s}: {} vs {l}",
+                by_step[&s]
+            );
+        }
+        assert_eq!(report_a.test.matching.f1.to_bits(), report_b.test.matching.f1.to_bits());
+        assert_eq!(report_a.valid_f1.to_bits(), report_b.valid_f1.to_bits());
+        assert_eq!(report_a.best_epoch, report_b.best_epoch);
+        assert_eq!(report_a.epochs_run, report_b.epochs_run);
+        assert_eq!(
+            report_a.final_train_loss.to_bits(),
+            report_b.final_train_loss.to_bits()
+        );
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_previous() {
+        let (train, valid, test, vocab, classes) = setup();
+        let cfg = cfg();
+
+        let mut baseline = LossTrace::default();
+        let mut m = tiny_model(vocab, classes, 0);
+        let report_a = train_matcher_observed(&mut m, &train, &valid, &test, &cfg, &mut baseline);
+
+        let steps_per_epoch = train.len().div_ceil(cfg.batch_size) as u64;
+        let tmp = TempDir::new();
+        let mut store = CheckpointStore::open(&tmp.0, 4).unwrap();
+        let mut m = tiny_model(vocab, classes, 0);
+        run_killed(
+            &mut m,
+            (&train, &valid, &test),
+            &cfg,
+            &mut store,
+            2,
+            steps_per_epoch + 2,
+        );
+        let snaps = store.snapshots().unwrap();
+        assert!(snaps.len() >= 2, "need at least two snapshots to exercise fallback");
+        // Torn write on the newest snapshot plus a stray partial temp file.
+        let (_, newest) = snaps.last().unwrap();
+        let bytes = std::fs::read(newest).unwrap();
+        std::fs::write(newest, &bytes[..bytes.len() / 3]).unwrap();
+        std::fs::write(tmp.0.join("ckpt-999999.json.tmp"), "{\"partial\":").unwrap();
+
+        let mut resumed = LossTrace::default();
+        let mut m = tiny_model(vocab, classes, 0);
+        let opts = DurabilityConfig {
+            every_steps: 2,
+            resume: true,
+        };
+        let report_b = train_matcher_durable(
+            &mut m, &train, &valid, &test, &cfg, &mut store, &opts, &mut resumed,
+        )
+        .unwrap();
+
+        assert_eq!(resumed.corrupt_skipped, 1, "exactly the torn snapshot is skipped");
+        assert_eq!(resumed.resumes, 1);
+        // Falling back to an older snapshot only means more steps to replay;
+        // the outcome is still bit-identical.
+        assert_eq!(report_a.test.matching.f1.to_bits(), report_b.test.matching.f1.to_bits());
+        assert_eq!(report_a.valid_f1.to_bits(), report_b.valid_f1.to_bits());
+        assert_eq!(
+            report_a.final_train_loss.to_bits(),
+            report_b.final_train_loss.to_bits()
+        );
+    }
+
+    #[test]
+    fn resume_on_empty_store_starts_fresh() {
+        let (train, valid, test, vocab, classes) = setup();
+        let mut cfg = cfg();
+        cfg.epochs = 2;
+
+        let mut baseline = LossTrace::default();
+        let mut m = tiny_model(vocab, classes, 0);
+        let report_a = train_matcher_observed(&mut m, &train, &valid, &test, &cfg, &mut baseline);
+
+        let tmp = TempDir::new();
+        let mut store = CheckpointStore::open(&tmp.0, 4).unwrap();
+        let mut resumed = LossTrace::default();
+        let mut m = tiny_model(vocab, classes, 0);
+        let report_b = train_matcher_durable(
+            &mut m,
+            &train,
+            &valid,
+            &test,
+            &cfg,
+            &mut store,
+            &DurabilityConfig::default(),
+            &mut resumed,
+        )
+        .unwrap();
+
+        assert_eq!(resumed.resumes, 0);
+        assert_eq!(report_a.test.matching.f1.to_bits(), report_b.test.matching.f1.to_bits());
+        // Epoch-boundary saves happened even with `every_steps: 0`.
+        assert_eq!(resumed.checkpoint_writes, cfg.epochs);
+        assert!(!store.snapshots().unwrap().is_empty());
+    }
+
+    #[test]
+    fn foreign_snapshot_is_rejected_not_loaded() {
+        let (train, valid, test, vocab, classes) = setup();
+        let mut cfg_a = cfg();
+        cfg_a.epochs = 1;
+
+        let tmp = TempDir::new();
+        let mut store = CheckpointStore::open(&tmp.0, 4).unwrap();
+        let mut m = tiny_model(vocab, classes, 0);
+        train_matcher_durable(
+            &mut m,
+            &train,
+            &valid,
+            &test,
+            &cfg_a,
+            &mut store,
+            &DurabilityConfig {
+                every_steps: 0,
+                resume: false,
+            },
+            &mut LossTrace::default(),
+        )
+        .unwrap();
+
+        // Same store, different learning rate: must refuse, not silently
+        // restart or mix states.
+        let mut cfg_b = cfg_a.clone();
+        cfg_b.lr = 1e-4;
+        let mut m = tiny_model(vocab, classes, 0);
+        let err = train_matcher_durable(
+            &mut m,
+            &train,
+            &valid,
+            &test,
+            &cfg_b,
+            &mut store,
+            &DurabilityConfig::default(),
+            &mut LossTrace::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CoreError::Incompatible(_)),
+            "expected Incompatible, got {err}"
+        );
+    }
+}

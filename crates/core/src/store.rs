@@ -1,0 +1,371 @@
+//! Durable on-disk checkpoint store.
+//!
+//! Snapshots live in one directory as `ckpt-NNNNNN.json` files, one snapshot
+//! per file, `NNNNNN` a monotonically increasing sequence number. Each file
+//! holds exactly two lines:
+//!
+//! 1. a header: `{"magic":"emba-ckpt","version":1,"checksum":"<fnv1a-64
+//!    hex>","payload_bytes":N}`
+//! 2. the JSON-serialized payload the header describes.
+//!
+//! Writes are crash-safe: the payload is written to a `*.tmp` file, fsynced,
+//! atomically renamed into place, and the directory is fsynced so the rename
+//! itself is durable. A crash mid-write leaves only a `*.tmp` file, which
+//! the loader ignores. A crash that corrupts the newest snapshot (torn
+//! write, bit rot) is detected by the checksum and the loader falls back to
+//! the next-newest valid snapshot.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+const MAGIC: &str = "emba-ckpt";
+const VERSION: u32 = 1;
+
+/// Header line written above every snapshot payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Header {
+    magic: String,
+    version: u32,
+    checksum: String,
+    payload_bytes: usize,
+}
+
+/// 64-bit FNV-1a over the payload bytes; cheap, dependency-free, and more
+/// than strong enough to catch truncation and bit flips.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn snapshot_name(seq: u64) -> String {
+    format!("ckpt-{seq:06}.json")
+}
+
+/// Parse `ckpt-NNNNNN.json` back into `NNNNNN`; anything else — including
+/// `*.tmp` leftovers from an interrupted write — is not a snapshot.
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("ckpt-")?.strip_suffix(".json")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// A directory of durable, checksummed snapshots with keep-last-K retention.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+    next_seq: u64,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a store at `dir`, retaining at most `keep`
+    /// snapshots. Sequence numbering continues after the newest existing
+    /// snapshot so reopening never overwrites history.
+    pub fn open(dir: impl AsRef<Path>, keep: usize) -> Result<Self, CoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let keep = keep.max(1);
+        let next_seq = list_snapshots(&dir)?.last().map_or(0, |&(seq, _)| seq + 1);
+        Ok(Self { dir, keep, next_seq })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// All snapshots currently on disk, oldest first.
+    pub fn snapshots(&self) -> Result<Vec<(u64, PathBuf)>, CoreError> {
+        list_snapshots(&self.dir)
+    }
+
+    /// Durably write `payload` as the next snapshot and prune old ones.
+    /// Returns the new snapshot's sequence number.
+    pub fn save<T: Serialize>(&mut self, payload: &T) -> Result<u64, CoreError> {
+        let body = serde_json::to_string(payload)?;
+        let header = Header {
+            magic: MAGIC.to_string(),
+            version: VERSION,
+            checksum: format!("{:016x}", fnv1a64(body.as_bytes())),
+            payload_bytes: body.len(),
+        };
+        let contents = format!("{}\n{}\n", serde_json::to_string(&header)?, body);
+
+        let seq = self.next_seq;
+        let final_path = self.dir.join(snapshot_name(seq));
+        let tmp_path = self.dir.join(format!("{}.tmp", snapshot_name(seq)));
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            f.write_all(contents.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        // Persist the rename itself: fsync the containing directory.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.next_seq = seq + 1;
+        self.prune()?;
+        Ok(seq)
+    }
+
+    /// Load the newest snapshot that passes validation, reporting each
+    /// corrupt or unreadable snapshot to `on_skip(file_name, reason)` as it
+    /// is passed over. Returns `Ok(None)` when no valid snapshot exists —
+    /// including when every snapshot on disk is corrupt, so callers degrade
+    /// to a fresh start rather than crash.
+    pub fn load_latest<T: Deserialize>(
+        &self,
+        mut on_skip: impl FnMut(&str, &str),
+    ) -> Result<Option<(u64, T)>, CoreError> {
+        let mut snaps = self.snapshots()?;
+        snaps.reverse();
+        for (seq, path) in snaps {
+            match load_snapshot(&path) {
+                Ok(payload) => return Ok(Some((seq, payload))),
+                Err(reason) => {
+                    let name = path
+                        .file_name()
+                        .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned());
+                    on_skip(&name, &reason);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn prune(&self) -> Result<(), CoreError> {
+        let snaps = self.snapshots()?;
+        if snaps.len() > self.keep {
+            for (_, path) in &snaps[..snaps.len() - self.keep] {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, CoreError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(seq) = parse_snapshot_name(&name.to_string_lossy()) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_by_key(|&(seq, _)| seq);
+    Ok(out)
+}
+
+/// Validate and parse one snapshot file. Every failure mode maps to a
+/// human-readable reason; nothing here panics, whatever the bytes contain.
+pub(crate) fn load_snapshot<T: Deserialize>(path: &Path) -> Result<T, String> {
+    let mut raw = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut raw))
+        .map_err(|e| format!("unreadable: {e}"))?;
+    let (header_line, rest) = raw
+        .split_once('\n')
+        .ok_or_else(|| "missing header line".to_string())?;
+    let header: Header =
+        serde_json::from_str(header_line).map_err(|e| format!("bad header: {}", e.0))?;
+    if header.magic != MAGIC {
+        return Err(format!("bad magic {:?}", header.magic));
+    }
+    if header.version != VERSION {
+        return Err(format!("unsupported version {}", header.version));
+    }
+    let body = rest.strip_suffix('\n').unwrap_or(rest);
+    if body.len() != header.payload_bytes {
+        return Err(format!(
+            "payload truncated: {} of {} bytes",
+            body.len(),
+            header.payload_bytes
+        ));
+    }
+    let checksum = format!("{:016x}", fnv1a64(body.as_bytes()));
+    if checksum != header.checksum {
+        return Err(format!(
+            "checksum mismatch: header {} vs payload {}",
+            header.checksum, checksum
+        ));
+    }
+    serde_json::from_str(body).map_err(|e| format!("bad payload: {}", e.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Payload {
+        step: u64,
+        losses: Vec<f64>,
+    }
+
+    fn payload(step: u64) -> Payload {
+        Payload { step, losses: vec![0.5, 0.25, step as f64 * 0.125] }
+    }
+
+    /// A scratch directory unique to each test, removed on drop.
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new() -> Self {
+            static N: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "emba-store-test-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let tmp = TempDir::new();
+        let mut store = CheckpointStore::open(&tmp.0, 3).unwrap();
+        let seq = store.save(&payload(7)).unwrap();
+        let (got_seq, got): (u64, Payload) = store.load_latest(|_, _| {}).unwrap().unwrap();
+        assert_eq!(got_seq, seq);
+        assert_eq!(got, payload(7));
+    }
+
+    #[test]
+    fn empty_store_loads_none() {
+        let tmp = TempDir::new();
+        let store = CheckpointStore::open(&tmp.0, 3).unwrap();
+        let got: Option<(u64, Payload)> = store.load_latest(|_, _| {}).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn retention_keeps_only_last_k() {
+        let tmp = TempDir::new();
+        let mut store = CheckpointStore::open(&tmp.0, 2).unwrap();
+        for step in 0..5 {
+            store.save(&payload(step)).unwrap();
+        }
+        let snaps = store.snapshots().unwrap();
+        assert_eq!(snaps.iter().map(|&(s, _)| s).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn reopening_continues_sequence_numbers() {
+        let tmp = TempDir::new();
+        let mut store = CheckpointStore::open(&tmp.0, 5).unwrap();
+        store.save(&payload(0)).unwrap();
+        store.save(&payload(1)).unwrap();
+        drop(store);
+        let mut store = CheckpointStore::open(&tmp.0, 5).unwrap();
+        let seq = store.save(&payload(2)).unwrap();
+        assert_eq!(seq, 2);
+    }
+
+    #[test]
+    fn truncated_newest_falls_back_to_previous() {
+        let tmp = TempDir::new();
+        let mut store = CheckpointStore::open(&tmp.0, 5).unwrap();
+        store.save(&payload(1)).unwrap();
+        let seq = store.save(&payload(2)).unwrap();
+        let path = tmp.0.join(snapshot_name(seq));
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+        let mut skipped = Vec::new();
+        let (got_seq, got): (u64, Payload) = store
+            .load_latest(|f, r| skipped.push((f.to_string(), r.to_string())))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got_seq, 0);
+        assert_eq!(got, payload(1));
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].0, snapshot_name(seq));
+        // Depending on where the cut lands the detection path differs
+        // (lost newline, short payload, or checksum) — any is a clean skip.
+        assert!(!skipped[0].1.is_empty());
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_checksum() {
+        let tmp = TempDir::new();
+        let mut store = CheckpointStore::open(&tmp.0, 5).unwrap();
+        store.save(&payload(1)).unwrap();
+        let seq = store.save(&payload(2)).unwrap();
+        let path = tmp.0.join(snapshot_name(seq));
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one bit inside the payload, keeping length and header intact.
+        let idx = bytes.iter().position(|&b| b == b'\n').unwrap() + 5;
+        bytes[idx] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        let mut reasons = Vec::new();
+        let (got_seq, _): (u64, Payload) = store
+            .load_latest(|_, r| reasons.push(r.to_string()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got_seq, 0);
+        assert!(
+            reasons.iter().any(|r| r.contains("checksum") || r.contains("bad payload")),
+            "reasons: {reasons:?}"
+        );
+    }
+
+    #[test]
+    fn all_snapshots_corrupt_degrades_to_none() {
+        let tmp = TempDir::new();
+        let mut store = CheckpointStore::open(&tmp.0, 5).unwrap();
+        for step in 0..3 {
+            let seq = store.save(&payload(step)).unwrap();
+            fs::write(tmp.0.join(snapshot_name(seq)), "garbage").unwrap();
+        }
+        let mut skipped = 0;
+        let got: Option<(u64, Payload)> = store.load_latest(|_, _| skipped += 1).unwrap();
+        assert!(got.is_none());
+        assert_eq!(skipped, 3);
+    }
+
+    #[test]
+    fn leftover_tmp_files_are_ignored() {
+        let tmp = TempDir::new();
+        let mut store = CheckpointStore::open(&tmp.0, 5).unwrap();
+        store.save(&payload(1)).unwrap();
+        // Simulate a crash mid-write: a partial tmp file never renamed.
+        fs::write(tmp.0.join("ckpt-000001.json.tmp"), "{\"partial\":").unwrap();
+        let (seq, got): (u64, Payload) = store.load_latest(|_, _| {}).unwrap().unwrap();
+        assert_eq!(seq, 0);
+        assert_eq!(got, payload(1));
+        assert_eq!(store.snapshots().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_name_parsing_rejects_strays() {
+        assert_eq!(parse_snapshot_name("ckpt-000012.json"), Some(12));
+        assert_eq!(parse_snapshot_name("ckpt-000012.json.tmp"), None);
+        assert_eq!(parse_snapshot_name("ckpt-.json"), None);
+        assert_eq!(parse_snapshot_name("ckpt-12a.json"), None);
+        assert_eq!(parse_snapshot_name("other.json"), None);
+    }
+}

@@ -17,12 +17,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::error::CoreError;
 use crate::metrics::{id_metrics, match_metrics, IdMetrics, MatchMetrics};
 use crate::models::Matcher;
 use crate::pipeline::EncodedExample;
+use crate::resume::TrainState;
+use crate::store::CheckpointStore;
 
 /// Trainer settings.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` exists so a resumed run can verify that the on-disk
+/// [`crate::TrainState`] was produced by the same configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Maximum epochs (the paper trains 50 with early stopping).
     pub epochs: usize,
@@ -147,6 +153,41 @@ impl EarlyStopper {
     pub fn best_epoch(&self) -> usize {
         self.best_epoch
     }
+
+    /// Serializable snapshot of the stopper, for checkpointing.
+    pub fn state(&self) -> StopperState {
+        StopperState {
+            patience: self.patience,
+            stale: self.stale,
+            // The pre-improvement sentinel is `-inf`, which JSON cannot
+            // carry (it serializes to `null`); `None` stands in for it.
+            best_f1: self.best_f1.is_finite().then_some(self.best_f1),
+            best_epoch: self.best_epoch,
+        }
+    }
+
+    /// Rebuilds a stopper from a [`StopperState`] snapshot.
+    pub fn from_state(s: &StopperState) -> Self {
+        Self {
+            patience: s.patience,
+            stale: s.stale,
+            best_f1: s.best_f1.unwrap_or(f64::NEG_INFINITY),
+            best_epoch: s.best_epoch,
+        }
+    }
+}
+
+/// Serializable snapshot of an [`EarlyStopper`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StopperState {
+    /// Configured patience in epochs.
+    pub patience: usize,
+    /// Consecutive epochs without improvement so far.
+    pub stale: usize,
+    /// Best finite validation F1 seen, or `None` before any finite score.
+    pub best_f1: Option<f64>,
+    /// Epoch of the best finite F1.
+    pub best_epoch: usize,
 }
 
 /// Metrics of one evaluation pass.
@@ -279,12 +320,50 @@ pub fn train_matcher_observed(
     cfg: &TrainConfig,
     observer: &mut dyn TrainObserver,
 ) -> TrainReport {
+    match train_loop(model, train, valid, test, cfg, observer, None, None) {
+        Ok(report) => report,
+        // Without a checkpoint store the loop performs no fallible I/O.
+        Err(e) => unreachable!("non-durable training cannot fail: {e}"),
+    }
+}
+
+/// Periodic-save settings for [`train_loop`].
+pub(crate) struct Persist<'a> {
+    /// Where snapshots go.
+    pub store: &'a mut CheckpointStore,
+    /// Save every this many optimizer steps, in addition to the
+    /// unconditional save at every epoch boundary. `0` disables the
+    /// mid-epoch saves.
+    pub every: u64,
+}
+
+/// The training loop behind both [`train_matcher_observed`] (no
+/// persistence, infallible) and [`crate::train_matcher_durable`]
+/// (periodic saves plus resume).
+///
+/// Determinism contract: given the same `cfg` and splits, resuming from
+/// any snapshot this loop wrote reproduces the uninterrupted run's
+/// per-step losses and final metrics *bit-exactly*. Everything numeric is
+/// checkpointed (parameters, Adam moments, RNG stream, shuffled order and
+/// cursor, partially accumulated epoch loss); snapshots are taken only at
+/// optimizer-step boundaries where gradients are zero and no batch is in
+/// flight. Only wall-clock-derived fields (throughput, `wall_ms`) differ
+/// across a crash/resume.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn train_loop(
+    model: &mut dyn Matcher,
+    train: &[EncodedExample],
+    valid: &[EncodedExample],
+    test: &[EncodedExample],
+    cfg: &TrainConfig,
+    observer: &mut dyn TrainObserver,
+    mut persist: Option<Persist<'_>>,
+    init: Option<TrainState>,
+) -> Result<TrainReport, CoreError> {
     assert!(
         !train.is_empty() && !valid.is_empty() && !test.is_empty(),
         "all three splits must be non-empty"
     );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut adam = Adam::new();
     let steps_per_epoch = train.len().div_ceil(cfg.batch_size) as u64;
     let schedule = LinearSchedule::new(
         cfg.lr,
@@ -302,25 +381,59 @@ pub fn train_matcher_observed(
     });
     let guard_was = cfg.nan_guard.then(|| guard::enable(true));
 
+    // Fresh-run state, overridden below when resuming from a snapshot.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut adam = Adam::new();
     let mut stopper = EarlyStopper::new(cfg.patience);
     let mut best_state: Vec<emba_tensor::Tensor> = model.state();
     let mut step = 0u64;
     let mut final_train_loss = 0.0f64;
     let mut trained_pairs = 0usize;
     let mut epochs_run = 0usize;
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut start_epoch = 0usize;
+    let mut resume_cursor = 0usize;
+    let mut resumed_epoch_loss = 0.0f64;
+
+    if let Some(st) = init {
+        let words: [u64; 4] = st.rng.as_slice().try_into().map_err(|_| {
+            CoreError::Incompatible(format!("rng state has {} words, expected 4", st.rng.len()))
+        })?;
+        model.load_state(&st.params);
+        adam.load_state(model.as_module_mut(), &st.optim)
+            .map_err(|e| CoreError::Incompatible(e.to_string()))?;
+        rng = StdRng::from_state(words);
+        stopper = EarlyStopper::from_state(&st.stopper);
+        best_state = st.best_params;
+        step = st.step;
+        trained_pairs = st.trained_pairs;
+        epochs_run = st.epochs_run;
+        final_train_loss = st.final_train_loss;
+        start_epoch = st.epoch;
+        resume_cursor = st.cursor;
+        resumed_epoch_loss = st.epoch_loss;
+        // Mid-epoch (cursor > 0): replay the interrupted epoch's shuffled
+        // order from where it left off. Epoch boundary (cursor == 0): the
+        // restored permutation is the reshuffle *input* — Fisher-Yates
+        // permutes in place, so each epoch's order depends on the last.
+        order = st.order;
+        observer.on_resume(start_epoch, step);
+    }
 
     let train_start = Instant::now();
-    let mut order: Vec<usize> = (0..train.len()).collect();
-    'epochs: for epoch in 0..cfg.epochs {
+    'epochs: for epoch in start_epoch..cfg.epochs {
         epochs_run = epoch + 1;
-        observer.on_epoch_start(epoch);
-        shuffle(&mut order, &mut rng);
-        let mut epoch_loss = 0.0f64;
+        let start_i = if epoch == start_epoch { resume_cursor } else { 0 };
+        let mut epoch_loss = if start_i > 0 { resumed_epoch_loss } else { 0.0 };
+        if start_i == 0 {
+            observer.on_epoch_start(epoch);
+            shuffle(&mut order, &mut rng);
+        }
         model.zero_grads();
         let mut in_batch = 0usize;
         let mut batch_loss = 0.0f64;
         let mut batch_start = Instant::now();
-        for (i, &idx) in order.iter().enumerate() {
+        for (i, &idx) in order.iter().enumerate().skip(start_i) {
             let ex = &train[idx];
             let g = Graph::new();
             let stamp = GraphStamp::next();
@@ -368,6 +481,24 @@ pub fn train_matcher_observed(
                 in_batch = 0;
                 batch_loss = 0.0;
                 batch_start = Instant::now();
+
+                // Mid-epoch durability: snapshot at optimizer-step
+                // boundaries (gradients are zero, no batch in flight). The
+                // epoch's final boundary is covered by the richer epoch-end
+                // snapshot below instead.
+                if let Some(p) = persist.as_mut() {
+                    if p.every > 0 && step.is_multiple_of(p.every) && i + 1 < order.len() {
+                        let snap = snapshot(
+                            model, &adam, &rng, &stopper, &best_state, cfg, train, valid,
+                            epoch,
+                            i + 1,
+                            order.clone(),
+                            step, epoch_loss, trained_pairs, epochs_run, final_train_loss,
+                        );
+                        let seq = p.store.save(&snap)?;
+                        observer.on_checkpoint_write(seq, epoch, step);
+                    }
+                }
             }
         }
         final_train_loss = epoch_loss / train.len() as f64;
@@ -393,6 +524,27 @@ pub fn train_matcher_observed(
                 break;
             }
         }
+
+        // Epoch-end durability: saved after the validation verdict, so a
+        // resume re-enters at the top of the next epoch with the stopper,
+        // best parameters, and RNG stream exactly as the uninterrupted run
+        // would have them. Halted/diverged runs skip this via the breaks
+        // above — their outcome is final, not resumable work.
+        if let Some(p) = persist.as_mut() {
+            // `order` must travel even though the next epoch reshuffles it:
+            // the in-place Fisher-Yates makes each epoch's permutation a
+            // function of the previous one, so reshuffling from the identity
+            // instead of the inherited permutation would break bit-exactness.
+            let snap = snapshot(
+                model, &adam, &rng, &stopper, &best_state, cfg, train, valid,
+                epoch + 1,
+                0,
+                order.clone(),
+                step, 0.0, trained_pairs, epochs_run, final_train_loss,
+            );
+            let seq = p.store.save(&snap)?;
+            observer.on_checkpoint_write(seq, epoch, step);
+        }
     }
     let train_secs = train_start.elapsed().as_secs_f64();
 
@@ -409,13 +561,53 @@ pub fn train_matcher_observed(
         guard::enable(prev);
     }
 
-    TrainReport {
+    Ok(TrainReport {
         valid_f1: stopper.best_f1(),
         best_epoch: stopper.best_epoch(),
         epochs_run,
         test: test_metrics,
         train_pairs_per_sec: trained_pairs as f64 / train_secs.max(1e-9),
         infer_pairs_per_sec: test.len() as f64 / infer_secs.max(1e-9),
+        final_train_loss,
+    })
+}
+
+/// Packs the loop's live state into a [`TrainState`] snapshot.
+#[allow(clippy::too_many_arguments)]
+fn snapshot(
+    model: &mut dyn Matcher,
+    adam: &Adam,
+    rng: &StdRng,
+    stopper: &EarlyStopper,
+    best_state: &[emba_tensor::Tensor],
+    cfg: &TrainConfig,
+    train: &[EncodedExample],
+    valid: &[EncodedExample],
+    epoch: usize,
+    cursor: usize,
+    order: Vec<usize>,
+    step: u64,
+    epoch_loss: f64,
+    trained_pairs: usize,
+    epochs_run: usize,
+    final_train_loss: f64,
+) -> TrainState {
+    TrainState {
+        cfg: cfg.clone(),
+        train_examples: train.len(),
+        valid_examples: valid.len(),
+        params: model.state(),
+        best_params: best_state.to_vec(),
+        optim: adam.state(model.as_module_mut()),
+        rng: rng.state().to_vec(),
+        stopper: stopper.state(),
+        epoch,
+        cursor,
+        order,
+        step,
+        epoch_loss,
+        trained_pairs,
+        epochs_run,
         final_train_loss,
     }
 }
@@ -600,6 +792,30 @@ mod tests {
         assert_eq!(s.observe(4, 0.5), StopVerdict::Halt);
         assert_eq!(s.best_epoch(), 2);
         assert!((s.best_f1() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stopper_state_round_trips_through_json() {
+        // Mid-run state, including `stale` progress.
+        let mut s = EarlyStopper::new(3);
+        s.observe(0, 0.4);
+        s.observe(1, 0.2);
+        let json = serde_json::to_string(&s.state()).unwrap();
+        let mut back = EarlyStopper::from_state(&serde_json::from_str(&json).unwrap());
+        // The twin continues exactly where the original would: one more
+        // stale epoch, then halt.
+        assert_eq!(back.observe(2, 0.2), StopVerdict::NoImprovement);
+        assert_eq!(back.observe(3, 0.2), StopVerdict::Halt);
+        assert_eq!(back.best_epoch(), 0);
+        assert!((back.best_f1() - 0.4).abs() < 1e-12);
+
+        // The pre-improvement `-inf` sentinel cannot ride through JSON as a
+        // float; it maps to `None` and back.
+        let fresh = EarlyStopper::new(2);
+        assert_eq!(fresh.state().best_f1, None);
+        let json = serde_json::to_string(&fresh.state()).unwrap();
+        let mut back = EarlyStopper::from_state(&serde_json::from_str(&json).unwrap());
+        assert_eq!(back.observe(0, 0.1), StopVerdict::Improved);
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Property tests for the checkpoint store's corruption handling: whatever
+//! bytes end up on disk — truncation at any offset, arbitrary bit flips,
+//! checksum-valid payloads with fields removed, or pure garbage — loading
+//! must either return the exact original payload or skip the snapshot with a
+//! reason. It must never panic and never return mangled data.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use emba_core::CheckpointStore;
+use emba_tensor::Tensor;
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize, Value};
+
+/// Stand-in for a training snapshot: mixed scalar/string/tensor/float fields
+/// so corruption can land in every kind of JSON value, including the
+/// shape-validated [`Tensor`] deserializer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Payload {
+    step: u64,
+    tag: String,
+    weights: Tensor,
+    losses: Vec<f64>,
+}
+
+fn payload() -> Payload {
+    Payload {
+        step: 41,
+        tag: "snapshot".to_string(),
+        weights: Tensor::from_vec(2, 3, vec![0.5, -1.25, 3.0, 0.125, -2.5, 9.0]),
+        losses: vec![0.5, 0.25, 0.064_208_984_375],
+    }
+}
+
+/// Canonical JSON of the original payload; loads compare against this since
+/// `Tensor` has no `PartialEq`.
+fn payload_json() -> String {
+    serde_json::to_string(&payload()).unwrap()
+}
+
+/// A scratch directory unique to each test case, removed on drop.
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new() -> Self {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "emba-prop-corruption-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Write one snapshot of [`payload`] and return the path to its file.
+fn saved_snapshot(dir: &Path) -> PathBuf {
+    let mut store = CheckpointStore::open(dir, 3).unwrap();
+    store.save(&payload()).unwrap();
+    let snaps = store.snapshots().unwrap();
+    assert_eq!(snaps.len(), 1);
+    snaps[0].1.clone()
+}
+
+/// Load the newest valid snapshot, counting skips. Returns the re-serialized
+/// payload (if any) and the number of snapshots skipped as corrupt.
+fn load(dir: &Path) -> (Option<String>, usize) {
+    let store = CheckpointStore::open(dir, 3).unwrap();
+    let mut skips = 0;
+    let got: Option<(u64, Payload)> = store
+        .load_latest(|_, reason| {
+            assert!(!reason.is_empty());
+            skips += 1;
+        })
+        .unwrap();
+    (got.map(|(_, p)| serde_json::to_string(&p).unwrap()), skips)
+}
+
+/// FNV-1a 64, mirroring the store's checksum, so tests can forge headers
+/// that pass the integrity check and exercise the payload-parse layer.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Write a snapshot file whose header is consistent with `body` — checksum
+/// and length both valid — so only payload-level validation can reject it.
+fn write_with_valid_header(path: &Path, body: &str) {
+    let header = format!(
+        "{{\"magic\":\"emba-ckpt\",\"version\":1,\"checksum\":\"{:016x}\",\"payload_bytes\":{}}}",
+        fnv1a64(body.as_bytes()),
+        body.len()
+    );
+    fs::write(path, format!("{header}\n{body}\n")).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Truncating the file at any byte offset either leaves it valid (cuts
+    /// at the end, or just before the optional trailing newline) and the
+    /// exact original payload loads, or the snapshot is cleanly skipped.
+    #[test]
+    fn truncation_at_any_offset_never_panics(cut_seed in any::<u64>()) {
+        let tmp = TempDir::new();
+        let path = saved_snapshot(&tmp.0);
+        let bytes = fs::read(&path).unwrap();
+        let cut = (cut_seed % (bytes.len() as u64 + 1)) as usize;
+        fs::write(&path, &bytes[..cut]).unwrap();
+
+        let (got, skips) = load(&tmp.0);
+        match got {
+            Some(json) => {
+                prop_assert!(cut >= bytes.len() - 1, "cut {cut} of {} accepted", bytes.len());
+                prop_assert_eq!(json, payload_json());
+                prop_assert_eq!(skips, 0);
+            }
+            None => prop_assert_eq!(skips, 1),
+        }
+    }
+
+    /// Flipping any single bit anywhere in the file — header, newline
+    /// separators, or payload — is always detected and skipped; FNV-1a's
+    /// invertible update guarantees a one-byte change shifts the checksum.
+    #[test]
+    fn single_bit_flip_is_always_detected(pos_seed in any::<u64>(), bit in 0u32..8) {
+        let tmp = TempDir::new();
+        let path = saved_snapshot(&tmp.0);
+        let mut bytes = fs::read(&path).unwrap();
+        let idx = (pos_seed % bytes.len() as u64) as usize;
+        bytes[idx] ^= 1 << bit;
+        fs::write(&path, &bytes).unwrap();
+
+        let (got, skips) = load(&tmp.0);
+        prop_assert!(got.is_none(), "flip at byte {idx} bit {bit} was not detected");
+        prop_assert_eq!(skips, 1);
+    }
+
+    /// A file of arbitrary bytes masquerading as a snapshot never loads and
+    /// never panics, whatever it contains (including invalid UTF-8).
+    #[test]
+    fn arbitrary_garbage_is_skipped(
+        words in proptest::collection::vec(any::<u64>(), 0..24usize)
+    ) {
+        let tmp = TempDir::new();
+        let path = saved_snapshot(&tmp.0);
+        let garbage: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        fs::write(&path, &garbage).unwrap();
+
+        let (got, skips) = load(&tmp.0);
+        prop_assert!(got.is_none());
+        prop_assert_eq!(skips, 1);
+    }
+}
+
+/// Dropping any top-level field from an otherwise checksum-valid payload is
+/// rejected at the deserialization layer — the header cannot vouch for
+/// schema completeness, so the payload parse must.
+#[test]
+fn dropped_fields_are_rejected_even_with_valid_checksum() {
+    let Value::Object(fields) = serde_json::from_str::<Value>(&payload_json()).unwrap() else {
+        panic!("payload must serialize to a JSON object");
+    };
+    assert_eq!(fields.len(), 4);
+    for drop_idx in 0..fields.len() {
+        let mut kept = fields.clone();
+        let (name, _) = kept.remove(drop_idx);
+        let body = serde_json::to_string(&Value::Object(kept)).unwrap();
+
+        let tmp = TempDir::new();
+        let path = saved_snapshot(&tmp.0);
+        write_with_valid_header(&path, &body);
+
+        let (got, skips) = load(&tmp.0);
+        assert!(got.is_none(), "load succeeded without field {name:?}");
+        assert_eq!(skips, 1);
+    }
+}
+
+/// Same forgery path, but with the tensor's flat data shortened so its
+/// length no longer matches `rows * cols`: the shape-validating
+/// deserializer must refuse it rather than build a misshapen tensor.
+#[test]
+fn tensor_shape_mismatch_is_rejected() {
+    let Value::Object(mut fields) = serde_json::from_str::<Value>(&payload_json()).unwrap() else {
+        panic!("payload must serialize to a JSON object");
+    };
+    let weights = fields
+        .iter_mut()
+        .find(|(k, _)| k == "weights")
+        .map(|(_, v)| v)
+        .unwrap();
+    let Value::Object(tensor_fields) = weights else {
+        panic!("tensor must serialize to a JSON object");
+    };
+    let data = tensor_fields
+        .iter_mut()
+        .find(|(k, _)| k == "data")
+        .map(|(_, v)| v)
+        .unwrap();
+    let Value::Array(values) = data else {
+        panic!("tensor data must be an array");
+    };
+    values.pop();
+    let body = serde_json::to_string(&Value::Object(fields)).unwrap();
+
+    let tmp = TempDir::new();
+    let path = saved_snapshot(&tmp.0);
+    write_with_valid_header(&path, &body);
+
+    let (got, skips) = load(&tmp.0);
+    assert!(got.is_none(), "misshapen tensor was accepted");
+    assert_eq!(skips, 1);
+}
+
+/// Positive control for the forged-header helper: an intact body behind a
+/// hand-built header loads the exact original payload, proving the helper
+/// matches the store's real on-disk format.
+#[test]
+fn forged_header_with_intact_body_round_trips() {
+    let tmp = TempDir::new();
+    let path = saved_snapshot(&tmp.0);
+    write_with_valid_header(&path, &payload_json());
+
+    let (got, skips) = load(&tmp.0);
+    assert_eq!(got.unwrap(), payload_json());
+    assert_eq!(skips, 0);
+}

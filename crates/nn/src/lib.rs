@@ -42,7 +42,7 @@ mod transformer;
 pub use attention::MultiHeadAttention;
 pub use gru::{BiGru, GruCell};
 pub use layers::{dropout, Embedding, LayerNorm, Linear};
-pub use optim::{Adam, LinearSchedule};
+pub use optim::{Adam, AdamState, AdamStateError, LinearSchedule, MomentPair};
 pub use param::{clip_grad_norm, GraphStamp, Module, Param};
 pub use skipgram::{pretrain_skipgram, SkipGramConfig};
 pub use transformer::{summed_last_attention, BertConfig, BertEncoder, BertOutput};

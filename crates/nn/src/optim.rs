@@ -2,8 +2,10 @@
 //! schedule and one-epoch warmup.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use emba_tensor::Tensor;
+use serde::{Deserialize, Serialize};
 
 use crate::param::Module;
 
@@ -25,6 +27,46 @@ struct Moments {
     m: Tensor,
     v: Tensor,
 }
+
+/// Serializable snapshot of one parameter's Adam moments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MomentPair {
+    /// First-moment (mean) estimate.
+    pub m: Tensor,
+    /// Second-moment (uncentered variance) estimate.
+    pub v: Tensor,
+}
+
+/// Serializable snapshot of an [`Adam`] instance, captured against one
+/// module.
+///
+/// Moments are recorded in **module visit order**, not by [`crate::Param::id`]:
+/// parameter ids come from a process-global counter and are different in
+/// every process, so an id-keyed snapshot could never be restored after a
+/// restart. Visit order is the same deterministic order the checkpoint
+/// format already relies on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdamState {
+    /// Completed optimizer steps (drives bias correction).
+    pub step: u64,
+    /// Per-parameter moments in module visit order. Parameters the optimizer
+    /// has never updated snapshot as zero moments, which is exactly the state
+    /// lazy initialization would give them.
+    pub moments: Vec<MomentPair>,
+}
+
+/// Error returned by [`Adam::load_state`] when a snapshot does not fit the
+/// module it is being restored against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdamStateError(String);
+
+impl fmt::Display for AdamStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "optimizer state mismatch: {}", self.0)
+    }
+}
+
+impl std::error::Error for AdamStateError {}
 
 impl Adam {
     /// Adam with the conventional betas `(0.9, 0.999)` and `eps = 1e-8`.
@@ -48,6 +90,68 @@ impl Adam {
     /// Number of completed steps.
     pub fn steps(&self) -> u64 {
         self.step
+    }
+
+    /// Captures the optimizer's state against `module`, in visit order.
+    ///
+    /// Restoring the result with [`Adam::load_state`] into a fresh `Adam`
+    /// driving an identically shaped module makes the next [`Adam::step`]
+    /// bit-identical to what this instance would have computed.
+    pub fn state(&self, module: &dyn Module) -> AdamState {
+        let mut moments = Vec::new();
+        module.visit(&mut |p| {
+            let (rows, cols) = p.value.shape();
+            moments.push(match self.state.get(&p.id()) {
+                Some(mo) => MomentPair { m: mo.m.clone(), v: mo.v.clone() },
+                // Never stepped: lazy init would start from zeros.
+                None => MomentPair { m: Tensor::zeros(rows, cols), v: Tensor::zeros(rows, cols) },
+            });
+        });
+        AdamState { step: self.step, moments }
+    }
+
+    /// Restores a snapshot captured by [`Adam::state`], re-keying the
+    /// moments onto `module`'s current parameter ids.
+    ///
+    /// Any previous state of this instance is discarded. Fails (leaving the
+    /// optimizer untouched) if the snapshot's parameter count or any moment
+    /// shape disagrees with the module.
+    pub fn load_state(&mut self, module: &dyn Module, state: &AdamState) -> Result<(), AdamStateError> {
+        let mut keyed = Vec::with_capacity(state.moments.len());
+        let mut idx = 0usize;
+        let mut error = None;
+        module.visit(&mut |p| {
+            if error.is_some() {
+                return;
+            }
+            match state.moments.get(idx) {
+                Some(mo) if mo.m.shape() == p.value.shape() && mo.v.shape() == p.value.shape() => {
+                    keyed.push((p.id(), Moments { m: mo.m.clone(), v: mo.v.clone() }));
+                }
+                Some(mo) => {
+                    error = Some(AdamStateError(format!(
+                        "parameter {idx}: snapshot moments {:?}/{:?} vs value {:?}",
+                        mo.m.shape(),
+                        mo.v.shape(),
+                        p.value.shape()
+                    )))
+                }
+                None => error = Some(AdamStateError(format!("snapshot ends at parameter {idx}"))),
+            }
+            idx += 1;
+        });
+        if let Some(e) = error {
+            return Err(e);
+        }
+        if idx != state.moments.len() {
+            return Err(AdamStateError(format!(
+                "snapshot has {} moments for {idx} parameters",
+                state.moments.len()
+            )));
+        }
+        self.step = state.step;
+        self.state = keyed.into_iter().collect();
+        Ok(())
     }
 
     /// Applies one update to every parameter of `module` using its
@@ -207,6 +311,98 @@ mod tests {
             adam.step(&mut lin, 1e-2);
         }
         assert!(lin.weight.value.norm() < before);
+    }
+
+    /// One deterministic training step: squared-error fit of a fixed target.
+    fn descend(lin: &mut Linear, adam: &mut Adam, lr: f32) {
+        lin.zero_grads();
+        let g = Graph::new();
+        let stamp = GraphStamp::next();
+        let w = lin.weight.bind(&g, stamp);
+        let sq = g.mul(w, w);
+        let loss = g.sum_all(sq);
+        let grads = g.backward(loss);
+        lin.accumulate_gradients(&grads);
+        adam.step(lin, lr);
+    }
+
+    #[test]
+    fn state_roundtrip_reproduces_next_step_bit_exactly() {
+        // Train a module for a while, snapshot optimizer + params, keep
+        // training the original; a twin restored from the snapshot must
+        // produce bit-identical parameters at every subsequent step.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lin = Linear::new(4, 3, &mut rng);
+        let mut adam = Adam::new();
+        for _ in 0..25 {
+            descend(&mut lin, &mut adam, 3e-3);
+        }
+        let params = lin.state();
+        let snapshot = adam.state(&lin);
+        assert_eq!(snapshot.step, 25);
+        assert_eq!(snapshot.moments.len(), 2, "weight + bias");
+
+        // Serialize through JSON: the durable store's exact path.
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let restored: AdamState = serde_json::from_str(&json).unwrap();
+
+        let mut rng2 = StdRng::seed_from_u64(1234);
+        let mut twin = Linear::new(4, 3, &mut rng2); // different init, overwritten
+        twin.load_state(&params);
+        let mut twin_adam = Adam::new();
+        twin_adam.load_state(&twin, &restored).unwrap();
+        assert_eq!(twin_adam.steps(), 25);
+
+        for step in 0..10 {
+            descend(&mut lin, &mut adam, 3e-3);
+            descend(&mut twin, &mut twin_adam, 3e-3);
+            assert_eq!(
+                lin.weight.value.data(),
+                twin.weight.value.data(),
+                "divergence at resumed step {step}"
+            );
+            assert_eq!(lin.bias.value.data(), twin.bias.value.data());
+        }
+    }
+
+    #[test]
+    fn unstepped_parameters_snapshot_as_zero_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lin = Linear::new(2, 2, &mut rng);
+        let adam = Adam::new();
+        let s = adam.state(&lin);
+        assert_eq!(s.step, 0);
+        assert!(s.moments.iter().all(|mo| {
+            mo.m.data().iter().all(|&x| x == 0.0) && mo.v.data().iter().all(|&x| x == 0.0)
+        }));
+    }
+
+    #[test]
+    fn load_state_rejects_mismatched_snapshots() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        let mut adam = Adam::new();
+        adam.step(&mut lin, 1e-3);
+
+        // Too short.
+        let mut short = adam.state(&lin);
+        short.moments.pop();
+        assert!(adam.load_state(&lin, &short).is_err());
+
+        // Too long.
+        let mut long = adam.state(&lin);
+        long.moments.push(MomentPair { m: Tensor::zeros(1, 1), v: Tensor::zeros(1, 1) });
+        assert!(adam.load_state(&lin, &long).is_err());
+
+        // Wrong shape.
+        let mut wrong = adam.state(&lin);
+        wrong.moments[0].m = Tensor::zeros(3, 3);
+        let err = adam.load_state(&lin, &wrong).unwrap_err();
+        assert!(err.to_string().contains("optimizer state mismatch"));
+
+        // The optimizer still works after rejected loads.
+        adam.step(&mut lin, 1e-3);
+        assert_eq!(adam.steps(), 2);
     }
 
     #[test]

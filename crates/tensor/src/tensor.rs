@@ -4,7 +4,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::{kernels, pool};
 
@@ -20,11 +20,51 @@ use crate::{kernels, pool};
 /// errors and panic with a descriptive message rather than returning
 /// `Result`; the checked constructor [`Tensor::try_from_vec`] is available at
 /// API boundaries where data arrives from outside the program.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
     data: Arc<Vec<f32>>,
+}
+
+impl Serialize for Tensor {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("rows".to_string(), self.rows.to_value()),
+            ("cols".to_string(), self.cols.to_value()),
+            ("data".to_string(), self.data.to_value()),
+        ])
+    }
+}
+
+/// Hand-written so the shape×length invariant is *validated*, not assumed.
+///
+/// A derived impl would accept any `{rows, cols, data}` triple, and a
+/// hand-edited or bit-flipped snapshot whose `data` is shorter than
+/// `rows * cols` would drive the blocked kernels (which index by shape, not
+/// by buffer length) out of bounds. Deserialization therefore rejects any
+/// tree where `data.len() != rows * cols`, including shapes whose element
+/// count overflows `usize`.
+impl Deserialize for Tensor {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::custom(format!("Tensor: missing field `{name}`")))
+        };
+        let rows = usize::from_value(field("rows")?)?;
+        let cols = usize::from_value(field("cols")?)?;
+        let data = Vec::<f32>::from_value(field("data")?)?;
+        let expected = rows.checked_mul(cols).ok_or_else(|| {
+            serde::Error::custom(format!("Tensor: shape {rows}x{cols} overflows usize"))
+        })?;
+        if data.len() != expected {
+            return Err(serde::Error::custom(format!(
+                "Tensor: buffer of {} values does not fill shape {rows}x{cols} ({expected} elements)",
+                data.len()
+            )));
+        }
+        Ok(Self { rows, cols, data: Arc::new(data) })
+    }
 }
 
 impl Tensor {
@@ -736,6 +776,65 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let t = Tensor::rand_normal(3, 7, 0.0, 1.0, &mut rng);
         assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn serde_roundtrip_is_bit_exact() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let t = Tensor::rand_normal(3, 5, 0.0, 2.0, &mut rng);
+        let back = Tensor::from_value(&t.to_value()).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        assert_eq!(back.data(), t.data(), "serde round-trip must preserve every bit");
+    }
+
+    #[test]
+    fn deserialize_rejects_shape_length_mismatch() {
+        // A snapshot whose buffer is shorter than rows*cols must be an
+        // error, never a tensor that later indexes out of bounds.
+        let mut v = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).to_value();
+        if let Value::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "data" {
+                    *val = Value::Array(vec![Value::Float(1.0)]);
+                }
+            }
+        }
+        let err = Tensor::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("does not fill shape"), "{err}");
+    }
+
+    #[test]
+    fn deserialize_rejects_overflowing_shape() {
+        let v = Value::Object(vec![
+            ("rows".to_string(), Value::UInt(u64::MAX / 2)),
+            ("cols".to_string(), Value::UInt(4)),
+            ("data".to_string(), Value::Array(vec![])),
+        ]);
+        let err = Tensor::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn deserialize_rejects_missing_and_mistyped_fields() {
+        for missing in ["rows", "cols", "data"] {
+            let v = Value::Object(
+                Tensor::ones(2, 2)
+                    .to_value()
+                    .as_object()
+                    .unwrap()
+                    .iter()
+                    .filter(|(k, _)| k != missing)
+                    .cloned()
+                    .collect(),
+            );
+            assert!(Tensor::from_value(&v).is_err(), "dropped `{missing}` must fail");
+        }
+        let v = Value::Object(vec![
+            ("rows".to_string(), Value::Str("two".into())),
+            ("cols".to_string(), Value::UInt(2)),
+            ("data".to_string(), Value::Array(vec![])),
+        ]);
+        assert!(Tensor::from_value(&v).is_err());
     }
 
     #[test]

@@ -57,15 +57,15 @@ proptest! {
 
     #[test]
     fn grad_nonlinearities(x in tensor(2, 5)) {
-        check(&[x.clone()], |g, v| {
+        check(std::slice::from_ref(&x), |g, v| {
             let y = g.tanh(v[0]);
             g.sum_all(y)
         });
-        check(&[x.clone()], |g, v| {
+        check(std::slice::from_ref(&x), |g, v| {
             let y = g.sigmoid(v[0]);
             g.sum_all(y)
         });
-        check(&[x.clone()], |g, v| {
+        check(std::slice::from_ref(&x), |g, v| {
             let y = g.gelu(v[0]);
             g.sum_all(y)
         });
@@ -112,7 +112,7 @@ proptest! {
             let y = g.add_bias(v[0], v[1]);
             g.sum_all(y)
         });
-        check(&[x.clone()], |g, v| {
+        check(std::slice::from_ref(&x), |g, v| {
             let y = g.mean_axis0(v[0]);
             let sq = g.mul(y, y);
             g.sum_all(sq)

@@ -119,6 +119,15 @@ pub struct RunSummary {
     pub checkpoint_saves: usize,
     /// Non-finite events reported (guard hits, NaN losses, NaN metrics).
     pub non_finite_events: usize,
+    /// Times the run continued from a durable snapshot instead of scratch.
+    #[serde(default)]
+    pub resumes: usize,
+    /// Durable snapshots written to the on-disk store during the run.
+    #[serde(default)]
+    pub checkpoint_writes: usize,
+    /// Corrupt/unreadable snapshots skipped while searching for a valid one.
+    #[serde(default)]
+    pub corrupt_skipped: usize,
 }
 
 /// Hooks into a training run. Every method has a no-op default, so observers
@@ -142,6 +151,16 @@ pub trait TrainObserver {
     /// (`"op:softmax_rows"`, `"train_loss"`, `"valid_f1"`); `detail` is a
     /// human-readable elaboration.
     fn on_non_finite(&mut self, _source: &str, _detail: &str) {}
+    /// Called once when a run continues from a durable snapshot instead of
+    /// starting from scratch: the epoch and global step it resumes at.
+    fn on_resume(&mut self, _epoch: usize, _step: u64) {}
+    /// Called after a durable snapshot lands on disk (post-rename, so the
+    /// bytes survive a crash from this moment on). `seq` is the store's
+    /// snapshot sequence number.
+    fn on_checkpoint_write(&mut self, _seq: u64, _epoch: usize, _step: u64) {}
+    /// Called when a corrupt, truncated, or unreadable snapshot is skipped
+    /// while searching the store for the newest valid one.
+    fn on_corrupt_skipped(&mut self, _file: &str, _reason: &str) {}
     /// Called once after the run with the aggregate summary.
     fn on_run_end(&mut self, _summary: &RunSummary) {}
 }
@@ -262,6 +281,18 @@ impl<W: Write> TrainObserver for JsonlLogger<W> {
             &NonFiniteEvent { source: source.to_string(), detail: detail.to_string() },
         );
     }
+    fn on_resume(&mut self, epoch: usize, step: u64) {
+        self.emit("resume", &ResumeEvent { epoch, step });
+    }
+    fn on_checkpoint_write(&mut self, seq: u64, epoch: usize, step: u64) {
+        self.emit("checkpoint_write", &CheckpointWriteEvent { seq, epoch, step });
+    }
+    fn on_corrupt_skipped(&mut self, file: &str, reason: &str) {
+        self.emit(
+            "corrupt_skipped",
+            &CorruptSkippedEvent { file: file.to_string(), reason: reason.to_string() },
+        );
+    }
     fn on_run_end(&mut self, summary: &RunSummary) {
         self.emit("run_summary", summary);
     }
@@ -285,6 +316,25 @@ struct NonFiniteEvent {
     detail: String,
 }
 
+#[derive(Serialize, Deserialize)]
+struct ResumeEvent {
+    epoch: usize,
+    step: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct CheckpointWriteEvent {
+    seq: u64,
+    epoch: usize,
+    step: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct CorruptSkippedEvent {
+    file: String,
+    reason: String,
+}
+
 /// Folds the observer event stream into a [`RunSummary`].
 ///
 /// Pool statistics are measured as a delta from construction time, so a
@@ -302,6 +352,9 @@ pub struct SummaryBuilder {
     eval_secs: f64,
     checkpoint_saves: usize,
     non_finite_events: usize,
+    resumes: usize,
+    checkpoint_writes: usize,
+    corrupt_skipped: usize,
 }
 
 impl SummaryBuilder {
@@ -319,6 +372,9 @@ impl SummaryBuilder {
             eval_secs: 0.0,
             checkpoint_saves: 0,
             non_finite_events: 0,
+            resumes: 0,
+            checkpoint_writes: 0,
+            corrupt_skipped: 0,
         }
     }
 
@@ -352,6 +408,9 @@ impl SummaryBuilder {
             eval_secs: self.eval_secs,
             checkpoint_saves: self.checkpoint_saves,
             non_finite_events: self.non_finite_events,
+            resumes: self.resumes,
+            checkpoint_writes: self.checkpoint_writes,
+            corrupt_skipped: self.corrupt_skipped,
         }
     }
 }
@@ -384,6 +443,15 @@ impl TrainObserver for SummaryBuilder {
     }
     fn on_non_finite(&mut self, _source: &str, _detail: &str) {
         self.non_finite_events += 1;
+    }
+    fn on_resume(&mut self, _epoch: usize, _step: u64) {
+        self.resumes += 1;
+    }
+    fn on_checkpoint_write(&mut self, _seq: u64, _epoch: usize, _step: u64) {
+        self.checkpoint_writes += 1;
+    }
+    fn on_corrupt_skipped(&mut self, _file: &str, _reason: &str) {
+        self.corrupt_skipped += 1;
     }
 }
 
@@ -450,6 +518,18 @@ impl TrainObserver for TraceSession {
     fn on_non_finite(&mut self, source: &str, detail: &str) {
         self.logger.on_non_finite(source, detail);
         self.summary.on_non_finite(source, detail);
+    }
+    fn on_resume(&mut self, epoch: usize, step: u64) {
+        self.logger.on_resume(epoch, step);
+        self.summary.on_resume(epoch, step);
+    }
+    fn on_checkpoint_write(&mut self, seq: u64, epoch: usize, step: u64) {
+        self.logger.on_checkpoint_write(seq, epoch, step);
+        self.summary.on_checkpoint_write(seq, epoch, step);
+    }
+    fn on_corrupt_skipped(&mut self, file: &str, reason: &str) {
+        self.logger.on_corrupt_skipped(file, reason);
+        self.summary.on_corrupt_skipped(file, reason);
     }
     fn on_run_end(&mut self, summary: &RunSummary) {
         self.logger.on_run_end(summary);
@@ -597,6 +677,61 @@ mod tests {
         assert!(s.train_secs > 0.0);
         assert!(s.eval_secs > 0.0);
         assert!((0.0..=1.0).contains(&s.pool_hit_rate));
+    }
+
+    #[test]
+    fn recovery_events_log_and_aggregate() {
+        let mut logger = JsonlLogger::new(Vec::new());
+        let mut builder = SummaryBuilder::new();
+        for obs in [&mut logger as &mut dyn TrainObserver, &mut builder] {
+            obs.on_corrupt_skipped("ckpt-000007.json", "checksum mismatch");
+            obs.on_resume(3, 42);
+            obs.on_checkpoint_write(8, 3, 44);
+            obs.on_checkpoint_write(9, 3, 46);
+        }
+        let out = logger.finish().unwrap();
+        let lines = parse_lines(&out);
+        assert_eq!(
+            event_names(&lines),
+            ["corrupt_skipped", "resume", "checkpoint_write", "checkpoint_write"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(lines[0].get("file").and_then(Value::as_str), Some("ckpt-000007.json"));
+        assert_eq!(lines[0].get("reason").and_then(Value::as_str), Some("checksum mismatch"));
+        assert_eq!(lines[1].get("epoch").and_then(Value::as_u64), Some(3));
+        assert_eq!(lines[1].get("step").and_then(Value::as_u64), Some(42));
+        assert_eq!(lines[2].get("seq").and_then(Value::as_u64), Some(8));
+
+        let s = builder.finish();
+        assert_eq!(s.resumes, 1);
+        assert_eq!(s.checkpoint_writes, 2);
+        assert_eq!(s.corrupt_skipped, 1);
+    }
+
+    #[test]
+    fn old_summaries_without_recovery_counters_still_parse() {
+        // Pre-durability run logs lack the three recovery counters; the
+        // serde defaults keep them readable.
+        let mut b = SummaryBuilder::new();
+        drive(&mut b);
+        let v = match b.finish().to_value() {
+            Value::Object(fields) => Value::Object(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| {
+                        k != "resumes" && k != "checkpoint_writes" && k != "corrupt_skipped"
+                    })
+                    .collect(),
+            ),
+            other => panic!("summary serialized to a non-object: {other:?}"),
+        };
+        let back = RunSummary::from_value(&v).unwrap();
+        assert_eq!(back.resumes, 0);
+        assert_eq!(back.checkpoint_writes, 0);
+        assert_eq!(back.corrupt_skipped, 0);
+        assert_eq!(back.steps, 3);
     }
 
     #[test]

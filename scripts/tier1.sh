@@ -15,3 +15,11 @@ rm -f results/runs/tier1-smoke.jsonl
 cargo run --release -p emba-bench --bin reproduce -- \
     trace --profile smoke --trace-name tier1-smoke
 test -s results/runs/tier1-smoke.jsonl
+
+# Crash-safety smoke: kill a training run mid-epoch, resume from the
+# checkpoint store, inject corruption, and require every replay to be
+# bit-identical to the uninterrupted baseline (the harness exits non-zero
+# on any divergence). The resume must also be visible in the event log.
+cargo run --release -p emba-bench --bin reproduce -- \
+    crash --profile smoke --trace-name tier1-crash
+grep -q '"event":"resume"' results/runs/tier1-crash.jsonl
