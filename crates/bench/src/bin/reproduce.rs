@@ -12,8 +12,9 @@ use std::fs;
 use std::path::PathBuf;
 
 use emba_bench::{
-    bench_tensor_kernels, crash_run, figure5, figure6, render_table2, render_table3, render_table4,
-    render_table5, table1, table2_data, table4_data, table6, table7, trace_run, Artifact, Profile,
+    bench_tensor_kernels, crash_run, figure5, figure6, profile_run, render_table2, render_table3,
+    render_table4, render_table5, table1, table2_data, table4_data, table6, table7, trace_run,
+    Artifact, Profile,
 };
 
 fn main() {
@@ -163,6 +164,30 @@ fn main() {
             }
         }
     }
+    if wants("profile") {
+        let name = flag_value(&args, "--trace-name")
+            .unwrap_or_else(|| format!("profile-{}", profile.name));
+        match profile_run(&profile, emba_core::ModelKind::EmbaSb, &name, &out_dir) {
+            Ok((artifact, outcome)) => {
+                emit(artifact);
+                eprintln!("[saved] {}", outcome.trace_path.display());
+                eprintln!("[saved] {}", outcome.folded_path.display());
+                eprintln!("[saved] {}", outcome.log_path.display());
+                println!(
+                    "profile run: {} op rows, fwd/bwd coverage {:.1}%, disabled overhead \
+                     {:.3}%, test F1 {:.4}",
+                    outcome.op_rows,
+                    100.0 * outcome.coverage,
+                    outcome.overhead_pct,
+                    outcome.test_f1,
+                );
+            }
+            Err(msg) => {
+                eprintln!("profile run failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     if wants("crash") {
         let name = flag_value(&args, "--trace-name")
             .unwrap_or_else(|| format!("crash-{}", profile.name));
@@ -219,6 +244,12 @@ TARGETS (default: all):
     trace    one observed training run with the non-finite guard on; writes
              the event log to results/runs/<name>.jsonl and validates it.
              Not part of `all` — run as `reproduce trace --profile smoke`
+    profile  one profiled train+eval cycle: writes the chrome://tracing
+             timeline and folded flamegraph stacks to results/profiles/,
+             merges the per-op table into the run summary, and validates
+             percentiles, coverage, and the disabled-mode overhead
+             (BENCH_profile.json). Not part of `all` — run as
+             `reproduce profile --profile smoke`
     crash    fault-injection harness for crash-safe training: kills a run
              mid-epoch, resumes from the checkpoint store, corrupts
              snapshots, and asserts every replay is bit-identical to the

@@ -33,7 +33,7 @@ pub struct KernelTiming {
 
 /// Times `f` and returns the median ns per call over `samples` samples,
 /// calibrating the per-sample iteration count to at least ~2 ms.
-fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+pub(crate) fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
     let mut iters = 1u64;
     loop {
         let start = Instant::now();

@@ -7,6 +7,7 @@
 
 pub mod crash;
 pub mod kernel_bench;
+pub mod prof_run;
 pub mod profile;
 pub mod render;
 pub mod tables;
@@ -14,6 +15,7 @@ pub mod trace_run;
 
 pub use crash::{crash_run, CrashOutcome};
 pub use kernel_bench::bench_tensor_kernels;
+pub use prof_run::{profile_run, ProfOutcome};
 pub use profile::Profile;
 pub use render::Table;
 pub use trace_run::{trace_run, validate_jsonl, TraceOutcome};

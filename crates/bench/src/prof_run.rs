@@ -1,0 +1,426 @@
+//! The `profile` reproduce target: one profiled train+eval cycle.
+//!
+//! Runs a small observed training run with the tape-op profiler enabled and
+//! emits every profiling artifact in one shot:
+//!
+//! - `results/profiles/<name>.trace.json` — chrome://tracing timeline;
+//! - `results/profiles/<name>.folded` — folded flamegraph stacks;
+//! - `results/runs/<name>.jsonl` — the event log, whose final `run_summary`
+//!   line carries the merged per-op table and phase timers;
+//! - `BENCH_profile.{txt,json}` — top ops by self time, total FLOPs,
+//!   latency-histogram percentiles, and the measured disabled-mode overhead.
+//!
+//! The run doubles as the tier-1 smoke gate for the profiler: the Chrome
+//! trace must parse with a non-empty `traceEvents`, every histogram's
+//! percentiles must be finite and ordered (p50 ≤ p90 ≤ p99), op self-times
+//! must cover the forward/backward phase wall time within 10%, and the
+//! disabled-mode hook overhead must stay under 2% at the kernel-bench
+//! shapes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use emba_core::{train_single_cached_observed, ModelKind, PretrainCache};
+use emba_datagen::build;
+use emba_tensor::{kernels, prof};
+use emba_trace::{metrics, prof_export, MetricsSnapshot, OpRow, TraceSession};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Serialize, Value};
+
+use crate::kernel_bench::median_ns;
+use crate::profile::Profile;
+use crate::tables::Artifact;
+
+/// Maximum tolerated disabled-mode overhead, in percent.
+pub const MAX_DISABLED_OVERHEAD_PCT: f64 = 2.0;
+
+/// Result of a successful [`profile_run`].
+pub struct ProfOutcome {
+    /// Path of the Chrome trace-event JSON.
+    pub trace_path: PathBuf,
+    /// Path of the folded flamegraph stacks.
+    pub folded_path: PathBuf,
+    /// Path of the JSONL event log.
+    pub log_path: PathBuf,
+    /// Distinct (op, direction) rows in the per-op table.
+    pub op_rows: usize,
+    /// Σ op self-time ÷ Σ forward/backward phase wall time.
+    pub coverage: f64,
+    /// Median disabled-mode overhead across the kernel shapes, percent.
+    pub overhead_pct: f64,
+    /// Test F1 of the profiled run.
+    pub test_f1: f64,
+}
+
+/// Disabled-overhead measurement at one GEMM shape.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadRow {
+    /// Square product dimension (`n × n × n`).
+    pub shape: usize,
+    /// Median ns/call of the bare kernel.
+    pub bare_ns: f64,
+    /// Median ns/call with the per-op disabled-profiler check added.
+    pub hooked_ns: f64,
+    /// `max(0, hooked − bare) / bare`, percent.
+    pub overhead_pct: f64,
+}
+
+#[derive(Serialize)]
+struct ProfileReport {
+    description: &'static str,
+    top_ops: Vec<OpRow>,
+    total_flops: u64,
+    total_op_ns: u64,
+    op_phase_coverage: f64,
+    dropped_spans: u64,
+    disabled_overhead: Vec<OverheadRow>,
+    disabled_overhead_median_pct: f64,
+    metrics: MetricsSnapshot,
+}
+
+/// Trains `kind` on the profile's first Table 2 dataset with the profiler
+/// and metrics registry armed, writes the trace/flamegraph/JSONL artifacts,
+/// and validates them. Returns the `BENCH_profile` artifact plus the
+/// outcome, or a description of the first failed check.
+pub fn profile_run(
+    profile: &Profile,
+    kind: ModelKind,
+    name: &str,
+    out_dir: &Path,
+) -> Result<(Artifact, ProfOutcome), String> {
+    let id = *profile
+        .table2_datasets
+        .first()
+        .ok_or_else(|| "profile has no table2 datasets".to_string())?;
+    let ds = build(id, profile.scale_for(id), profile.seed);
+    let cfg = profile.cfg.clone();
+
+    // Profiled train + eval cycle. The registry and tape are reset first so
+    // repeated in-process runs don't bleed into each other.
+    metrics::reset();
+    prof::reset();
+    let runs_dir = out_dir.join("runs");
+    let mut session =
+        TraceSession::create(&runs_dir, name).map_err(|e| format!("open event log: {e}"))?;
+    let log_path = session.path().to_path_buf();
+    prof::enable(true);
+    let (_, report) = train_single_cached_observed(
+        kind,
+        &ds,
+        &cfg,
+        profile.seed,
+        &mut PretrainCache::new(),
+        &mut session,
+    );
+    prof::enable(false);
+    let prof_report = prof::report();
+    session.record_profile(&prof_report);
+    session.finish().map_err(|e| format!("flush event log: {e}"))?;
+
+    let (trace_path, folded_path) = prof_export::write_profile_artifacts(out_dir, name, &prof_report)
+        .map_err(|e| format!("write profile artifacts: {e}"))?;
+    let snapshot = metrics::snapshot();
+
+    // --- Validations (each is a tier-1 gate). ---
+    validate_chrome_trace(&trace_path)?;
+    let folded = fs::read_to_string(&folded_path)
+        .map_err(|e| format!("read {}: {e}", folded_path.display()))?;
+    if folded.lines().next().is_none() {
+        return Err(format!("{}: empty folded stacks", folded_path.display()));
+    }
+    validate_percentiles(&snapshot)?;
+    let coverage = op_phase_coverage(&prof_report)?;
+    let samples = if profile.name == "smoke" { 5 } else { 9 };
+    let (overhead_rows, overhead_pct) = measure_disabled_overhead(samples);
+    if overhead_pct > MAX_DISABLED_OVERHEAD_PCT {
+        return Err(format!(
+            "disabled-mode overhead {overhead_pct:.3}% exceeds {MAX_DISABLED_OVERHEAD_PCT}% \
+             (per shape: {overhead_rows:?})"
+        ));
+    }
+
+    let ops = prof_export::op_table(&prof_report);
+    let total_flops: u64 = ops.iter().map(|o| o.flops).sum();
+    let total_op_ns: u64 = ops.iter().map(|o| o.self_ns).sum();
+    let top_ops: Vec<OpRow> = ops.iter().take(10).cloned().collect();
+
+    let text = render_text(
+        name,
+        &top_ops,
+        total_flops,
+        total_op_ns,
+        coverage,
+        &overhead_rows,
+        overhead_pct,
+        &snapshot,
+        prof_report.dropped_spans,
+    );
+    let json = ProfileReport {
+        description: "Op-level profile of one observed train+eval cycle \
+                      (top ops by self time, FLOP totals, inference-latency \
+                      percentiles, and measured disabled-mode overhead)",
+        top_ops,
+        total_flops,
+        total_op_ns,
+        op_phase_coverage: coverage,
+        dropped_spans: prof_report.dropped_spans,
+        disabled_overhead: overhead_rows,
+        disabled_overhead_median_pct: overhead_pct,
+        metrics: snapshot,
+    };
+    let artifact = Artifact {
+        id: "BENCH_profile",
+        text,
+        json: serde_json::to_value(&json).expect("profile report serializes"),
+    };
+    let outcome = ProfOutcome {
+        trace_path,
+        folded_path,
+        log_path,
+        op_rows: ops.len(),
+        coverage,
+        overhead_pct,
+        test_f1: report.test.matching.f1,
+    };
+    Ok((artifact, outcome))
+}
+
+/// The Chrome trace must parse as JSON with a non-empty `traceEvents` array
+/// whose entries all carry the mandatory trace-event fields.
+fn validate_chrome_trace(path: &Path) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let v: Value = serde_json::from_str(&text)
+        .map_err(|e| format!("{}: malformed trace JSON: {e}", path.display()))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{}: missing traceEvents array", path.display()))?;
+    if events.is_empty() {
+        return Err(format!("{}: traceEvents is empty", path.display()));
+    }
+    for (i, e) in events.iter().enumerate() {
+        for key in ["ph", "name", "pid"] {
+            if e.get(key).is_none() {
+                return Err(format!(
+                    "{}: traceEvents[{i}] missing {key:?}",
+                    path.display()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Every histogram's percentiles must be finite and ordered.
+fn validate_percentiles(snapshot: &MetricsSnapshot) -> Result<(), String> {
+    if snapshot.histograms.is_empty() {
+        return Err("no latency histograms were recorded".into());
+    }
+    for h in &snapshot.histograms {
+        let ps = [h.p50, h.p90, h.p99];
+        if ps.iter().any(|p| !p.is_finite()) {
+            return Err(format!("{}: non-finite percentile in {ps:?}", h.name));
+        }
+        if !(h.p50 <= h.p90 && h.p90 <= h.p99) {
+            return Err(format!(
+                "{}: percentiles out of order: p50 {} p90 {} p99 {}",
+                h.name, h.p50, h.p90, h.p99
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Σ self-time of ops recorded under a forward/backward phase, divided by
+/// the wall time of those phases. Delta-mark accounting should land this
+/// within 10% of 1.0 — a large gap means ops are escaping attribution.
+fn op_phase_coverage(report: &prof::ProfReport) -> Result<f64, String> {
+    let in_fwd_bwd = |path: &str| {
+        path.split('/')
+            .any(|seg| seg == "forward" || seg == "backward")
+    };
+    let op_ns: u64 = report
+        .ops
+        .iter()
+        .filter(|o| in_fwd_bwd(&o.path))
+        .map(|o| o.self_ns)
+        .sum();
+    let phase_ns: u64 = report
+        .phases
+        .iter()
+        .filter(|p| {
+            matches!(p.path.rsplit('/').next(), Some("forward") | Some("backward"))
+        })
+        .map(|p| p.total_ns)
+        .sum();
+    if phase_ns == 0 {
+        return Err("no forward/backward phases were recorded".into());
+    }
+    let coverage = op_ns as f64 / phase_ns as f64;
+    if !(0.9..=1.1).contains(&coverage) {
+        return Err(format!(
+            "op self-times cover {:.1}% of forward/backward wall time (want 90–110%)",
+            100.0 * coverage
+        ));
+    }
+    Ok(coverage)
+}
+
+/// Measures what the disabled profiler costs per op: the bare GEMM kernel at
+/// the kernel-bench shapes vs the same kernel plus the per-op
+/// `prof::enabled()` check the tape performs when recording is off.
+pub fn measure_disabled_overhead(samples: usize) -> (Vec<OverheadRow>, f64) {
+    assert!(!prof::enabled(), "overhead is measured with the profiler off");
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut rows = Vec::new();
+    for &n in &[32usize, 64, 128] {
+        let a: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut out = vec![0.0f32; n * n];
+        let bare = median_ns(samples, || {
+            kernels::gemm_nn(n, n, n, &a, &b, &mut out);
+            std::hint::black_box(out[0]);
+        });
+        let hooked = median_ns(samples, || {
+            kernels::gemm_nn(n, n, n, &a, &b, &mut out);
+            std::hint::black_box(prof::enabled());
+            std::hint::black_box(out[0]);
+        });
+        rows.push(OverheadRow {
+            shape: n,
+            bare_ns: bare,
+            hooked_ns: hooked,
+            overhead_pct: 100.0 * ((hooked - bare) / bare).max(0.0),
+        });
+    }
+    let mut pcts: Vec<f64> = rows.iter().map(|r| r.overhead_pct).collect();
+    pcts.sort_by(f64::total_cmp);
+    (rows, pcts[pcts.len() / 2])
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_text(
+    name: &str,
+    top_ops: &[OpRow],
+    total_flops: u64,
+    total_op_ns: u64,
+    coverage: f64,
+    overhead: &[OverheadRow],
+    overhead_pct: f64,
+    snapshot: &MetricsSnapshot,
+    dropped_spans: u64,
+) -> String {
+    let mut text = format!(
+        "BENCH_profile — op-level profile of one train+eval cycle ({name})\n\n\
+         top ops by self time:\n"
+    );
+    for o in top_ops {
+        let dir = if o.backward { "bwd" } else { "fwd" };
+        text.push_str(&format!(
+            "  {:<24} {dir}  {:>7} calls  {:>12} ns  {:>14} flops\n",
+            o.op, o.calls, o.self_ns, o.flops
+        ));
+    }
+    text.push_str(&format!(
+        "\ntotal op time {total_op_ns} ns | total {total_flops} flops | \
+         fwd/bwd coverage {:.1}% | dropped spans {dropped_spans}\n",
+        100.0 * coverage
+    ));
+    text.push_str("\nlatency histograms (ns):\n");
+    for h in &snapshot.histograms {
+        text.push_str(&format!(
+            "  {:<20} n={:<6} p50 {:>12.0}  p90 {:>12.0}  p99 {:>12.0}\n",
+            h.name, h.count, h.p50, h.p90, h.p99
+        ));
+    }
+    text.push_str("\ndisabled-mode overhead (bare GEMM vs GEMM + per-op check):\n");
+    for r in overhead {
+        text.push_str(&format!(
+            "  {0}x{0}x{0}: bare {1:.0} ns, hooked {2:.0} ns, overhead {3:.3}%\n",
+            r.shape, r.bare_ns, r.hooked_ns, r.overhead_pct
+        ));
+    }
+    text.push_str(&format!(
+        "  median {overhead_pct:.3}% (limit {MAX_DISABLED_OVERHEAD_PCT}%)\n"
+    ));
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_measurement_is_well_formed() {
+        // The ≤2% threshold itself is only meaningful on an otherwise-idle
+        // release build, where `reproduce profile` (the tier-1 smoke gate)
+        // enforces it; under the parallel debug test runner the timing
+        // jitter dwarfs the hook cost, so here we pin the measurement's
+        // shape instead.
+        let (rows, median) = measure_disabled_overhead(3);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows.iter().map(|r| r.shape).collect::<Vec<_>>(),
+            [32, 64, 128]
+        );
+        for r in &rows {
+            assert!(r.bare_ns > 0.0 && r.hooked_ns > 0.0);
+            assert!(r.overhead_pct.is_finite() && r.overhead_pct >= 0.0);
+        }
+        assert!(median.is_finite() && median >= 0.0);
+    }
+
+    #[test]
+    fn percentile_validation_rejects_disorder() {
+        use emba_trace::HistogramSummary;
+        let good = MetricsSnapshot {
+            histograms: vec![HistogramSummary {
+                name: "x".into(),
+                count: 3,
+                p50: 1.0,
+                p90: 2.0,
+                p99: 2.0,
+                mean: 1.5,
+                overflow: 0,
+            }],
+            ..MetricsSnapshot::default()
+        };
+        assert!(validate_percentiles(&good).is_ok());
+        let mut bad = good.clone();
+        bad.histograms[0].p50 = 5.0;
+        assert!(validate_percentiles(&bad).is_err());
+        let mut nan = good.clone();
+        nan.histograms[0].p99 = f64::NAN;
+        assert!(validate_percentiles(&nan).is_err());
+        assert!(validate_percentiles(&MetricsSnapshot::default()).is_err());
+    }
+
+    #[test]
+    fn coverage_requires_attributed_op_time() {
+        use emba_tensor::prof::{OpStat, PhaseStat, ProfReport};
+        let report = ProfReport {
+            ops: vec![OpStat {
+                path: "train/forward".into(),
+                op: "matmul",
+                backward: false,
+                calls: 1,
+                self_ns: 95,
+                bytes: 0,
+                flops: 0,
+            }],
+            phases: vec![
+                PhaseStat { path: "train".into(), calls: 1, total_ns: 200 },
+                PhaseStat { path: "train/forward".into(), calls: 1, total_ns: 100 },
+            ],
+            spans: Vec::new(),
+            dropped_spans: 0,
+        };
+        let cov = op_phase_coverage(&report).unwrap();
+        assert!((cov - 0.95).abs() < 1e-9);
+
+        let mut starved = report.clone();
+        starved.ops[0].self_ns = 10;
+        assert!(op_phase_coverage(&starved).is_err());
+    }
+}

@@ -31,6 +31,9 @@ pub struct AoaOutput {
     pub gamma: Var,
     /// `α ∈ [m, n]` — column-stochastic first-level attention.
     pub alpha: Var,
+    /// `β ∈ [m, n]` — row-stochastic first-level attention (Eq. 2), kept so
+    /// the explanation tooling can verify/visualize both softmax directions.
+    pub beta: Var,
     /// `β̄ ∈ [1, n]` — averaged RECORD2 attention. Sums to 1.
     pub beta_bar: Var,
 }
@@ -42,6 +45,7 @@ pub struct AoaOutput {
 /// Panics (via the tensor shape checks) if `e1` and `e2` have different
 /// hidden widths or either is empty.
 pub fn attention_over_attention(g: &Graph, e1: Var, e2: Var) -> AoaOutput {
+    let _scope = emba_tensor::prof::scope("aoa");
     let interaction = g.matmul_nt(e1, e2); // [m, n]
     let alpha = g.softmax_cols(interaction); // columns sum to 1
     let beta = g.softmax_rows(interaction); // rows sum to 1
@@ -52,6 +56,7 @@ pub fn attention_over_attention(g: &Graph, e1: Var, e2: Var) -> AoaOutput {
         pooled,
         gamma,
         alpha,
+        beta,
         beta_bar,
     }
 }

@@ -366,8 +366,11 @@ pub struct Prediction {
 
 impl TrainedMatcher {
     /// Predicts the match probability for a raw record pair
-    /// (deterministically; dropout disabled).
+    /// (deterministically; dropout disabled). End-to-end latency — tokenize
+    /// plus forward — lands in the `predict.example_ns` histogram.
     pub fn predict(&self, left: &Record, right: &Record) -> Prediction {
+        let _scope = emba_tensor::prof::scope("predict");
+        let start = std::time::Instant::now();
         let example = emba_datagen::PairExample {
             left: left.clone(),
             right: right.clone(),
@@ -381,12 +384,17 @@ impl TrainedMatcher {
         let out = self
             .model
             .forward(&g, GraphStamp::next(), &encoded, false, &mut rng);
-        Prediction {
+        let prediction = Prediction {
             prob: f64::from(out.match_prob),
             attention: out.attention,
             gamma: out.gamma,
             encoded,
-        }
+        };
+        emba_trace::metrics::observe_ns(
+            "predict.example_ns",
+            start.elapsed().as_nanos() as u64,
+        );
+        prediction
     }
 }
 

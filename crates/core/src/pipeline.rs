@@ -7,9 +7,11 @@
 //! models consume.
 
 use emba_datagen::{Dataset, PairExample, Record};
+use emba_tensor::prof;
 use emba_tokenizer::{
     encode_pair, encode_record, EncodedPair, Serialization, TrainConfig, WordPieceTokenizer,
 };
+use emba_trace::metrics;
 
 /// A dataset pair encoded for model consumption.
 #[derive(Debug, Clone)]
@@ -121,16 +123,24 @@ impl TextPipeline {
             .collect()
     }
 
-    /// Encodes one labeled example.
+    /// Encodes one labeled example. Tokenizer latency is recorded in the
+    /// `encode.example_ns` histogram (the inference path pays this per
+    /// prediction, so it belongs in the serving budget alongside the model
+    /// forward).
     pub fn encode_example(&self, p: &PairExample) -> EncodedExample {
-        EncodedExample {
+        let _scope = prof::scope("encode");
+        let start = std::time::Instant::now();
+        let encoded = EncodedExample {
             pair: self.encode_records(&p.left, &p.right),
             left_attrs: self.encode_attrs(&p.left),
             right_attrs: self.encode_attrs(&p.right),
             is_match: p.is_match,
             left_class: p.left_class,
             right_class: p.right_class,
-        }
+        };
+        metrics::observe_ns("encode.example_ns", start.elapsed().as_nanos() as u64);
+        metrics::counter_add("encode.examples", 1);
+        encoded
     }
 
     /// Encodes a whole split.

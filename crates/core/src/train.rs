@@ -11,8 +11,8 @@
 use std::time::Instant;
 
 use emba_nn::{clip_grad_norm, Adam, GraphStamp, LinearSchedule, Module};
-use emba_tensor::{guard, Graph};
-use emba_trace::{EvalRecord, NullObserver, RunMeta, StepRecord, TrainObserver};
+use emba_tensor::{guard, pool, prof, Graph};
+use emba_trace::{metrics, EvalRecord, NullObserver, RunMeta, StepRecord, TrainObserver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -234,6 +234,7 @@ pub fn evaluate_observed(
     observer: &mut dyn TrainObserver,
 ) -> EvalResult {
     assert!(!examples.is_empty(), "cannot evaluate an empty split");
+    let _eval_scope = prof::scope("eval");
     let start = Instant::now();
     let mut preds = Vec::with_capacity(examples.len());
     let mut gold = Vec::with_capacity(examples.len());
@@ -242,8 +243,13 @@ pub fn evaluate_observed(
     let mut id1_gold = Vec::new();
     let mut id2_gold = Vec::new();
     for ex in examples {
+        let _example_scope = prof::scope("example");
+        let example_start = Instant::now();
         let g = Graph::new();
-        let out = model.forward(&g, GraphStamp::next(), ex, false, rng);
+        let out = {
+            let _fwd_scope = prof::scope("forward");
+            model.forward(&g, GraphStamp::next(), ex, false, rng)
+        };
         preds.push(out.match_prob >= 0.5);
         gold.push(ex.is_match);
         if let (Some(p1), Some(p2)) = (out.id1_pred, out.id2_pred) {
@@ -253,6 +259,13 @@ pub fn evaluate_observed(
             id2_gold.push(ex.right_class);
         }
         g.recycle();
+        metrics::observe_ns("eval.example_ns", example_start.elapsed().as_nanos() as u64);
+    }
+    metrics::counter_add("eval.examples", examples.len() as u64);
+    let pool_stats = pool::stats();
+    let lookups = pool_stats.hits + pool_stats.misses;
+    if lookups > 0 {
+        metrics::gauge_set("pool.hit_rate", pool_stats.hits as f64 / lookups as f64);
     }
     let ids = if id1_pred.is_empty() {
         None
@@ -420,8 +433,10 @@ pub(crate) fn train_loop(
         observer.on_resume(start_epoch, step);
     }
 
+    let _train_scope = prof::scope("train");
     let train_start = Instant::now();
     'epochs: for epoch in start_epoch..cfg.epochs {
+        let _epoch_scope = prof::scope("epoch");
         epochs_run = epoch + 1;
         let start_i = if epoch == start_epoch { resume_cursor } else { 0 };
         let mut epoch_loss = if start_i > 0 { resumed_epoch_loss } else { 0.0 };
@@ -435,18 +450,32 @@ pub(crate) fn train_loop(
         let mut batch_start = Instant::now();
         for (i, &idx) in order.iter().enumerate().skip(start_i) {
             let ex = &train[idx];
+            let example_scope = prof::scope("example");
             let g = Graph::new();
             let stamp = GraphStamp::next();
-            let out = model.forward(&g, stamp, ex, true, &mut rng);
+            let out = {
+                let _fwd_scope = prof::scope("forward");
+                model.forward(&g, stamp, ex, true, &mut rng)
+            };
             let loss = f64::from(g.value(out.loss).item());
             epoch_loss += loss;
             batch_loss += loss;
-            let grads = g.backward(out.loss);
-            model.accumulate_gradients(&grads);
-            // Return this example's activations and gradients to the scratch
-            // pool before the next graph is built.
-            grads.recycle();
-            g.recycle();
+            {
+                let bwd_scope = prof::scope("backward");
+                let grads = g.backward(out.loss);
+                // Close at the end of the tape sweep: accumulation and
+                // recycling record no ops, so leaving them inside would
+                // show up as unattributed backward wall time.
+                drop(bwd_scope);
+                model.accumulate_gradients(&grads);
+                // Return this example's activations and gradients to the
+                // scratch pool before the next graph is built.
+                grads.recycle();
+                g.recycle();
+            }
+            // Close before the optimizer step below, so `optim` is a
+            // sibling phase of `example` rather than a child.
+            drop(example_scope);
             if cfg.nan_guard {
                 drain_guard(observer);
             }
@@ -461,6 +490,7 @@ pub(crate) fn train_loop(
             trained_pairs += 1;
 
             if in_batch == cfg.batch_size || i + 1 == order.len() {
+                let optim_scope = prof::scope("optim");
                 // Average the accumulated gradients over the batch, in place.
                 let scale = 1.0 / in_batch as f32;
                 model.visit_mut(&mut |p| p.grad.scale_mut(scale));
@@ -468,6 +498,7 @@ pub(crate) fn train_loop(
                 let lr = schedule.lr(step);
                 adam.step(model.as_module_mut(), lr);
                 model.zero_grads();
+                drop(optim_scope);
                 observer.on_step(&StepRecord {
                     epoch,
                     step,

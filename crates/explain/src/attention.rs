@@ -154,6 +154,56 @@ mod tests {
     }
 
     #[test]
+    fn aoa_matrices_are_stochastic_on_fixed_seed_inputs() {
+        // The dumped AOA intermediates must keep their softmax structure:
+        // α column-stochastic (Eq. 1), β row-stochastic (Eq. 2), γ a single
+        // distribution over RECORD1 tokens.
+        use emba_core::aoa::attention_over_attention;
+        use emba_tensor::{Graph, Tensor};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(42);
+        let e1 = Tensor::rand_normal(6, 8, 0.0, 1.0, &mut rng);
+        let e2 = Tensor::rand_normal(4, 8, 0.0, 1.0, &mut rng);
+        let g = Graph::new();
+        let out = attention_over_attention(&g, g.leaf(e1), g.leaf(e2));
+
+        let alpha = g.value(out.alpha);
+        assert_eq!(alpha.shape(), (6, 4));
+        for c in 0..4 {
+            let col: f64 = (0..6).map(|r| f64::from(alpha.get(r, c))).sum();
+            assert!((col - 1.0).abs() < 1e-4, "alpha column {c} sums to {col}");
+        }
+        let beta = g.value(out.beta);
+        assert_eq!(beta.shape(), (6, 4));
+        for r in 0..6 {
+            let row: f64 = beta.row_slice(r).iter().map(|&v| f64::from(v)).sum();
+            assert!((row - 1.0).abs() < 1e-4, "beta row {r} sums to {row}");
+        }
+        assert!(alpha.data().iter().chain(beta.data()).all(|&v| v >= 0.0));
+
+        let gamma = g.value(out.gamma);
+        let total: f64 = gamma.data().iter().map(|&v| f64::from(v)).sum();
+        assert!((total - 1.0).abs() < 1e-4, "gamma sums to {total}");
+        assert!(gamma.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn trained_model_dumps_a_stochastic_gamma() {
+        // End-to-end on a trained (fixed-seed) model: the γ the matcher
+        // dumps for explanations is a distribution over RECORD1 tokens.
+        let (m, l, r) = trained(ModelKind::EmbaSb);
+        let pred = m.predict(&l, &r);
+        let gamma = pred.gamma.expect("EMBA dumps gamma");
+        assert_eq!(gamma.cols(), 1);
+        assert!(gamma.rows() > 0);
+        let total: f64 = gamma.data().iter().map(|&v| f64::from(v)).sum();
+        assert!((total - 1.0).abs() < 1e-3, "dumped gamma sums to {total}");
+        assert!(gamma.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
     fn attention_mass_matches_sequence_total() {
         // Column sums over a row-stochastic-per-head summed matrix total
         // seq * heads; word scores are a partition of the content columns.

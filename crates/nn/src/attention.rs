@@ -60,6 +60,7 @@ impl MultiHeadAttention {
         train: bool,
         rng: &mut R,
     ) -> (Var, Vec<Var>) {
+        let _scope = emba_tensor::prof::scope("attention");
         let q = self.query.forward(g, stamp, x);
         let k = self.key.forward(g, stamp, x);
         let v = self.value.forward(g, stamp, x);

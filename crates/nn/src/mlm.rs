@@ -161,6 +161,7 @@ pub fn pretrain_mlm<R: Rng + ?Sized>(
     let mut adam = Adam::new();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
+    let _mlm_scope = emba_tensor::prof::scope("mlm");
     for _ in 0..cfg.epochs {
         let mut total = 0.0f64;
         let mut count = 0usize;
@@ -179,6 +180,7 @@ pub fn pretrain_mlm<R: Rng + ?Sized>(
             let g = Graph::new();
             let stamp = GraphStamp::next();
             let segments = vec![0; masked.input.len()];
+            let fwd_scope = emba_tensor::prof::scope("forward");
             let out = encoder.forward(&g, stamp, &masked.input, &segments, true, rng);
             // Gather the masked rows.
             let rows: Vec<_> = masked
@@ -191,12 +193,16 @@ pub fn pretrain_mlm<R: Rng + ?Sized>(
             let loss = g.cross_entropy(logits, &masked.targets);
             total += f64::from(g.value(loss).item());
             count += 1;
+            drop(fwd_scope);
 
+            let bwd_scope = emba_tensor::prof::scope("backward");
             let grads = g.backward(loss);
+            drop(bwd_scope);
             encoder.zero_grads();
             head.zero_grads();
             encoder.accumulate_gradients(&grads);
             head.accumulate_gradients(&grads);
+            let _optim_scope = emba_tensor::prof::scope("optim");
             adam.step(encoder, cfg.lr);
             adam.step(&mut head, cfg.lr);
             grads.recycle();

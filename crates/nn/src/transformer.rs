@@ -145,10 +145,14 @@ impl EncoderLayer {
         train: bool,
         rng: &mut R,
     ) -> (Var, Vec<Var>) {
+        let _scope = emba_tensor::prof::scope("layer");
         let (attn_out, probs) = self.attention.forward_with_probs(g, stamp, x, train, rng);
         let x = self.attn_norm.forward(g, stamp, g.add(x, attn_out));
-        let ff_out = self.ff.forward(g, stamp, x);
-        let ff_out = dropout(g, ff_out, self.dropout_p, train, rng);
+        let ff_out = {
+            let _ffn_scope = emba_tensor::prof::scope("ffn");
+            let ff_out = self.ff.forward(g, stamp, x);
+            dropout(g, ff_out, self.dropout_p, train, rng)
+        };
         let x = self.ff_norm.forward(g, stamp, g.add(x, ff_out));
         (x, probs)
     }
@@ -248,6 +252,7 @@ impl BertEncoder {
             "segment ids length {} != token ids length {len}",
             segment_ids.len()
         );
+        let _scope = emba_tensor::prof::scope("bert");
 
         let positions: Vec<usize> = (0..len).collect();
         let tok = self.token_emb.forward(g, stamp, token_ids);

@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use rand::Rng;
 
 use crate::tensor::Tensor;
-use crate::{guard, kernels, pool, NORM_EPS};
+use crate::{guard, kernels, pool, prof, NORM_EPS};
 
 /// `sqrt(2/pi)`, for the tanh GELU approximation used by BERT.
 const GELU_C: f32 = 0.797_884_6;
@@ -53,6 +53,9 @@ type GradSink<'a> = dyn FnMut(usize, Tensor) + 'a;
 type BackwardFn = Box<dyn Fn(&Tensor, &mut GradSink)>;
 
 struct Node {
+    /// Tape-op name, kept so the backward sweep can attribute its time to
+    /// the op that recorded the node (profiler) by name.
+    op: &'static str,
     value: Tensor,
     parents: Vec<usize>,
     backward: Option<BackwardFn>,
@@ -128,7 +131,19 @@ impl Graph {
             guard::record(op, rows, cols);
         }
         let mut nodes = self.nodes.borrow_mut();
+        // Opt-in profiler: the op's kernel already ran (its output is
+        // `value`), so record now — self-time is the delta from the previous
+        // profiler event, which is exactly this op's compute inside a
+        // forward pass. Disabled cost is the single `enabled()` check.
+        if prof::enabled() {
+            let (rows, cols) = value.shape();
+            let parent_shapes: Vec<(usize, usize)> =
+                parents.iter().map(|&p| nodes[p].value.shape()).collect();
+            let flops = prof::estimate_flops(op, &parent_shapes, (rows, cols));
+            prof::record_op(op, false, 4 * (rows * cols) as u64, flops);
+        }
         nodes.push(Node {
+            op,
             value,
             parents,
             backward,
@@ -903,6 +918,12 @@ impl Graph {
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
         grads[root.0] = Some(Tensor::scalar(1.0));
 
+        // Profiler: re-arm the self-time mark so setup cost between the last
+        // forward op and this sweep is not billed to the first backward op.
+        let prof_on = prof::enabled();
+        if prof_on {
+            prof::set_mark();
+        }
         for idx in (0..=root.0).rev() {
             let Some(g) = grads[idx].take() else { continue };
             let node = &nodes[idx];
@@ -915,6 +936,22 @@ impl Graph {
                         slot @ None => *slot = Some(contribution),
                     }
                 });
+                if prof_on {
+                    let mut grad_bytes = 0u64;
+                    let parent_shapes: Vec<(usize, usize)> = parents
+                        .iter()
+                        .map(|&p| {
+                            let shape = nodes[p].value.shape();
+                            grad_bytes += 4 * (shape.0 * shape.1) as u64;
+                            shape
+                        })
+                        .collect();
+                    // Backward of a node costs roughly two forward passes
+                    // (one product per parent for GEMM-family ops).
+                    let flops =
+                        2 * prof::estimate_flops(node.op, &parent_shapes, node.value.shape());
+                    prof::record_op(node.op, true, grad_bytes, flops);
+                }
             }
             grads[idx] = Some(g);
         }

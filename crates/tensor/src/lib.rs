@@ -13,6 +13,9 @@
 //!   tests to validate every analytic gradient in the tape.
 //! * [`guard`] — an opt-in non-finite guard that scans every recorded op
 //!   output for NaN/Inf and reports the offending op by name.
+//! * [`prof`] — an opt-in op-level profiler that attributes self wall-time,
+//!   output bytes, and estimated FLOPs to every forward and backward tape op
+//!   under a hierarchical phase-scope stack.
 //!
 //! # Design notes
 //!
@@ -47,6 +50,7 @@ mod graph;
 pub mod guard;
 pub mod kernels;
 pub mod pool;
+pub mod prof;
 mod tensor;
 
 pub use graph::{Gradients, Graph, Var};

@@ -18,16 +18,30 @@
 //!   (via [`emba_tensor::pool::stats`]), and per-phase timers.
 //! * [`TraceSession`] — the usual pairing of both, plus the output path.
 //!
+//! Two sibling modules extend the run-level view down to individual ops:
+//! [`metrics`] (named counters, gauges, and log-spaced latency histograms
+//! for the inference path) and [`prof_export`] (Chrome-trace JSON, folded
+//! flamegraph stacks, and per-op tables rendered from the tape-op profiler
+//! in `emba_tensor::prof`). A profiler report can be merged into the
+//! [`RunSummary`] final line via [`SummaryBuilder::record_profile`].
+//!
 //! The crate deliberately does not depend on `emba-core` (core depends on
 //! it), so hooks traffic only in plain numbers, strings, and the record
 //! structs defined here.
+
+pub mod metrics;
+pub mod prof_export;
 
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use emba_tensor::pool;
+use emba_tensor::prof::ProfReport;
 use serde::{Deserialize, Serialize, Value};
+
+pub use metrics::{HistogramSummary, MetricsSnapshot};
+pub use prof_export::{OpRow, PhaseRow};
 
 /// Static facts about a run, emitted once before the first epoch.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -128,6 +142,14 @@ pub struct RunSummary {
     /// Corrupt/unreadable snapshots skipped while searching for a valid one.
     #[serde(default)]
     pub corrupt_skipped: usize,
+    /// Per-op profiler table (aggregated across phases, descending self
+    /// time); empty when the run was not profiled.
+    #[serde(default)]
+    pub profile_ops: Vec<OpRow>,
+    /// Phase wall-time totals in stable path-sorted order, so summaries of
+    /// identical runs diff byte-for-byte; empty when not profiled.
+    #[serde(default)]
+    pub phase_timers: Vec<PhaseRow>,
 }
 
 /// Hooks into a training run. Every method has a no-op default, so observers
@@ -201,8 +223,14 @@ fn tagged(event: &str, v: Value) -> Value {
 ///
 /// Events are written in arrival order, one per line, each with an `"event"`
 /// field naming the hook. All floats in the output are finite or `null`.
+/// The sink is flushed after the `run_summary` line and again on drop, so a
+/// run that is killed (or panics) between events loses at most the buffered
+/// tail, never the whole log — pairing with the crash harness, which
+/// replays from whatever the log last recorded.
 pub struct JsonlLogger<W: Write> {
-    out: W,
+    /// `None` only after [`JsonlLogger::finish`] moved the sink out (the
+    /// `Option` lets `finish` coexist with the flush-on-drop impl).
+    out: Option<W>,
     events: u64,
     io_error: Option<io::Error>,
 }
@@ -221,7 +249,7 @@ impl JsonlLogger<BufWriter<File>> {
 impl<W: Write> JsonlLogger<W> {
     /// Wraps an arbitrary sink.
     pub fn new(out: W) -> Self {
-        Self { out, events: 0, io_error: None }
+        Self { out: Some(out), events: 0, io_error: None }
     }
 
     /// Number of events written so far.
@@ -235,21 +263,40 @@ impl<W: Write> JsonlLogger<W> {
         if let Some(e) = self.io_error.take() {
             return Err(e);
         }
-        self.out.flush()?;
-        Ok(self.out)
+        let mut out = self.out.take().expect("finish consumes the logger; sink present");
+        out.flush()?;
+        Ok(out)
     }
 
     fn emit<T: Serialize>(&mut self, event: &str, record: &T) {
         if self.io_error.is_some() {
             return;
         }
+        let Some(out) = self.out.as_mut() else { return };
         let line = serde_json::to_string(&tagged(event, record.to_value()))
             .expect("value serialization is infallible");
-        if let Err(e) = writeln!(self.out, "{line}") {
+        if let Err(e) = writeln!(out, "{line}") {
             self.io_error = Some(e);
             return;
         }
         self.events += 1;
+        // The summary is the last—and most load-bearing—line; make it
+        // durable immediately rather than waiting for finish/drop.
+        if event == "run_summary" {
+            if let Err(e) = out.flush() {
+                self.io_error = Some(e);
+            }
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlLogger<W> {
+    fn drop(&mut self) {
+        // Best-effort: an abandoned logger (panic unwind, early return)
+        // still pushes its buffered lines to the sink.
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -355,6 +402,8 @@ pub struct SummaryBuilder {
     resumes: usize,
     checkpoint_writes: usize,
     corrupt_skipped: usize,
+    profile_ops: Vec<OpRow>,
+    phase_timers: Vec<PhaseRow>,
 }
 
 impl SummaryBuilder {
@@ -375,7 +424,16 @@ impl SummaryBuilder {
             resumes: 0,
             checkpoint_writes: 0,
             corrupt_skipped: 0,
+            profile_ops: Vec::new(),
+            phase_timers: Vec::new(),
         }
+    }
+
+    /// Merges a tape-op profiler report into the summary: the per-op table
+    /// (descending self time) and the phase timers in stable sorted order.
+    pub fn record_profile(&mut self, report: &ProfReport) {
+        self.profile_ops = prof_export::op_table(report);
+        self.phase_timers = prof_export::phase_rows(report);
     }
 
     /// Finalizes the aggregate.
@@ -411,6 +469,8 @@ impl SummaryBuilder {
             resumes: self.resumes,
             checkpoint_writes: self.checkpoint_writes,
             corrupt_skipped: self.corrupt_skipped,
+            profile_ops: self.profile_ops.clone(),
+            phase_timers: self.phase_timers.clone(),
         }
     }
 }
@@ -474,6 +534,12 @@ impl TraceSession {
     /// Path of the log file being written.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Merges a tape-op profiler report into the final summary line (see
+    /// [`SummaryBuilder::record_profile`]).
+    pub fn record_profile(&mut self, report: &ProfReport) {
+        self.summary.record_profile(report);
     }
 
     /// Builds the final summary, writes it as the last JSONL line, and
@@ -775,5 +841,96 @@ mod tests {
     #[test]
     fn null_observer_accepts_everything() {
         drive(&mut NullObserver);
+    }
+
+    /// A sink that counts flushes, for asserting the logger's durability
+    /// behavior without inspecting `BufWriter` internals.
+    struct FlushCounter {
+        lines: Vec<u8>,
+        flushes: std::rc::Rc<std::cell::Cell<usize>>,
+    }
+
+    impl Write for FlushCounter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.lines.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushes.set(self.flushes.get() + 1);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn logger_flushes_after_the_summary_line_and_on_drop() {
+        let flushes = std::rc::Rc::new(std::cell::Cell::new(0usize));
+        let sink = FlushCounter { lines: Vec::new(), flushes: flushes.clone() };
+        let mut logger = JsonlLogger::new(sink);
+        logger.on_step(&step(0, 0, 0.5, 1.0));
+        assert_eq!(flushes.get(), 0, "ordinary events must not force a flush");
+        logger.on_run_end(&SummaryBuilder::new().finish());
+        assert_eq!(flushes.get(), 1, "the summary line must be flushed immediately");
+        drop(logger);
+        assert_eq!(flushes.get(), 2, "dropping an unfinished logger must flush");
+    }
+
+    #[test]
+    fn recorded_profile_lands_in_the_summary_in_sorted_order() {
+        use emba_tensor::prof::{OpStat, PhaseStat, ProfReport};
+        let report = ProfReport {
+            ops: vec![
+                OpStat {
+                    path: "train/forward".into(),
+                    op: "matmul",
+                    backward: false,
+                    calls: 2,
+                    self_ns: 100,
+                    bytes: 64,
+                    flops: 400,
+                },
+                OpStat {
+                    path: "train/backward".into(),
+                    op: "matmul",
+                    backward: true,
+                    calls: 2,
+                    self_ns: 300,
+                    bytes: 128,
+                    flops: 800,
+                },
+            ],
+            phases: vec![
+                PhaseStat { path: "train".into(), calls: 1, total_ns: 900 },
+                PhaseStat { path: "train/backward".into(), calls: 1, total_ns: 350 },
+                PhaseStat { path: "train/forward".into(), calls: 1, total_ns: 150 },
+            ],
+            spans: Vec::new(),
+            dropped_spans: 0,
+        };
+        let mut b = SummaryBuilder::new();
+        drive(&mut b);
+        b.record_profile(&report);
+        let s = b.finish();
+        assert_eq!(s.profile_ops.len(), 2);
+        assert!(s.profile_ops[0].backward, "backward matmul has more self time");
+        let paths: Vec<&str> = s.phase_timers.iter().map(|p| p.path.as_str()).collect();
+        assert_eq!(paths, ["train", "train/backward", "train/forward"]);
+
+        // The enriched summary must survive a JSON round trip, and an old
+        // summary without the profile fields must still parse (defaults).
+        let v = s.to_value();
+        let back = RunSummary::from_value(&v).unwrap();
+        assert_eq!(back.profile_ops.len(), 2);
+        assert_eq!(back.phase_timers.len(), 3);
+        let stripped = match v {
+            Value::Object(fields) => Value::Object(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "profile_ops" && k != "phase_timers")
+                    .collect(),
+            ),
+            other => panic!("summary serialized to a non-object: {other:?}"),
+        };
+        let old = RunSummary::from_value(&stripped).unwrap();
+        assert!(old.profile_ops.is_empty() && old.phase_timers.is_empty());
     }
 }

@@ -1,0 +1,290 @@
+//! Exporters for the tape-op profiler (`emba_tensor::prof`).
+//!
+//! Three renderings of one [`ProfReport`]:
+//!
+//! * [`chrome_trace`] — `chrome://tracing` / Perfetto trace-event JSON built
+//!   from the phase-span timeline (`ph: "X"` complete events, microsecond
+//!   timestamps);
+//! * [`folded_stacks`] — flamegraph "folded" text, one
+//!   `phase;path;op value` line per profiler row with values in nanoseconds
+//!   (feed to `flamegraph.pl` or speedscope);
+//! * [`op_table`] / [`phase_rows`] — the aggregate tables merged into the
+//!   [`crate::RunSummary`] JSONL final line.
+//!
+//! [`write_profile_artifacts`] writes the first two under
+//! `<out>/profiles/<name>.trace.json` and `<out>/profiles/<name>.folded`.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use emba_tensor::prof::ProfReport;
+use serde::{Deserialize, Serialize, Value};
+
+/// One per-op row of the profile table, aggregated across phases.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpRow {
+    /// Tape-op name.
+    pub op: String,
+    /// `true` for the op's backward pass.
+    pub backward: bool,
+    /// Calls across the whole run.
+    pub calls: u64,
+    /// Total self wall-time, nanoseconds.
+    pub self_ns: u64,
+    /// Total bytes produced.
+    pub bytes: u64,
+    /// Total estimated FLOPs.
+    pub flops: u64,
+}
+
+/// One phase-timer row (stable sorted order for byte-comparable diffs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseRow {
+    /// `/`-joined phase path.
+    pub path: String,
+    /// Times the phase ran.
+    pub calls: u64,
+    /// Total wall time inside, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Aggregates the report's per-(phase, op) rows by `(op, backward)`, sorted
+/// by descending self-time (name-ordered on ties, so equal runs render
+/// identically).
+pub fn op_table(report: &ProfReport) -> Vec<OpRow> {
+    let mut agg: HashMap<(&str, bool), OpRow> = HashMap::new();
+    for o in &report.ops {
+        let row = agg.entry((o.op, o.backward)).or_insert_with(|| OpRow {
+            op: o.op.to_string(),
+            backward: o.backward,
+            calls: 0,
+            self_ns: 0,
+            bytes: 0,
+            flops: 0,
+        });
+        row.calls += o.calls;
+        row.self_ns += o.self_ns;
+        row.bytes += o.bytes;
+        row.flops += o.flops;
+    }
+    let mut rows: Vec<OpRow> = agg.into_values().collect();
+    rows.sort_by(|a, b| {
+        b.self_ns.cmp(&a.self_ns).then_with(|| (&a.op, a.backward).cmp(&(&b.op, b.backward)))
+    });
+    rows
+}
+
+/// Phase timers in stable path-sorted order (the report already sorts them;
+/// this just converts the type).
+pub fn phase_rows(report: &ProfReport) -> Vec<PhaseRow> {
+    report
+        .phases
+        .iter()
+        .map(|p| PhaseRow { path: p.path.clone(), calls: p.calls, total_ns: p.total_ns })
+        .collect()
+}
+
+/// Renders the phase-span timeline as `chrome://tracing` trace-event JSON.
+/// Spans dropped past the profiler's timeline cap are reported under
+/// `otherData.droppedSpans` rather than silently omitted.
+pub fn chrome_trace(report: &ProfReport) -> String {
+    let mut events = vec![Value::Object(vec![
+        ("name".into(), Value::Str("process_name".into())),
+        ("ph".into(), Value::Str("M".into())),
+        ("pid".into(), Value::UInt(1)),
+        ("tid".into(), Value::UInt(1)),
+        (
+            "args".into(),
+            Value::Object(vec![("name".into(), Value::Str("emba".into()))]),
+        ),
+    ])];
+    for span in &report.spans {
+        let name = span.path.rsplit('/').next().unwrap_or("(root)").to_string();
+        events.push(Value::Object(vec![
+            ("name".into(), Value::Str(name)),
+            ("cat".into(), Value::Str(span.path.clone())),
+            ("ph".into(), Value::Str("X".into())),
+            ("ts".into(), Value::Float(span.start_ns as f64 / 1e3)),
+            ("dur".into(), Value::Float(span.dur_ns as f64 / 1e3)),
+            ("pid".into(), Value::UInt(1)),
+            ("tid".into(), Value::UInt(1)),
+        ]));
+    }
+    let doc = Value::Object(vec![
+        ("traceEvents".into(), Value::Array(events)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+        (
+            "otherData".into(),
+            Value::Object(vec![(
+                "droppedSpans".into(),
+                Value::UInt(report.dropped_spans),
+            )]),
+        ),
+    ]);
+    serde_json::to_string(&doc).expect("value serialization is infallible")
+}
+
+/// Renders the per-op aggregates as flamegraph "folded stacks" text. Each
+/// line is `seg;seg;...;op value` with the value in nanoseconds of self
+/// time; backward passes render as `op (bwd)`. Phase time not attributable
+/// to tape ops (optimizer math, tokenization, shuffling) appears as an
+/// explicit `(other)` leaf so the flamegraph totals match the phase timers.
+pub fn folded_stacks(report: &ProfReport) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    // Self-op time per path, for the residual computation below.
+    let mut op_ns_by_path: HashMap<&str, u64> = HashMap::new();
+    for o in &report.ops {
+        *op_ns_by_path.entry(o.path.as_str()).or_insert(0) += o.self_ns;
+        if o.self_ns == 0 {
+            continue;
+        }
+        let leaf = if o.backward { format!("{} (bwd)", o.op) } else { o.op.to_string() };
+        let stack = if o.path.is_empty() {
+            leaf
+        } else {
+            format!("{};{leaf}", o.path.replace('/', ";"))
+        };
+        lines.push(format!("{stack} {}", o.self_ns));
+    }
+    // Residual per phase: wall time minus direct child phases minus own ops.
+    let mut child_ns: HashMap<&str, u64> = HashMap::new();
+    for p in &report.phases {
+        if let Some((parent, _)) = p.path.rsplit_once('/') {
+            *child_ns.entry(parent).or_insert(0) += p.total_ns;
+        }
+    }
+    for p in &report.phases {
+        let attributed = child_ns.get(p.path.as_str()).copied().unwrap_or(0)
+            + op_ns_by_path.get(p.path.as_str()).copied().unwrap_or(0);
+        let residual = p.total_ns.saturating_sub(attributed);
+        if residual > 0 {
+            lines.push(format!("{};(other) {residual}", p.path.replace('/', ";")));
+        }
+    }
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the Chrome trace and folded-stacks files under
+/// `<out_dir>/profiles/`, returning `(trace_path, folded_path)`.
+pub fn write_profile_artifacts(
+    out_dir: &Path,
+    name: &str,
+    report: &ProfReport,
+) -> io::Result<(PathBuf, PathBuf)> {
+    let dir = out_dir.join("profiles");
+    fs::create_dir_all(&dir)?;
+    let trace_path = dir.join(format!("{name}.trace.json"));
+    fs::write(&trace_path, chrome_trace(report))?;
+    let folded_path = dir.join(format!("{name}.folded"));
+    fs::write(&folded_path, folded_stacks(report))?;
+    Ok((trace_path, folded_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emba_tensor::prof::{OpStat, PhaseStat, SpanStat};
+
+    fn sample_report() -> ProfReport {
+        ProfReport {
+            ops: vec![
+                OpStat {
+                    path: "train/forward".into(),
+                    op: "matmul",
+                    backward: false,
+                    calls: 4,
+                    self_ns: 4_000,
+                    bytes: 1_024,
+                    flops: 80_000,
+                },
+                OpStat {
+                    path: "train/forward".into(),
+                    op: "softmax_rows",
+                    backward: false,
+                    calls: 2,
+                    self_ns: 500,
+                    bytes: 128,
+                    flops: 700,
+                },
+                OpStat {
+                    path: "train/backward".into(),
+                    op: "matmul",
+                    backward: true,
+                    calls: 4,
+                    self_ns: 9_000,
+                    bytes: 2_048,
+                    flops: 160_000,
+                },
+            ],
+            phases: vec![
+                PhaseStat { path: "train".into(), calls: 1, total_ns: 20_000 },
+                PhaseStat { path: "train/backward".into(), calls: 1, total_ns: 9_500 },
+                PhaseStat { path: "train/forward".into(), calls: 1, total_ns: 5_000 },
+            ],
+            spans: vec![
+                SpanStat { path: "train/forward".into(), start_ns: 100, dur_ns: 5_000 },
+                SpanStat { path: "train/backward".into(), start_ns: 5_200, dur_ns: 9_500 },
+                SpanStat { path: "train".into(), start_ns: 0, dur_ns: 20_000 },
+            ],
+            dropped_spans: 2,
+        }
+    }
+
+    #[test]
+    fn op_table_aggregates_and_sorts_by_self_time() {
+        let rows = op_table(&sample_report());
+        assert_eq!(rows[0].op, "matmul");
+        assert!(rows[0].backward);
+        assert_eq!(rows[0].self_ns, 9_000);
+        assert_eq!(rows[1].op, "matmul");
+        assert!(!rows[1].backward);
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_counts_spans() {
+        let text = chrome_trace(&sample_report());
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        // Metadata event + three spans.
+        assert_eq!(events.len(), 4);
+        let first_span = &events[1];
+        assert_eq!(first_span.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(first_span.get("name").and_then(Value::as_str), Some("forward"));
+        assert_eq!(first_span.get("dur").and_then(Value::as_f64), Some(5.0));
+        let dropped = v
+            .get("otherData")
+            .and_then(|o| o.get("droppedSpans"))
+            .and_then(Value::as_u64);
+        assert_eq!(dropped, Some(2));
+    }
+
+    #[test]
+    fn folded_stacks_include_ops_and_residuals() {
+        let text = folded_stacks(&sample_report());
+        assert!(text.contains("train;forward;matmul 4000\n"), "got:\n{text}");
+        assert!(text.contains("train;backward;matmul (bwd) 9000\n"));
+        // train residual: 20000 − (9500 + 5000 child phases) = 5500.
+        assert!(text.contains("train;(other) 5500\n"));
+        // backward residual: 9500 − 9000 = 500.
+        assert!(text.contains("train;backward;(other) 500\n"));
+        for line in text.lines() {
+            let (_, value) = line.rsplit_once(' ').expect("folded line has a value");
+            value.parse::<u64>().expect("folded value is an integer");
+        }
+    }
+
+    #[test]
+    fn phase_rows_keep_sorted_order() {
+        let rows = phase_rows(&sample_report());
+        let paths: Vec<&str> = rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, ["train", "train/backward", "train/forward"]);
+    }
+}

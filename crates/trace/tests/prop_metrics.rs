@@ -1,0 +1,87 @@
+//! Property-based validation of the metrics histograms: bucket boundaries
+//! strictly increase, and every sample — zero-duration, mid-range, exactly
+//! on an edge, or past the last edge — lands in exactly one bucket.
+
+use emba_trace::metrics::Histogram;
+use proptest::prelude::*;
+
+/// Strategy: parameters for a log-spaced histogram — a positive first edge,
+/// a ratio comfortably above 1, and one to a few dozen buckets.
+fn histogram() -> impl Strategy<Value = Histogram> {
+    proptest::collection::vec(0.0f64..1.0, 3).prop_map(|u| {
+        let first = 1.0 + u[0] * 1e6;
+        let ratio = 1.05 + u[1] * 10.0;
+        let buckets = 1 + (u[2] * 46.0) as usize;
+        Histogram::log_spaced(first, ratio, buckets)
+    })
+}
+
+/// Strategy: non-negative samples spanning zero, the sub-edge range, the
+/// mid-range, and far past the last edge of every generated histogram.
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, 1..64).prop_map(|us| {
+        us.into_iter()
+            .map(|u| {
+                if u < 0.15 {
+                    0.0
+                } else if u < 0.45 {
+                    u * 1e3
+                } else if u < 0.75 {
+                    u * 1e9
+                } else {
+                    u * 1e18 // overflow territory for every histogram above
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn boundaries_strictly_increase_and_are_finite(h in histogram()) {
+        for w in h.bounds().windows(2) {
+            prop_assert!(w[0] < w[1], "edges {} and {} not strictly increasing", w[0], w[1]);
+        }
+        prop_assert!(h.bounds().iter().all(|b| b.is_finite() && *b > 0.0));
+        // One count slot per bucket plus the +∞ overflow bucket.
+        prop_assert_eq!(h.counts().len(), h.bounds().len() + 1);
+    }
+
+    #[test]
+    fn every_sample_lands_in_exactly_one_bucket(h in histogram(), xs in samples()) {
+        let mut h = h;
+        for &x in &xs {
+            let before: u64 = h.counts().iter().sum();
+            let i = h.bucket_index(x);
+            h.record(x);
+            // Exactly one count moved, in the indexed bucket.
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), before + 1);
+            prop_assert!(i < h.counts().len());
+            // Half-open interval semantics: below every edge ⇒ bucket 0,
+            // at/above the last edge ⇒ overflow, otherwise
+            // bounds[i-1] ≤ x < bounds[i] — the buckets partition [0, ∞).
+            let bounds = h.bounds();
+            if i == 0 {
+                prop_assert!(x < bounds[0]);
+            } else if i == bounds.len() {
+                prop_assert!(x >= bounds[bounds.len() - 1]);
+            } else {
+                prop_assert!(bounds[i - 1] <= x && x < bounds[i]);
+            }
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+
+    #[test]
+    fn percentiles_are_finite_and_ordered(h in histogram(), xs in samples()) {
+        let mut h = h;
+        for &x in &xs {
+            h.record(x);
+        }
+        let (p50, p90, p99) = (h.percentile(0.50), h.percentile(0.90), h.percentile(0.99));
+        prop_assert!(p50.is_finite() && p90.is_finite() && p99.is_finite());
+        prop_assert!(p50 <= p90 && p90 <= p99, "p50 {} p90 {} p99 {}", p50, p90, p99);
+    }
+}

@@ -16,6 +16,18 @@ cargo run --release -p emba-bench --bin reproduce -- \
     trace --profile smoke --trace-name tier1-smoke
 test -s results/runs/tier1-smoke.jsonl
 
+# Profiler smoke: one profiled train+eval cycle. The profile target itself
+# validates that the Chrome trace parses with a non-empty traceEvents, that
+# every histogram's percentiles are finite and ordered (p50 <= p90 <= p99),
+# that op self-times cover the forward/backward wall time within 10%, and
+# that the disabled-mode hook overhead stays under 2% — and exits non-zero
+# on any failed check.
+rm -f results/profiles/tier1-profile.trace.json
+cargo run --release -p emba-bench --bin reproduce -- \
+    profile --profile smoke --trace-name tier1-profile
+test -s results/profiles/tier1-profile.trace.json
+test -s results/profiles/tier1-profile.folded
+
 # Crash-safety smoke: kill a training run mid-epoch, resume from the
 # checkpoint store, inject corruption, and require every replay to be
 # bit-identical to the uninterrupted baseline (the harness exits non-zero
