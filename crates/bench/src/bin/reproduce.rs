@@ -12,9 +12,9 @@ use std::fs;
 use std::path::PathBuf;
 
 use emba_bench::{
-    bench_tensor_kernels, crash_run, figure5, figure6, profile_run, render_table2, render_table3,
-    render_table4, render_table5, table1, table2_data, table4_data, table6, table7, trace_run,
-    Artifact, Profile,
+    bench_batch, bench_tensor_kernels, crash_run, figure5, figure6, profile_run, render_table2,
+    render_table3, render_table4, render_table5, table1, table2_data, table4_data, table6, table7,
+    trace_run, Artifact, Profile,
 };
 
 fn main() {
@@ -137,6 +137,16 @@ fn main() {
         let samples = if profile.name == "smoke" { 5 } else { 9 };
         emit(bench_tensor_kernels(samples));
     }
+    if wants("bench-batch") {
+        let (artifact, failures) = bench_batch(&profile);
+        emit(artifact);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("bench-batch gate failed: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
     if wants("trace") {
         let name = flag_value(&args, "--trace-name")
             .unwrap_or_else(|| format!("trace-{}", profile.name));
@@ -241,6 +251,12 @@ TARGETS (default: all):
     figure6  attention visualization of the case-study pair
     bench    tensor-kernel timings vs the seed loops (BENCH_tensor.json);
              not part of `all` — run as `reproduce bench --profile smoke`
+    bench-batch
+             batched train/eval throughput at B in {{1,4,8,16}} vs the
+             per-example path at the same accumulation window
+             (BENCH_batch.json), gated on the B=8 speedup floors plus
+             batched-vs-per-example equivalence. Not part of `all` —
+             run as `reproduce bench-batch --profile smoke`
     trace    one observed training run with the non-finite guard on; writes
              the event log to results/runs/<name>.jsonl and validates it.
              Not part of `all` — run as `reproduce trace --profile smoke`

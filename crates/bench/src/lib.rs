@@ -5,6 +5,7 @@
 //! function returns both a human-readable text block and a JSON artifact so
 //! `EXPERIMENTS.md` can cite machine-checkable numbers.
 
+pub mod batch_bench;
 pub mod crash;
 pub mod kernel_bench;
 pub mod prof_run;
@@ -13,6 +14,7 @@ pub mod render;
 pub mod tables;
 pub mod trace_run;
 
+pub use batch_bench::{bench_batch, BatchPoint, EquivalenceReport, BATCH_SIZES};
 pub use crash::{crash_run, CrashOutcome};
 pub use kernel_bench::bench_tensor_kernels;
 pub use prof_run::{profile_run, ProfOutcome};

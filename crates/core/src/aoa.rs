@@ -16,11 +16,17 @@
 //!    match classifier. The implementation computes `xᵀ = γᵀ · E1` in one
 //!    `matmul_tn`, so no transpose node is recorded.
 //!
-//! The module is computed per sample (no intermediate padding), exactly as
-//! the paper prescribes after its padding ablation showed that padding the
-//! interaction matrix "skews the representation for the downstream tasks".
+//! The per-sample semantics follow the paper exactly: after its padding
+//! ablation showed that padding the interaction matrix "skews the
+//! representation for the downstream tasks", every softmax here normalizes
+//! only over a pair's own tokens. The batched entry point
+//! ([`attention_over_attention_batch`]) keeps those semantics — interaction
+//! matrices are packed row-wise with structurally-zero padding columns that
+//! no softmax or gradient ever reads — while computing all pairs of a
+//! mini-batch in a handful of grouped tape ops instead of a per-pair op
+//! storm.
 
-use emba_tensor::{Graph, Tensor, Var};
+use emba_tensor::{Graph, RowGroups, Tensor, Var};
 
 /// Handles to every intermediate of one AOA application, kept for the
 //  ablation study and the attention analyses.
@@ -53,6 +59,55 @@ pub fn attention_over_attention(g: &Graph, e1: Var, e2: Var) -> AoaOutput {
     let gamma = g.matmul_nt(alpha, beta_bar); // [m, 1]
     let pooled = g.matmul_tn(gamma, e1); // γᵀ·E1 = (E1ᵀγ)ᵀ: [1, h] directly
     AoaOutput {
+        pooled,
+        gamma,
+        alpha,
+        beta,
+        beta_bar,
+    }
+}
+
+/// Handles to every intermediate of one **batched** AOA application over `G`
+/// record pairs whose token representations are row-packed.
+pub struct AoaBatchOutput {
+    /// `[G, h]` pooled pair representations, one row per pair.
+    pub pooled: Var,
+    /// `[ΣM, 1]` per-RECORD1-token importances, packed by `g1`. Each pair's
+    /// segment sums to 1.
+    pub gamma: Var,
+    /// `[ΣM, W]` column-stochastic first-level attention (`W` = longest
+    /// RECORD2 in the batch; a pair's valid columns are `0..n_i`, padding
+    /// columns are exactly zero).
+    pub alpha: Var,
+    /// `[ΣM, W]` row-stochastic first-level attention.
+    pub beta: Var,
+    /// `[G, W]` averaged RECORD2 attention, one row per pair.
+    pub beta_bar: Var,
+}
+
+/// Applies attention-over-attention to a whole mini-batch of record pairs in
+/// five grouped tape ops.
+///
+/// `e1: [ΣM, h]` packs every pair's RECORD1 tokens (row ranges in `g1`), and
+/// `e2: [ΣN, h]` packs the RECORD2 tokens (`g2`); `g1` and `g2` must have the
+/// same number of groups. Semantically identical to calling
+/// [`attention_over_attention`] per pair: every softmax normalizes only over
+/// a pair's own tokens and padding columns stay structurally zero.
+pub fn attention_over_attention_batch(
+    g: &Graph,
+    e1: Var,
+    g1: &RowGroups,
+    e2: Var,
+    g2: &RowGroups,
+) -> AoaBatchOutput {
+    let _scope = emba_tensor::prof::scope("aoa");
+    let interaction = g.interaction_grouped(e1, g1, e2, g2); // [ΣM, W]
+    let alpha = g.softmax_cols_grouped(interaction, g1, g2); // per-pair columns sum to 1
+    let beta = g.softmax_rows_grouped(interaction, g1, g2); // per-pair rows sum to 1
+    let beta_bar = g.mean_rows_grouped(beta, g1); // [G, W]
+    let gamma = g.rowdot_grouped(alpha, beta_bar, g1); // [ΣM, 1]
+    let pooled = g.weighted_sum_rows_grouped(gamma, e1, g1); // γᵀ·E1 per pair: [G, h]
+    AoaBatchOutput {
         pooled,
         gamma,
         alpha,
@@ -184,6 +239,81 @@ mod tests {
             &[e1, e2],
             |g, vars| {
                 let out = attention_over_attention(g, vars[0], vars[1]);
+                let sq = g.mul(out.pooled, out.pooled);
+                g.mean_all(sq)
+            },
+            1e-2,
+            5e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn batched_matches_per_pair() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pairs = [(5usize, 3usize), (2, 6), (4, 4)];
+        let h = 7;
+        let mats: Vec<(Tensor, Tensor)> = pairs
+            .iter()
+            .map(|&(m, n)| {
+                (
+                    Tensor::rand_normal(m, h, 0.0, 1.0, &mut rng),
+                    Tensor::rand_normal(n, h, 0.0, 1.0, &mut rng),
+                )
+            })
+            .collect();
+        let g1 = RowGroups::from_lens(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+        let g2 = RowGroups::from_lens(&pairs.iter().map(|p| p.1).collect::<Vec<_>>());
+        let e1_all: Vec<&Tensor> = mats.iter().map(|(a, _)| a).collect();
+        let e2_all: Vec<&Tensor> = mats.iter().map(|(_, b)| b).collect();
+
+        let g = Graph::new();
+        let e1 = g.leaf(Tensor::concat_rows(&e1_all));
+        let e2 = g.leaf(Tensor::concat_rows(&e2_all));
+        let batch = attention_over_attention_batch(&g, e1, &g1, e2, &g2);
+        let pooled = g.value(batch.pooled);
+        let gamma = g.value(batch.gamma);
+        let beta_bar = g.value(batch.beta_bar);
+        assert_eq!(pooled.shape(), (3, h));
+        assert_eq!(gamma.shape(), (g1.total(), 1));
+        assert_eq!(beta_bar.shape(), (3, 6));
+
+        for (i, (a, b)) in mats.iter().enumerate() {
+            let single = attention_over_attention(&g, g.leaf(a.clone()), g.leaf(b.clone()));
+            let sp = g.value(single.pooled);
+            for (x, y) in pooled.row_slice(i).iter().zip(sp.data()) {
+                assert!((x - y).abs() < 1e-5, "pooled differs for pair {i}");
+            }
+            let sg = g.value(single.gamma);
+            let (r0, r1) = g1.range(i);
+            for (r, rr) in (r0..r1).enumerate() {
+                assert!(
+                    (gamma.get(rr, 0) - sg.get(r, 0)).abs() < 1e-5,
+                    "gamma differs for pair {i} row {r}"
+                );
+            }
+            let sb = g.value(single.beta_bar);
+            let n = pairs[i].1;
+            for c in 0..n {
+                assert!((beta_bar.get(i, c) - sb.get(0, c)).abs() < 1e-5);
+            }
+            for c in n..6 {
+                assert_eq!(beta_bar.get(i, c), 0.0, "beta_bar padding must be zero");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g1 = RowGroups::from_lens(&[3, 2]);
+        let g2 = RowGroups::from_lens(&[2, 4]);
+        let e1 = Tensor::rand_normal(5, 3, 0.0, 1.0, &mut rng);
+        let e2 = Tensor::rand_normal(6, 3, 0.0, 1.0, &mut rng);
+        emba_tensor::gradcheck::check_gradients(
+            &[e1, e2],
+            |g, vars| {
+                let out = attention_over_attention_batch(g, vars[0], &g1, vars[1], &g2);
                 let sq = g.mul(out.pooled, out.pooled);
                 g.mean_all(sq)
             },

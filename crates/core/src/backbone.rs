@@ -6,7 +6,7 @@
 //! `encode` call so every matcher is backbone-agnostic.
 
 use emba_nn::{BertConfig, BertEncoder, GraphStamp, Linear, Module, Param};
-use emba_tensor::{Graph, Var};
+use emba_tensor::{Graph, RowGroups, Var};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +54,19 @@ pub struct SeqOutput {
     pub last_attention: Vec<Var>,
 }
 
+/// A batch of encoded sequences in row-packed form.
+pub struct SeqBatchOutput {
+    /// `[ΣT, hidden]` token representations, row-packed in batch order.
+    pub tokens: Var,
+    /// `[B, hidden]` pooled representations (row `i` = sequence `i`).
+    pub pooled: Var,
+    /// Last-layer per-head grouped `[ΣT, W]` attention probabilities (empty
+    /// for fastText).
+    pub last_attention: Vec<Var>,
+    /// Row ranges of each sequence inside the packed matrices.
+    pub groups: RowGroups,
+}
+
 /// fastText-style encoder: a subword embedding table; the sequence
 /// representation is the token embeddings themselves and the pooled form is
 /// a tanh projection of their mean. No position information — a bag of
@@ -92,6 +105,28 @@ impl FastTextEncoder {
             tokens,
             pooled,
             last_attention: Vec::new(),
+        }
+    }
+
+    fn encode_batch(&self, g: &Graph, stamp: GraphStamp, seqs: &[&[usize]]) -> SeqBatchOutput {
+        assert!(!seqs.is_empty(), "cannot encode an empty batch");
+        let total: usize = seqs.iter().map(|ids| ids.len()).sum();
+        let mut ids = Vec::with_capacity(total);
+        let mut lens = Vec::with_capacity(seqs.len());
+        for seq in seqs {
+            assert!(!seq.is_empty(), "cannot encode an empty sequence");
+            ids.extend_from_slice(seq);
+            lens.push(seq.len());
+        }
+        let groups = RowGroups::from_lens(&lens);
+        let tokens = self.embedding.forward(g, stamp, &ids);
+        let mean = g.mean_rows_grouped(tokens, &groups); // [B, dim]
+        let pooled = g.tanh(self.pool_proj.forward(g, stamp, mean));
+        SeqBatchOutput {
+            tokens,
+            pooled,
+            last_attention: Vec::new(),
+            groups,
         }
     }
 }
@@ -222,6 +257,50 @@ impl Backbone {
                 }
             }
             Backbone::FastText(ft) => ft.encode(g, stamp, ids),
+        }
+    }
+
+    /// Encodes a batch of `(ids, segments)` sequences in one row-packed
+    /// forward pass. Semantically equivalent to [`Backbone::encode`] per
+    /// sequence; sequences never attend across the batch.
+    pub fn encode_batch(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        seqs: &[(&[usize], &[usize])],
+        train: bool,
+        rng: &mut dyn RngCore,
+    ) -> SeqBatchOutput {
+        match self {
+            Backbone::Bert {
+                encoder,
+                use_segments,
+            } => {
+                let zeros: Vec<Vec<usize>>;
+                let adjusted: Vec<(&[usize], &[usize])>;
+                let batch: &[(&[usize], &[usize])] = if *use_segments {
+                    seqs
+                } else {
+                    zeros = seqs.iter().map(|(ids, _)| vec![0; ids.len()]).collect();
+                    adjusted = seqs
+                        .iter()
+                        .zip(&zeros)
+                        .map(|(&(ids, _), z)| (ids, z.as_slice()))
+                        .collect();
+                    &adjusted
+                };
+                let out = encoder.forward_batch(g, stamp, batch, train, rng);
+                SeqBatchOutput {
+                    tokens: out.tokens,
+                    pooled: out.pooled,
+                    last_attention: out.last_attention,
+                    groups: out.groups,
+                }
+            }
+            Backbone::FastText(ft) => {
+                let ids: Vec<&[usize]> = seqs.iter().map(|&(ids, _)| ids).collect();
+                ft.encode_batch(g, stamp, &ids)
+            }
         }
     }
 }

@@ -369,32 +369,63 @@ impl TrainedMatcher {
     /// (deterministically; dropout disabled). End-to-end latency — tokenize
     /// plus forward — lands in the `predict.example_ns` histogram.
     pub fn predict(&self, left: &Record, right: &Record) -> Prediction {
+        self.predict_batch(&[(left, right)])
+            .pop()
+            .expect("predict_batch returns one prediction per pair")
+    }
+
+    /// Predicts match probabilities for many record pairs with batched
+    /// forward passes: pairs are grouped into length buckets (see
+    /// [`crate::batching::plan_sub_batches`]) and each bucket runs as one
+    /// row-packed forward. Results are returned in input order.
+    ///
+    /// The per-pair attention and AOA γ visualizations are only materialized
+    /// for single-pair calls ([`TrainedMatcher::predict`]); batched calls
+    /// leave them `None`.
+    pub fn predict_batch(&self, pairs: &[(&Record, &Record)]) -> Vec<Prediction> {
         let _scope = emba_tensor::prof::scope("predict");
         let start = std::time::Instant::now();
-        let example = emba_datagen::PairExample {
-            left: left.clone(),
-            right: right.clone(),
-            is_match: false, // placeholder label, unused at inference
-            left_class: 0,
-            right_class: 0,
-        };
-        let encoded = self.pipeline.encode_example(&example);
+        let encoded: Vec<EncodedExample> = pairs
+            .iter()
+            .map(|(left, right)| {
+                let example = emba_datagen::PairExample {
+                    left: (*left).clone(),
+                    right: (*right).clone(),
+                    is_match: false, // placeholder label, unused at inference
+                    left_class: 0,
+                    right_class: 0,
+                };
+                self.pipeline.encode_example(&example)
+            })
+            .collect();
+        let lens: Vec<usize> = encoded.iter().map(|e| e.pair.ids.len()).collect();
         let mut rng = StdRng::seed_from_u64(0);
-        let g = Graph::new();
-        let out = self
-            .model
-            .forward(&g, GraphStamp::next(), &encoded, false, &mut rng);
-        let prediction = Prediction {
-            prob: f64::from(out.match_prob),
-            attention: out.attention,
-            gamma: out.gamma,
-            encoded,
-        };
-        emba_trace::metrics::observe_ns(
-            "predict.example_ns",
-            start.elapsed().as_nanos() as u64,
-        );
-        prediction
+        let mut out: Vec<Option<Prediction>> = vec![None; encoded.len()];
+        for sub in crate::batching::plan_sub_batches(&lens) {
+            let exs: Vec<&EncodedExample> = sub.iter().map(|&j| &encoded[j]).collect();
+            let g = Graph::new();
+            let batch = self
+                .model
+                .forward_batch(&g, GraphStamp::next(), &exs, false, &mut rng);
+            for (k, &j) in sub.iter().enumerate() {
+                out[j] = Some(Prediction {
+                    prob: f64::from(batch.match_probs[k]),
+                    attention: batch.attention.clone(),
+                    gamma: batch.gamma.clone(),
+                    encoded: encoded[j].clone(),
+                });
+            }
+            g.recycle();
+        }
+        if !pairs.is_empty() {
+            let per_example = start.elapsed().as_nanos() as u64 / pairs.len() as u64;
+            for _ in 0..pairs.len() {
+                emba_trace::metrics::observe_ns("predict.example_ns", per_example);
+            }
+        }
+        out.into_iter()
+            .map(|p| p.expect("every pair lands in exactly one sub-batch"))
+            .collect()
     }
 }
 
@@ -464,6 +495,32 @@ mod tests {
         assert!((0.0..=1.0).contains(&p1.prob));
         assert!(p1.gamma.is_some(), "EMBA exposes gamma");
         assert!(p1.attention.is_some(), "BERT backbone exposes attention");
+    }
+
+    #[test]
+    fn predict_batch_matches_per_pair_predict() {
+        let ds = tiny_ds();
+        let mut cfg = quick_cfg();
+        cfg.runs = 1;
+        cfg.train.epochs = 1;
+        let (trained, _) = train_single(ModelKind::EmbaSb, &ds, &cfg, 11);
+        let pairs: Vec<(&emba_datagen::Record, &emba_datagen::Record)> = ds
+            .test
+            .iter()
+            .take(5)
+            .map(|p| (&p.left, &p.right))
+            .collect();
+        let batched = trained.predict_batch(&pairs);
+        assert_eq!(batched.len(), pairs.len());
+        for (i, &(l, r)) in pairs.iter().enumerate() {
+            let single = trained.predict(l, r);
+            assert!(
+                (batched[i].prob - single.prob).abs() < 1e-5,
+                "pair {i}: batched {} vs single {}",
+                batched[i].prob,
+                single.prob
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! binary match classifier.
 
 use emba_nn::{GraphStamp, Linear, Module, Param};
-use emba_tensor::{Graph, Var};
+use emba_tensor::{Graph, RowGroups, Var};
 use rand::Rng;
 
 /// Entity-ID prediction head (paper §3.3): the token embeddings of one
@@ -58,6 +58,23 @@ impl TokenAggregationHead {
         let weights_row = g.softmax_rows(scores_row); // [1, k]
         let pooled = g.matmul(weights_row, tokens); // [1, h]
         (pooled, g.transpose(weights_row))
+    }
+
+    /// Computes `[G, classes]` logits from row-packed `[ΣT, hidden]` token
+    /// states: one softmax-aggregated record representation per group, then
+    /// the shared classifier. Semantically equivalent to
+    /// [`TokenAggregationHead::forward`] per record.
+    pub fn forward_batch(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        tokens: Var,
+        groups: &RowGroups,
+    ) -> Var {
+        let scores = self.scorer.forward(g, stamp, tokens); // [ΣT, 1]
+        let weights = g.softmax_col_grouped(scores, groups); // per-record distribution
+        let pooled = g.weighted_sum_rows_grouped(weights, tokens, groups); // [G, h]
+        self.classifier.forward(g, stamp, pooled)
     }
 
     /// Classifies a pre-pooled `[1, hidden]` representation directly
@@ -169,6 +186,29 @@ mod tests {
             adam.step(&mut head, 5e-2);
         }
         assert!(last_loss < 0.1, "head failed to learn, loss {last_loss}");
+    }
+
+    #[test]
+    fn batched_aggregation_matches_per_record() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let head = TokenAggregationHead::new(8, 5, &mut rng);
+        let stamp = GraphStamp::next();
+        let records = [
+            Tensor::rand_normal(6, 8, 0.0, 1.0, &mut rng),
+            Tensor::rand_normal(2, 8, 0.0, 1.0, &mut rng),
+            Tensor::rand_normal(4, 8, 0.0, 1.0, &mut rng),
+        ];
+        let groups = RowGroups::from_lens(&[6, 2, 4]);
+        let g = Graph::new();
+        let packed = g.leaf(Tensor::concat_rows(&records.iter().collect::<Vec<_>>()));
+        let batched = g.value(head.forward_batch(&g, stamp, packed, &groups));
+        assert_eq!(batched.shape(), (3, 5));
+        for (i, rec) in records.iter().enumerate() {
+            let single = g.value(head.forward(&g, stamp, g.leaf(rec.clone())));
+            for (x, y) in batched.row_slice(i).iter().zip(single.data()) {
+                assert!((x - y).abs() < 1e-5, "logits differ for record {i}");
+            }
+        }
     }
 
     #[test]

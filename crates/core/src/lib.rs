@@ -29,6 +29,7 @@
 
 pub mod aoa;
 mod backbone;
+pub mod batching;
 mod checkpoint;
 mod deepmatcher;
 mod error;
@@ -43,7 +44,9 @@ pub mod stats;
 mod store;
 mod train;
 
-pub use backbone::{Backbone, BackboneKind, FastTextEncoder, SeqOutput, DEFAULT_DROPOUT};
+pub use backbone::{
+    Backbone, BackboneKind, FastTextEncoder, SeqBatchOutput, SeqOutput, DEFAULT_DROPOUT,
+};
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use deepmatcher::{DeepMatcher, DeepMatcherConfig};
 pub use error::CoreError;
@@ -56,7 +59,8 @@ pub use heads::{MatchHead, TokenAggregationHead};
 pub use kind::ModelKind;
 pub use metrics::{id_metrics, match_metrics, IdMetrics, MatchMetrics};
 pub use models::{
-    numeric_vocab_table, AuxStrategy, EmStrategy, Matcher, ModelOutput, TransformerMatcher,
+    numeric_vocab_table, AuxStrategy, BatchOutput, EmStrategy, Matcher, ModelOutput,
+    TransformerMatcher,
 };
 pub use pipeline::{EncodedExample, PipelineConfig, TextPipeline};
 pub use resume::{train_matcher_durable, DurabilityConfig, TrainState};

@@ -20,10 +20,10 @@
 //! | JointMatcher   | `[CLS]` ‖ relevance ‖ numeric pools | none           |
 
 use emba_nn::{GraphStamp, Module, Param};
-use emba_tensor::{Graph, Tensor, Var};
+use emba_tensor::{Graph, RowGroups, Tensor, Var};
 use rand::RngCore;
 
-use crate::aoa::attention_over_attention;
+use crate::aoa::attention_over_attention_batch;
 use crate::backbone::Backbone;
 use crate::heads::{MatchHead, TokenAggregationHead};
 use crate::pipeline::EncodedExample;
@@ -82,6 +82,28 @@ pub struct ModelOutput {
     pub gamma: Option<Tensor>,
 }
 
+/// Output of one batched matcher forward pass over `B` examples.
+pub struct BatchOutput {
+    /// **Summed** training loss over the batch (Σ of per-example Eq. 3
+    /// losses), so gradient accumulation across sub-batches of an optimizer
+    /// window matches per-example accumulation exactly.
+    pub loss: Var,
+    /// Per-example loss values (computed off-tape from the logits), for
+    /// epoch bookkeeping and non-finite aborts.
+    pub example_losses: Vec<f32>,
+    /// Per-example match probabilities.
+    pub match_probs: Vec<f32>,
+    /// Per-example RECORD1 entity-ID predictions (multi-task models only).
+    pub id1_preds: Option<Vec<usize>>,
+    /// Per-example RECORD2 entity-ID predictions.
+    pub id2_preds: Option<Vec<usize>>,
+    /// Summed last-layer self-attention, populated only for `B = 1` (the
+    /// visualizations inspect one example at a time).
+    pub attention: Option<Tensor>,
+    /// AOA γ over RECORD1 tokens, populated only for `B = 1`.
+    pub gamma: Option<Tensor>,
+}
+
 /// Object-safe interface every matcher implements.
 pub trait Matcher: Module {
     /// Runs one example through the model.
@@ -93,6 +115,58 @@ pub trait Matcher: Module {
         train: bool,
         rng: &mut dyn RngCore,
     ) -> ModelOutput;
+
+    /// Runs a mini-batch of examples through the model on one shared tape,
+    /// returning the **summed** loss.
+    ///
+    /// The default implementation loops [`Matcher::forward`] — correct for
+    /// any matcher, with no speedup. [`TransformerMatcher`] overrides it with
+    /// a row-packed batched pass.
+    fn forward_batch(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        exs: &[&EncodedExample],
+        train: bool,
+        rng: &mut dyn RngCore,
+    ) -> BatchOutput {
+        assert!(!exs.is_empty(), "cannot run an empty batch");
+        let mut loss: Option<Var> = None;
+        let mut example_losses = Vec::with_capacity(exs.len());
+        let mut match_probs = Vec::with_capacity(exs.len());
+        let mut id1_preds = Vec::new();
+        let mut id2_preds = Vec::new();
+        let mut attention = None;
+        let mut gamma = None;
+        for ex in exs {
+            let out = self.forward(g, stamp, ex, train, rng);
+            example_losses.push(g.value(out.loss).item());
+            loss = Some(match loss {
+                Some(acc) => g.add(acc, out.loss),
+                None => out.loss,
+            });
+            match_probs.push(out.match_prob);
+            if let Some(p) = out.id1_pred {
+                id1_preds.push(p);
+            }
+            if let Some(p) = out.id2_pred {
+                id2_preds.push(p);
+            }
+            if exs.len() == 1 {
+                attention = out.attention;
+                gamma = out.gamma;
+            }
+        }
+        BatchOutput {
+            loss: loss.expect("non-empty batch"),
+            example_losses,
+            match_probs,
+            id1_preds: (!id1_preds.is_empty()).then_some(id1_preds),
+            id2_preds: (!id2_preds.is_empty()).then_some(id2_preds),
+            attention,
+            gamma,
+        }
+    }
 
     /// Short display name (e.g. `"EMBA"`, `"JointBERT-S"`).
     fn name(&self) -> &str;
@@ -212,115 +286,203 @@ impl Matcher for TransformerMatcher {
         train: bool,
         rng: &mut dyn RngCore,
     ) -> ModelOutput {
-        let pair = &ex.pair;
-        let seq = self
-            .backbone
-            .encode(g, stamp, &pair.ids, &pair.segments, train, rng);
-        let e1 = g.slice_rows(seq.tokens, pair.left.start, pair.left.end);
-        let e2 = g.slice_rows(seq.tokens, pair.right.start, pair.right.end);
+        let out = self.forward_batch(g, stamp, &[ex], train, rng);
+        ModelOutput {
+            loss: out.loss,
+            match_prob: out.match_probs[0],
+            id1_pred: out.id1_preds.as_ref().map(|p| p[0]),
+            id2_pred: out.id2_preds.as_ref().map(|p| p[0]),
+            attention: out.attention,
+            gamma: out.gamma,
+        }
+    }
+
+    fn forward_batch(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        exs: &[&EncodedExample],
+        train: bool,
+        rng: &mut dyn RngCore,
+    ) -> BatchOutput {
+        assert!(!exs.is_empty(), "cannot run an empty batch");
+        let b = exs.len();
+        let seqs: Vec<(&[usize], &[usize])> = exs
+            .iter()
+            .map(|ex| (&ex.pair.ids[..], &ex.pair.segments[..]))
+            .collect();
+        let batch = self.backbone.encode_batch(g, stamp, &seqs, train, rng);
+
+        // Row-packed per-record token matrices: one strided gather per side
+        // for the whole batch instead of two `slice_rows` per example.
+        let mut left_rows = Vec::new();
+        let mut right_rows = Vec::new();
+        let mut left_lens = Vec::with_capacity(b);
+        let mut right_lens = Vec::with_capacity(b);
+        for (i, ex) in exs.iter().enumerate() {
+            let s = batch.groups.start(i);
+            left_rows.extend(ex.pair.left.clone().map(|p| s + p));
+            right_rows.extend(ex.pair.right.clone().map(|p| s + p));
+            left_lens.push(ex.pair.left.len());
+            right_lens.push(ex.pair.right.len());
+        }
+        let g1 = RowGroups::from_lens(&left_lens);
+        let g2 = RowGroups::from_lens(&right_lens);
+        let e1 = g.gather_rows(batch.tokens, &left_rows);
+        let e2 = g.gather_rows(batch.tokens, &right_rows);
 
         // ----- EM representation -------------------------------------------------
-        let mut gamma = None;
+        let mut gamma_packed = None;
         let em_repr = match self.em {
-            EmStrategy::Cls => seq.pooled,
+            EmStrategy::Cls => batch.pooled,
             EmStrategy::Aoa => {
-                let out = attention_over_attention(g, e1, e2);
-                gamma = Some(g.value(out.gamma));
+                let out = attention_over_attention_batch(g, e1, &g1, e2, &g2);
+                gamma_packed = Some(out.gamma);
                 out.pooled
             }
             EmStrategy::TokenAvgConcat => {
-                let m1 = g.mean_axis0(e1);
-                let m2 = g.mean_axis0(e2);
+                let m1 = g.mean_rows_grouped(e1, &g1);
+                let m2 = g.mean_rows_grouped(e2, &g2);
                 g.concat_cols(&[m1, m2])
             }
             EmStrategy::SurfCon => {
-                let interaction = g.matmul_nt(e1, e2);
-                let attn = g.softmax_rows(interaction);
-                let context = g.matmul(attn, e2); // [m, h]
-                let gated = g.mul(e1, context);
-                let matched = g.mean_axis0(gated);
-                let own = g.mean_axis0(e1);
-                g.concat_cols(&[matched, own])
+                // The gated single-level matcher has no grouped kernel; the
+                // pairs still share one backbone pass and are looped here.
+                let mut rows = Vec::with_capacity(b);
+                for i in 0..b {
+                    let (l0, l1) = g1.range(i);
+                    let (r0, r1) = g2.range(i);
+                    let e1i = g.slice_rows(e1, l0, l1);
+                    let e2i = g.slice_rows(e2, r0, r1);
+                    let interaction = g.matmul_nt(e1i, e2i);
+                    let attn = g.softmax_rows(interaction);
+                    let context = g.matmul(attn, e2i); // [m, h]
+                    let gated = g.mul(e1i, context);
+                    let matched = g.mean_axis0(gated);
+                    let own = g.mean_axis0(e1i);
+                    rows.push(g.concat_cols(&[matched, own]));
+                }
+                g.concat_rows(&rows)
             }
             EmStrategy::RelevanceNumeric => {
                 let numeric = self
                     .numeric_vocab
                     .as_ref()
                     .expect("numeric vocab checked at construction");
-                let left_ids: std::collections::HashSet<usize> =
-                    pair.ids[pair.left.clone()].iter().copied().collect();
-                let right_ids: std::collections::HashSet<usize> =
-                    pair.ids[pair.right.clone()].iter().copied().collect();
-                let mut relevant = Vec::new();
-                let mut numeric_pos = Vec::new();
-                for range in [pair.left.clone(), pair.right.clone()] {
-                    for p in range {
-                        let id = pair.ids[p];
-                        if left_ids.contains(&id) && right_ids.contains(&id) {
-                            relevant.push(p);
-                        }
-                        if numeric.get(id).copied().unwrap_or(false) {
-                            numeric_pos.push(p);
+                let mut rows = Vec::with_capacity(b);
+                for (i, ex) in exs.iter().enumerate() {
+                    let pair = &ex.pair;
+                    let s = batch.groups.start(i);
+                    let left_ids: std::collections::HashSet<usize> =
+                        pair.ids[pair.left.clone()].iter().copied().collect();
+                    let right_ids: std::collections::HashSet<usize> =
+                        pair.ids[pair.right.clone()].iter().copied().collect();
+                    let mut relevant = Vec::new();
+                    let mut numeric_pos = Vec::new();
+                    for range in [pair.left.clone(), pair.right.clone()] {
+                        for p in range {
+                            let id = pair.ids[p];
+                            if left_ids.contains(&id) && right_ids.contains(&id) {
+                                relevant.push(s + p);
+                            }
+                            if numeric.get(id).copied().unwrap_or(false) {
+                                numeric_pos.push(s + p);
+                            }
                         }
                     }
+                    let full = (s + pair.left.start)..(s + pair.right.end);
+                    let rel_pool = Self::pool_positions(g, batch.tokens, &relevant, &full);
+                    let num_pool = Self::pool_positions(g, batch.tokens, &numeric_pos, &full);
+                    let pooled_i = g.slice_rows(batch.pooled, i, i + 1);
+                    rows.push(g.concat_cols(&[pooled_i, rel_pool, num_pool]));
                 }
-                let full = pair.left.start..pair.right.end;
-                let rel_pool = Self::pool_positions(g, seq.tokens, &relevant, &full);
-                let num_pool = Self::pool_positions(g, seq.tokens, &numeric_pos, &full);
-                g.concat_cols(&[seq.pooled, rel_pool, num_pool])
+                g.concat_rows(&rows)
             }
         };
-        let match_logit = self.match_head.forward(g, stamp, em_repr);
-        let target = if ex.is_match { 1.0 } else { 0.0 };
-        let mut loss = g.bce_with_logits(match_logit, &[target]);
-        let match_prob = sigmoid(g.value(match_logit).item());
+        let match_logit = self.match_head.forward(g, stamp, em_repr); // [B, 1]
+        let targets: Vec<f32> = exs
+            .iter()
+            .map(|ex| if ex.is_match { 1.0 } else { 0.0 })
+            .collect();
+        // `bce_with_logits` averages over rows; rescale to the summed loss.
+        let mut loss = g.scale(g.bce_with_logits(match_logit, &targets), b as f32);
+        let logit_v = g.value(match_logit);
+        let match_probs: Vec<f32> = (0..b).map(|r| sigmoid(logit_v.get(r, 0))).collect();
+        let mut example_losses: Vec<f32> = (0..b)
+            .map(|r| bce_loss_value(logit_v.get(r, 0), targets[r]))
+            .collect();
 
         // ----- auxiliary entity-ID tasks -----------------------------------------
-        let mut id1_pred = None;
-        let mut id2_pred = None;
+        let mut id1_preds = None;
+        let mut id2_preds = None;
         if self.aux != AuxStrategy::None {
             let id1 = self.id1_head.as_ref().expect("aux heads exist");
             let id2 = self.id2_head.as_ref().expect("aux heads exist");
             let (logits1, logits2) = match self.aux {
                 AuxStrategy::None => unreachable!(),
                 AuxStrategy::Cls => (
-                    id1.classify_pooled(g, stamp, seq.pooled),
-                    id2.classify_pooled(g, stamp, seq.pooled),
+                    id1.classify_pooled(g, stamp, batch.pooled),
+                    id2.classify_pooled(g, stamp, batch.pooled),
                 ),
                 AuxStrategy::ClsSep => {
-                    // First [SEP] sits immediately after the left record.
-                    let sep = g.slice_rows(seq.tokens, pair.left.end, pair.left.end + 1);
+                    // Each first [SEP] sits immediately after its left record.
+                    let seps: Vec<usize> = exs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, ex)| batch.groups.start(i) + ex.pair.left.end)
+                        .collect();
+                    let sep = g.gather_rows(batch.tokens, &seps);
                     (
-                        id1.classify_pooled(g, stamp, seq.pooled),
+                        id1.classify_pooled(g, stamp, batch.pooled),
                         id2.classify_pooled(g, stamp, sep),
                     )
                 }
                 AuxStrategy::TokenAvg => (
-                    id1.classify_pooled(g, stamp, g.mean_axis0(e1)),
-                    id2.classify_pooled(g, stamp, g.mean_axis0(e2)),
+                    id1.classify_pooled(g, stamp, g.mean_rows_grouped(e1, &g1)),
+                    id2.classify_pooled(g, stamp, g.mean_rows_grouped(e2, &g2)),
                 ),
-                AuxStrategy::TokenAttention => {
-                    (id1.forward(g, stamp, e1), id2.forward(g, stamp, e2))
-                }
+                AuxStrategy::TokenAttention => (
+                    id1.forward_batch(g, stamp, e1, &g1),
+                    id2.forward_batch(g, stamp, e2, &g2),
+                ),
             };
-            let ce1 = g.cross_entropy(logits1, &[ex.left_class]);
-            let ce2 = g.cross_entropy(logits2, &[ex.right_class]);
+            let c1: Vec<usize> = exs.iter().map(|ex| ex.left_class).collect();
+            let c2: Vec<usize> = exs.iter().map(|ex| ex.right_class).collect();
+            let ce1 = g.scale(g.cross_entropy(logits1, &c1), b as f32);
+            let ce2 = g.scale(g.cross_entropy(logits2, &c2), b as f32);
             loss = g.add(loss, g.add(ce1, ce2));
-            id1_pred = Some(g.value(logits1).argmax_rows()[0]);
-            id2_pred = Some(g.value(logits2).argmax_rows()[0]);
+            let v1 = g.value(logits1);
+            let v2 = g.value(logits2);
+            for r in 0..b {
+                example_losses[r] +=
+                    ce_loss_value(v1.row_slice(r), c1[r]) + ce_loss_value(v2.row_slice(r), c2[r]);
+            }
+            id1_preds = Some(v1.argmax_rows());
+            id2_preds = Some(v2.argmax_rows());
         }
 
-        let attention = if seq.last_attention.is_empty() {
-            None
+        // The visualization outputs inspect one example at a time; only a
+        // batch of one materializes them.
+        let (attention, gamma) = if b == 1 {
+            let attention = if batch.last_attention.is_empty() {
+                None
+            } else {
+                Some(emba_nn::MultiHeadAttention::summed_probs(
+                    g,
+                    &batch.last_attention,
+                ))
+            };
+            (attention, gamma_packed.map(|gm| g.value(gm)))
         } else {
-            Some(emba_nn::MultiHeadAttention::summed_probs(g, &seq.last_attention))
+            (None, None)
         };
 
-        ModelOutput {
+        BatchOutput {
             loss,
-            match_prob,
-            id1_pred,
-            id2_pred,
+            example_losses,
+            match_probs,
+            id1_preds,
+            id2_preds,
             attention,
             gamma,
         }
@@ -364,6 +526,20 @@ impl Module for TransformerMatcher {
 
 fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
+}
+
+/// Stable single-logit BCE (same formula as `Graph::bce_with_logits`), used
+/// to report per-example losses off-tape.
+fn bce_loss_value(z: f32, y: f32) -> f32 {
+    z.max(0.0) - z * y + (-z.abs()).exp().ln_1p()
+}
+
+/// Stable per-row cross-entropy from raw logits, used to report per-example
+/// losses off-tape.
+fn ce_loss_value(row: &[f32], target: usize) -> f32 {
+    let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let lse = mx + row.iter().map(|&x| (x - mx).exp()).sum::<f32>().ln();
+    lse - row[target]
 }
 
 /// Builds the digit-bearing-subword lookup table for JointMatcher's numeric

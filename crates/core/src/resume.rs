@@ -434,6 +434,113 @@ mod tests {
         );
     }
 
+    /// Regression test for batched execution: a durable run whose optimizer
+    /// windows pack multiple length buckets must resume bit-exactly. The
+    /// kill lands between checkpoints so the resumed process replays batched
+    /// windows from the snapshot — any drift in sub-batch planning or packed
+    /// forward/backward order would show up as diverging losses.
+    #[test]
+    fn batched_window_run_resumes_bit_exactly() {
+        use rand::Rng;
+        // Real WDC examples all truncate to max_len (one shared bucket), so
+        // synthesize a split with genuinely mixed lengths: that forces the
+        // window plan to pack multiple sub-batches per optimizer window.
+        let (vocab, classes) = (64usize, 5usize);
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut gen = |n: usize| -> Vec<EncodedExample> {
+            (0..n)
+                .map(|_| {
+                    let ll = rng.gen_range(1..14);
+                    let rl = rng.gen_range(1..14);
+                    let mut ids = vec![1usize];
+                    ids.extend((0..ll).map(|_| rng.gen_range(4..vocab)));
+                    ids.push(2);
+                    ids.extend((0..rl).map(|_| rng.gen_range(4..vocab)));
+                    ids.push(2);
+                    let segments: Vec<usize> =
+                        (0..ids.len()).map(|i| usize::from(i > 1 + ll)).collect();
+                    EncodedExample {
+                        pair: emba_tokenizer::EncodedPair {
+                            ids,
+                            segments,
+                            left: 1..1 + ll,
+                            right: 2 + ll..2 + ll + rl,
+                        },
+                        left_attrs: Vec::new(),
+                        right_attrs: Vec::new(),
+                        is_match: rng.gen(),
+                        left_class: rng.gen_range(0..classes),
+                        right_class: rng.gen_range(0..classes),
+                    }
+                })
+                .collect()
+        };
+        let (train, valid, test) = (gen(24), gen(8), gen(8));
+        // The window plan only has work to do when the data spans several
+        // length buckets; with one bucket every window is a single batch and
+        // this test would silently weaken.
+        let mut keys: Vec<usize> = train
+            .iter()
+            .map(|ex| ex.pair.ids.len().div_ceil(crate::batching::BUCKET_WIDTH))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert!(
+            keys.len() >= 2,
+            "train split must span multiple length buckets, got {keys:?}"
+        );
+        let cfg = TrainConfig {
+            batch_size: 6,
+            ..cfg()
+        };
+
+        let mut baseline = LossTrace::default();
+        let mut m = tiny_model(vocab, classes, 0);
+        let report_a = train_matcher_observed(&mut m, &train, &valid, &test, &cfg, &mut baseline);
+
+        let steps_per_epoch = train.len().div_ceil(cfg.batch_size) as u64;
+        let tmp = TempDir::new();
+        let mut store = CheckpointStore::open(&tmp.0, 4).unwrap();
+        let mut m = tiny_model(vocab, classes, 0);
+        // Checkpoint every 3 windows, die two windows past a boundary.
+        let killed = run_killed(
+            &mut m,
+            (&train, &valid, &test),
+            &cfg,
+            &mut store,
+            3,
+            steps_per_epoch + 2,
+        );
+        assert!(killed.checkpoint_writes >= 1);
+
+        let mut resumed = LossTrace::default();
+        let mut m = tiny_model(vocab, classes, 0);
+        let opts = DurabilityConfig {
+            every_steps: 3,
+            resume: true,
+        };
+        let report_b = train_matcher_durable(
+            &mut m, &train, &valid, &test, &cfg, &mut store, &opts, &mut resumed,
+        )
+        .unwrap();
+
+        assert_eq!(resumed.resumes, 1);
+        let by_step: HashMap<u64, f64> = baseline.steps.iter().copied().collect();
+        for &(s, l) in &resumed.steps {
+            assert_eq!(
+                by_step[&s].to_bits(),
+                l.to_bits(),
+                "loss diverged at step {s}: {} vs {l}",
+                by_step[&s]
+            );
+        }
+        assert_eq!(report_a.test.matching.f1.to_bits(), report_b.test.matching.f1.to_bits());
+        assert_eq!(
+            report_a.final_train_loss.to_bits(),
+            report_b.final_train_loss.to_bits()
+        );
+    }
+
     #[test]
     fn corrupt_newest_snapshot_falls_back_to_previous() {
         let (train, valid, test, vocab, classes) = setup();

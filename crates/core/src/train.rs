@@ -4,9 +4,13 @@
 //! Training follows the paper's protocol: Adam, a linearly decaying
 //! learning rate with one epoch of warmup, early stopping when validation
 //! F1 has not improved for `patience` epochs, and (optionally) a learning-
-//! rate sweep selecting the best validation F1. Mini-batches are realized
-//! as gradient accumulation over per-example graphs — the paper likewise
-//! computes the AOA module per sample.
+//! rate sweep selecting the best validation F1. A mini-batch is an
+//! optimizer *window* of `batch_size` consecutive examples of the shuffled
+//! order; the window is split into length-bucketed sub-batches
+//! ([`crate::batching`]) that each run as one packed batched
+//! forward/backward, and their summed losses accumulate into the same
+//! gradient buffers the old per-example loop filled — the averaged update
+//! is unchanged.
 
 use std::time::Instant;
 
@@ -17,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::batching::plan_sub_batches;
 use crate::error::CoreError;
 use crate::metrics::{id_metrics, match_metrics, IdMetrics, MatchMetrics};
 use crate::models::Matcher;
@@ -218,6 +223,10 @@ pub struct TrainReport {
     pub final_train_loss: f64,
 }
 
+/// Examples per batched evaluation forward pass (split into length buckets
+/// by [`plan_sub_batches`] before running).
+const EVAL_BATCH: usize = 16;
+
 /// Evaluates a model over a split.
 pub fn evaluate(model: &dyn Matcher, examples: &[EncodedExample], rng: &mut StdRng) -> EvalResult {
     evaluate_observed(model, examples, rng, 0, "eval", &mut NullObserver)
@@ -236,30 +245,47 @@ pub fn evaluate_observed(
     assert!(!examples.is_empty(), "cannot evaluate an empty split");
     let _eval_scope = prof::scope("eval");
     let start = Instant::now();
-    let mut preds = Vec::with_capacity(examples.len());
-    let mut gold = Vec::with_capacity(examples.len());
+    let mut preds = vec![false; examples.len()];
+    let gold: Vec<bool> = examples.iter().map(|ex| ex.is_match).collect();
+    let mut id_preds: Vec<Option<(usize, usize)>> = vec![None; examples.len()];
+    // Evaluation draws no RNG (dropout is skipped outside training), so
+    // batching consecutive examples changes nothing but throughput.
+    for (chunk_i, chunk) in examples.chunks(EVAL_BATCH).enumerate() {
+        let base = chunk_i * EVAL_BATCH;
+        let lens: Vec<usize> = chunk.iter().map(|ex| ex.pair.ids.len()).collect();
+        for sub in plan_sub_batches(&lens) {
+            let _example_scope = prof::scope("example");
+            let sub_start = Instant::now();
+            let exs: Vec<&EncodedExample> = sub.iter().map(|&j| &chunk[j]).collect();
+            let g = Graph::new();
+            let out = {
+                let _fwd_scope = prof::scope("forward");
+                model.forward_batch(&g, GraphStamp::next(), &exs, false, rng)
+            };
+            for (k, &j) in sub.iter().enumerate() {
+                preds[base + j] = out.match_probs[k] >= 0.5;
+                if let (Some(p1), Some(p2)) = (&out.id1_preds, &out.id2_preds) {
+                    id_preds[base + j] = Some((p1[k], p2[k]));
+                }
+            }
+            g.recycle();
+            let per_example_ns = sub_start.elapsed().as_nanos() as u64 / sub.len() as u64;
+            for _ in 0..sub.len() {
+                metrics::observe_ns("eval.example_ns", per_example_ns);
+            }
+        }
+    }
     let mut id1_pred = Vec::new();
     let mut id2_pred = Vec::new();
     let mut id1_gold = Vec::new();
     let mut id2_gold = Vec::new();
-    for ex in examples {
-        let _example_scope = prof::scope("example");
-        let example_start = Instant::now();
-        let g = Graph::new();
-        let out = {
-            let _fwd_scope = prof::scope("forward");
-            model.forward(&g, GraphStamp::next(), ex, false, rng)
-        };
-        preds.push(out.match_prob >= 0.5);
-        gold.push(ex.is_match);
-        if let (Some(p1), Some(p2)) = (out.id1_pred, out.id2_pred) {
-            id1_pred.push(p1);
-            id2_pred.push(p2);
+    for (ex, ids) in examples.iter().zip(&id_preds) {
+        if let Some((p1, p2)) = ids {
+            id1_pred.push(*p1);
+            id2_pred.push(*p2);
             id1_gold.push(ex.left_class);
             id2_gold.push(ex.right_class);
         }
-        g.recycle();
-        metrics::observe_ns("eval.example_ns", example_start.elapsed().as_nanos() as u64);
     }
     metrics::counter_add("eval.examples", examples.len() as u64);
     let pool_stats = pool::stats();
@@ -445,92 +471,104 @@ pub(crate) fn train_loop(
             shuffle(&mut order, &mut rng);
         }
         model.zero_grads();
-        let mut in_batch = 0usize;
-        let mut batch_loss = 0.0f64;
-        let mut batch_start = Instant::now();
-        for (i, &idx) in order.iter().enumerate().skip(start_i) {
-            let ex = &train[idx];
-            let example_scope = prof::scope("example");
-            let g = Graph::new();
-            let stamp = GraphStamp::next();
-            let out = {
-                let _fwd_scope = prof::scope("forward");
-                model.forward(&g, stamp, ex, true, &mut rng)
-            };
-            let loss = f64::from(g.value(out.loss).item());
-            epoch_loss += loss;
-            batch_loss += loss;
-            {
-                let bwd_scope = prof::scope("backward");
-                let grads = g.backward(out.loss);
-                // Close at the end of the tape sweep: accumulation and
-                // recycling record no ops, so leaving them inside would
-                // show up as unattributed backward wall time.
-                drop(bwd_scope);
-                model.accumulate_gradients(&grads);
-                // Return this example's activations and gradients to the
-                // scratch pool before the next graph is built.
-                grads.recycle();
-                g.recycle();
-            }
-            // Close before the optimizer step below, so `optim` is a
-            // sibling phase of `example` rather than a child.
-            drop(example_scope);
-            if cfg.nan_guard {
-                drain_guard(observer);
-            }
-            if !loss.is_finite() {
-                observer.on_non_finite(
-                    "train_loss",
-                    &format!("loss {loss} at epoch {epoch}, example {i}; aborting run"),
-                );
-                break 'epochs;
-            }
-            in_batch += 1;
-            trained_pairs += 1;
-
-            if in_batch == cfg.batch_size || i + 1 == order.len() {
-                let optim_scope = prof::scope("optim");
-                // Average the accumulated gradients over the batch, in place.
-                let scale = 1.0 / in_batch as f32;
-                model.visit_mut(&mut |p| p.grad.scale_mut(scale));
-                let grad_norm = clip_grad_norm(model.as_module_mut(), cfg.clip_norm);
-                let lr = schedule.lr(step);
-                adam.step(model.as_module_mut(), lr);
-                model.zero_grads();
-                drop(optim_scope);
-                observer.on_step(&StepRecord {
-                    epoch,
-                    step,
-                    loss: batch_loss / in_batch as f64,
-                    grad_norm: f64::from(grad_norm),
-                    lr: f64::from(lr),
-                    wall_ms: batch_start.elapsed().as_secs_f64() * 1e3,
-                    examples: in_batch,
-                });
-                step += 1;
-                in_batch = 0;
-                batch_loss = 0.0;
-                batch_start = Instant::now();
-
-                // Mid-epoch durability: snapshot at optimizer-step
-                // boundaries (gradients are zero, no batch in flight). The
-                // epoch's final boundary is covered by the richer epoch-end
-                // snapshot below instead.
-                if let Some(p) = persist.as_mut() {
-                    if p.every > 0 && step.is_multiple_of(p.every) && i + 1 < order.len() {
-                        let snap = snapshot(
-                            model, &adam, &rng, &stopper, &best_state, cfg, train, valid,
-                            epoch,
-                            i + 1,
-                            order.clone(),
-                            step, epoch_loss, trained_pairs, epochs_run, final_train_loss,
+        // One optimizer window = `batch_size` consecutive entries of the
+        // shuffled order (the gradient-accumulation span of the per-example
+        // loop this replaced). Within a window, length-bucketed sub-batches
+        // each run as ONE packed forward/backward; the summed batch losses
+        // accumulate into the same gradient buffers, so the averaged update
+        // below is mathematically the per-example window update.
+        let mut i = start_i;
+        while i < order.len() {
+            let window_end = (i + cfg.batch_size).min(order.len());
+            let window = &order[i..window_end];
+            let window_len = window.len();
+            let batch_start = Instant::now();
+            let lens: Vec<usize> = window.iter().map(|&idx| train[idx].pair.ids.len()).collect();
+            let mut window_loss = 0.0f64;
+            for sub in plan_sub_batches(&lens) {
+                let exs: Vec<&EncodedExample> = sub.iter().map(|&j| &train[window[j]]).collect();
+                let example_scope = prof::scope("example");
+                let g = Graph::new();
+                let stamp = GraphStamp::next();
+                let out = {
+                    let _fwd_scope = prof::scope("forward");
+                    model.forward_batch(&g, stamp, &exs, true, &mut rng)
+                };
+                {
+                    let bwd_scope = prof::scope("backward");
+                    let grads = g.backward(out.loss);
+                    // Close at the end of the tape sweep: accumulation and
+                    // recycling record no ops, so leaving them inside would
+                    // show up as unattributed backward wall time.
+                    drop(bwd_scope);
+                    model.accumulate_gradients(&grads);
+                    // Return this sub-batch's activations and gradients to
+                    // the scratch pool before the next graph is built.
+                    grads.recycle();
+                    g.recycle();
+                }
+                // Close before the optimizer step below, so `optim` is a
+                // sibling phase of `example` rather than a child.
+                drop(example_scope);
+                if cfg.nan_guard {
+                    drain_guard(observer);
+                }
+                for (&j, &l) in sub.iter().zip(&out.example_losses) {
+                    let loss = f64::from(l);
+                    epoch_loss += loss;
+                    window_loss += loss;
+                    if !loss.is_finite() {
+                        observer.on_non_finite(
+                            "train_loss",
+                            &format!(
+                                "loss {loss} at epoch {epoch}, example {}; aborting run",
+                                i + j
+                            ),
                         );
-                        let seq = p.store.save(&snap)?;
-                        observer.on_checkpoint_write(seq, epoch, step);
+                        break 'epochs;
                     }
                 }
             }
+            trained_pairs += window_len;
+
+            let optim_scope = prof::scope("optim");
+            // Average the accumulated gradients over the window, in place.
+            let scale = 1.0 / window_len as f32;
+            model.visit_mut(&mut |p| p.grad.scale_mut(scale));
+            let grad_norm = clip_grad_norm(model.as_module_mut(), cfg.clip_norm);
+            let lr = schedule.lr(step);
+            adam.step(model.as_module_mut(), lr);
+            model.zero_grads();
+            drop(optim_scope);
+            observer.on_step(&StepRecord {
+                epoch,
+                step,
+                loss: window_loss / window_len as f64,
+                grad_norm: f64::from(grad_norm),
+                lr: f64::from(lr),
+                wall_ms: batch_start.elapsed().as_secs_f64() * 1e3,
+                examples: window_len,
+            });
+            step += 1;
+
+            // Mid-epoch durability: snapshot at optimizer-step boundaries
+            // (gradients are zero, no window in flight). The epoch's final
+            // boundary is covered by the richer epoch-end snapshot below
+            // instead.
+            if let Some(p) = persist.as_mut() {
+                if p.every > 0 && step.is_multiple_of(p.every) && window_end < order.len() {
+                    let snap = snapshot(
+                        model, &adam, &rng, &stopper, &best_state, cfg, train, valid,
+                        epoch,
+                        window_end,
+                        order.clone(),
+                        step, epoch_loss, trained_pairs, epochs_run, final_train_loss,
+                    );
+                    let seq = p.store.save(&snap)?;
+                    observer.on_checkpoint_write(seq, epoch, step);
+                }
+            }
+            i = window_end;
         }
         final_train_loss = epoch_loss / train.len() as f64;
         observer.on_epoch_end(epoch, final_train_loss);

@@ -1,10 +1,12 @@
 //! Multi-head scaled dot-product self-attention.
 //!
-//! Sequences are processed one example at a time (the paper computes the AOA
-//! module per sample for the same reason), so no padding mask is needed: the
-//! input is always exactly `[seq_len, hidden]`.
+//! The batched path packs several variable-length sequences row-wise into one
+//! `[ΣT, hidden]` activation matrix ([`emba_tensor::RowGroups`] records the
+//! per-sequence row ranges) and runs block-diagonal attention: each sequence
+//! attends only to its own rows, so no `[ΣT, ΣT]` mask tensor is ever
+//! materialized. The per-example API is the batch-of-one special case.
 
-use emba_tensor::{Graph, Tensor, Var};
+use emba_tensor::{Graph, RowGroups, Tensor, Var};
 use rand::Rng;
 
 use crate::layers::{dropout, Linear};
@@ -49,14 +51,19 @@ impl MultiHeadAttention {
         self.heads
     }
 
-    /// Runs self-attention over `x: [seq, hidden]`, returning the attended
-    /// output and, per head, the `[seq, seq]` attention probability
-    /// variables (used for the paper's Figure 6 visualizations).
-    pub fn forward_with_probs<R: Rng + ?Sized>(
+    /// Runs block-diagonal self-attention over a row-packed batch
+    /// `x: [ΣT, hidden]` whose sequences are described by `groups`.
+    ///
+    /// Returns the attended output (same packed layout) and, per head, the
+    /// `[ΣT, W]` grouped attention probabilities, where `W = groups.max_len()`
+    /// and row `r` of sequence `i` holds its distribution over that
+    /// sequence's own keys in columns `0..len_i` (padding columns are zero).
+    pub fn forward_batch_with_probs<R: Rng + ?Sized>(
         &self,
         g: &Graph,
         stamp: GraphStamp,
         x: Var,
+        groups: &RowGroups,
         train: bool,
         rng: &mut R,
     ) -> (Var, Vec<Var>) {
@@ -74,15 +81,33 @@ impl MultiHeadAttention {
             let qh = g.slice_cols(q, c0, c1);
             let kh = g.slice_cols(k, c0, c1);
             let vh = g.slice_cols(v, c0, c1);
-            let p = g.attention_scores(qh, kh, scale);
+            let p = g.attention_scores_grouped(qh, kh, scale, groups);
             let p_dropped = dropout(g, p, self.dropout_p, train, rng);
-            contexts.push(g.matmul(p_dropped, vh));
+            contexts.push(g.matmul_grouped(p_dropped, vh, groups));
             probs.push(p);
         }
         let ctx = g.concat_cols(&contexts);
         let out = self.output.forward(g, stamp, ctx);
         let out = dropout(g, out, self.dropout_p, train, rng);
         (out, probs)
+    }
+
+    /// Runs self-attention over `x: [seq, hidden]`, returning the attended
+    /// output and, per head, the `[seq, seq]` attention probability
+    /// variables (used for the paper's Figure 6 visualizations).
+    ///
+    /// Thin batch-of-one wrapper over
+    /// [`MultiHeadAttention::forward_batch_with_probs`].
+    pub fn forward_with_probs<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        x: Var,
+        train: bool,
+        rng: &mut R,
+    ) -> (Var, Vec<Var>) {
+        let groups = RowGroups::from_lens(&[g.value(x).rows()]);
+        self.forward_batch_with_probs(g, stamp, x, &groups, train, rng)
     }
 
     /// [`MultiHeadAttention::forward_with_probs`] without retaining the
@@ -195,6 +220,38 @@ mod tests {
             }
         });
         assert!(all_nonzero, "every projection should receive gradient");
+    }
+
+    #[test]
+    fn batched_matches_per_example() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mha = MultiHeadAttention::new(8, 2, 0.0, &mut rng);
+        let stamp = GraphStamp::next();
+        let a = Tensor::rand_normal(3, 8, 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(5, 8, 0.0, 1.0, &mut rng);
+
+        let g = Graph::new();
+        let packed = g.leaf(Tensor::concat_rows(&[&a, &b]));
+        let groups = RowGroups::from_lens(&[3, 5]);
+        let (yp, probs) =
+            mha.forward_batch_with_probs(&g, stamp, packed, &groups, false, &mut rng);
+        let (ya, _) = mha.forward_with_probs(&g, stamp, g.leaf(a), false, &mut rng);
+        let (yb, _) = mha.forward_with_probs(&g, stamp, g.leaf(b), false, &mut rng);
+
+        let vp = g.value(yp);
+        let ref_out = Tensor::concat_rows(&[&g.value(ya), &g.value(yb)]);
+        assert_eq!(vp.shape(), (8, 8));
+        for (x, y) in vp.data().iter().zip(ref_out.data()) {
+            assert!((x - y).abs() < 1e-5, "batched {x} vs per-example {y}");
+        }
+        // Grouped probs are [ΣT, W]: rows of sequence 0 use only 3 columns.
+        for p in &probs {
+            let v = g.value(*p);
+            assert_eq!(v.shape(), (8, 5));
+            for r in 0..3 {
+                assert_eq!(&v.row_slice(r)[3..], &[0.0, 0.0], "padding must be zero");
+            }
+        }
     }
 
     #[test]

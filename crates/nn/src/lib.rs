@@ -45,4 +45,4 @@ pub use layers::{dropout, Embedding, LayerNorm, Linear};
 pub use optim::{Adam, AdamState, AdamStateError, LinearSchedule, MomentPair};
 pub use param::{clip_grad_norm, GraphStamp, Module, Param};
 pub use skipgram::{pretrain_skipgram, SkipGramConfig};
-pub use transformer::{summed_last_attention, BertConfig, BertEncoder, BertOutput};
+pub use transformer::{summed_last_attention, BertBatchOutput, BertConfig, BertEncoder, BertOutput};

@@ -8,7 +8,7 @@
 //! tanh pooler over `[CLS]` — is present so the EMBA/JointBERT heads built
 //! on top match the paper exactly.
 
-use emba_tensor::{Graph, Tensor, Var};
+use emba_tensor::{Graph, RowGroups, Tensor, Var};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -142,11 +142,14 @@ impl EncoderLayer {
         g: &Graph,
         stamp: GraphStamp,
         x: Var,
+        groups: &RowGroups,
         train: bool,
         rng: &mut R,
     ) -> (Var, Vec<Var>) {
         let _scope = emba_tensor::prof::scope("layer");
-        let (attn_out, probs) = self.attention.forward_with_probs(g, stamp, x, train, rng);
+        let (attn_out, probs) =
+            self.attention
+                .forward_batch_with_probs(g, stamp, x, groups, train, rng);
         let x = self.attn_norm.forward(g, stamp, g.add(x, attn_out));
         let ff_out = {
             let _ffn_scope = emba_tensor::prof::scope("ffn");
@@ -182,6 +185,22 @@ pub struct BertOutput {
     /// Per-head `[seq, seq]` attention probabilities of the **last** layer,
     /// kept for the paper's attention-score analysis (Figure 6).
     pub last_attention: Vec<Var>,
+}
+
+/// Output of one batched [`BertEncoder`] forward pass over `B` row-packed
+/// sequences.
+pub struct BertBatchOutput {
+    /// `[ΣT, hidden]` final-layer token representations, row-packed in batch
+    /// order with no padding.
+    pub tokens: Var,
+    /// Tanh-pooled `[B, hidden]` representations of each sequence's `[CLS]`
+    /// position (row `i` belongs to sequence `i`).
+    pub pooled: Var,
+    /// Per-head `[ΣT, W]` grouped attention probabilities of the **last**
+    /// layer (`W` = longest sequence in the batch; padding columns are zero).
+    pub last_attention: Vec<Var>,
+    /// Row ranges of each sequence inside the packed matrices.
+    pub groups: RowGroups,
 }
 
 /// The miniature BERT encoder.
@@ -239,42 +258,83 @@ impl BertEncoder {
         train: bool,
         rng: &mut R,
     ) -> BertOutput {
-        let len = token_ids.len();
-        assert!(len > 0, "cannot encode an empty sequence");
-        assert!(
-            len <= self.cfg.max_len,
-            "sequence length {len} exceeds max_len {}",
-            self.cfg.max_len
-        );
-        assert_eq!(
-            segment_ids.len(),
-            len,
-            "segment ids length {} != token ids length {len}",
-            segment_ids.len()
-        );
+        let out = self.forward_batch(g, stamp, &[(token_ids, segment_ids)], train, rng);
+        BertOutput {
+            tokens: out.tokens,
+            pooled: out.pooled,
+            last_attention: out.last_attention,
+        }
+    }
+
+    /// Encodes a batch of token sequences in one row-packed forward pass.
+    ///
+    /// Each `(token_ids, segment_ids)` pair is one sequence; sequences are
+    /// packed row-wise into a `[ΣT, hidden]` activation matrix and attended
+    /// block-diagonally (a sequence never attends across the batch).
+    /// Position ids restart at 0 for every sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or any sequence is empty, too long, or
+    /// has mismatched id slices.
+    pub fn forward_batch<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        seqs: &[(&[usize], &[usize])],
+        train: bool,
+        rng: &mut R,
+    ) -> BertBatchOutput {
+        assert!(!seqs.is_empty(), "cannot encode an empty batch");
+        let total: usize = seqs.iter().map(|(ids, _)| ids.len()).sum();
+        let mut ids = Vec::with_capacity(total);
+        let mut positions = Vec::with_capacity(total);
+        let mut segments = Vec::with_capacity(total);
+        let mut lens = Vec::with_capacity(seqs.len());
+        for (token_ids, segment_ids) in seqs {
+            let len = token_ids.len();
+            assert!(len > 0, "cannot encode an empty sequence");
+            assert!(
+                len <= self.cfg.max_len,
+                "sequence length {len} exceeds max_len {}",
+                self.cfg.max_len
+            );
+            assert_eq!(
+                segment_ids.len(),
+                len,
+                "segment ids length {} != token ids length {len}",
+                segment_ids.len()
+            );
+            ids.extend_from_slice(token_ids);
+            positions.extend(0..len);
+            segments.extend_from_slice(segment_ids);
+            lens.push(len);
+        }
+        let groups = RowGroups::from_lens(&lens);
         let _scope = emba_tensor::prof::scope("bert");
 
-        let positions: Vec<usize> = (0..len).collect();
-        let tok = self.token_emb.forward(g, stamp, token_ids);
+        let tok = self.token_emb.forward(g, stamp, &ids);
         let pos = self.position_emb.forward(g, stamp, &positions);
-        let seg = self.segment_emb.forward(g, stamp, segment_ids);
+        let seg = self.segment_emb.forward(g, stamp, &segments);
         let sum = g.add(g.add(tok, pos), seg);
         let mut x = self.emb_norm.forward(g, stamp, sum);
         x = dropout(g, x, self.cfg.dropout, train, rng);
 
         let mut last_attention = Vec::new();
         for layer in &self.layers {
-            let (next, probs) = layer.forward(g, stamp, x, train, rng);
+            let (next, probs) = layer.forward(g, stamp, x, &groups, train, rng);
             x = next;
             last_attention = probs;
         }
 
-        let cls = g.slice_rows(x, 0, 1);
+        let starts: Vec<usize> = (0..groups.len()).map(|i| groups.start(i)).collect();
+        let cls = g.gather_rows(x, &starts);
         let pooled = g.tanh(self.pooler.forward(g, stamp, cls));
-        BertOutput {
+        BertBatchOutput {
             tokens: x,
             pooled,
             last_attention,
+            groups,
         }
     }
 }
@@ -385,6 +445,41 @@ mod tests {
         // Embedding tables only receive gradient at gathered rows; they are
         // still nonzero overall. Every parameter tensor should be touched.
         assert_eq!(zero_params, 0, "{zero_params}/{total} params got no gradient");
+    }
+
+    #[test]
+    fn batched_matches_per_example() {
+        let enc = encoder(11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = Graph::new();
+        let stamp = GraphStamp::next();
+        let seqs: [(&[usize], &[usize]); 3] = [
+            (&[2, 5, 9, 3], &[0, 0, 1, 1]),
+            (&[1, 2], &[0, 1]),
+            (&[7, 7, 7, 1, 4], &[0, 0, 0, 1, 1]),
+        ];
+        let batch = enc.forward_batch(&g, stamp, &seqs, false, &mut rng);
+        let tokens = g.value(batch.tokens);
+        let pooled = g.value(batch.pooled);
+        assert_eq!(tokens.shape(), (11, 16));
+        assert_eq!(pooled.shape(), (3, 16));
+        for p in &batch.last_attention {
+            assert_eq!(g.value(*p).shape(), (11, 5));
+        }
+        for (i, (ids, segs)) in seqs.iter().enumerate() {
+            let single = enc.forward(&g, stamp, ids, segs, false, &mut rng);
+            let st = g.value(single.tokens);
+            let (r0, r1) = batch.groups.range(i);
+            for (r, rr) in (r0..r1).enumerate() {
+                for (x, y) in tokens.row_slice(rr).iter().zip(st.row_slice(r)) {
+                    assert!((x - y).abs() < 1e-5, "tokens differ for sequence {i}");
+                }
+            }
+            let sp = g.value(single.pooled);
+            for (x, y) in pooled.row_slice(i).iter().zip(sp.row_slice(0)) {
+                assert!((x - y).abs() < 1e-5, "pooled differs for sequence {i}");
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::cell::RefCell;
 
 use rand::Rng;
 
+use crate::groups::RowGroups;
 use crate::tensor::Tensor;
 use crate::{guard, kernels, pool, prof, NORM_EPS};
 
@@ -23,6 +24,19 @@ use crate::{guard, kernels, pool, prof, NORM_EPS};
 const GELU_C: f32 = 0.797_884_6;
 /// Cubic coefficient of the tanh GELU approximation.
 const GELU_K: f32 = 0.044_715;
+
+/// Advances a xorshift64* state and maps the step to a uniform `f32` in
+/// `[0, 1)` (top 24 bits). Used by [`Graph::dropout`] so forward and backward
+/// can regenerate the same mask from one stored seed.
+#[inline]
+fn xorshift_unit(state: &mut u64) -> f32 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
 
 #[inline]
 fn gelu_forward(x: f32) -> f32 {
@@ -48,9 +62,24 @@ pub struct Var(usize);
 
 /// Receives gradient contributions for the parents of a node, indexed by the
 /// parent's position in the node's parent list.
-type GradSink<'a> = dyn FnMut(usize, Tensor) + 'a;
+///
+/// Ops whose parent gradient is dense (most of them) build a tensor and hand
+/// it over with [`GradSink::add`]. Ops that only touch a *region* of the
+/// parent (slices, gathers, embeddings) use [`GradSink::accum`] instead and
+/// write straight into the accumulation buffer, which avoids materializing a
+/// mostly-zero parent-shaped temporary per contribution.
+pub trait GradSink {
+    /// Adds `grad` to the accumulated gradient of the parent at `pos`.
+    fn add(&mut self, pos: usize, grad: Tensor);
 
-type BackwardFn = Box<dyn Fn(&Tensor, &mut GradSink)>;
+    /// Hands `f` the parent's `rows × cols` gradient accumulation buffer
+    /// (zero-initialized the first time the parent is touched). `f` must
+    /// *add* its contribution — other children of the same parent may have
+    /// deposited gradient there already.
+    fn accum(&mut self, pos: usize, rows: usize, cols: usize, f: &mut dyn FnMut(&mut [f32]));
+}
+
+type BackwardFn = Box<dyn Fn(&Tensor, &mut dyn GradSink)>;
 
 struct Node {
     /// Tape-op name, kept so the backward sweep can attribute its time to
@@ -89,6 +118,36 @@ impl Gradients {
         for g in self.grads.into_iter().flatten() {
             g.recycle();
         }
+    }
+}
+
+/// The [`GradSink`] used by [`Graph::backward`]: routes contributions into
+/// the per-node gradient slots, accumulating when a parent already has one.
+struct TapeSink<'a> {
+    parents: &'a [usize],
+    grads: &'a mut [Option<Tensor>],
+}
+
+impl GradSink for TapeSink<'_> {
+    fn add(&mut self, pos: usize, grad: Tensor) {
+        let pid = self.parents[pos];
+        match &mut self.grads[pid] {
+            Some(existing) => existing.add_scaled_in_place(&grad, 1.0),
+            slot @ None => *slot = Some(grad),
+        }
+    }
+
+    fn accum(&mut self, pos: usize, rows: usize, cols: usize, f: &mut dyn FnMut(&mut [f32])) {
+        let pid = self.parents[pos];
+        let slot = &mut self.grads[pid];
+        let t = slot.get_or_insert_with(|| Tensor::zeros(rows, cols));
+        assert_eq!(
+            t.shape(),
+            (rows, cols),
+            "accum: parent gradient is {:?}, op expected {rows}x{cols}",
+            t.shape()
+        );
+        f(t.data_mut());
     }
 }
 
@@ -160,8 +219,8 @@ impl Graph {
             out,
             vec![a.0, b.0],
             Some(Box::new(|g, sink| {
-                sink(0, g.clone());
-                sink(1, g.clone());
+                sink.add(0, g.clone());
+                sink.add(1, g.clone());
             })),
         )
     }
@@ -173,8 +232,8 @@ impl Graph {
             out,
             vec![a.0, b.0],
             Some(Box::new(|g, sink| {
-                sink(0, g.clone());
-                sink(1, g.scale(-1.0));
+                sink.add(0, g.clone());
+                sink.add(1, g.scale(-1.0));
             })),
         )
     }
@@ -188,8 +247,8 @@ impl Graph {
             out,
             vec![a.0, b.0],
             Some(Box::new(move |g, sink| {
-                sink(0, g.mul(&vb));
-                sink(1, g.mul(&va));
+                sink.add(0, g.mul(&vb));
+                sink.add(1, g.mul(&va));
             })),
         )
     }
@@ -200,7 +259,7 @@ impl Graph {
         self.push("scale",
             out,
             vec![a.0],
-            Some(Box::new(move |g, sink| sink(0, g.scale(s)))),
+            Some(Box::new(move |g, sink| sink.add(0, g.scale(s)))),
         )
     }
 
@@ -230,9 +289,9 @@ impl Graph {
             out,
             vec![x.0, bias.0],
             Some(Box::new(|g, sink| {
-                sink(0, g.clone());
+                sink.add(0, g.clone());
                 // Bias gradient is the column sum of the upstream gradient.
-                sink(1, g.mean_axis0().scale(g.rows() as f32));
+                sink.add(1, g.mean_axis0().scale(g.rows() as f32));
             })),
         )
     }
@@ -248,8 +307,8 @@ impl Graph {
             out,
             vec![a.0, b.0],
             Some(Box::new(move |g, sink| {
-                sink(0, g.matmul_nt(&vb));
-                sink(1, va.matmul_tn(g));
+                sink.add(0, g.matmul_nt(&vb));
+                sink.add(1, va.matmul_tn(g));
             })),
         )
     }
@@ -263,8 +322,8 @@ impl Graph {
             out,
             vec![a.0, b.0],
             Some(Box::new(move |g, sink| {
-                sink(0, g.matmul(&vb));
-                sink(1, g.matmul_tn(&va));
+                sink.add(0, g.matmul(&vb));
+                sink.add(1, g.matmul_tn(&va));
             })),
         )
     }
@@ -278,8 +337,8 @@ impl Graph {
             out,
             vec![a.0, b.0],
             Some(Box::new(move |g, sink| {
-                sink(0, vb.matmul_nt(g));
-                sink(1, va.matmul(g));
+                sink.add(0, vb.matmul_nt(g));
+                sink.add(1, va.matmul(g));
             })),
         )
     }
@@ -303,9 +362,9 @@ impl Graph {
             out,
             vec![x.0, w.0, bias.0],
             Some(Box::new(move |g, sink| {
-                sink(0, g.matmul_nt(&vw));
-                sink(1, vx.matmul_tn(g));
-                sink(2, col_sums(g));
+                sink.add(0, g.matmul_nt(&vw));
+                sink.add(1, vx.matmul_tn(g));
+                sink.add(2, col_sums(g));
             })),
         )
     }
@@ -324,9 +383,9 @@ impl Graph {
             Some(Box::new(move |g, sink| {
                 // Gradient at the pre-activation, then the affine backward.
                 let dh = g.zip(&pre, |gi, u| gi * gelu_derivative(u));
-                sink(0, dh.matmul_nt(&vw));
-                sink(1, vx.matmul_tn(&dh));
-                sink(2, col_sums(&dh));
+                sink.add(0, dh.matmul_nt(&vw));
+                sink.add(1, vx.matmul_tn(&dh));
+                sink.add(2, col_sums(&dh));
                 dh.recycle();
             })),
         )
@@ -364,8 +423,8 @@ impl Graph {
                 let mut ds = pool::take_uninit(m * n);
                 kernels::softmax_rows_backward_scaled(m, n, g.data(), p.data(), scale, &mut ds);
                 let ds = Tensor::from_vec(m, n, ds);
-                sink(0, ds.matmul(&vk));
-                sink(1, ds.matmul_tn(&vq));
+                sink.add(0, ds.matmul(&vk));
+                sink.add(1, ds.matmul_tn(&vq));
                 ds.recycle();
             })),
         )
@@ -377,7 +436,7 @@ impl Graph {
         self.push("transpose",
             out,
             vec![a.0],
-            Some(Box::new(|g, sink| sink(0, g.transpose()))),
+            Some(Box::new(|g, sink| sink.add(0, g.transpose()))),
         )
     }
 
@@ -391,7 +450,7 @@ impl Graph {
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
-                sink(0, g.zip(&y, |gi, yi| gi * yi * (1.0 - yi)));
+                sink.add(0, g.zip(&y, |gi, yi| gi * yi * (1.0 - yi)));
             })),
         )
     }
@@ -404,7 +463,7 @@ impl Graph {
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
-                sink(0, g.zip(&y, |gi, yi| gi * (1.0 - yi * yi)));
+                sink.add(0, g.zip(&y, |gi, yi| gi * (1.0 - yi * yi)));
             })),
         )
     }
@@ -417,7 +476,7 @@ impl Graph {
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
-                sink(0, g.zip(&vx, |gi, xi| if xi > 0.0 { gi } else { 0.0 }));
+                sink.add(0, g.zip(&vx, |gi, xi| if xi > 0.0 { gi } else { 0.0 }));
             })),
         )
     }
@@ -430,7 +489,7 @@ impl Graph {
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
-                sink(0, g.zip(&vx, |gi, x| gi * gelu_derivative(x)));
+                sink.add(0, g.zip(&vx, |gi, x| gi * gelu_derivative(x)));
             })),
         )
     }
@@ -445,7 +504,7 @@ impl Graph {
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
-                sink(0, softmax_rows_backward(g, &p));
+                sink.add(0, softmax_rows_backward(g, &p));
             })),
         )
     }
@@ -461,7 +520,7 @@ impl Graph {
                 let (m, n) = g.shape();
                 let mut dx = pool::take_uninit(m * n);
                 kernels::softmax_cols_backward(m, n, g.data(), p.data(), &mut dx);
-                sink(0, Tensor::from_vec(m, n, dx));
+                sink.add(0, Tensor::from_vec(m, n, dx));
             })),
         )
     }
@@ -497,7 +556,7 @@ impl Graph {
                         }
                     }
                 }
-                sink(0, dx);
+                sink.add(0, dx);
             })),
         )
     }
@@ -569,9 +628,9 @@ impl Graph {
                             inv_std[r] * (dxh - mean_dxhat - xhat.get(r, c) * mean_dxhat_xhat);
                     }
                 }
-                sink(0, Tensor::from_vec(m, n, dx));
-                sink(1, Tensor::from_vec(1, n, dgamma));
-                sink(2, Tensor::from_vec(1, n, dbeta));
+                sink.add(0, Tensor::from_vec(m, n, dx));
+                sink.add(1, Tensor::from_vec(1, n, dgamma));
+                sink.add(2, Tensor::from_vec(1, n, dbeta));
             })),
         )
     }
@@ -596,9 +655,7 @@ impl Graph {
             out,
             vec![weight.0],
             Some(Box::new(move |g, sink| {
-                let mut dw = Tensor::zeros(v, h);
-                {
-                    let data = dw.data_mut();
+                sink.accum(0, v, h, &mut |data| {
                     for (row, &id) in ids.iter().enumerate() {
                         let src = g.row_slice(row);
                         let dst = &mut data[id * h..(id + 1) * h];
@@ -606,8 +663,7 @@ impl Graph {
                             *d += s;
                         }
                     }
-                }
-                sink(0, dw);
+                });
             })),
         )
     }
@@ -623,7 +679,7 @@ impl Graph {
             Some(Box::new(move |g, sink| {
                 let scaled = g.scale(1.0 / m as f32);
                 let parts: Vec<&Tensor> = (0..m).map(|_| &scaled).collect();
-                sink(0, Tensor::concat_rows(&parts));
+                sink.add(0, Tensor::concat_rows(&parts));
             })),
         )
     }
@@ -647,7 +703,7 @@ impl Graph {
                         }
                     }
                 }
-                sink(0, dx);
+                sink.add(0, dx);
             })),
         )
     }
@@ -661,7 +717,7 @@ impl Graph {
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
-                sink(0, Tensor::full(m, n, g.item()));
+                sink.add(0, Tensor::full(m, n, g.item()));
             })),
         )
     }
@@ -676,7 +732,7 @@ impl Graph {
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
-                sink(0, Tensor::full(m, n, g.item() / count));
+                sink.add(0, Tensor::full(m, n, g.item() / count));
             })),
         )
     }
@@ -694,7 +750,7 @@ impl Graph {
             Some(Box::new(move |g, sink| {
                 let mut r = 0;
                 for (i, &rc) in row_counts.iter().enumerate() {
-                    sink(i, g.slice_rows(r, r + rc));
+                    sink.add(i, g.slice_rows(r, r + rc));
                     r += rc;
                 }
             })),
@@ -714,7 +770,7 @@ impl Graph {
             Some(Box::new(move |g, sink| {
                 let mut c = 0;
                 for (i, &cc) in col_counts.iter().enumerate() {
-                    sink(i, g.slice_cols(c, c + cc));
+                    sink.add(i, g.slice_cols(c, c + cc));
                     c += cc;
                 }
             })),
@@ -730,12 +786,11 @@ impl Graph {
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
-                let mut dx = Tensor::zeros(m, n);
-                {
-                    let data = dx.data_mut();
-                    data[r0 * n..r1 * n].copy_from_slice(g.data());
-                }
-                sink(0, dx);
+                sink.accum(0, m, n, &mut |data| {
+                    for (d, &s) in data[r0 * n..r1 * n].iter_mut().zip(g.data()) {
+                        *d += s;
+                    }
+                });
             })),
         )
     }
@@ -745,27 +800,652 @@ impl Graph {
         let va = self.value(a);
         let (m, n) = va.shape();
         let out = va.slice_cols(c0, c1);
+        let w = c1 - c0;
         self.push("slice_cols",
             out,
             vec![a.0],
             Some(Box::new(move |g, sink| {
-                let mut dx = Tensor::zeros(m, n);
-                {
-                    let data = dx.data_mut();
+                sink.accum(0, m, n, &mut |data| {
                     for r in 0..m {
-                        for c in c0..c1 {
-                            data[r * n + c] = g.get(r, c - c0);
+                        let dst = &mut data[r * n + c0..r * n + c1];
+                        for (d, &s) in dst.iter_mut().zip(&g.row_slice(r)[..w]) {
+                            *d += s;
                         }
                     }
+                });
+            })),
+        )
+    }
+
+    // ----- grouped (batched) ops ---------------------------------------------------
+    //
+    // The batched execution layer packs several variable-length sequences
+    // into one row-packed `[ΣT, H]` matrix and describes the per-sequence row
+    // ranges with a [`RowGroups`]. The ops below apply their per-sequence
+    // computation block-diagonally: attention cannot cross group boundaries,
+    // softmaxes are masked to each group's valid prefix, and reductions run
+    // per group. Score-like outputs use a padded width `W = max group len`
+    // with structurally-zero columns beyond each group's width; gradients for
+    // those columns are never read or written.
+
+    /// Gathers arbitrary rows of `a`: `[m, n] -> [len(rows), n]`.
+    ///
+    /// Replaces per-example `slice_rows` storms on the batched path (CLS/SEP
+    /// extraction, per-pair record splits). The backward pass scatter-adds
+    /// straight into the parent's gradient accumulation buffer.
+    pub fn gather_rows(&self, a: Var, rows: &[usize]) -> Var {
+        let va = self.value(a);
+        let (m, n) = va.shape();
+        let mut out = pool::take_uninit(rows.len() * n);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(r < m, "gather_rows: row {r} out of bounds for {m} rows");
+            out[i * n..(i + 1) * n].copy_from_slice(va.row_slice(r));
+        }
+        let out = Tensor::from_vec(rows.len(), n, out);
+        let rows = rows.to_vec();
+        self.push("gather_rows",
+            out,
+            vec![a.0],
+            Some(Box::new(move |g, sink| {
+                sink.accum(0, m, n, &mut |data| {
+                    for (i, &r) in rows.iter().enumerate() {
+                        let src = g.row_slice(i);
+                        let dst = &mut data[r * n..(r + 1) * n];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                });
+            })),
+        )
+    }
+
+    /// Block-diagonal fused attention scores over packed rows.
+    ///
+    /// `q` and `k` are `[ΣT, d]` packed by `groups`; the output is `[ΣT, W]`
+    /// (`W = groups.max_len()`) where the rows of group `g` hold
+    /// `softmax_rows(scale · q_g · k_gᵀ)` in columns `0..T_g` and zeros
+    /// beyond — sequences cannot attend across the batch by construction.
+    pub fn attention_scores_grouped(&self, q: Var, k: Var, scale: f32, groups: &RowGroups) -> Var {
+        let vq = self.value(q);
+        let vk = self.value(k);
+        let (nrows, d) = vq.shape();
+        assert_eq!(vk.shape(), (nrows, d), "attention_scores_grouped: q/k shape mismatch");
+        assert_eq!(groups.total(), nrows, "attention_scores_grouped: groups cover {} rows, q has {nrows}", groups.total());
+        let w = groups.max_len();
+        let mut out = pool::take(nrows * w);
+        for gi in 0..groups.len() {
+            let (r0, r1) = groups.range(gi);
+            let t = r1 - r0;
+            if t == 0 {
+                continue;
+            }
+            let qb = &vq.data()[r0 * d..r1 * d];
+            let kb = &vk.data()[r0 * d..r1 * d];
+            if t == w {
+                let ob = &mut out[r0 * w..r1 * w];
+                kernels::gemm_nt(t, d, t, qb, kb, ob);
+                for row in ob.chunks_exact_mut(t) {
+                    kernels::scaled_softmax_in_place(row, scale);
                 }
-                sink(0, dx);
+            } else {
+                let mut sb = pool::take_uninit(t * t);
+                kernels::gemm_nt(t, d, t, qb, kb, &mut sb);
+                for row in sb.chunks_exact_mut(t) {
+                    kernels::scaled_softmax_in_place(row, scale);
+                }
+                scatter_copy_prefix(&sb, r0, t, w, t, &mut out);
+                pool::put(sb);
+            }
+        }
+        let out = Tensor::from_vec(nrows, w, out);
+        let p = out.clone();
+        let groups = groups.clone();
+        self.push("attention_scores_grouped",
+            out,
+            vec![q.0, k.0],
+            Some(Box::new(move |g, sink| {
+                // Softmax JVP per group into one packed [Σ T²] buffer, then a
+                // pair of GEMMs per group, accumulated in place.
+                let total_sq: usize = (0..groups.len()).map(|i| groups.len_of(i).pow(2)).sum();
+                let mut ds_all = pool::take_uninit(total_sq);
+                let mut sq_offs = Vec::with_capacity(groups.len());
+                let mut off = 0;
+                for gi in 0..groups.len() {
+                    let (r0, r1) = groups.range(gi);
+                    let t = r1 - r0;
+                    sq_offs.push(off);
+                    if t == 0 {
+                        continue;
+                    }
+                    let ds = &mut ds_all[off..off + t * t];
+                    if t == w {
+                        kernels::softmax_rows_backward_scaled(
+                            t, t, &g.data()[r0 * w..r1 * w], &p.data()[r0 * w..r1 * w], scale, ds,
+                        );
+                    } else {
+                        let mut gb = pool::take_uninit(t * t);
+                        let mut pb = pool::take_uninit(t * t);
+                        gather_prefix(g.data(), r0, t, w, t, &mut gb);
+                        gather_prefix(p.data(), r0, t, w, t, &mut pb);
+                        kernels::softmax_rows_backward_scaled(t, t, &gb, &pb, scale, ds);
+                        pool::put(gb);
+                        pool::put(pb);
+                    }
+                    off += t * t;
+                }
+                let mut scratch = pool::take_uninit(w * d);
+                sink.accum(0, nrows, d, &mut |dq| {
+                    for gi in 0..groups.len() {
+                        let (r0, r1) = groups.range(gi);
+                        let t = r1 - r0;
+                        if t == 0 {
+                            continue;
+                        }
+                        let ds = &ds_all[sq_offs[gi]..sq_offs[gi] + t * t];
+                        let kb = &vk.data()[r0 * d..r1 * d];
+                        kernels::gemm_nn(t, t, d, ds, kb, &mut scratch[..t * d]);
+                        scatter_add_prefix(&scratch[..t * d], r0, t, d, d, dq);
+                    }
+                });
+                sink.accum(1, nrows, d, &mut |dk| {
+                    for gi in 0..groups.len() {
+                        let (r0, r1) = groups.range(gi);
+                        let t = r1 - r0;
+                        if t == 0 {
+                            continue;
+                        }
+                        let ds = &ds_all[sq_offs[gi]..sq_offs[gi] + t * t];
+                        let qb = &vq.data()[r0 * d..r1 * d];
+                        kernels::gemm_tn(t, t, d, ds, qb, &mut scratch[..t * d]);
+                        scatter_add_prefix(&scratch[..t * d], r0, t, d, d, dk);
+                    }
+                });
+                pool::put(scratch);
+                pool::put(ds_all);
+            })),
+        )
+    }
+
+    /// Block-diagonal `probs · values` over packed rows: `p` is `[ΣT, W]`
+    /// group-masked attention probabilities, `v` is `[ΣT, d]` packed values,
+    /// and each group's output rows are `P_g · V_g`.
+    pub fn matmul_grouped(&self, p: Var, v: Var, groups: &RowGroups) -> Var {
+        let vp = self.value(p);
+        let vv = self.value(v);
+        let (nrows, w) = vp.shape();
+        let (nv, d) = vv.shape();
+        assert_eq!(nrows, nv, "matmul_grouped: probs rows {nrows} vs value rows {nv}");
+        assert_eq!(groups.total(), nrows, "matmul_grouped: groups cover {} rows, got {nrows}", groups.total());
+        assert_eq!(groups.max_len(), w, "matmul_grouped: probs width {w} vs max group len {}", groups.max_len());
+        let mut out = pool::take(nrows * d);
+        for gi in 0..groups.len() {
+            let (r0, r1) = groups.range(gi);
+            let t = r1 - r0;
+            if t == 0 {
+                continue;
+            }
+            let vb = &vv.data()[r0 * d..r1 * d];
+            let ob = &mut out[r0 * d..r1 * d];
+            if t == w {
+                kernels::gemm_nn(t, t, d, &vp.data()[r0 * w..r1 * w], vb, ob);
+            } else {
+                let mut pb = pool::take_uninit(t * t);
+                gather_prefix(vp.data(), r0, t, w, t, &mut pb);
+                kernels::gemm_nn(t, t, d, &pb, vb, ob);
+                pool::put(pb);
+            }
+        }
+        let out = Tensor::from_vec(nrows, d, out);
+        let groups = groups.clone();
+        self.push("matmul_grouped",
+            out,
+            vec![p.0, v.0],
+            Some(Box::new(move |g, sink| {
+                let mut scratch = pool::take_uninit(w * w.max(d));
+                sink.accum(0, nrows, w, &mut |dp| {
+                    for gi in 0..groups.len() {
+                        let (r0, r1) = groups.range(gi);
+                        let t = r1 - r0;
+                        if t == 0 {
+                            continue;
+                        }
+                        let gb = &g.data()[r0 * d..r1 * d];
+                        let vb = &vv.data()[r0 * d..r1 * d];
+                        kernels::gemm_nt(t, d, t, gb, vb, &mut scratch[..t * t]);
+                        scatter_add_prefix(&scratch[..t * t], r0, t, w, t, dp);
+                    }
+                });
+                sink.accum(1, nrows, d, &mut |dv| {
+                    for gi in 0..groups.len() {
+                        let (r0, r1) = groups.range(gi);
+                        let t = r1 - r0;
+                        if t == 0 {
+                            continue;
+                        }
+                        let gb = &g.data()[r0 * d..r1 * d];
+                        if t == w {
+                            kernels::gemm_tn(t, t, d, &vp.data()[r0 * w..r1 * w], gb, &mut scratch[..t * d]);
+                        } else {
+                            let mut pb = pool::take_uninit(t * t);
+                            gather_prefix(vp.data(), r0, t, w, t, &mut pb);
+                            kernels::gemm_tn(t, t, d, &pb, gb, &mut scratch[..t * d]);
+                            pool::put(pb);
+                        }
+                        scatter_add_prefix(&scratch[..t * d], r0, t, d, d, dv);
+                    }
+                });
+                pool::put(scratch);
+            })),
+        )
+    }
+
+    /// Batched pairwise interaction `I_g = A_g · B_gᵀ`.
+    ///
+    /// `a` is `[ΣM, h]` packed by `ga` and `b` is `[ΣN, h]` packed by `gb`
+    /// (one group per pair, same group count). The output is `[ΣM, W]` with
+    /// `W = gb.max_len()`; each group's rows hold its interaction matrix in
+    /// columns `0..N_g`, zero beyond.
+    pub fn interaction_grouped(&self, a: Var, ga: &RowGroups, b: Var, gb: &RowGroups) -> Var {
+        let va = self.value(a);
+        let vb = self.value(b);
+        let (ma, h) = va.shape();
+        let (mb, h2) = vb.shape();
+        assert_eq!(h, h2, "interaction_grouped: width mismatch {h} vs {h2}");
+        assert_eq!(ga.total(), ma, "interaction_grouped: left groups cover {} rows, got {ma}", ga.total());
+        assert_eq!(gb.total(), mb, "interaction_grouped: right groups cover {} rows, got {mb}", gb.total());
+        assert_eq!(ga.len(), gb.len(), "interaction_grouped: {} left vs {} right groups", ga.len(), gb.len());
+        let w = gb.max_len();
+        let mut out = pool::take(ma * w);
+        for gi in 0..ga.len() {
+            let (ar0, ar1) = ga.range(gi);
+            let (br0, br1) = gb.range(gi);
+            let (ta, tb) = (ar1 - ar0, br1 - br0);
+            if ta == 0 || tb == 0 {
+                continue;
+            }
+            let ab = &va.data()[ar0 * h..ar1 * h];
+            let bb = &vb.data()[br0 * h..br1 * h];
+            if tb == w {
+                kernels::gemm_nt(ta, h, tb, ab, bb, &mut out[ar0 * w..ar1 * w]);
+            } else {
+                let mut sb = pool::take_uninit(ta * tb);
+                kernels::gemm_nt(ta, h, tb, ab, bb, &mut sb);
+                scatter_copy_prefix(&sb, ar0, ta, w, tb, &mut out);
+                pool::put(sb);
+            }
+        }
+        let out = Tensor::from_vec(ma, w, out);
+        let (ga, gb) = (ga.clone(), gb.clone());
+        self.push("interaction_grouped",
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(move |g, sink| {
+                let mut scratch = pool::take_uninit(w.max(ga.max_len()) * h);
+                sink.accum(0, ma, h, &mut |da| {
+                    for gi in 0..ga.len() {
+                        let (ar0, ar1) = ga.range(gi);
+                        let (br0, br1) = gb.range(gi);
+                        let (ta, tb) = (ar1 - ar0, br1 - br0);
+                        if ta == 0 || tb == 0 {
+                            continue;
+                        }
+                        let bb = &vb.data()[br0 * h..br1 * h];
+                        if tb == w {
+                            kernels::gemm_nn(ta, tb, h, &g.data()[ar0 * w..ar1 * w], bb, &mut scratch[..ta * h]);
+                        } else {
+                            let mut gp = pool::take_uninit(ta * tb);
+                            gather_prefix(g.data(), ar0, ta, w, tb, &mut gp);
+                            kernels::gemm_nn(ta, tb, h, &gp, bb, &mut scratch[..ta * h]);
+                            pool::put(gp);
+                        }
+                        scatter_add_prefix(&scratch[..ta * h], ar0, ta, h, h, da);
+                    }
+                });
+                sink.accum(1, mb, h, &mut |db| {
+                    for gi in 0..ga.len() {
+                        let (ar0, ar1) = ga.range(gi);
+                        let (br0, br1) = gb.range(gi);
+                        let (ta, tb) = (ar1 - ar0, br1 - br0);
+                        if ta == 0 || tb == 0 {
+                            continue;
+                        }
+                        let ab = &va.data()[ar0 * h..ar1 * h];
+                        if tb == w {
+                            kernels::gemm_tn(tb, ta, h, &g.data()[ar0 * w..ar1 * w], ab, &mut scratch[..tb * h]);
+                        } else {
+                            let mut gp = pool::take_uninit(ta * tb);
+                            gather_prefix(g.data(), ar0, ta, w, tb, &mut gp);
+                            kernels::gemm_tn(tb, ta, h, &gp, ab, &mut scratch[..tb * h]);
+                            pool::put(gp);
+                        }
+                        scatter_add_prefix(&scratch[..tb * h], br0, tb, h, h, db);
+                    }
+                });
+                pool::put(scratch);
+            })),
+        )
+    }
+
+    /// Masked row softmax over ragged groups: row `r` of group `g` is
+    /// softmaxed over its valid prefix `0..N_g` (widths from `gb`); columns
+    /// beyond stay zero.
+    pub fn softmax_rows_grouped(&self, x: Var, ga: &RowGroups, gb: &RowGroups) -> Var {
+        let vx = self.value(x);
+        let (ma, w) = vx.shape();
+        assert_eq!(ga.total(), ma, "softmax_rows_grouped: groups cover {} rows, got {ma}", ga.total());
+        assert_eq!(ga.len(), gb.len(), "softmax_rows_grouped: group count mismatch");
+        assert_eq!(gb.max_len(), w, "softmax_rows_grouped: width {w} vs max group width {}", gb.max_len());
+        let mut out = pool::take(ma * w);
+        for gi in 0..ga.len() {
+            let (r0, r1) = ga.range(gi);
+            let tb = gb.len_of(gi);
+            if tb == 0 {
+                continue;
+            }
+            for r in r0..r1 {
+                let row = &mut out[r * w..r * w + tb];
+                row.copy_from_slice(&vx.data()[r * w..r * w + tb]);
+                kernels::scaled_softmax_in_place(row, 1.0);
+            }
+        }
+        let out = Tensor::from_vec(ma, w, out);
+        let p = out.clone();
+        let (ga, gb) = (ga.clone(), gb.clone());
+        self.push("softmax_rows_grouped",
+            out,
+            vec![x.0],
+            Some(Box::new(move |g, sink| {
+                sink.accum(0, ma, w, &mut |dx| {
+                    for gi in 0..ga.len() {
+                        let (r0, r1) = ga.range(gi);
+                        let ta = r1 - r0;
+                        let tb = gb.len_of(gi);
+                        if ta == 0 || tb == 0 {
+                            continue;
+                        }
+                        let mut gp = pool::take_uninit(ta * tb);
+                        let mut pp = pool::take_uninit(ta * tb);
+                        let mut ds = pool::take_uninit(ta * tb);
+                        gather_prefix(g.data(), r0, ta, w, tb, &mut gp);
+                        gather_prefix(p.data(), r0, ta, w, tb, &mut pp);
+                        kernels::softmax_rows_backward_scaled(ta, tb, &gp, &pp, 1.0, &mut ds);
+                        scatter_add_prefix(&ds, r0, ta, w, tb, dx);
+                        pool::put(gp);
+                        pool::put(pp);
+                        pool::put(ds);
+                    }
+                });
+            })),
+        )
+    }
+
+    /// Masked column softmax over ragged groups: column `c < N_g` of group
+    /// `g` is softmaxed down the group's rows; columns beyond each group's
+    /// width stay zero.
+    pub fn softmax_cols_grouped(&self, x: Var, ga: &RowGroups, gb: &RowGroups) -> Var {
+        let vx = self.value(x);
+        let (ma, w) = vx.shape();
+        assert_eq!(ga.total(), ma, "softmax_cols_grouped: groups cover {} rows, got {ma}", ga.total());
+        assert_eq!(ga.len(), gb.len(), "softmax_cols_grouped: group count mismatch");
+        assert_eq!(gb.max_len(), w, "softmax_cols_grouped: width {w} vs max group width {}", gb.max_len());
+        let mut out = pool::take(ma * w);
+        let mut col = Vec::new();
+        for gi in 0..ga.len() {
+            let (r0, r1) = ga.range(gi);
+            let ta = r1 - r0;
+            let tb = gb.len_of(gi);
+            if ta == 0 || tb == 0 {
+                continue;
+            }
+            col.resize(ta, 0.0);
+            for c in 0..tb {
+                for (i, v) in col.iter_mut().enumerate() {
+                    *v = vx.data()[(r0 + i) * w + c];
+                }
+                kernels::scaled_softmax_in_place(&mut col, 1.0);
+                for (i, &v) in col.iter().enumerate() {
+                    out[(r0 + i) * w + c] = v;
+                }
+            }
+        }
+        let out = Tensor::from_vec(ma, w, out);
+        let p = out.clone();
+        let (ga, gb) = (ga.clone(), gb.clone());
+        self.push("softmax_cols_grouped",
+            out,
+            vec![x.0],
+            Some(Box::new(move |g, sink| {
+                sink.accum(0, ma, w, &mut |dx| {
+                    for gi in 0..ga.len() {
+                        let (r0, r1) = ga.range(gi);
+                        let ta = r1 - r0;
+                        let tb = gb.len_of(gi);
+                        if ta == 0 || tb == 0 {
+                            continue;
+                        }
+                        let mut gp = pool::take_uninit(ta * tb);
+                        let mut pp = pool::take_uninit(ta * tb);
+                        let mut ds = pool::take_uninit(ta * tb);
+                        gather_prefix(g.data(), r0, ta, w, tb, &mut gp);
+                        gather_prefix(p.data(), r0, ta, w, tb, &mut pp);
+                        kernels::softmax_cols_backward(ta, tb, &gp, &pp, &mut ds);
+                        scatter_add_prefix(&ds, r0, ta, w, tb, dx);
+                        pool::put(gp);
+                        pool::put(pp);
+                        pool::put(ds);
+                    }
+                });
+            })),
+        )
+    }
+
+    /// Per-group mean over rows: `[ΣT, n] -> [G, n]`.
+    pub fn mean_rows_grouped(&self, x: Var, groups: &RowGroups) -> Var {
+        let vx = self.value(x);
+        let (ma, n) = vx.shape();
+        assert_eq!(groups.total(), ma, "mean_rows_grouped: groups cover {} rows, got {ma}", groups.total());
+        let gcount = groups.len();
+        let mut out = pool::take(gcount * n);
+        for gi in 0..gcount {
+            let (r0, r1) = groups.range(gi);
+            let t = r1 - r0;
+            if t == 0 {
+                continue;
+            }
+            let orow = &mut out[gi * n..(gi + 1) * n];
+            for r in r0..r1 {
+                for (o, &v) in orow.iter_mut().zip(&vx.data()[r * n..(r + 1) * n]) {
+                    *o += v;
+                }
+            }
+            let inv = 1.0 / t as f32;
+            for o in orow.iter_mut() {
+                *o *= inv;
+            }
+        }
+        let out = Tensor::from_vec(gcount, n, out);
+        let groups = groups.clone();
+        self.push("mean_rows_grouped",
+            out,
+            vec![x.0],
+            Some(Box::new(move |g, sink| {
+                sink.accum(0, ma, n, &mut |dx| {
+                    for gi in 0..groups.len() {
+                        let (r0, r1) = groups.range(gi);
+                        let t = r1 - r0;
+                        if t == 0 {
+                            continue;
+                        }
+                        let inv = 1.0 / t as f32;
+                        let grow = g.row_slice(gi);
+                        for r in r0..r1 {
+                            for (d, &s) in dx[r * n..(r + 1) * n].iter_mut().zip(grow) {
+                                *d += s * inv;
+                            }
+                        }
+                    }
+                });
+            })),
+        )
+    }
+
+    /// Per-row dot product against the row's group vector:
+    /// `a: [ΣT, w]`, `b: [G, w]` → `[ΣT, 1]` with
+    /// `out[r] = a[r] · b[group(r)]`.
+    pub fn rowdot_grouped(&self, a: Var, b: Var, groups: &RowGroups) -> Var {
+        let va = self.value(a);
+        let vb = self.value(b);
+        let (ma, w) = va.shape();
+        assert_eq!(groups.total(), ma, "rowdot_grouped: groups cover {} rows, got {ma}", groups.total());
+        assert_eq!(vb.shape(), (groups.len(), w), "rowdot_grouped: b must be [{}, {w}]", groups.len());
+        let mut out = pool::take_uninit(ma);
+        for gi in 0..groups.len() {
+            let (r0, r1) = groups.range(gi);
+            let brow = vb.row_slice(gi);
+            for (o, r) in out[r0..r1].iter_mut().zip(r0..) {
+                *o = kernels::dot(&va.data()[r * w..(r + 1) * w], brow);
+            }
+        }
+        let out = Tensor::from_vec(ma, 1, out);
+        let groups = groups.clone();
+        let gcount = groups.len();
+        self.push("rowdot_grouped",
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(move |g, sink| {
+                sink.accum(0, ma, w, &mut |da| {
+                    for gi in 0..gcount {
+                        let (r0, r1) = groups.range(gi);
+                        let brow = vb.row_slice(gi);
+                        for r in r0..r1 {
+                            let gv = g.data()[r];
+                            for (d, &s) in da[r * w..(r + 1) * w].iter_mut().zip(brow) {
+                                *d += gv * s;
+                            }
+                        }
+                    }
+                });
+                sink.accum(1, gcount, w, &mut |db| {
+                    for gi in 0..gcount {
+                        let (r0, r1) = groups.range(gi);
+                        let drow = &mut db[gi * w..(gi + 1) * w];
+                        for r in r0..r1 {
+                            let gv = g.data()[r];
+                            for (d, &s) in drow.iter_mut().zip(&va.data()[r * w..(r + 1) * w]) {
+                                *d += gv * s;
+                            }
+                        }
+                    }
+                });
+            })),
+        )
+    }
+
+    /// Per-group weighted sum of rows: `w: [ΣT, 1]`, `x: [ΣT, n]` →
+    /// `[G, n]` with `out[g] = Σ_{r ∈ g} w[r] · x[r]`. This is the batched
+    /// form of `weightsᵀ · tokens` pooling (AOA γᵀ·E1, attention heads).
+    pub fn weighted_sum_rows_grouped(&self, wv: Var, x: Var, groups: &RowGroups) -> Var {
+        let vw = self.value(wv);
+        let vx = self.value(x);
+        let (ma, n) = vx.shape();
+        assert_eq!(vw.shape(), (ma, 1), "weighted_sum_rows_grouped: weights must be [{ma}, 1]");
+        assert_eq!(groups.total(), ma, "weighted_sum_rows_grouped: groups cover {} rows, got {ma}", groups.total());
+        let gcount = groups.len();
+        let mut out = pool::take(gcount * n);
+        for gi in 0..gcount {
+            let (r0, r1) = groups.range(gi);
+            let t = r1 - r0;
+            if t == 0 {
+                continue;
+            }
+            kernels::gemm_tn(
+                1,
+                t,
+                n,
+                &vw.data()[r0..r1],
+                &vx.data()[r0 * n..r1 * n],
+                &mut out[gi * n..(gi + 1) * n],
+            );
+        }
+        let out = Tensor::from_vec(gcount, n, out);
+        let groups = groups.clone();
+        self.push("weighted_sum_rows_grouped",
+            out,
+            vec![wv.0, x.0],
+            Some(Box::new(move |g, sink| {
+                sink.accum(0, ma, 1, &mut |dw| {
+                    for gi in 0..groups.len() {
+                        let (r0, r1) = groups.range(gi);
+                        let grow = g.row_slice(gi);
+                        for (d, r) in dw[r0..r1].iter_mut().zip(r0..) {
+                            *d += kernels::dot(grow, &vx.data()[r * n..(r + 1) * n]);
+                        }
+                    }
+                });
+                sink.accum(1, ma, n, &mut |dx| {
+                    for gi in 0..groups.len() {
+                        let (r0, r1) = groups.range(gi);
+                        let grow = g.row_slice(gi);
+                        for r in r0..r1 {
+                            let wv = vw.data()[r];
+                            for (d, &s) in dx[r * n..(r + 1) * n].iter_mut().zip(grow) {
+                                *d += wv * s;
+                            }
+                        }
+                    }
+                });
+            })),
+        )
+    }
+
+    /// Per-group softmax down a packed column: `x: [ΣT, 1]` → `[ΣT, 1]`
+    /// where each group's segment is softmaxed independently (the batched
+    /// form of the token-attention head's score normalization).
+    pub fn softmax_col_grouped(&self, x: Var, groups: &RowGroups) -> Var {
+        let vx = self.value(x);
+        let (ma, n) = vx.shape();
+        assert_eq!(n, 1, "softmax_col_grouped expects a [m, 1] column, got {ma}x{n}");
+        assert_eq!(groups.total(), ma, "softmax_col_grouped: groups cover {} rows, got {ma}", groups.total());
+        let mut out = pool::take_uninit(ma);
+        out.copy_from_slice(vx.data());
+        for gi in 0..groups.len() {
+            let (r0, r1) = groups.range(gi);
+            if r1 > r0 {
+                kernels::scaled_softmax_in_place(&mut out[r0..r1], 1.0);
+            }
+        }
+        let out = Tensor::from_vec(ma, 1, out);
+        let p = out.clone();
+        let groups = groups.clone();
+        self.push("softmax_col_grouped",
+            out,
+            vec![x.0],
+            Some(Box::new(move |g, sink| {
+                sink.accum(0, ma, 1, &mut |dx| {
+                    for gi in 0..groups.len() {
+                        let (r0, r1) = groups.range(gi);
+                        let gs = &g.data()[r0..r1];
+                        let ps = &p.data()[r0..r1];
+                        let s = kernels::dot(gs, ps);
+                        for ((d, &gv), &pv) in dx[r0..r1].iter_mut().zip(gs).zip(ps) {
+                            *d += pv * (gv - s);
+                        }
+                    }
+                });
             })),
         )
     }
 
     /// Inverted dropout: with probability `p` an element is zeroed, surviving
-    /// elements are scaled by `1/(1-p)`. The sampled mask is reused in the
-    /// backward pass. `p = 0` records a cheap identity node.
+    /// elements are scaled by `1/(1-p)`. `p = 0` records a cheap identity
+    /// node.
+    ///
+    /// The mask is never materialized: one `u64` seed is drawn from `rng` per
+    /// node and a xorshift64* stream derived from it decides keep/drop while
+    /// the scaled copy is written in a single pass. The backward pass replays
+    /// the same stream over the upstream gradient, so the only saved state is
+    /// the seed.
     pub fn dropout<R: Rng + ?Sized>(&self, a: Var, p: f32, rng: &mut R) -> Var {
         assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1), got {p}");
         if p == 0.0 {
@@ -775,24 +1455,31 @@ impl Graph {
             return self.push("dropout",
                 out,
                 vec![a.0],
-                Some(Box::new(|g, sink| sink(0, g.clone()))),
+                Some(Box::new(|g, sink| sink.add(0, g.clone()))),
             );
         }
         let va = self.value(a);
         let keep = 1.0 - p;
         let scale = 1.0 / keep;
-        let mask = Tensor::from_vec(
-            va.rows(),
-            va.cols(),
-            (0..va.len())
-                .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
-                .collect(),
-        );
-        let out = va.mul(&mask);
+        let seed = rng.next_u64() | 1; // xorshift state must be non-zero
+        let (rows, cols) = va.shape();
+        let mut out = pool::take_uninit(va.len());
+        let mut state = seed;
+        for (o, &x) in out.iter_mut().zip(va.data()) {
+            *o = if xorshift_unit(&mut state) < keep { x * scale } else { 0.0 };
+        }
+        let out = Tensor::from_vec(rows, cols, out);
         self.push("dropout",
             out,
             vec![a.0],
-            Some(Box::new(move |g, sink| sink(0, g.mul(&mask)))),
+            Some(Box::new(move |g, sink| {
+                let mut dx = pool::take_uninit(g.len());
+                let mut state = seed;
+                for (o, &gi) in dx.iter_mut().zip(g.data()) {
+                    *o = if xorshift_unit(&mut state) < keep { gi * scale } else { 0.0 };
+                }
+                sink.add(0, Tensor::from_vec(g.rows(), g.cols(), dx));
+            })),
         )
     }
 
@@ -862,7 +1549,7 @@ impl Graph {
                         }
                     }
                 }
-                sink(0, dx);
+                sink.add(0, dx);
             })),
         )
     }
@@ -896,7 +1583,7 @@ impl Graph {
                         scale * (p - targets[r])
                     })
                     .collect();
-                sink(0, Tensor::from_vec(m, 1, dx));
+                sink.add(0, Tensor::from_vec(m, 1, dx));
             })),
         )
     }
@@ -929,13 +1616,8 @@ impl Graph {
             let node = &nodes[idx];
             if let Some(backward) = &node.backward {
                 let parents = &node.parents;
-                backward(&g, &mut |pos, contribution| {
-                    let pid = parents[pos];
-                    match &mut grads[pid] {
-                        Some(existing) => existing.add_scaled_in_place(&contribution, 1.0),
-                        slot @ None => *slot = Some(contribution),
-                    }
-                });
+                let mut sink = TapeSink { parents, grads: &mut grads };
+                backward(&g, &mut sink);
                 if prof_on {
                     let mut grad_bytes = 0u64;
                     let parent_shapes: Vec<(usize, usize)> = parents
@@ -972,6 +1654,35 @@ impl Graph {
         for node in nodes {
             node.value.recycle();
         }
+    }
+}
+
+/// Copies the leading `w` columns of `t` rows starting at packed row `r0` of
+/// a row-major `[_, stride]` buffer into contiguous `[t, w]` scratch.
+fn gather_prefix(src: &[f32], r0: usize, t: usize, stride: usize, w: usize, dst: &mut [f32]) {
+    for r in 0..t {
+        dst[r * w..(r + 1) * w]
+            .copy_from_slice(&src[(r0 + r) * stride..(r0 + r) * stride + w]);
+    }
+}
+
+/// Adds a contiguous `[t, w]` block into rows `r0..r0+t`, columns `0..w` of a
+/// row-major `[_, stride]` buffer.
+fn scatter_add_prefix(src: &[f32], r0: usize, t: usize, stride: usize, w: usize, dst: &mut [f32]) {
+    for r in 0..t {
+        let s = &src[r * w..(r + 1) * w];
+        let d = &mut dst[(r0 + r) * stride..(r0 + r) * stride + w];
+        for (dv, &sv) in d.iter_mut().zip(s) {
+            *dv += sv;
+        }
+    }
+}
+
+/// Copies a contiguous `[t, w]` block into rows `r0..r0+t`, columns `0..w` of
+/// a row-major `[_, stride]` buffer (padding columns are left untouched).
+fn scatter_copy_prefix(src: &[f32], r0: usize, t: usize, stride: usize, w: usize, dst: &mut [f32]) {
+    for r in 0..t {
+        dst[(r0 + r) * stride..(r0 + r) * stride + w].copy_from_slice(&src[r * w..(r + 1) * w]);
     }
 }
 

@@ -47,13 +47,15 @@
 
 pub mod gradcheck;
 mod graph;
+mod groups;
 pub mod guard;
 pub mod kernels;
 pub mod pool;
 pub mod prof;
 mod tensor;
 
-pub use graph::{Gradients, Graph, Var};
+pub use graph::{GradSink, Gradients, Graph, Var};
+pub use groups::RowGroups;
 pub use tensor::Tensor;
 
 /// Numerical epsilon used by layer normalization and other

@@ -244,10 +244,19 @@ pub fn estimate_flops(op: &str, parents: &[(usize, usize)], out: (usize, usize))
         "linear_bias_gelu" => {
             2 * elems * parents.first().map_or(0, |p| p.1 as u64) + 16 * elems
         }
-        // q·kᵀ scaled plus a row softmax over the [m, n] scores.
-        "attention_scores" => {
+        // q·kᵀ scaled plus a row softmax over the [m, n] scores. The grouped
+        // variant is block-diagonal; charging by the padded [ΣT, W] output is
+        // a slight overestimate for ragged batches.
+        "attention_scores" | "attention_scores_grouped" => {
             2 * elems * parents.first().map_or(0, |p| p.1 as u64) + 7 * elems
         }
+        // Block-diagonal probs·values: out [ΣT, d], probs parent [ΣT, W].
+        "matmul_grouped" => 2 * elems * parents.first().map_or(0, |p| p.1 as u64),
+        // Per-pair A·Bᵀ: out [ΣM, W], left parent [ΣM, h].
+        "interaction_grouped" => 2 * elems * parents.first().map_or(0, |p| p.1 as u64),
+        "softmax_rows_grouped" | "softmax_cols_grouped" | "softmax_col_grouped" => 7 * elems,
+        "mean_rows_grouped" => in_elems(0),
+        "rowdot_grouped" | "weighted_sum_rows_grouped" => 2 * in_elems(1),
         "softmax_rows" | "softmax_cols" | "log_softmax_rows" => 7 * elems,
         "layer_norm" => 8 * elems,
         "gelu" => 15 * elems,
@@ -256,7 +265,7 @@ pub fn estimate_flops(op: &str, parents: &[(usize, usize)], out: (usize, usize))
         "cross_entropy" | "cross_entropy_weighted" | "bce_with_logits" => 10 * in_elems(0),
         "sum_all" | "mean_all" | "mean_axis0" | "mean_axis1" => in_elems(0),
         "embedding" | "leaf" | "transpose" | "concat_rows" | "concat_cols" | "slice_rows"
-        | "slice_cols" => 0,
+        | "slice_cols" | "gather_rows" => 0,
         // add, sub, mul, scale, relu, dropout, anything new: one per element.
         _ => elems,
     }

@@ -35,3 +35,20 @@ test -s results/profiles/tier1-profile.folded
 cargo run --release -p emba-bench --bin reproduce -- \
     crash --profile smoke --trace-name tier1-crash
 grep -q '"event":"resume"' results/runs/tier1-crash.jsonl
+
+# Batched-execution smoke: the batched train/eval sweep must beat its
+# per-example twin at B=8 (floors live in crates/bench/src/batch_bench.rs),
+# batched probabilities must match per-example within 1e-5, and a B=1 batch
+# must be bit-identical to the per-example wrapper. The bench-batch target
+# exits non-zero if any gate fails; the JSON must also parse and record a
+# pass.
+cargo run --release -p emba-bench --bin reproduce -- \
+    bench-batch --profile smoke
+python3 - <<'PY'
+import json
+report = json.load(open("results/BENCH_batch.json"))
+assert report["pass"], "BENCH_batch.json records a failed gate"
+b8 = next(p for p in report["points"] if p["batch_size"] == 8)
+assert b8["train_speedup"] >= report["required_train_speedup_b8"]
+assert b8["eval_speedup"] >= report["required_eval_speedup_b8"]
+PY
