@@ -12,9 +12,9 @@ use std::fs;
 use std::path::PathBuf;
 
 use emba_bench::{
-    bench_batch, bench_tensor_kernels, crash_run, figure5, figure6, profile_run, render_table2,
-    render_table3, render_table4, render_table5, table1, table2_data, table4_data, table6, table7,
-    trace_run, Artifact, Profile,
+    bench_batch, bench_blocking, bench_tensor_kernels, crash_run, figure5, figure6, profile_run,
+    render_table2, render_table3, render_table4, render_table5, table1, table2_data, table4_data,
+    table6, table7, trace_run, Artifact, Profile,
 };
 
 fn main() {
@@ -147,6 +147,16 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if wants("bench-blocking") {
+        let (artifact, failures) = bench_blocking(&profile);
+        emit(artifact);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("bench-blocking gate failed: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
     if wants("trace") {
         let name = flag_value(&args, "--trace-name")
             .unwrap_or_else(|| format!("trace-{}", profile.name));
@@ -257,6 +267,12 @@ TARGETS (default: all):
              (BENCH_batch.json), gated on the B=8 speedup floors plus
              batched-vs-per-example equivalence. Not part of `all` —
              run as `reproduce bench-batch --profile smoke`
+    bench-blocking
+             end-to-end catalog matching on a synthetic product catalog:
+             blocking index + per-record encoding cache vs the per-pair
+             predict path (BENCH_blocking.json), gated on the speedup,
+             blocking-recall, and encodes-per-pair floors. Not part of
+             `all` — run as `reproduce bench-blocking --profile smoke`
     trace    one observed training run with the non-finite guard on; writes
              the event log to results/runs/<name>.jsonl and validates it.
              Not part of `all` — run as `reproduce trace --profile smoke`

@@ -1,0 +1,318 @@
+//! Catalog-matching throughput for the `reproduce bench-blocking` target.
+//!
+//! Demonstrates the headline claim of the catalog pipeline: blocking plus a
+//! per-record encoding cache turns backbone cost from `O(pairs)` into
+//! `O(records)`. A synthetic product catalog with known entity clusters is
+//! matched end-to-end through [`match_catalog`] (inverted-index candidate
+//! generation → encode-once cache → batched AOA scoring), then a sample of
+//! the same candidate pairs is scored through the pre-existing pair-at-a-time
+//! [`predict_batch`](emba_core::TrainedMatcher::predict_batch) path — the one
+//! that re-runs the full backbone per pair — and the throughput ratio is the
+//! reported speedup. Results go to `BENCH_blocking.json`.
+//!
+//! The model is an untrained EMBA (SB): split-vs-joint cost structure is
+//! architectural, so random weights time exactly what trained weights would.
+//!
+//! # Gates (non-zero exit on failure)
+//!
+//! - cached-path pairs/sec ≥ [`REQUIRED_SPEEDUP`] × the per-pair baseline;
+//! - blocking recall against the catalog's known clusters ≥
+//!   [`REQUIRED_RECALL`];
+//! - backbone encodes per scored pair < [`MAX_ENCODES_PER_PAIR`] (the
+//!   amortization actually happened);
+//! - encoding-cache hit rate > 0 (records are reused across scoring
+//!   windows).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::profile::Profile;
+use crate::tables::Artifact;
+use emba_core::blocking::{blocking_recall, BlockingConfig};
+use emba_core::{
+    match_catalog, CatalogMatchConfig, ModelKind, PipelineConfig, TextPipeline, TrainedMatcher,
+};
+use emba_datagen::{product_catalog, Catalog, CatalogSpec, Record};
+use emba_tokenizer::{TrainConfig, WordPieceTokenizer};
+use emba_trace::metrics;
+
+/// Cached-path throughput must beat the per-pair baseline by this factor.
+pub const REQUIRED_SPEEDUP: f64 = 5.0;
+
+/// Blocking recall floor against the catalog's known clusters.
+pub const REQUIRED_RECALL: f64 = 0.95;
+
+/// Ceiling on backbone encodes per scored pair.
+pub const MAX_ENCODES_PER_PAIR: f64 = 0.1;
+
+/// Candidate pairs sampled for the per-pair baseline timing (the baseline
+/// is two orders of magnitude slower per pair, so it is measured on a
+/// sample and extrapolated).
+const BASELINE_SAMPLE: usize = 64;
+
+/// Baseline pairs per `predict_batch` call — the chunk size a pair-at-a-time
+/// serving loop would realistically use.
+const BASELINE_CHUNK: usize = 16;
+
+/// Entity clusters per profile. Offers per entity average 4, so `quick`
+/// yields a catalog of ~10k records and `full` ~40k.
+fn entities_for(profile: &Profile) -> usize {
+    match profile.name {
+        "smoke" => 60,
+        "quick" => 2600,
+        _ => 10_000,
+    }
+}
+
+/// Blocking config for the benchmark catalogs: default keys and threshold,
+/// but a higher stop-key ceiling. The synthetic catalogs draw from a fixed
+/// category vocabulary, so at 10k+ records the discriminative tokens have
+/// posting lists in the low hundreds; the default ceiling of 128 would mute
+/// them and leave too few candidates per record to amortize the encodes.
+fn bench_blocking_config() -> BlockingConfig {
+    BlockingConfig {
+        max_posting: 384,
+        ..BlockingConfig::default()
+    }
+}
+
+/// An untrained EMBA (SB) matcher whose tokenizer is trained on the catalog
+/// itself.
+fn catalog_matcher(catalog: &Catalog, profile: &Profile) -> TrainedMatcher {
+    let corpus: Vec<String> = catalog.records.iter().map(Record::text).collect();
+    let tokenizer = WordPieceTokenizer::train(
+        &corpus,
+        &TrainConfig {
+            vocab_size: profile.cfg.vocab_size.min(1024),
+            min_pair_freq: 2,
+        },
+    );
+    let pipeline = TextPipeline::from_tokenizer(
+        tokenizer,
+        PipelineConfig {
+            vocab_size: profile.cfg.vocab_size.min(1024),
+            max_len: profile.cfg.max_len,
+            serialization: ModelKind::EmbaSb.serialization(),
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(17);
+    let model = ModelKind::EmbaSb.build(&pipeline, catalog.num_clusters.max(2), 0.5, 0.1, &mut rng);
+    TrainedMatcher {
+        pipeline,
+        model,
+        dropout: 0.1,
+        pos_fraction: 0.5,
+    }
+}
+
+/// Per-pair baseline: full-backbone `predict_batch` over an evenly spaced
+/// sample of the candidate pairs, in realistic serving chunks. Returns
+/// (pairs/sec, pairs actually timed).
+fn baseline_pairs_per_sec(
+    trained: &TrainedMatcher,
+    records: &[Record],
+    candidates: &[(usize, usize)],
+) -> (f64, usize) {
+    if candidates.is_empty() {
+        return (0.0, 0);
+    }
+    let step = (candidates.len() / BASELINE_SAMPLE).max(1);
+    let sample: Vec<(&Record, &Record)> = candidates
+        .iter()
+        .step_by(step)
+        .take(BASELINE_SAMPLE)
+        .map(|&(i, j)| (&records[i], &records[j]))
+        .collect();
+    let start = Instant::now();
+    for chunk in sample.chunks(BASELINE_CHUNK) {
+        let preds = trained.predict_batch(chunk);
+        std::hint::black_box(&preds);
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (sample.len() as f64 / secs, sample.len())
+}
+
+/// Histogram summary of one `catalog.*` stage latency, lifted from the
+/// metrics registry for the JSON artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageLatency {
+    /// Metric name (`catalog.blocking_ns`, …).
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Median latency in nanoseconds (log-bucket upper bound).
+    pub p50_ns: f64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: f64,
+}
+
+/// Runs the catalog-matching benchmark and gates. Always returns the
+/// artifact (so failed runs still leave `BENCH_blocking.json` for
+/// diagnosis) together with the list of gate failures — empty means every
+/// gate passed.
+pub fn bench_blocking(profile: &Profile) -> (Artifact, Vec<String>) {
+    let spec = CatalogSpec::quick("bench-blocking", entities_for(profile));
+    let catalog = product_catalog(&spec);
+    let trained = catalog_matcher(&catalog, profile);
+
+    let cfg = CatalogMatchConfig {
+        blocking: bench_blocking_config(),
+        cache_capacity: (2 * catalog.len()).max(8192),
+        ..CatalogMatchConfig::default()
+    };
+
+    metrics::reset();
+    let (scored, report) = match_catalog(&trained, &catalog.records, &cfg);
+    let snapshot = metrics::snapshot();
+
+    let candidates: Vec<(usize, usize)> = scored.iter().map(|p| (p.i, p.j)).collect();
+    let recall = blocking_recall(&candidates, &catalog.true_pairs());
+    let (baseline_pps, baseline_pairs) =
+        baseline_pairs_per_sec(&trained, &catalog.records, &candidates);
+    let speedup = if baseline_pps > 0.0 {
+        report.pairs_per_sec / baseline_pps
+    } else {
+        0.0
+    };
+
+    let stage_latencies: Vec<StageLatency> = snapshot
+        .histograms
+        .iter()
+        .filter(|h| h.name.starts_with("catalog."))
+        .map(|h| StageLatency {
+            name: h.name.clone(),
+            count: h.count,
+            p50_ns: h.p50,
+            p99_ns: h.p99,
+        })
+        .collect();
+
+    let mut failures: Vec<String> = Vec::new();
+    if speedup < REQUIRED_SPEEDUP {
+        failures.push(format!(
+            "cached path is {speedup:.2}x the per-pair baseline, below the \
+             {REQUIRED_SPEEDUP}x floor"
+        ));
+    }
+    if recall < REQUIRED_RECALL {
+        failures.push(format!(
+            "blocking recall {recall:.4} is below the {REQUIRED_RECALL} floor"
+        ));
+    }
+    if report.encodes_per_pair >= MAX_ENCODES_PER_PAIR {
+        failures.push(format!(
+            "{:.3} encodes per scored pair, at or above the {MAX_ENCODES_PER_PAIR} ceiling",
+            report.encodes_per_pair
+        ));
+    }
+    if report.cache_hit_rate <= 0.0 {
+        failures.push("encoding cache never hit — no cross-window reuse".into());
+    }
+
+    let mut text = format!(
+        "BENCH_blocking — catalog matching: blocking + encoding cache vs per-pair predict\n\
+         EMBA (SB), max_len {}, {} records in {} clusters\n\n\
+         cached pipeline: {} candidates scored in {:.2}s ({:.1} pairs/sec)\n\
+         \x20 blocking {:.2}s | tokenize {:.2}s | encode {:.2}s | score {:.2}s\n\
+         \x20 {} backbone encodes ({:.4} per pair), cache hit rate {:.1}%\n\
+         per-pair baseline: {:.1} pairs/sec (full backbone per pair, {} sampled)\n\
+         speedup {:.1}x | blocking recall {:.4} ({} true pairs)\n",
+        trained.pipeline.max_len(),
+        report.records,
+        catalog.num_clusters,
+        report.scored_pairs,
+        report.total_secs,
+        report.pairs_per_sec,
+        report.blocking_secs,
+        report.tokenize_secs,
+        report.encode_secs,
+        report.score_secs,
+        report.encodes,
+        report.encodes_per_pair,
+        100.0 * report.cache_hit_rate,
+        baseline_pps,
+        baseline_pairs,
+        speedup,
+        recall,
+        catalog.num_true_pairs(),
+    );
+    if failures.is_empty() {
+        text.push_str(&format!(
+            "gate: ≥{REQUIRED_SPEEDUP}x speedup, recall ≥{REQUIRED_RECALL}, \
+             <{MAX_ENCODES_PER_PAIR} encodes/pair, cache hit rate >0 — PASS\n"
+        ));
+    } else {
+        for f in &failures {
+            text.push_str(&format!("gate FAILURE: {f}\n"));
+        }
+    }
+
+    #[derive(Serialize)]
+    struct Report {
+        description: &'static str,
+        model: &'static str,
+        profile: &'static str,
+        records: usize,
+        clusters: usize,
+        true_pairs: usize,
+        max_len: usize,
+        blocking: BlockingReport,
+        catalog: emba_core::CatalogMatchReport,
+        blocking_recall: f64,
+        baseline_pairs_per_sec: f64,
+        baseline_pairs_timed: usize,
+        speedup_vs_per_pair: f64,
+        cache_hit_rate: f64,
+        encodes_per_pair: f64,
+        pairs_per_sec: f64,
+        stage_latencies: Vec<StageLatency>,
+        required_speedup: f64,
+        required_recall: f64,
+        max_encodes_per_pair: f64,
+        pass: bool,
+    }
+    #[derive(Serialize)]
+    struct BlockingReport {
+        q: usize,
+        min_shared: usize,
+        max_posting: usize,
+    }
+    let report_json = Report {
+        description: "End-to-end catalog matching: blocking index + per-record encoding \
+                      cache (O(records) backbone cost) vs the pair-at-a-time predict path \
+                      (O(pairs) backbone cost)",
+        model: "EMBA (SB)",
+        profile: profile.name,
+        records: catalog.len(),
+        clusters: catalog.num_clusters,
+        true_pairs: catalog.num_true_pairs(),
+        max_len: trained.pipeline.max_len(),
+        blocking: BlockingReport {
+            q: cfg.blocking.q,
+            min_shared: cfg.blocking.min_shared,
+            max_posting: cfg.blocking.max_posting,
+        },
+        catalog: report.clone(),
+        blocking_recall: recall,
+        baseline_pairs_per_sec: baseline_pps,
+        baseline_pairs_timed: baseline_pairs,
+        speedup_vs_per_pair: speedup,
+        cache_hit_rate: report.cache_hit_rate,
+        encodes_per_pair: report.encodes_per_pair,
+        pairs_per_sec: report.pairs_per_sec,
+        stage_latencies,
+        required_speedup: REQUIRED_SPEEDUP,
+        required_recall: REQUIRED_RECALL,
+        max_encodes_per_pair: MAX_ENCODES_PER_PAIR,
+        pass: failures.is_empty(),
+    };
+    let artifact = Artifact {
+        id: "BENCH_blocking",
+        text,
+        json: serde_json::to_value(&report_json).expect("blocking report serializes"),
+    };
+    (artifact, failures)
+}

@@ -6,6 +6,7 @@
 //! `EXPERIMENTS.md` can cite machine-checkable numbers.
 
 pub mod batch_bench;
+pub mod blocking_bench;
 pub mod crash;
 pub mod kernel_bench;
 pub mod prof_run;
@@ -15,6 +16,9 @@ pub mod tables;
 pub mod trace_run;
 
 pub use batch_bench::{bench_batch, BatchPoint, EquivalenceReport, BATCH_SIZES};
+pub use blocking_bench::{
+    bench_blocking, MAX_ENCODES_PER_PAIR, REQUIRED_RECALL, REQUIRED_SPEEDUP,
+};
 pub use crash::{crash_run, CrashOutcome};
 pub use kernel_bench::bench_tensor_kernels;
 pub use prof_run::{profile_run, ProfOutcome};

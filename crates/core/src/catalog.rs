@@ -1,0 +1,321 @@
+//! The catalog-matching driver: blocking → encoding cache → batched AOA
+//! scoring.
+//!
+//! [`match_catalog`] turns the per-pair inference cost structure inside
+//! out. The pre-paired [`TrainedMatcher::predict_batch`] path re-runs the
+//! full backbone for every pair (`O(pairs)` backbone forwards); here every
+//! record is encoded standalone **once** (`O(records)`), the resulting
+//! token tensors live in a bounded [`EncodingCache`], and each candidate
+//! pair emitted by the [`crate::blocking`] index costs only the
+//! attention-over-attention module plus the match head over two cached
+//! encodings. Both the encode and the score stages reuse the PR-5
+//! [`plan_sub_batches`] planner so packed kernels see length-homogeneous
+//! sub-batches.
+//!
+//! Stage latencies land in the `catalog.*` histograms, candidate/encode
+//! counts in the matching counters, and the cache exports its hit rate as
+//! a gauge — all through the [`emba_trace::metrics`] registry, so a traced
+//! run's `RunSummary` can carry the whole catalog section.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use emba_datagen::Record;
+use emba_nn::GraphStamp;
+use emba_tensor::{Graph, Tensor};
+use emba_trace::metrics;
+use serde::Serialize;
+
+use crate::batching::plan_sub_batches;
+use crate::blocking::{BlockingConfig, BlockingIndex};
+use crate::enc_cache::{record_hash, EncodingCache};
+use crate::experiment::TrainedMatcher;
+
+/// Knobs for [`match_catalog`].
+#[derive(Debug, Clone)]
+pub struct CatalogMatchConfig {
+    /// Candidate-generation settings.
+    pub blocking: BlockingConfig,
+    /// Maximum resident record encodings.
+    pub cache_capacity: usize,
+    /// Candidate pairs per scoring window; each window is length-bucketed
+    /// by [`plan_sub_batches`] before running.
+    pub score_chunk: usize,
+    /// Match-probability threshold for the reported match count.
+    pub threshold: f32,
+}
+
+impl Default for CatalogMatchConfig {
+    fn default() -> Self {
+        Self {
+            blocking: BlockingConfig::default(),
+            cache_capacity: 8192,
+            score_chunk: 256,
+            threshold: 0.5,
+        }
+    }
+}
+
+/// One scored candidate pair (`i < j`, catalog indices).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ScoredPair {
+    /// First record index.
+    pub i: usize,
+    /// Second record index.
+    pub j: usize,
+    /// Match probability.
+    pub prob: f32,
+}
+
+/// What one [`match_catalog`] run did and what it cost.
+#[derive(Debug, Clone, Serialize)]
+pub struct CatalogMatchReport {
+    /// Catalog size.
+    pub records: usize,
+    /// Candidate pairs emitted by blocking.
+    pub candidate_pairs: usize,
+    /// Pairs actually scored (== `candidate_pairs`).
+    pub scored_pairs: usize,
+    /// Pairs at or above the match threshold.
+    pub matches: usize,
+    /// Backbone record encodes performed (cache misses).
+    pub encodes: u64,
+    /// Cache lookups that hit.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`.
+    pub cache_hit_rate: f64,
+    /// `encodes / scored_pairs` — the headline amortization figure.
+    pub encodes_per_pair: f64,
+    /// Blocking-index build + candidate emission seconds.
+    pub blocking_secs: f64,
+    /// Tokenization seconds (once per record).
+    pub tokenize_secs: f64,
+    /// Backbone encoding seconds (cache misses only).
+    pub encode_secs: f64,
+    /// AOA + match-head scoring seconds.
+    pub score_secs: f64,
+    /// End-to-end wall seconds.
+    pub total_secs: f64,
+    /// `scored_pairs / total_secs`.
+    pub pairs_per_sec: f64,
+}
+
+/// Matches an entire catalog: blocking, encode-once, batched pair scoring.
+///
+/// Returns the scored candidates (in the blocking index's canonical sorted
+/// order) and the run report. Deterministic for a fixed catalog and
+/// config.
+///
+/// # Panics
+///
+/// Panics if the model has no split scoring path — the EM strategy must be
+/// AOA (see [`crate::Matcher::score_encoded_pairs`]).
+pub fn match_catalog(
+    trained: &TrainedMatcher,
+    records: &[Record],
+    cfg: &CatalogMatchConfig,
+) -> (Vec<ScoredPair>, CatalogMatchReport) {
+    let total_start = Instant::now();
+
+    // ----- Stage 1: blocking -------------------------------------------------
+    let stage = Instant::now();
+    let index = BlockingIndex::build(records, &cfg.blocking);
+    let candidates = index.candidates(&cfg.blocking);
+    let blocking_secs = stage.elapsed().as_secs_f64();
+    metrics::observe_ns("catalog.blocking_ns", stage.elapsed().as_nanos() as u64);
+    metrics::counter_add("catalog.candidate_pairs", candidates.len() as u64);
+
+    // ----- Stage 2: tokenize every record once -------------------------------
+    let stage = Instant::now();
+    let ids: Vec<Vec<usize>> = records
+        .iter()
+        .map(|r| trained.pipeline.encode_single_record(r))
+        .collect();
+    let keys: Vec<u64> = ids.iter().map(|v| record_hash(v)).collect();
+    let tokenize_secs = stage.elapsed().as_secs_f64();
+
+    // ----- Stage 3: windowed encode + score ----------------------------------
+    let mut cache = EncodingCache::new(cfg.cache_capacity);
+    let mut scored: Vec<ScoredPair> = Vec::with_capacity(candidates.len());
+    let mut encode_secs = 0.0;
+    let mut score_secs = 0.0;
+    let mut encodes: u64 = 0;
+
+    for window in candidates.chunks(cfg.score_chunk.max(1)) {
+        // Look up each window-unique record once; misses get encoded below.
+        let stage = Instant::now();
+        let mut window_enc: HashMap<u64, Tensor> = HashMap::new();
+        let mut to_encode: Vec<usize> = Vec::new();
+        let mut queued: HashSet<u64> = HashSet::new();
+        for &(i, j) in window {
+            for idx in [i, j] {
+                let key = keys[idx];
+                if window_enc.contains_key(&key) || queued.contains(&key) {
+                    continue;
+                }
+                match cache.get(key) {
+                    Some(enc) => {
+                        window_enc.insert(key, enc);
+                    }
+                    None => {
+                        queued.insert(key);
+                        to_encode.push(idx);
+                    }
+                }
+            }
+        }
+        let lens: Vec<usize> = to_encode.iter().map(|&idx| ids[idx].len()).collect();
+        for sub in plan_sub_batches(&lens) {
+            let g = Graph::new();
+            let recs: Vec<&[usize]> = sub.iter().map(|&k| &ids[to_encode[k]][..]).collect();
+            let encs = trained
+                .model
+                .encode_records_standalone(&g, GraphStamp::next(), &recs)
+                .expect("match_catalog requires an AOA matcher with a split scoring path");
+            g.recycle();
+            for (enc, &k) in encs.into_iter().zip(&sub) {
+                let key = keys[to_encode[k]];
+                cache.insert(key, enc.clone());
+                window_enc.insert(key, enc);
+            }
+            encodes += sub.len() as u64;
+        }
+        metrics::observe_ns("catalog.encode_batch_ns", stage.elapsed().as_nanos() as u64);
+        encode_secs += stage.elapsed().as_secs_f64();
+
+        // Score the window in length-bucketed sub-batches.
+        let stage = Instant::now();
+        let pair_lens: Vec<usize> =
+            window.iter().map(|&(i, j)| ids[i].len() + ids[j].len()).collect();
+        let mut window_out: Vec<Option<f32>> = vec![None; window.len()];
+        for sub in plan_sub_batches(&pair_lens) {
+            let g = Graph::new();
+            let pairs: Vec<(&Tensor, &Tensor)> = sub
+                .iter()
+                .map(|&k| {
+                    let (i, j) = window[k];
+                    (&window_enc[&keys[i]], &window_enc[&keys[j]])
+                })
+                .collect();
+            let probs = trained
+                .model
+                .score_encoded_pairs(&g, GraphStamp::next(), &pairs)
+                .expect("match_catalog requires an AOA matcher with a split scoring path");
+            g.recycle();
+            for (prob, &k) in probs.into_iter().zip(&sub) {
+                window_out[k] = Some(prob);
+            }
+        }
+        for (k, &(i, j)) in window.iter().enumerate() {
+            let prob = window_out[k].expect("every window pair lands in one sub-batch");
+            scored.push(ScoredPair { i, j, prob });
+        }
+        metrics::observe_ns("catalog.score_batch_ns", stage.elapsed().as_nanos() as u64);
+        score_secs += stage.elapsed().as_secs_f64();
+    }
+
+    let total_secs = total_start.elapsed().as_secs_f64();
+    let matches = scored.iter().filter(|p| p.prob >= cfg.threshold).count();
+    metrics::counter_add("catalog.scored_pairs", scored.len() as u64);
+    metrics::counter_add("catalog.encodes", encodes);
+    cache.publish_metrics();
+
+    let report = CatalogMatchReport {
+        records: records.len(),
+        candidate_pairs: candidates.len(),
+        scored_pairs: scored.len(),
+        matches,
+        encodes,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        cache_hit_rate: cache.hit_rate(),
+        encodes_per_pair: if scored.is_empty() {
+            0.0
+        } else {
+            encodes as f64 / scored.len() as f64
+        },
+        blocking_secs,
+        tokenize_secs,
+        encode_secs,
+        score_secs,
+        total_secs,
+        pairs_per_sec: if total_secs > 0.0 {
+            scored.len() as f64 / total_secs
+        } else {
+            0.0
+        },
+    };
+    (scored, report)
+}
+
+/// Ad-hoc cached scoring of individual record pairs.
+///
+/// Unlike [`match_catalog`], which scores canonical index pairs, this
+/// scorer accepts free-standing records — and because AOA is asymmetric
+/// (γ attends over RECORD1), it fixes the orientation by record hash
+/// before scoring, so `score(a, b)` and `score(b, a)` are **bit-identical**
+/// through the cache.
+pub struct CatalogScorer<'a> {
+    trained: &'a TrainedMatcher,
+    cache: EncodingCache,
+}
+
+impl<'a> CatalogScorer<'a> {
+    /// A scorer over `trained` with a bounded encoding cache.
+    pub fn new(trained: &'a TrainedMatcher, cache_capacity: usize) -> Self {
+        Self {
+            trained,
+            cache: EncodingCache::new(cache_capacity),
+        }
+    }
+
+    /// Cache statistics (hits, misses, resident entries).
+    pub fn cache(&self) -> &EncodingCache {
+        &self.cache
+    }
+
+    /// The cached encoding for one record, computing and inserting it on a
+    /// miss.
+    fn encoding_for(&mut self, ids: &[usize]) -> Tensor {
+        let key = record_hash(ids);
+        if let Some(enc) = self.cache.get(key) {
+            return enc;
+        }
+        let g = Graph::new();
+        let enc = self
+            .trained
+            .model
+            .encode_records_standalone(&g, GraphStamp::next(), &[ids])
+            .expect("CatalogScorer requires an AOA matcher with a split scoring path")
+            .pop()
+            .expect("one encoding per record");
+        g.recycle();
+        self.cache.insert(key, enc.clone());
+        enc
+    }
+
+    /// Scores a record pair through the cached encode-once path.
+    /// Symmetric: the pair is canonically oriented by record hash, so the
+    /// argument order never changes the result.
+    pub fn score(&mut self, a: &Record, b: &Record) -> f32 {
+        let ids_a = self.trained.pipeline.encode_single_record(a);
+        let ids_b = self.trained.pipeline.encode_single_record(b);
+        let (first, second) = if record_hash(&ids_a) <= record_hash(&ids_b) {
+            (ids_a, ids_b)
+        } else {
+            (ids_b, ids_a)
+        };
+        let e1 = self.encoding_for(&first);
+        let e2 = self.encoding_for(&second);
+        let g = Graph::new();
+        let prob = self
+            .trained
+            .model
+            .score_encoded_pairs(&g, GraphStamp::next(), &[(&e1, &e2)])
+            .expect("CatalogScorer requires an AOA matcher with a split scoring path")[0];
+        g.recycle();
+        prob
+    }
+}

@@ -30,7 +30,10 @@
 pub mod aoa;
 mod backbone;
 pub mod batching;
+pub mod blocking;
+mod catalog;
 mod checkpoint;
+mod enc_cache;
 mod deepmatcher;
 mod error;
 mod experiment;
@@ -47,7 +50,11 @@ mod train;
 pub use backbone::{
     Backbone, BackboneKind, FastTextEncoder, SeqBatchOutput, SeqOutput, DEFAULT_DROPOUT,
 };
+pub use catalog::{
+    match_catalog, CatalogMatchConfig, CatalogMatchReport, CatalogScorer, ScoredPair,
+};
 pub use checkpoint::{Checkpoint, CheckpointError};
+pub use enc_cache::{record_hash, EncodingCache};
 pub use deepmatcher::{DeepMatcher, DeepMatcherConfig};
 pub use error::CoreError;
 pub use experiment::{

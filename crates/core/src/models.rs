@@ -168,6 +168,36 @@ pub trait Matcher: Module {
         }
     }
 
+    /// Encodes standalone records for the encode-once catalog path: each
+    /// record is framed as `[CLS] ids [SEP]` (segment 0) and run through
+    /// the backbone in eval mode; the returned tensors are the `[mᵢ, h]`
+    /// content-token representations `E`, detached from the tape so they
+    /// can be cached across graph recycles. Returns `None` when the model
+    /// has no split scoring path (its pair representation is not a pure
+    /// function of per-record encodings).
+    fn encode_records_standalone(
+        &self,
+        _g: &Graph,
+        _stamp: GraphStamp,
+        _records: &[&[usize]],
+    ) -> Option<Vec<Tensor>> {
+        None
+    }
+
+    /// Scores candidate pairs of cached per-record encodings through the
+    /// pair-combination module and match head only — no backbone work.
+    /// Probabilities match [`Matcher::forward_batch`]'s `match_probs` for
+    /// the same token representations. Returns `None` when unsupported
+    /// (see [`Matcher::encode_records_standalone`]).
+    fn score_encoded_pairs(
+        &self,
+        _g: &Graph,
+        _stamp: GraphStamp,
+        _pairs: &[(&Tensor, &Tensor)],
+    ) -> Option<Vec<f32>> {
+        None
+    }
+
     /// Short display name (e.g. `"EMBA"`, `"JointBERT-S"`).
     fn name(&self) -> &str;
 
@@ -486,6 +516,79 @@ impl Matcher for TransformerMatcher {
             attention,
             gamma,
         }
+    }
+
+    fn encode_records_standalone(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        records: &[&[usize]],
+    ) -> Option<Vec<Tensor>> {
+        if self.em != EmStrategy::Aoa {
+            return None;
+        }
+        if records.is_empty() {
+            return Some(Vec::new());
+        }
+        // `[CLS] ids [SEP]`, all segment 0 — the standalone-record frame the
+        // MLM corpus also uses. Eval mode draws nothing from the RNG.
+        let framed: Vec<(Vec<usize>, Vec<usize>)> = records
+            .iter()
+            .map(|ids| {
+                let mut seq = Vec::with_capacity(ids.len() + 2);
+                seq.push(emba_tokenizer::special::CLS);
+                seq.extend_from_slice(ids);
+                seq.push(emba_tokenizer::special::SEP);
+                let segments = vec![0usize; seq.len()];
+                (seq, segments)
+            })
+            .collect();
+        let seqs: Vec<(&[usize], &[usize])> =
+            framed.iter().map(|(ids, segs)| (&ids[..], &segs[..])).collect();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let batch = self.backbone.encode_batch(g, stamp, &seqs, false, &mut rng);
+        // Detach each record's content rows (specials stripped) into an
+        // owned tensor the caller can cache beyond this tape's lifetime.
+        let tokens = g.value(batch.tokens);
+        let h = tokens.cols();
+        let encodings = records
+            .iter()
+            .enumerate()
+            .map(|(i, ids)| {
+                let content = batch.groups.start(i) + 1; // skip [CLS]
+                let data =
+                    tokens.data()[content * h..(content + ids.len()) * h].to_vec();
+                Tensor::from_vec(ids.len(), h, data)
+            })
+            .collect();
+        Some(encodings)
+    }
+
+    fn score_encoded_pairs(
+        &self,
+        g: &Graph,
+        stamp: GraphStamp,
+        pairs: &[(&Tensor, &Tensor)],
+    ) -> Option<Vec<f32>> {
+        if self.em != EmStrategy::Aoa {
+            return None;
+        }
+        if pairs.is_empty() {
+            return Some(Vec::new());
+        }
+        let _scope = emba_tensor::prof::scope("score_pairs");
+        let e1_parts: Vec<&Tensor> = pairs.iter().map(|(a, _)| *a).collect();
+        let e2_parts: Vec<&Tensor> = pairs.iter().map(|(_, b)| *b).collect();
+        let lens1: Vec<usize> = e1_parts.iter().map(|t| t.rows()).collect();
+        let lens2: Vec<usize> = e2_parts.iter().map(|t| t.rows()).collect();
+        let e1 = g.leaf_concat_rows(&e1_parts);
+        let e2 = g.leaf_concat_rows(&e2_parts);
+        let g1 = RowGroups::from_lens(&lens1);
+        let g2 = RowGroups::from_lens(&lens2);
+        let out = attention_over_attention_batch(g, e1, &g1, e2, &g2);
+        let logits = self.match_head.forward(g, stamp, out.pooled); // [B, 1]
+        let v = g.value(logits);
+        Some((0..pairs.len()).map(|r| sigmoid(v.get(r, 0))).collect())
     }
 
     fn name(&self) -> &str {

@@ -111,6 +111,29 @@ impl TextPipeline {
         encode_pair(&l, &r, self.cfg.max_len)
     }
 
+    /// Per-record content budget of the encode-once path: half the pair
+    /// budget, so any two records encoded standalone still assemble into a
+    /// legal `[CLS] D1 [SEP] D2 [SEP]` sequence without further trimming.
+    pub fn record_budget(&self) -> usize {
+        ((self.cfg.max_len - 3) / 2).max(1)
+    }
+
+    /// Tokenizes one record standalone for the encode-once scoring path:
+    /// content ids only (no specials), truncated to [`Self::record_budget`].
+    /// Records that fit the budget produce exactly the ids
+    /// [`Self::encode_records`] would place in their content range, so the
+    /// split path sees the same tokens as the pre-paired path.
+    pub fn encode_single_record(&self, rec: &Record) -> Vec<usize> {
+        let mut ids = encode_record(&self.tokenizer, &rec.attrs, self.cfg.serialization);
+        ids.truncate(self.record_budget());
+        if ids.is_empty() {
+            // A record with no encodable text still needs one content row
+            // for the AOA interaction to be well-formed.
+            ids.push(emba_tokenizer::special::UNK);
+        }
+        ids
+    }
+
     /// Tokenizes each attribute value separately (attribute-aligned view).
     pub fn encode_attrs(&self, rec: &Record) -> Vec<(String, Vec<usize>)> {
         rec.attrs

@@ -1,0 +1,259 @@
+//! End-to-end properties of the catalog-matching pipeline: the cached
+//! encode-once scoring path must agree with the pre-paired `predict` path,
+//! scoring through [`CatalogScorer`] must be symmetric and cache-state
+//! independent, and [`match_catalog`] must hit the blocking-recall floor
+//! with the expected cache behaviour on catalogs with known clusters.
+//!
+//! Equivalence against `predict` runs on the fastText backbone
+//! (`ModelKind::EmbaFt`): its per-token embeddings ignore segment ids and
+//! positions, so standalone record encodings factorize *exactly* out of
+//! the joint `[CLS] D1 [SEP] D2 [SEP]` pass and the two paths are directly
+//! comparable. BERT backbones attend across the pair by design, so for
+//! them the tests pin the split path's internal consistency (cold vs warm
+//! cache bit-identity, batched vs single-pair bit-identity) instead.
+
+use emba_core::blocking::{blocking_recall, BlockingConfig};
+use emba_core::{
+    match_catalog, CatalogMatchConfig, CatalogScorer, ModelKind, PipelineConfig, TextPipeline,
+    TrainedMatcher,
+};
+use emba_datagen::{product_catalog, CatalogSpec, Record};
+use emba_nn::GraphStamp;
+use emba_tensor::Graph;
+use emba_tokenizer::{TrainConfig, WordPieceTokenizer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An untrained (randomly initialized) matcher over the given corpus — the
+/// split-vs-joint equivalences are architectural, so weights need not be
+/// trained.
+fn matcher_over(kind: ModelKind, records: &[Record], max_len: usize) -> TrainedMatcher {
+    let corpus: Vec<String> = records.iter().map(|r| r.text()).collect();
+    let refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+    let tok = WordPieceTokenizer::train(
+        &refs,
+        &TrainConfig {
+            vocab_size: 512,
+            min_pair_freq: 2,
+        },
+    );
+    let pipeline = TextPipeline::from_tokenizer(
+        tok,
+        PipelineConfig {
+            vocab_size: 512,
+            max_len,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = kind.build(&pipeline, 4, 0.5, 0.1, &mut rng);
+    TrainedMatcher {
+        pipeline,
+        model,
+        dropout: 0.1,
+        pos_fraction: 0.5,
+    }
+}
+
+/// A random product-ish record from one generator seed (the vendored
+/// proptest has no tuple strategies; structure comes from a seeded RNG).
+fn record_from_seed(seed: u64) -> Record {
+    const WORDS: &[&str] = &[
+        "samsung", "sandisk", "evo", "ultra", "ssd", "card", "128gb", "1tb", "sata", "nvme",
+        "pro", "extreme", "drive", "internal", "memory", "retail",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..10);
+    let title: Vec<&str> = (0..n).map(|_| WORDS[rng.gen_range(0..WORDS.len())]).collect();
+    Record::new(vec![
+        ("title", title.join(" ")),
+        ("code", format!("mz{}", rng.gen_range(100..9999))),
+    ])
+}
+
+/// Scores `(a, b)` through the split path in exactly `predict`'s
+/// orientation (no hash canonicalization), one pair per call.
+fn split_score(trained: &TrainedMatcher, a: &Record, b: &Record) -> f32 {
+    let ids_a = trained.pipeline.encode_single_record(a);
+    let ids_b = trained.pipeline.encode_single_record(b);
+    let g = Graph::new();
+    let encs = trained
+        .model
+        .encode_records_standalone(&g, GraphStamp::next(), &[&ids_a, &ids_b])
+        .expect("AOA matcher has a split path");
+    g.recycle();
+    let g = Graph::new();
+    let prob = trained
+        .model
+        .score_encoded_pairs(&g, GraphStamp::next(), &[(&encs[0], &encs[1])])
+        .expect("AOA matcher has a split path")[0];
+    g.recycle();
+    prob
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite: the cached encode-once path reproduces the pre-paired
+    /// `predict` path within 1e-5 on random records (fastText backbone,
+    /// where the factorization is exact).
+    #[test]
+    fn split_path_matches_predict_on_random_records(
+        seeds in proptest::collection::vec(any::<u64>(), 2..8),
+    ) {
+        let records: Vec<Record> = seeds.iter().copied().map(record_from_seed).collect();
+        let trained = matcher_over(ModelKind::EmbaFt, &records, 256);
+        for pair in records.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let joint = trained.predict(a, b).prob;
+            let split = f64::from(split_score(&trained, a, b));
+            prop_assert!(
+                (joint - split).abs() <= 1e-5,
+                "predict {joint} vs split {split} for {a:?} / {b:?}"
+            );
+        }
+    }
+}
+
+/// Satellite: `score(a, b)` and `score(b, a)` agree bit-for-bit through the
+/// cached path (the scorer canonicalizes the asymmetric AOA orientation by
+/// record hash).
+#[test]
+fn cached_scoring_is_symmetric() {
+    let records: Vec<Record> = (100..112u64).map(record_from_seed).collect();
+    for kind in [ModelKind::EmbaFt, ModelKind::EmbaSb] {
+        let trained = matcher_over(kind, &records, 64);
+        let mut scorer = CatalogScorer::new(&trained, 64);
+        for pair in records.chunks(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let ab = scorer.score(a, b);
+            let ba = scorer.score(b, a);
+            assert_eq!(
+                ab.to_bits(),
+                ba.to_bits(),
+                "{}: score(a,b)={ab} != score(b,a)={ba}",
+                trained.model.name()
+            );
+        }
+    }
+}
+
+/// Satellite: cold-cache and warm-cache scoring are bit-identical — the
+/// cache returns the same tensors it stored, and scoring is deterministic.
+#[test]
+fn cold_and_warm_cache_scores_are_bit_identical() {
+    let records: Vec<Record> = (200..210u64).map(record_from_seed).collect();
+    // BERT-small exercises the real transformer backbone here.
+    let trained = matcher_over(ModelKind::EmbaSb, &records, 48);
+    let mut scorer = CatalogScorer::new(&trained, 64);
+    let pairs: Vec<(&Record, &Record)> = records
+        .iter()
+        .zip(records.iter().skip(1))
+        .collect();
+    let cold: Vec<u32> = pairs.iter().map(|(a, b)| scorer.score(a, b).to_bits()).collect();
+    let hits_after_cold = scorer.cache().hits();
+    let warm: Vec<u32> = pairs.iter().map(|(a, b)| scorer.score(a, b).to_bits()).collect();
+    assert_eq!(cold, warm, "warm-cache scores diverged from cold-cache scores");
+    assert!(
+        scorer.cache().hits() > hits_after_cold,
+        "warm pass never hit the cache"
+    );
+}
+
+/// Tentpole end-to-end: blocking recall on a catalog with known clusters,
+/// cache amortization, and batched-vs-single scoring agreement.
+#[test]
+fn match_catalog_hits_recall_floor_with_cache_reuse() {
+    emba_trace::metrics::reset();
+    let cat = product_catalog(&CatalogSpec::quick("e2e", 150));
+    let trained = matcher_over(ModelKind::EmbaFt, &cat.records, 96);
+    let cfg = CatalogMatchConfig {
+        cache_capacity: 2 * cat.len(),
+        ..Default::default()
+    };
+    let (scored, report) = match_catalog(&trained, &cat.records, &cfg);
+
+    // Candidates are canonical and deduplicated.
+    let mut seen = std::collections::HashSet::new();
+    for p in &scored {
+        assert!(p.i < p.j, "non-canonical pair ({}, {})", p.i, p.j);
+        assert!(seen.insert((p.i, p.j)), "duplicate pair ({}, {})", p.i, p.j);
+        assert!(p.prob.is_finite() && (0.0..=1.0).contains(&p.prob));
+    }
+
+    // Blocking recall on the known clusters.
+    let candidates: Vec<(usize, usize)> = scored.iter().map(|p| (p.i, p.j)).collect();
+    let recall = blocking_recall(&candidates, &cat.true_pairs());
+    assert!(recall >= 0.95, "blocking recall {recall:.3} below floor");
+
+    // Encode-once accounting: every record encoded at most once (the cache
+    // holds the whole catalog), and far fewer encodes than scored pairs.
+    assert_eq!(report.scored_pairs, report.candidate_pairs);
+    assert!(report.encodes <= cat.len() as u64, "records re-encoded");
+    assert!(report.cache_hit_rate > 0.0, "cache never hit");
+    assert!(
+        report.encodes_per_pair < 1.0,
+        "no amortization: {:.2} encodes per pair",
+        report.encodes_per_pair
+    );
+
+    // Batched scoring agrees bit-for-bit with scoring the same pair alone
+    // in the same orientation.
+    for p in scored.iter().step_by(scored.len() / 5 + 1) {
+        let single = split_score(&trained, &cat.records[p.i], &cat.records[p.j]);
+        assert_eq!(
+            p.prob.to_bits(),
+            single.to_bits(),
+            "pair ({}, {}): batched {} vs single {}",
+            p.i,
+            p.j,
+            p.prob,
+            single
+        );
+    }
+
+    // The metrics registry carries the catalog section.
+    let snap = emba_trace::metrics::snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+            .value
+    };
+    assert_eq!(counter("catalog.candidate_pairs"), report.candidate_pairs as u64);
+    assert_eq!(counter("catalog.scored_pairs"), report.scored_pairs as u64);
+    assert_eq!(counter("catalog.encodes"), report.encodes);
+    assert!(snap.histograms.iter().any(|h| h.name == "catalog.score_batch_ns"));
+    assert!(snap.gauges.iter().any(|g| g.name == "catalog.cache.hit_rate"));
+    emba_trace::metrics::reset();
+}
+
+/// The recall/candidate-count tradeoff is monotone in the shared-key
+/// threshold through the public `match_catalog` configuration too.
+#[test]
+fn recall_tradeoff_is_monotone_in_min_shared() {
+    let cat = product_catalog(&CatalogSpec::quick("trade", 120));
+    let trained = matcher_over(ModelKind::EmbaFt, &cat.records, 96);
+    let truth = cat.true_pairs();
+    let mut prev_candidates = usize::MAX;
+    let mut prev_recall = f64::INFINITY;
+    for min_shared in [1usize, 2, 4] {
+        let cfg = CatalogMatchConfig {
+            blocking: BlockingConfig {
+                min_shared,
+                ..Default::default()
+            },
+            cache_capacity: 2 * cat.len(),
+            ..Default::default()
+        };
+        let (scored, report) = match_catalog(&trained, &cat.records, &cfg);
+        let candidates: Vec<(usize, usize)> = scored.iter().map(|p| (p.i, p.j)).collect();
+        let recall = blocking_recall(&candidates, &truth);
+        assert!(report.candidate_pairs <= prev_candidates);
+        assert!(recall <= prev_recall);
+        prev_candidates = report.candidate_pairs;
+        prev_recall = recall;
+    }
+}

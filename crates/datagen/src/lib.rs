@@ -28,6 +28,7 @@
 //! assert!(stats.pos_pairs > 0 && stats.classes >= 6);
 //! ```
 
+pub mod catalog;
 pub mod clusters;
 pub mod domains;
 mod imbalance;
@@ -38,6 +39,7 @@ mod stats;
 pub mod textgen;
 mod world;
 
+pub use catalog::{generate_catalog, product_catalog, Catalog, CatalogSpec};
 pub use clusters::{cluster_from_matches, UnionFind};
 pub use imbalance::{downsample_positives, TABLE6_RATIOS};
 pub use perturb::{perturb_text, PerturbConfig};

@@ -172,6 +172,19 @@ impl Graph {
         self.push("leaf", value, vec![], None)
     }
 
+    /// Records a leaf holding the row-concatenation of `parts` — the entry
+    /// point for scoring over cached encodings, where per-record tensors
+    /// computed on earlier (already recycled) tapes are packed into one
+    /// `[Σrows, cols]` input without re-running the ops that produced them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or column counts disagree (via
+    /// [`Tensor::concat_rows`]).
+    pub fn leaf_concat_rows(&self, parts: &[&Tensor]) -> Var {
+        self.leaf(Tensor::concat_rows(parts))
+    }
+
     /// The forward value of `v` (O(1) buffer share).
     pub fn value(&self, v: Var) -> Tensor {
         self.nodes.borrow()[v.0].value.clone()
@@ -1752,6 +1765,19 @@ mod tests {
         let loss = g.sum_all(y);
         let grads = g.backward(loss);
         assert_eq!(grads.get(x).unwrap().data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn leaf_concat_rows_packs_cached_tensors() {
+        // Tensors from a previous (recycled) tape re-enter as one leaf.
+        let old = Graph::new();
+        let a = old.value(old.leaf(Tensor::from_rows(&[&[1.0, 2.0]])));
+        let b = old.value(old.leaf(Tensor::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]])));
+        old.recycle();
+        let g = Graph::new();
+        let packed = g.leaf_concat_rows(&[&a, &b]);
+        assert_eq!(g.shape(packed), (3, 2));
+        assert_eq!(g.value(packed).data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
     }
 
     #[test]

@@ -150,6 +150,51 @@ pub struct RunSummary {
     /// identical runs diff byte-for-byte; empty when not profiled.
     #[serde(default)]
     pub phase_timers: Vec<PhaseRow>,
+    /// Catalog-matching section (blocking + encoding-cache statistics);
+    /// `None` when the run never matched a catalog.
+    #[serde(default)]
+    pub catalog: Option<CatalogSummary>,
+}
+
+/// What a catalog-matching pass did and what it cost — the trace-side
+/// mirror of the core crate's catalog report, attached to [`RunSummary`]
+/// when a traced run drives `match_catalog`.
+///
+/// In the JSONL schema this lands inside the final `run_summary` line as an
+/// optional `catalog` object; summaries written before this field existed
+/// parse with `catalog: null`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CatalogSummary {
+    /// Catalog size in records.
+    pub records: usize,
+    /// Candidate pairs emitted by the blocking index.
+    pub candidate_pairs: usize,
+    /// Pairs scored through the AOA head.
+    pub scored_pairs: usize,
+    /// Pairs at or above the match threshold.
+    pub matches: usize,
+    /// Backbone record encodes performed (cache misses).
+    pub encodes: u64,
+    /// Encoding-cache hits.
+    pub cache_hits: u64,
+    /// Encoding-cache misses.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`.
+    pub cache_hit_rate: f64,
+    /// `encodes / scored_pairs` — the amortization headline.
+    pub encodes_per_pair: f64,
+    /// Blocking recall against known clusters; negative when unknown.
+    pub blocking_recall: f64,
+    /// Blocking-index build + candidate emission seconds.
+    pub blocking_secs: f64,
+    /// Backbone encoding seconds.
+    pub encode_secs: f64,
+    /// AOA + match-head scoring seconds.
+    pub score_secs: f64,
+    /// End-to-end wall seconds.
+    pub total_secs: f64,
+    /// `scored_pairs / total_secs`.
+    pub pairs_per_sec: f64,
 }
 
 /// Hooks into a training run. Every method has a no-op default, so observers
@@ -404,6 +449,7 @@ pub struct SummaryBuilder {
     corrupt_skipped: usize,
     profile_ops: Vec<OpRow>,
     phase_timers: Vec<PhaseRow>,
+    catalog: Option<CatalogSummary>,
 }
 
 impl SummaryBuilder {
@@ -426,6 +472,7 @@ impl SummaryBuilder {
             corrupt_skipped: 0,
             profile_ops: Vec::new(),
             phase_timers: Vec::new(),
+            catalog: None,
         }
     }
 
@@ -434,6 +481,12 @@ impl SummaryBuilder {
     pub fn record_profile(&mut self, report: &ProfReport) {
         self.profile_ops = prof_export::op_table(report);
         self.phase_timers = prof_export::phase_rows(report);
+    }
+
+    /// Attaches a catalog-matching section to the summary (last write wins
+    /// when a run matches several catalogs).
+    pub fn record_catalog(&mut self, catalog: CatalogSummary) {
+        self.catalog = Some(catalog);
     }
 
     /// Finalizes the aggregate.
@@ -471,6 +524,7 @@ impl SummaryBuilder {
             corrupt_skipped: self.corrupt_skipped,
             profile_ops: self.profile_ops.clone(),
             phase_timers: self.phase_timers.clone(),
+            catalog: self.catalog.clone(),
         }
     }
 }
@@ -540,6 +594,12 @@ impl TraceSession {
     /// [`SummaryBuilder::record_profile`]).
     pub fn record_profile(&mut self, report: &ProfReport) {
         self.summary.record_profile(report);
+    }
+
+    /// Attaches a catalog-matching section to the final summary line (see
+    /// [`SummaryBuilder::record_catalog`]).
+    pub fn record_catalog(&mut self, catalog: CatalogSummary) {
+        self.summary.record_catalog(catalog);
     }
 
     /// Builds the final summary, writes it as the last JSONL line, and
@@ -932,5 +992,47 @@ mod tests {
         };
         let old = RunSummary::from_value(&stripped).unwrap();
         assert!(old.profile_ops.is_empty() && old.phase_timers.is_empty());
+    }
+
+    #[test]
+    fn catalog_section_round_trips_and_old_summaries_still_parse() {
+        let mut b = SummaryBuilder::new();
+        drive(&mut b);
+        b.record_catalog(CatalogSummary {
+            records: 1000,
+            candidate_pairs: 5400,
+            scored_pairs: 5400,
+            matches: 1200,
+            encodes: 1000,
+            cache_hits: 9800,
+            cache_misses: 1000,
+            cache_hit_rate: 9800.0 / 10800.0,
+            encodes_per_pair: 1000.0 / 5400.0,
+            blocking_recall: 0.98,
+            blocking_secs: 0.2,
+            encode_secs: 3.5,
+            score_secs: 1.1,
+            total_secs: 5.0,
+            pairs_per_sec: 1080.0,
+        });
+        let s = b.finish();
+        let cat = s.catalog.as_ref().expect("catalog section recorded");
+        assert_eq!(cat.scored_pairs, 5400);
+
+        let v = s.to_value();
+        let back = RunSummary::from_value(&v).unwrap();
+        let cat = back.catalog.expect("catalog section survives a round trip");
+        assert_eq!(cat.encodes, 1000);
+        assert!((cat.cache_hit_rate - 9800.0 / 10800.0).abs() < 1e-12);
+
+        // A summary written before the catalog field existed still parses.
+        let stripped = match v {
+            Value::Object(fields) => Value::Object(
+                fields.into_iter().filter(|(k, _)| k != "catalog").collect(),
+            ),
+            other => panic!("summary serialized to a non-object: {other:?}"),
+        };
+        let old = RunSummary::from_value(&stripped).unwrap();
+        assert!(old.catalog.is_none());
     }
 }

@@ -52,3 +52,21 @@ b8 = next(p for p in report["points"] if p["batch_size"] == 8)
 assert b8["train_speedup"] >= report["required_train_speedup_b8"]
 assert b8["eval_speedup"] >= report["required_eval_speedup_b8"]
 PY
+
+# Catalog-matching smoke: blocking + encoding cache on a small synthetic
+# catalog must beat the per-pair predict baseline by the floors in
+# crates/bench/src/blocking_bench.rs (speedup, blocking recall, encodes per
+# pair, cache reuse); the target exits non-zero if any gate fails. Writes to
+# results/tier1/ so the committed quick-profile BENCH_blocking.json is not
+# clobbered.
+cargo run --release -p emba-bench --bin reproduce -- \
+    bench-blocking --profile smoke --out results/tier1
+python3 - <<'PY'
+import json
+report = json.load(open("results/tier1/BENCH_blocking.json"))
+assert report["pass"], "BENCH_blocking.json records a failed gate"
+assert report["blocking_recall"] >= report["required_recall"]
+assert report["cache_hit_rate"] > 0.0, "encoding cache never hit"
+assert report["encodes_per_pair"] < report["max_encodes_per_pair"]
+assert report["speedup_vs_per_pair"] >= report["required_speedup"]
+PY
