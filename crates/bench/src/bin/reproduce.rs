@@ -12,9 +12,9 @@ use std::fs;
 use std::path::PathBuf;
 
 use emba_bench::{
-    bench_batch, bench_blocking, bench_tensor_kernels, crash_run, figure5, figure6, profile_run,
-    render_table2, render_table3, render_table4, render_table5, table1, table2_data, table4_data,
-    table6, table7, trace_run, Artifact, Profile,
+    bench_batch, bench_blocking, bench_serve, bench_tensor_kernels, crash_run, figure5, figure6,
+    profile_run, render_table2, render_table3, render_table4, render_table5, table1, table2_data,
+    table4_data, table6, table7, trace_run, Artifact, Profile,
 };
 
 fn main() {
@@ -157,6 +157,16 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if wants("bench-serve") {
+        let (artifact, failures) = bench_serve(&profile);
+        emit(artifact);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("bench-serve gate failed: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
     if wants("trace") {
         let name = flag_value(&args, "--trace-name")
             .unwrap_or_else(|| format!("trace-{}", profile.name));
@@ -273,6 +283,13 @@ TARGETS (default: all):
              predict path (BENCH_blocking.json), gated on the speedup,
              blocking-recall, and encodes-per-pair floors. Not part of
              `all` — run as `reproduce bench-blocking --profile smoke`
+    bench-serve
+             concurrent match serving through the emba-serve engine
+             (request coalescing + shared encoding cache) vs the serial
+             per-request predict path (BENCH_serve.json), gated on
+             all-requests-answered, served-vs-predict equivalence, and —
+             on quick/full — the speedup floor. Not part of `all` — run
+             as `reproduce bench-serve --profile smoke`
     trace    one observed training run with the non-finite guard on; writes
              the event log to results/runs/<name>.jsonl and validates it.
              Not part of `all` — run as `reproduce trace --profile smoke`

@@ -12,6 +12,7 @@ pub mod kernel_bench;
 pub mod prof_run;
 pub mod profile;
 pub mod render;
+pub mod serve_bench;
 pub mod tables;
 pub mod trace_run;
 
@@ -24,6 +25,7 @@ pub use kernel_bench::bench_tensor_kernels;
 pub use prof_run::{profile_run, ProfOutcome};
 pub use profile::Profile;
 pub use render::Table;
+pub use serve_bench::{bench_serve, MAX_ABS_DPROB, REQUIRED_SPEEDUP as REQUIRED_SERVE_SPEEDUP};
 pub use trace_run::{trace_run, validate_jsonl, TraceOutcome};
 pub use tables::{
     figure5, figure6, render_table2, render_table3, render_table4, render_table5, table1,

@@ -1,0 +1,408 @@
+//! Serving throughput and latency for the `reproduce bench-serve` target.
+//!
+//! Demonstrates the headline claim of the serving engine: coalescing
+//! concurrent requests into grouped batches over a shared encoding
+//! cache beats answering each request through the serial per-request
+//! [`predict`](emba_core::TrainedMatcher::predict) path. A synthetic product
+//! catalog supplies a realistic workload (its blocking candidates — records
+//! repeat across pairs, so the cache earns its keep); N in-process clients
+//! submit every pair to a [`ServeEngine`] restored from a checkpoint, and
+//! the answered-pairs-per-second is compared against `predict` timed one
+//! request at a time. Results go to `BENCH_serve.json` with the engine's
+//! own [`ServerSnapshot`]: p50/p99 request latency, batch-size
+//! distribution, queue-depth peaks, and cache hit rate.
+//!
+//! The model is an untrained EMBA (FT): the fastText backbone is the one
+//! whose standalone record encodings factorize *exactly* out of the joint
+//! pair pass (see `crates/core/tests/catalog_matching.rs`), so batched
+//! serving is gated to reproduce `predict` probabilities within
+//! [`MAX_ABS_DPROB`]. Throughput-wise the split is architectural — the
+//! serial path re-runs tokenization and the full multi-task forward per
+//! request, the served path pays cached encodes plus a batched AOA + match
+//! head — so random weights time exactly what trained weights would.
+//!
+//! # Gates (non-zero exit on failure)
+//!
+//! - every submitted request is answered, none expired (the smoke-profile
+//!   gate `scripts/tier1.sh` checks);
+//! - served probabilities are within [`MAX_ABS_DPROB`] of per-request
+//!   `predict` on the sampled pairs;
+//! - on the quick/full profiles, served pairs/sec ≥ [`REQUIRED_SPEEDUP`] ×
+//!   the serial baseline (smoke is too small to time meaningfully).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::profile::Profile;
+use crate::tables::Artifact;
+use emba_core::blocking::{BlockingConfig, BlockingIndex};
+use emba_core::{Checkpoint, ModelKind, PipelineConfig, TextPipeline, TrainedMatcher};
+use emba_datagen::{product_catalog, Catalog, CatalogSpec, Record};
+use emba_serve::{MatchOutcome, MatchResponse, ServeConfig, ServeEngine, SystemClock};
+use emba_tokenizer::{TrainConfig, WordPieceTokenizer};
+
+/// Served throughput must beat the serial per-request baseline by this
+/// factor (quick/full profiles).
+pub const REQUIRED_SPEEDUP: f64 = 2.0;
+
+/// Ceiling on |served − predict| probability difference over the sampled
+/// pairs.
+pub const MAX_ABS_DPROB: f64 = 1e-5;
+
+/// Concurrent in-process clients submitting requests.
+pub const CLIENTS: usize = 4;
+
+/// Pairs sampled for the serial `predict` baseline (it is much slower per
+/// pair, so it is measured on a sample and extrapolated) and for the
+/// equivalence check.
+const BASELINE_SAMPLE: usize = 96;
+
+/// Per-request deadline budget: generous, so the bench measures throughput
+/// rather than shedding load (a gate asserts nothing expired).
+const BUDGET_NS: u64 = 120_000_000_000;
+
+/// Engine batch size. The workload is trimmed to a multiple of this so the
+/// final flush fires on the fill trigger rather than stalling until the
+/// deadline-aware flush (half the budget) for a partial tail batch.
+const MAX_BATCH: usize = 64;
+
+/// Entity clusters per profile (offers per entity average 4).
+fn entities_for(profile: &Profile) -> usize {
+    match profile.name {
+        "smoke" => 60,
+        "quick" => 700,
+        _ => 2200,
+    }
+}
+
+/// Cap on requests served per profile.
+fn max_requests(profile: &Profile) -> usize {
+    match profile.name {
+        "smoke" => 2 * MAX_BATCH,
+        "quick" => 62 * MAX_BATCH,
+        _ => 250 * MAX_BATCH,
+    }
+}
+
+/// An untrained EMBA (FT) matcher whose tokenizer is trained on the catalog
+/// itself.
+fn serve_matcher(catalog: &Catalog, profile: &Profile) -> TrainedMatcher {
+    let corpus: Vec<String> = catalog.records.iter().map(Record::text).collect();
+    let tokenizer = WordPieceTokenizer::train(
+        &corpus,
+        &TrainConfig {
+            vocab_size: profile.cfg.vocab_size.min(1024),
+            min_pair_freq: 2,
+        },
+    );
+    // Size max_len so no record is ever truncated: the joint pair encoder
+    // trims the longer record first while the standalone encoder halves the
+    // budget per record, and the two agree token-for-token only when no
+    // trimming happens. 2·L+3 fits [CLS] D1 [SEP] D2 [SEP] for any pair.
+    let serialization = ModelKind::EmbaFt.serialization();
+    let longest = catalog
+        .records
+        .iter()
+        .map(|r| emba_tokenizer::encode_record(&tokenizer, &r.attrs, serialization).len())
+        .max()
+        .unwrap_or(1);
+    let pipeline = TextPipeline::from_tokenizer(
+        tokenizer,
+        PipelineConfig {
+            vocab_size: profile.cfg.vocab_size.min(1024),
+            max_len: profile.cfg.max_len.max(2 * longest + 3),
+            serialization,
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(23);
+    let model = ModelKind::EmbaFt.build(&pipeline, catalog.num_clusters.max(2), 0.5, 0.1, &mut rng);
+    TrainedMatcher {
+        pipeline,
+        model,
+        dropout: 0.1,
+        pos_fraction: 0.5,
+    }
+}
+
+/// The request workload: blocking candidates of the catalog, capped. Using
+/// candidates (not random pairs) makes records repeat across requests the
+/// way deduplication traffic actually does.
+fn workload(catalog: &Catalog, cap: usize) -> Vec<(usize, usize)> {
+    let cfg = BlockingConfig {
+        max_posting: 384,
+        ..BlockingConfig::default()
+    };
+    let index = BlockingIndex::build(&catalog.records, &cfg);
+    let mut pairs = index.candidates(&cfg);
+    pairs.truncate(cap);
+    // Keep a whole number of batches (see MAX_BATCH), but never trim to zero.
+    let whole = pairs.len() - pairs.len() % MAX_BATCH;
+    if whole > 0 {
+        pairs.truncate(whole);
+    }
+    pairs
+}
+
+/// Runs the serving benchmark and gates. Always returns the artifact (so
+/// failed runs still leave `BENCH_serve.json` for diagnosis) together with
+/// the list of gate failures — empty means every gate passed.
+pub fn bench_serve(profile: &Profile) -> (Artifact, Vec<String>) {
+    let spec = CatalogSpec::quick("bench-serve", entities_for(profile));
+    let catalog = product_catalog(&spec);
+    let trained = serve_matcher(&catalog, profile);
+    let pairs = workload(&catalog, max_requests(profile));
+    let records = &catalog.records;
+
+    // Both sides are timed best-of-N (N = 1 on smoke): the reference VM is
+    // a single shared core, so any individual run can absorb an arbitrary
+    // host-contention burst. The minimum over repetitions estimates each
+    // path's steady-state cost; comparing minima keeps the speedup gate a
+    // property of the code rather than of whoever shared the core.
+    let reps = if profile.name == "smoke" { 1 } else { 3 };
+
+    // ----- Serial per-request baseline (and the equivalence reference) -----
+    let step = (pairs.len() / BASELINE_SAMPLE).max(1);
+    let sample: Vec<usize> = (0..pairs.len()).step_by(step).take(BASELINE_SAMPLE).collect();
+    let mut reference: HashMap<usize, f64> = HashMap::new();
+    let mut baseline_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        reference = sample
+            .iter()
+            .map(|&k| {
+                let (i, j) = pairs[k];
+                let pred = trained.predict(&records[i], &records[j]);
+                std::hint::black_box(pred.prob);
+                (k, pred.prob)
+            })
+            .collect();
+        baseline_secs = baseline_secs.min(start.elapsed().as_secs_f64().max(1e-9));
+    }
+    let baseline_pps = sample.len() as f64 / baseline_secs;
+
+    // ----- Batched serving through the engine ------------------------------
+    // Every repetition starts a fresh engine: the encoding cache and the
+    // worker thread's buffer pool begin cold, exactly like the first.
+    let mut responses: HashMap<usize, MatchResponse> = HashMap::new();
+    let mut snapshot = None;
+    let mut serve_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let checkpoint =
+            Checkpoint::capture(&trained, ModelKind::EmbaFt, catalog.num_clusters.max(2));
+        let clock = Arc::new(SystemClock::new());
+        let cfg = ServeConfig {
+            max_batch: MAX_BATCH,
+            cache_capacity: (2 * records.len()).max(4096),
+            threshold: 0.5,
+            profile: false,
+        };
+        let engine = ServeEngine::start(checkpoint, cfg, clock).expect("EmbaFt engine starts");
+
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for c in 0..CLIENTS {
+            let client = engine.client();
+            let slice: Vec<(usize, (usize, usize))> = pairs
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| k % CLIENTS == c)
+                .map(|(k, &p)| (k, p))
+                .collect();
+            let recs = records.to_vec();
+            handles.push(std::thread::spawn(move || {
+                let rxs: Vec<_> = slice
+                    .iter()
+                    .map(|&(k, (i, j))| (k, client.submit(&recs[i], &recs[j], BUDGET_NS)))
+                    .collect();
+                let out: Vec<(usize, MatchResponse)> = rxs
+                    .into_iter()
+                    .filter_map(|(k, rx)| rx.recv().ok().map(|resp| (k, resp)))
+                    .collect();
+                out
+            }));
+        }
+        let mut run_responses: HashMap<usize, MatchResponse> = HashMap::new();
+        for h in handles {
+            for (k, resp) in h.join().expect("client thread") {
+                run_responses.insert(k, resp);
+            }
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let snap = engine.snapshot().expect("engine alive after the run");
+        engine.shutdown();
+        // Keep the best repetition's artifacts (responses are bit-stable
+        // across repetitions — pinned by the serve tests — so which run's
+        // answers feed the equivalence check does not matter).
+        if secs < serve_secs {
+            serve_secs = secs;
+            responses = run_responses;
+            snapshot = Some(snap);
+        }
+    }
+    let snapshot = snapshot.expect("at least one serving repetition ran");
+
+    let answered = responses.len();
+    let expired = responses
+        .values()
+        .filter(|r| r.outcome == MatchOutcome::Expired)
+        .count();
+    let pairs_per_sec = answered as f64 / serve_secs;
+    let speedup = if baseline_pps > 0.0 {
+        pairs_per_sec / baseline_pps
+    } else {
+        0.0
+    };
+
+    // ----- Equivalence: served probabilities vs per-request predict --------
+    let mut max_dprob: f64 = 0.0;
+    for (&k, &want) in &reference {
+        if let Some(resp) = responses.get(&k) {
+            if let MatchOutcome::Scored { prob, .. } = resp.outcome {
+                max_dprob = max_dprob.max((f64::from(prob) - want).abs());
+            }
+        }
+    }
+
+    // ----- Gates -----------------------------------------------------------
+    let mut failures: Vec<String> = Vec::new();
+    if answered != pairs.len() {
+        failures.push(format!(
+            "{answered} of {} requests answered — requests were dropped",
+            pairs.len()
+        ));
+    }
+    if expired > 0 {
+        failures.push(format!(
+            "{expired} requests expired under a {}s budget",
+            BUDGET_NS / 1_000_000_000
+        ));
+    }
+    if max_dprob > MAX_ABS_DPROB {
+        failures.push(format!(
+            "served probabilities deviate from predict by {max_dprob:.2e}, \
+             above the {MAX_ABS_DPROB:.0e} ceiling"
+        ));
+    }
+    if profile.name != "smoke" && speedup < REQUIRED_SPEEDUP {
+        failures.push(format!(
+            "batched serving is {speedup:.2}x the serial per-request baseline, \
+             below the {REQUIRED_SPEEDUP}x floor"
+        ));
+    }
+
+    let lat = &snapshot.request_latency;
+    let mut text = format!(
+        "BENCH_serve — batched match serving vs serial per-request predict\n\
+         EMBA (FT), max_len {}, {} records, {} requests from {} clients\n\n\
+         served: {} answered ({} expired) in {:.2}s ({:.1} pairs/sec)\n\
+         \x20 batches: {} flushes, batch p50 {:.0} p99 {:.0} (max {})\n\
+         \x20 request latency: p50 {:.2}ms p99 {:.2}ms mean {:.2}ms\n\
+         \x20 queue depth peak {} | {} encodes, cache hit rate {:.1}%\n\
+         serial baseline: {:.1} pairs/sec (full forward per request, {} sampled)\n\
+         speedup {:.1}x | max |served − predict| = {:.2e}\n",
+        trained.pipeline.max_len(),
+        records.len(),
+        pairs.len(),
+        CLIENTS,
+        answered,
+        expired,
+        serve_secs,
+        pairs_per_sec,
+        snapshot.flushes,
+        snapshot.batch_size.p50,
+        snapshot.batch_size.p99,
+        snapshot.batch_size.count,
+        lat.p50 / 1e6,
+        lat.p99 / 1e6,
+        lat.mean / 1e6,
+        snapshot.peak_queue_depth,
+        snapshot.encodes,
+        100.0 * snapshot.cache_hit_rate,
+        baseline_pps,
+        sample.len(),
+        speedup,
+        max_dprob,
+    );
+    if failures.is_empty() {
+        let speedup_note = if profile.name == "smoke" {
+            " (speedup informational on smoke)"
+        } else {
+            ""
+        };
+        text.push_str(&format!(
+            "gate: all answered, none expired, |Δp| ≤ {MAX_ABS_DPROB:.0e}, \
+             ≥{REQUIRED_SPEEDUP}x speedup{speedup_note} — PASS\n"
+        ));
+    } else {
+        for f in &failures {
+            text.push_str(&format!("gate FAILURE: {f}\n"));
+        }
+    }
+
+    #[derive(Serialize)]
+    struct Report {
+        description: &'static str,
+        model: &'static str,
+        profile: &'static str,
+        records: usize,
+        clusters: usize,
+        requests: usize,
+        clients: usize,
+        max_len: usize,
+        max_batch: usize,
+        budget_ns: u64,
+        answered: usize,
+        expired: usize,
+        serve_secs: f64,
+        pairs_per_sec: f64,
+        baseline_pairs_per_sec: f64,
+        baseline_pairs_timed: usize,
+        speedup_vs_predict: f64,
+        max_abs_dprob: f64,
+        latency_p50_ns: f64,
+        latency_p99_ns: f64,
+        snapshot: emba_serve::ServerSnapshot,
+        required_speedup: f64,
+        max_allowed_dprob: f64,
+        pass: bool,
+    }
+    let report = Report {
+        description: "Continuously-batched match serving (request coalescing into \
+                      length-bucketed batches over a shared encoding cache, deadline-aware \
+                      flush) vs answering each request through the serial predict path",
+        model: "EMBA (FT)",
+        profile: profile.name,
+        records: records.len(),
+        clusters: catalog.num_clusters,
+        requests: pairs.len(),
+        clients: CLIENTS,
+        max_len: trained.pipeline.max_len(),
+        max_batch: MAX_BATCH,
+        budget_ns: BUDGET_NS,
+        answered,
+        expired,
+        serve_secs,
+        pairs_per_sec,
+        baseline_pairs_per_sec: baseline_pps,
+        baseline_pairs_timed: sample.len(),
+        speedup_vs_predict: speedup,
+        max_abs_dprob: max_dprob,
+        latency_p50_ns: lat.p50,
+        latency_p99_ns: lat.p99,
+        snapshot,
+        required_speedup: REQUIRED_SPEEDUP,
+        max_allowed_dprob: MAX_ABS_DPROB,
+        pass: failures.is_empty(),
+    };
+    let artifact = Artifact {
+        id: "BENCH_serve",
+        text,
+        json: serde_json::to_value(&report).expect("serve report serializes"),
+    };
+    (artifact, failures)
+}

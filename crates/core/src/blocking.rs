@@ -134,28 +134,69 @@ impl BlockingIndex {
     /// once; self-pairs are impossible (keys are deduplicated per record,
     /// so a record never co-occurs with itself in one posting list).
     pub fn candidates(&self, cfg: &BlockingConfig) -> Vec<(usize, usize)> {
-        // Count shared keys per unordered pair. Posting lists are sorted,
-        // so emitting (list[a], list[b]) for a < b keeps pairs canonical.
-        let mut shared: HashMap<(u32, u32), u32> = HashMap::new();
+        self.candidates_with_stats(cfg).0
+    }
+
+    /// [`BlockingIndex::candidates`] plus memory accounting for the
+    /// shared-key merge. The merge runs **per record**: for each record
+    /// `i`, one local map counts how many non-stop keys `i` shares with
+    /// each partner `j > i`, entries below `min_shared` are dropped when
+    /// the record is done, and the map is reused for the next record. Peak
+    /// live state is therefore one record's distinct co-candidates — not,
+    /// as in an earlier global-map implementation, *every* co-occurring
+    /// pair in the catalog including sub-threshold ones, which posting
+    /// lists just under `max_posting` (near-stop-words) inflate
+    /// quadratically.
+    pub fn candidates_with_stats(
+        &self,
+        cfg: &BlockingConfig,
+    ) -> (Vec<(usize, usize)>, CandidateStats) {
+        // Invert the index once: each record's non-stop posting lists.
+        let mut lists_of: Vec<Vec<&[u32]>> = vec![Vec::new(); self.num_records];
         for posting in self.postings.values() {
             if posting.len() > cfg.max_posting {
                 continue;
             }
-            for a in 0..posting.len() {
-                for b in a + 1..posting.len() {
-                    *shared.entry((posting[a], posting[b])).or_insert(0) += 1;
-                }
+            for &r in posting {
+                lists_of[r as usize].push(posting.as_slice());
             }
         }
         let min = cfg.min_shared.max(1) as u32;
-        let mut pairs: Vec<(usize, usize)> = shared
-            .into_iter()
-            .filter(|&(_, count)| count >= min)
-            .map(|((i, j), _)| (i as usize, j as usize))
-            .collect();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let mut shared: HashMap<u32, u32> = HashMap::new();
+        let mut peak = 0usize;
+        for (i, lists) in lists_of.iter().enumerate() {
+            shared.clear();
+            let me = i as u32;
+            for posting in lists {
+                // Posting lists are sorted and hold each record at most
+                // once, so partners with j > i are exactly the suffix past
+                // this record's own slot.
+                let from = posting.partition_point(|&r| r <= me);
+                for &j in &posting[from..] {
+                    *shared.entry(j).or_insert(0) += 1;
+                }
+            }
+            peak = peak.max(shared.len());
+            for (&j, &count) in &shared {
+                if count >= min {
+                    pairs.push((i, j as usize));
+                }
+            }
+        }
         pairs.sort_unstable();
-        pairs
+        (pairs, CandidateStats { peak_intermediate: peak })
     }
+}
+
+/// Memory accounting from [`BlockingIndex::candidates_with_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateStats {
+    /// Largest number of shared-count entries live at once during the
+    /// merge — the maximum over records of distinct co-candidates `j > i`,
+    /// bounded by `num_records − 1` regardless of how many sub-threshold
+    /// co-occurrences the catalog has.
+    pub peak_intermediate: usize,
 }
 
 /// Fraction of `true_pairs` present in `candidates`. Both sides must be
@@ -244,6 +285,48 @@ mod tests {
         };
         let pairs = BlockingIndex::build(&records, &cfg).candidates(&cfg);
         assert!(pairs.is_empty(), "stop key leaked {} pairs", pairs.len());
+    }
+
+    #[test]
+    fn near_stop_word_postings_keep_peak_intermediate_linear() {
+        // Two groups of exactly `max_posting` records each share one group
+        // token — posting lists right at the stop-key boundary, so they are
+        // NOT muted. With min_shared = 2 every intra-group pair shares only
+        // that single key: all co-occurrences are sub-threshold, and the
+        // old global-map merge held every one of them at once
+        // (2 · C(12,2) = 132 entries). The per-record merge's live state
+        // peaks at one record's partner count instead.
+        let group = 12usize;
+        let records: Vec<Record> = (0..2 * group)
+            .map(|i| rec(&format!("grp{} unique{i}", i / group)))
+            .collect();
+        let cfg = BlockingConfig {
+            max_posting: group,
+            min_shared: 2,
+            use_qgrams: false, // q-grams of unique{i} would add shared keys
+            ..Default::default()
+        };
+        let index = BlockingIndex::build(&records, &cfg);
+        let (pairs, stats) = index.candidates_with_stats(&cfg);
+        assert!(pairs.is_empty(), "single shared key must stay sub-threshold");
+        assert!(
+            stats.peak_intermediate < group,
+            "peak intermediate {} exceeds one record's partner count {}",
+            stats.peak_intermediate,
+            group - 1
+        );
+        // Sanity: record 0 really does co-occur with its 11 group mates.
+        assert_eq!(stats.peak_intermediate, group - 1);
+    }
+
+    #[test]
+    fn stats_variant_matches_plain_candidates() {
+        let cat = product_catalog(&CatalogSpec::quick("stats", 120));
+        let cfg = BlockingConfig::default();
+        let index = BlockingIndex::build(&cat.records, &cfg);
+        let (pairs, stats) = index.candidates_with_stats(&cfg);
+        assert_eq!(pairs, index.candidates(&cfg));
+        assert!(stats.peak_intermediate < cat.len());
     }
 
     #[test]

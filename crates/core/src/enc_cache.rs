@@ -20,6 +20,7 @@
 
 use std::collections::HashMap;
 
+use emba_datagen::Record;
 use emba_tensor::Tensor;
 use emba_trace::metrics;
 
@@ -37,12 +38,48 @@ pub fn record_hash(ids: &[usize]) -> u64 {
     h
 }
 
+/// Stable FNV-1a hash of a record's raw attributes — the tokenize-free
+/// cache key. [`record_hash`] needs the token ids, which puts tokenization
+/// on the lookup path; hashing the attribute bytes instead lets a serving
+/// loop skip tokenization entirely on cache hits, at the cost that records
+/// only share an entry when their attributes agree byte-for-byte (distinct
+/// texts that happen to tokenize identically encode twice — a perf nuance,
+/// not a correctness one, since equal attrs always yield equal ids).
+pub fn record_content_hash(rec: &Record) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (name, value) in &rec.attrs {
+        eat(name.as_bytes());
+        eat(&[0xff]);
+        eat(value.as_bytes());
+        eat(&[0xfe]);
+    }
+    h
+}
+
 /// Bounded map from [`record_hash`] to cached token encodings.
 #[derive(Debug)]
 pub struct EncodingCache {
     capacity: usize,
     current: HashMap<u64, Tensor>,
     previous: HashMap<u64, Tensor>,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    rotations: u64,
+    /// Counter values as of the last [`EncodingCache::publish_metrics`]
+    /// call, so repeated publishes add only the delta since the previous
+    /// one and the registry's counters stay equal to the lifetime totals.
+    published: PublishedCounters,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct PublishedCounters {
     hits: u64,
     misses: u64,
     inserts: u64,
@@ -62,6 +99,7 @@ impl EncodingCache {
             misses: 0,
             inserts: 0,
             rotations: 0,
+            published: PublishedCounters::default(),
         }
     }
 
@@ -112,7 +150,13 @@ impl EncodingCache {
     }
 
     fn rotate_if_full(&mut self) {
-        if self.current.len() >= self.capacity.div_ceil(2) {
+        // Each generation may hold at most ⌊capacity/2⌋ entries: rotation
+        // happens *before* an insert, so `current` peaks at the threshold
+        // and `previous` holds the prior peak, bounding `len()` by
+        // 2·⌊capacity/2⌋ ≤ capacity. The pre-fix threshold was
+        // ⌈capacity/2⌉, which let odd capacities exceed the documented
+        // bound (`new(3)` held 4 residents).
+        if self.current.len() >= self.capacity / 2 {
             self.previous = std::mem::take(&mut self.current);
             self.rotations += 1;
         }
@@ -126,6 +170,11 @@ impl EncodingCache {
     /// Lookups that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Encodings inserted over this cache's lifetime.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
     }
 
     /// Generation rotations so far.
@@ -143,17 +192,28 @@ impl EncodingCache {
         }
     }
 
-    /// Publishes cumulative counters and the hit-rate gauge to the
-    /// [`metrics`] registry. Counters are absolute totals for this cache's
-    /// lifetime; call once per run (or after each stage) rather than per
-    /// lookup.
-    pub fn publish_metrics(&self) {
+    /// Publishes counters and the hit-rate gauge to the [`metrics`]
+    /// registry. Counter updates are **deltas** since this cache's previous
+    /// publish, so however often it is called — once per run or after each
+    /// stage — the registry's `catalog.cache.*` counters always equal the
+    /// cache's lifetime totals. (The pre-fix version added absolute totals
+    /// on every call, double-counting from the second publish on.)
+    pub fn publish_metrics(&mut self) {
         metrics::gauge_set("catalog.cache.hit_rate", self.hit_rate());
         metrics::gauge_set("catalog.cache.resident", self.len() as f64);
-        metrics::counter_add("catalog.cache.hits", self.hits);
-        metrics::counter_add("catalog.cache.misses", self.misses);
-        metrics::counter_add("catalog.cache.inserts", self.inserts);
-        metrics::counter_add("catalog.cache.rotations", self.rotations);
+        metrics::counter_add("catalog.cache.hits", self.hits - self.published.hits);
+        metrics::counter_add("catalog.cache.misses", self.misses - self.published.misses);
+        metrics::counter_add("catalog.cache.inserts", self.inserts - self.published.inserts);
+        metrics::counter_add(
+            "catalog.cache.rotations",
+            self.rotations - self.published.rotations,
+        );
+        self.published = PublishedCounters {
+            hits: self.hits,
+            misses: self.misses,
+            inserts: self.inserts,
+            rotations: self.rotations,
+        };
     }
 }
 
@@ -184,12 +244,45 @@ mod tests {
         assert!((c.hit_rate() - 0.5).abs() < 1e-12);
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// The documented `len() ≤ capacity` bound holds at every step of a
+        /// mixed insert/lookup stream, for odd and even capacities alike.
+        /// The pre-fix rotation threshold of ⌈capacity/2⌉ violated this for
+        /// every odd capacity (`new(3)` held 4 residents: current 2 +
+        /// previous 2).
+        #[test]
+        fn capacity_is_bounded_under_streaming_inserts(
+            capacity in 2usize..18,
+            keys in proptest::collection::vec(0u64..40, 1..400),
+        ) {
+            let mut c = EncodingCache::new(capacity);
+            for (step, &k) in keys.iter().enumerate() {
+                // Interleave lookups so promote-on-hit rotations are
+                // exercised too, not just insert-path rotations.
+                if step % 3 == 0 {
+                    let _ = c.get(k);
+                }
+                c.insert(k, t(k as f32));
+                proptest::prop_assert!(
+                    c.len() <= c.capacity(),
+                    "capacity {}: resident {} after step {}",
+                    c.capacity(),
+                    c.len(),
+                    step
+                );
+            }
+        }
+    }
+
     #[test]
-    fn capacity_is_bounded_under_streaming_inserts() {
-        let mut c = EncodingCache::new(10);
-        for k in 0..1000u64 {
+    fn odd_capacity_stays_within_bound() {
+        // The original bug, pinned directly: capacity 3 must never hold 4.
+        let mut c = EncodingCache::new(3);
+        for k in 0..100u64 {
             c.insert(k, t(k as f32));
-            assert!(c.len() <= c.capacity(), "resident {} > capacity", c.len());
+            assert!(c.len() <= 3, "resident {} > capacity 3", c.len());
         }
         assert!(c.rotations() > 0);
     }
@@ -248,6 +341,35 @@ mod tests {
             .find(|ct| ct.name == "catalog.cache.hits")
             .expect("hits counter published");
         assert_eq!(hits.value, 1);
+        emba_trace::metrics::reset();
+    }
+
+    #[test]
+    fn repeated_publish_does_not_double_count() {
+        emba_trace::metrics::reset();
+        let mut c = EncodingCache::new(8);
+        c.insert(1, t(1.0));
+        let _ = c.get(1); // hit
+        let _ = c.get(2); // miss
+        c.publish_metrics();
+        // More activity between publishes, then publish twice more — the
+        // second consecutive publish adds nothing new.
+        c.insert(2, t(2.0));
+        let _ = c.get(2); // hit
+        c.publish_metrics();
+        c.publish_metrics();
+        let snap = emba_trace::metrics::snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|ct| ct.name == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .value
+        };
+        assert_eq!(counter("catalog.cache.hits"), c.hits(), "hits double-counted");
+        assert_eq!(counter("catalog.cache.misses"), c.misses(), "misses double-counted");
+        assert_eq!(counter("catalog.cache.inserts"), c.inserts(), "inserts double-counted");
+        assert_eq!(counter("catalog.cache.rotations"), c.rotations());
         emba_trace::metrics::reset();
     }
 }

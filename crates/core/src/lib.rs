@@ -54,7 +54,7 @@ pub use catalog::{
     match_catalog, CatalogMatchConfig, CatalogMatchReport, CatalogScorer, ScoredPair,
 };
 pub use checkpoint::{Checkpoint, CheckpointError};
-pub use enc_cache::{record_hash, EncodingCache};
+pub use enc_cache::{record_content_hash, record_hash, EncodingCache};
 pub use deepmatcher::{DeepMatcher, DeepMatcherConfig};
 pub use error::CoreError;
 pub use experiment::{

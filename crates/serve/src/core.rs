@@ -1,0 +1,455 @@
+//! The deterministic batching state machine behind the serving engine.
+//!
+//! [`ServeCore`] is single-threaded and time-blind: callers stamp every
+//! operation with a `now_ns` from their [`crate::Clock`], so the whole
+//! request → coalesce → flush → respond lifecycle is a pure function of the
+//! (request, timestamp) sequence. The threaded [`crate::ServeEngine`] wraps
+//! it behind an MPSC queue; tests drive it directly and replay exact
+//! timelines.
+//!
+//! # Flush policy
+//!
+//! Pending requests coalesce until **either** trigger fires:
+//!
+//! - **fill** — `pending ≥ max_batch`: a full batch is ready, run it now;
+//! - **deadline** — the oldest pending request has spent half its deadline
+//!   budget (`now ≥ enqueued + (deadline − enqueued) / 2`): waiting longer
+//!   gambles the remaining budget against scoring time, so flush while at
+//!   least half of it is left.
+//!
+//! A flush drains up to `max_batch` requests in arrival order. Requests
+//! whose deadline has already passed are answered [`MatchOutcome::Expired`]
+//! without touching the backbone — every request is answered exactly once,
+//! expired ones just skip the compute. Live requests run the same
+//! encode-once path as [`emba_core::match_catalog`], with two serving-side
+//! twists: the shared [`EncodingCache`] is keyed by
+//! [`emba_core::record_content_hash`] so cache hits skip tokenization
+//! entirely (tokenizing at lookup would put the tokenizer back on every
+//! request's hot path), and each flush runs exactly one grouped encode call
+//! for the batch-unique misses plus one grouped scoring call for the live
+//! pairs — the grouped kernels handle mixed lengths natively, so length
+//! bucketing would only fragment the batch into more graph launches. The
+//! batched encoder and scorer are bit-identical across batch compositions
+//! (pinned by the PR-6 tests), so a request's probability does not depend
+//! on queue arrival order or on which batch it lands in.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
+
+use emba_core::{record_content_hash, EncodingCache, TrainedMatcher};
+use emba_datagen::Record;
+use emba_nn::GraphStamp;
+use emba_tensor::{Graph, Tensor};
+use emba_trace::metrics::{self, Histogram, HistogramSummary, MetricsSnapshot};
+use serde::Serialize;
+
+use crate::error::ServeError;
+
+/// Knobs for the serving engine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Flush as soon as this many requests are pending; also the most a
+    /// single flush drains.
+    pub max_batch: usize,
+    /// Maximum resident record encodings in the shared cache.
+    pub cache_capacity: usize,
+    /// Match-probability threshold for [`MatchOutcome::Scored::is_match`].
+    pub threshold: f32,
+    /// Enable the op-level profiler ([`emba_tensor::prof`]) on the serving
+    /// thread; phase totals land in [`ServerSnapshot::profile_phases`].
+    pub profile: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            cache_capacity: 4096,
+            threshold: 0.5,
+            profile: false,
+        }
+    }
+}
+
+/// How one request ended. (In-process only — the serializable serving
+/// artifact is [`ServerSnapshot`]; the vendored serde stub has no
+/// struct-variant support anyway.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatchOutcome {
+    /// The pair was scored before its deadline.
+    Scored {
+        /// Match probability.
+        prob: f32,
+        /// `prob >= threshold`.
+        is_match: bool,
+    },
+    /// The deadline passed while the request was queued; the pair was not
+    /// scored. Expired requests are still answered — never silently
+    /// dropped.
+    Expired,
+}
+
+/// The answer to one request. Every enqueued request produces exactly one.
+#[derive(Debug, Clone)]
+pub struct MatchResponse {
+    /// The id assigned at enqueue.
+    pub id: u64,
+    /// Scored or expired.
+    pub outcome: MatchOutcome,
+    /// When the request entered the queue (clock ns).
+    pub enqueued_ns: u64,
+    /// When the flush answering it ran (clock ns).
+    pub completed_ns: u64,
+    /// Requests drained by that flush (including this one).
+    pub batch_size: usize,
+}
+
+/// One queued request: content hashes are computed at enqueue, but the
+/// records are kept raw — tokenization is deferred to the flush and only
+/// paid for cache misses (and skipped outright for expired requests).
+#[derive(Debug)]
+struct Pending {
+    id: u64,
+    left: Record,
+    right: Record,
+    left_key: u64,
+    right_key: u64,
+    enqueued_ns: u64,
+    deadline_ns: u64,
+}
+
+impl Pending {
+    /// The instant the deadline trigger fires: half the budget spent.
+    fn half_budget_ns(&self) -> u64 {
+        let budget = self.deadline_ns.saturating_sub(self.enqueued_ns);
+        self.enqueued_ns + budget / 2
+    }
+}
+
+/// Point-in-time serving statistics, serializable into bench artifacts.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServerSnapshot {
+    /// Requests accepted.
+    pub enqueued: u64,
+    /// Requests answered with a probability.
+    pub scored: u64,
+    /// Requests answered expired.
+    pub expired: u64,
+    /// Flushes run (including empty drains at shutdown: none).
+    pub flushes: u64,
+    /// Backbone record encodes (cache misses actually computed).
+    pub encodes: u64,
+    /// Requests waiting right now.
+    pub queue_depth: usize,
+    /// Largest queue depth observed.
+    pub peak_queue_depth: usize,
+    /// Encoding-cache lookups that hit.
+    pub cache_hits: u64,
+    /// Encoding-cache lookups that missed.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`.
+    pub cache_hit_rate: f64,
+    /// Encodings resident in the cache.
+    pub cache_resident: usize,
+    /// Distribution of flush batch sizes.
+    pub batch_size: HistogramSummary,
+    /// Per-request enqueue→answer latency (clock ns).
+    pub request_latency: HistogramSummary,
+    /// The serving thread's full metrics registry (`serve.*` plus the
+    /// cache's `catalog.cache.*`).
+    pub registry: MetricsSnapshot,
+    /// Profiler phase totals — empty unless [`ServeConfig::profile`].
+    pub profile_phases: Vec<ProfPhase>,
+}
+
+/// One profiler phase total, lifted from [`emba_tensor::prof::report`] into
+/// a serializable row.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfPhase {
+    /// `/`-joined phase path.
+    pub path: String,
+    /// Times the phase was entered.
+    pub calls: u64,
+    /// Total wall nanoseconds inside.
+    pub total_ns: u64,
+}
+
+/// The single-threaded serving state machine. See the module docs for the
+/// lifecycle; [`crate::ServeEngine`] is the threaded wrapper.
+pub struct ServeCore {
+    trained: TrainedMatcher,
+    cfg: ServeConfig,
+    cache: EncodingCache,
+    pending: VecDeque<Pending>,
+    enqueued: u64,
+    scored: u64,
+    expired: u64,
+    flushes: u64,
+    encodes: u64,
+    peak_queue_depth: usize,
+    batch_sizes: Histogram,
+    latency: Histogram,
+}
+
+impl ServeCore {
+    /// Wraps a matcher for serving.
+    ///
+    /// Fails with [`ServeError::UnsupportedModel`] unless the model has the
+    /// split scoring path (AOA strategies only) — probed up front with a
+    /// one-token record so a long-lived server cannot pass construction and
+    /// then panic on its first request.
+    pub fn new(trained: TrainedMatcher, cfg: ServeConfig) -> Result<Self, ServeError> {
+        let g = Graph::new();
+        let probe = trained
+            .model
+            .encode_records_standalone(&g, GraphStamp::next(), &[&[0usize][..]]);
+        g.recycle();
+        if probe.is_none() {
+            return Err(ServeError::UnsupportedModel);
+        }
+        let cache = EncodingCache::new(cfg.cache_capacity);
+        Ok(Self {
+            trained,
+            cfg,
+            cache,
+            pending: VecDeque::new(),
+            enqueued: 0,
+            scored: 0,
+            expired: 0,
+            flushes: 0,
+            encodes: 0,
+            peak_queue_depth: 0,
+            // Batch sizes are small integers; ×2 buckets from 1 cover up to
+            // 2048 before overflow.
+            batch_sizes: Histogram::log_spaced(1.0, 2.0, 12),
+            latency: Histogram::latency_ns(),
+        })
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Requests waiting for a flush.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Accepts one request: hashes both records' content and queues them
+    /// under `id`, taking ownership of the records (the flush tokenizes
+    /// them only on cache misses). The caller owns id assignment (the
+    /// engine uses a counter) and must stamp `deadline_ns` on the same
+    /// clock as every `now_ns`.
+    pub fn enqueue(
+        &mut self,
+        id: u64,
+        left: Record,
+        right: Record,
+        now_ns: u64,
+        deadline_ns: u64,
+    ) {
+        self.pending.push_back(Pending {
+            id,
+            left_key: record_content_hash(&left),
+            right_key: record_content_hash(&right),
+            left,
+            right,
+            enqueued_ns: now_ns,
+            deadline_ns,
+        });
+        self.enqueued += 1;
+        self.peak_queue_depth = self.peak_queue_depth.max(self.pending.len());
+        metrics::counter_add("serve.enqueued", 1);
+        metrics::gauge_set("serve.queue_depth", self.pending.len() as f64);
+    }
+
+    /// When the next flush is due (clock ns), or `None` with nothing
+    /// pending. A full batch is due immediately (`Some(0)`).
+    pub fn next_flush_at(&self) -> Option<u64> {
+        let oldest = self.pending.front()?;
+        if self.pending.len() >= self.cfg.max_batch.max(1) {
+            return Some(0);
+        }
+        Some(oldest.half_budget_ns())
+    }
+
+    /// Whether a flush is due at `now_ns`.
+    pub fn flush_due(&self, now_ns: u64) -> bool {
+        self.next_flush_at().is_some_and(|at| now_ns >= at)
+    }
+
+    /// Runs every flush due at `now_ns` and returns the answers, in batch
+    /// order. Returns an empty vec when no trigger has fired.
+    pub fn poll(&mut self, now_ns: u64) -> Vec<MatchResponse> {
+        let mut out = Vec::new();
+        while self.flush_due(now_ns) {
+            out.extend(self.flush(now_ns));
+        }
+        out
+    }
+
+    /// Flushes everything still pending regardless of triggers — the
+    /// shutdown path, guaranteeing every accepted request gets its answer.
+    pub fn drain(&mut self, now_ns: u64) -> Vec<MatchResponse> {
+        let mut out = Vec::new();
+        while !self.pending.is_empty() {
+            out.extend(self.flush(now_ns));
+        }
+        out
+    }
+
+    /// Drains up to `max_batch` requests and answers each one: expired
+    /// requests immediately, live ones through the cached encode-once path.
+    fn flush(&mut self, now_ns: u64) -> Vec<MatchResponse> {
+        let take = self.pending.len().min(self.cfg.max_batch.max(1));
+        if take == 0 {
+            return Vec::new();
+        }
+        let batch: Vec<Pending> = self.pending.drain(..take).collect();
+        self.flushes += 1;
+        metrics::counter_add("serve.flushes", 1);
+        metrics::gauge_set("serve.queue_depth", self.pending.len() as f64);
+        self.batch_sizes.record(take as f64);
+
+        let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+        let mut responses: Vec<MatchResponse> = Vec::with_capacity(batch.len());
+        for req in batch {
+            if now_ns > req.deadline_ns {
+                self.expired += 1;
+                metrics::counter_add("serve.expired", 1);
+                self.latency.record(now_ns.saturating_sub(req.enqueued_ns) as f64);
+                metrics::observe_ns("serve.request_ns", now_ns.saturating_sub(req.enqueued_ns));
+                responses.push(MatchResponse {
+                    id: req.id,
+                    outcome: MatchOutcome::Expired,
+                    enqueued_ns: req.enqueued_ns,
+                    completed_ns: now_ns,
+                    batch_size: take,
+                });
+            } else {
+                live.push(req);
+            }
+        }
+        if live.is_empty() {
+            return responses;
+        }
+
+        // Resolve each batch-unique record: cache hits reuse the resident
+        // tensor without even tokenizing; misses are tokenized here and
+        // encoded below in a single grouped call (the grouped kernels
+        // handle mixed lengths, so there is nothing to bucket).
+        let stage = Instant::now();
+        let mut encodings: HashMap<u64, Tensor> = HashMap::new();
+        let mut miss_keys: Vec<u64> = Vec::new();
+        let mut miss_ids: Vec<Vec<usize>> = Vec::new();
+        let mut queued: HashSet<u64> = HashSet::new();
+        for req in &live {
+            for (key, rec) in [(req.left_key, &req.left), (req.right_key, &req.right)] {
+                if encodings.contains_key(&key) || queued.contains(&key) {
+                    continue;
+                }
+                match self.cache.get(key) {
+                    Some(enc) => {
+                        encodings.insert(key, enc);
+                    }
+                    None => {
+                        queued.insert(key);
+                        miss_keys.push(key);
+                        miss_ids.push(self.trained.pipeline.encode_single_record(rec));
+                    }
+                }
+            }
+        }
+        if !miss_ids.is_empty() {
+            let g = Graph::new();
+            let recs: Vec<&[usize]> = miss_ids.iter().map(|ids| &ids[..]).collect();
+            let encs = self
+                .trained
+                .model
+                .encode_records_standalone(&g, GraphStamp::next(), &recs)
+                .expect("ServeCore::new verified the split scoring path");
+            g.recycle();
+            for (enc, &key) in encs.into_iter().zip(&miss_keys) {
+                self.cache.insert(key, enc.clone());
+                encodings.insert(key, enc);
+            }
+            self.encodes += miss_keys.len() as u64;
+            metrics::counter_add("serve.encodes", miss_keys.len() as u64);
+        }
+        metrics::observe_ns("serve.encode_batch_ns", stage.elapsed().as_nanos() as u64);
+
+        // Score every live pair in one grouped call. Batched scoring is
+        // bit-identical across compositions, so each pair's probability is
+        // independent of what else shares its flush.
+        let stage = Instant::now();
+        let g = Graph::new();
+        let pairs: Vec<(&Tensor, &Tensor)> = live
+            .iter()
+            .map(|req| (&encodings[&req.left_key], &encodings[&req.right_key]))
+            .collect();
+        let probs = self
+            .trained
+            .model
+            .score_encoded_pairs(&g, GraphStamp::next(), &pairs)
+            .expect("ServeCore::new verified the split scoring path");
+        g.recycle();
+        metrics::observe_ns("serve.score_batch_ns", stage.elapsed().as_nanos() as u64);
+
+        for (req, prob) in live.into_iter().zip(probs) {
+            self.scored += 1;
+            metrics::counter_add("serve.scored", 1);
+            self.latency.record(now_ns.saturating_sub(req.enqueued_ns) as f64);
+            metrics::observe_ns("serve.request_ns", now_ns.saturating_sub(req.enqueued_ns));
+            responses.push(MatchResponse {
+                id: req.id,
+                outcome: MatchOutcome::Scored {
+                    prob,
+                    is_match: prob >= self.cfg.threshold,
+                },
+                enqueued_ns: req.enqueued_ns,
+                completed_ns: now_ns,
+                batch_size: take,
+            });
+        }
+        responses
+    }
+
+    /// Current statistics. Publishes the cache's metrics (delta-safe — see
+    /// [`EncodingCache::publish_metrics`]) and snapshots the thread's
+    /// registry, so calling this repeatedly never inflates counters.
+    pub fn snapshot(&mut self) -> ServerSnapshot {
+        self.cache.publish_metrics();
+        metrics::gauge_set("serve.queue_depth", self.pending.len() as f64);
+        let profile_phases = if self.cfg.profile {
+            emba_tensor::prof::report()
+                .phases
+                .into_iter()
+                .map(|p| ProfPhase {
+                    path: p.path,
+                    calls: p.calls,
+                    total_ns: p.total_ns,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ServerSnapshot {
+            enqueued: self.enqueued,
+            scored: self.scored,
+            expired: self.expired,
+            flushes: self.flushes,
+            encodes: self.encodes,
+            queue_depth: self.pending.len(),
+            peak_queue_depth: self.peak_queue_depth,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_hit_rate: self.cache.hit_rate(),
+            cache_resident: self.cache.len(),
+            batch_size: self.batch_sizes.summary("serve.batch_size"),
+            request_latency: self.latency.summary("serve.request_ns"),
+            registry: metrics::snapshot(),
+            profile_phases,
+        }
+    }
+}

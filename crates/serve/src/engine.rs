@@ -1,0 +1,274 @@
+//! The threaded serving engine and its in-process client.
+//!
+//! [`ServeEngine::start`] moves a [`Checkpoint`] into a dedicated worker
+//! thread, restores the matcher **there** (the matcher itself is not
+//! `Send`; the checkpoint — plain tensors and config — is), and runs a
+//! [`ServeCore`] behind an MPSC control queue. Clients are cheap clones of
+//! the queue's sender plus the shared clock; each request carries its own
+//! reply channel, so responses route straight back to the submitting
+//! client with no shared result map.
+//!
+//! The worker alternates between receiving control messages and polling
+//! the core: every message is followed by a poll, and when requests are
+//! pending the receive blocks at most [`IDLE_TICK`] so deadline-triggered
+//! flushes fire even if no further messages arrive (the tick is real time,
+//! which keeps fake-clock timelines live too — each tick re-reads the
+//! injected clock). Shutdown drains the queue and the core before the
+//! thread exits, so every accepted request is answered exactly once even
+//! across teardown.
+
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use emba_core::{Checkpoint, CheckpointStore};
+use emba_datagen::Record;
+
+use crate::clock::Clock;
+use crate::core::{MatchResponse, ServeConfig, ServeCore, ServerSnapshot};
+use crate::error::ServeError;
+
+/// Longest the worker sleeps while requests are pending. Real time, even
+/// under a fake clock: it bounds how stale the worker's view of an
+/// externally advanced clock can get.
+const IDLE_TICK: Duration = Duration::from_millis(1);
+
+enum EngineMsg {
+    Score {
+        left: Record,
+        right: Record,
+        deadline_ns: u64,
+        reply: Sender<MatchResponse>,
+    },
+    Snapshot(Sender<ServerSnapshot>),
+    Shutdown,
+}
+
+/// A long-lived match-serving engine: one worker thread, one MPSC queue.
+pub struct ServeEngine {
+    tx: Sender<EngineMsg>,
+    clock: Arc<dyn Clock>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Starts an engine from an in-memory checkpoint. Blocks until the
+    /// worker thread has restored the matcher and validated the split
+    /// scoring path, so a returned engine is ready to score.
+    pub fn start(
+        checkpoint: Checkpoint,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, ServeError> {
+        let (tx, rx) = mpsc::channel::<EngineMsg>();
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), ServeError>>();
+        let worker_clock = Arc::clone(&clock);
+        let profile = cfg.profile;
+        let handle = std::thread::Builder::new()
+            .name("emba-serve".into())
+            .spawn(move || {
+                if profile {
+                    emba_tensor::prof::reset();
+                    emba_tensor::prof::enable(true);
+                }
+                let core = checkpoint
+                    .restore()
+                    .map_err(|e| ServeError::Restore(e.to_string()))
+                    .and_then(|trained| ServeCore::new(trained, cfg));
+                match core {
+                    Ok(core) => {
+                        let _ = ready_tx.send(Ok(()));
+                        run_worker(core, rx, worker_clock);
+                    }
+                    Err(e) => {
+                        let _ = ready_tx.send(Err(e));
+                    }
+                }
+            })
+            .expect("spawn serving thread");
+        match ready_rx.recv() {
+            Ok(Ok(())) => Ok(Self {
+                tx,
+                clock,
+                handle: Some(handle),
+            }),
+            Ok(Err(e)) => {
+                let _ = handle.join();
+                Err(e)
+            }
+            Err(_) => {
+                let _ = handle.join();
+                Err(ServeError::EngineDied)
+            }
+        }
+    }
+
+    /// Starts an engine from the newest valid snapshot in a
+    /// [`CheckpointStore`] directory. Corrupt snapshots are skipped exactly
+    /// as in training resume; [`ServeError::NoSnapshot`] means nothing in
+    /// the directory was loadable.
+    pub fn from_store(
+        dir: impl AsRef<std::path::Path>,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, ServeError> {
+        let store = CheckpointStore::open(dir, 1)?;
+        let (_seq, checkpoint) = store
+            .load_latest::<Checkpoint>(|_, _| {})?
+            .ok_or(ServeError::NoSnapshot)?;
+        Self::start(checkpoint, cfg, clock)
+    }
+
+    /// A new in-process client of this engine.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            tx: self.tx.clone(),
+            clock: Arc::clone(&self.clock),
+        }
+    }
+
+    /// Current serving statistics, gathered on the worker thread (the
+    /// metrics registry is thread-local, so only the worker can read the
+    /// `serve.*` section).
+    pub fn snapshot(&self) -> Result<ServerSnapshot, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.tx
+            .send(EngineMsg::Snapshot(tx))
+            .map_err(|_| ServeError::EngineDied)?;
+        rx.recv().map_err(|_| ServeError::EngineDied)
+    }
+
+    /// Stops the engine, draining and answering everything still queued.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = self.tx.send(EngineMsg::Shutdown);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// An in-process handle for submitting requests. Cheap to clone and to
+/// move across threads.
+#[derive(Clone)]
+pub struct ServeClient {
+    tx: Sender<EngineMsg>,
+    clock: Arc<dyn Clock>,
+}
+
+impl ServeClient {
+    /// Submits one pair with a relative deadline budget. Returns the
+    /// receiver the answer will arrive on; [`Receiver::recv`] errors only
+    /// if the engine died before answering.
+    pub fn submit(
+        &self,
+        left: &Record,
+        right: &Record,
+        budget_ns: u64,
+    ) -> Receiver<MatchResponse> {
+        let (reply, rx) = mpsc::channel();
+        let deadline_ns = self.clock.now_ns().saturating_add(budget_ns);
+        // A send error means the engine is gone; the dropped reply sender
+        // then surfaces as a recv error on `rx`, which is the caller-facing
+        // signal either way.
+        let _ = self.tx.send(EngineMsg::Score {
+            left: left.clone(),
+            right: right.clone(),
+            deadline_ns,
+            reply,
+        });
+        rx
+    }
+
+    /// Submits and blocks for the answer. `None` if the engine died.
+    pub fn score(&self, left: &Record, right: &Record, budget_ns: u64) -> Option<MatchResponse> {
+        self.submit(left, right, budget_ns).recv().ok()
+    }
+}
+
+/// The worker loop: route messages into the core, poll after every message
+/// and tick, drain on shutdown.
+fn run_worker(mut core: ServeCore, rx: Receiver<EngineMsg>, clock: Arc<dyn Clock>) {
+    let mut routes: std::collections::HashMap<u64, Sender<MatchResponse>> =
+        std::collections::HashMap::new();
+    let mut next_id: u64 = 0;
+    let deliver = |routes: &mut std::collections::HashMap<u64, Sender<MatchResponse>>,
+                   responses: Vec<MatchResponse>| {
+        for resp in responses {
+            if let Some(reply) = routes.remove(&resp.id) {
+                // A dropped receiver just means the client stopped
+                // listening; the engine's accounting already answered.
+                let _ = reply.send(resp);
+            }
+        }
+    };
+    loop {
+        let msg = if core.queue_depth() == 0 {
+            // Nothing pending: nothing to flush, so block until a message.
+            match rx.recv() {
+                Ok(msg) => Some(msg),
+                Err(_) => break, // every sender dropped
+            }
+        } else {
+            match rx.recv_timeout(IDLE_TICK) {
+                Ok(msg) => Some(msg),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        };
+        match msg {
+            Some(EngineMsg::Score {
+                left,
+                right,
+                deadline_ns,
+                reply,
+            }) => {
+                let id = next_id;
+                next_id += 1;
+                routes.insert(id, reply);
+                core.enqueue(id, left, right, clock.now_ns(), deadline_ns);
+            }
+            Some(EngineMsg::Snapshot(tx)) => {
+                let _ = tx.send(core.snapshot());
+            }
+            Some(EngineMsg::Shutdown) => break,
+            None => {}
+        }
+        let responses = core.poll(clock.now_ns());
+        deliver(&mut routes, responses);
+    }
+    // Shutdown (or all clients gone): first drain any Score messages still
+    // sitting in the channel, then flush the core. Every accepted request
+    // is answered exactly once.
+    while let Ok(msg) = rx.try_recv() {
+        match msg {
+            EngineMsg::Score {
+                left,
+                right,
+                deadline_ns,
+                reply,
+            } => {
+                let id = next_id;
+                next_id += 1;
+                routes.insert(id, reply);
+                core.enqueue(id, left, right, clock.now_ns(), deadline_ns);
+            }
+            EngineMsg::Snapshot(tx) => {
+                let _ = tx.send(core.snapshot());
+            }
+            EngineMsg::Shutdown => {}
+        }
+    }
+    let responses = core.drain(clock.now_ns());
+    deliver(&mut routes, responses);
+}

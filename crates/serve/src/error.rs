@@ -1,0 +1,42 @@
+//! Serving-engine errors.
+
+use emba_core::CoreError;
+
+/// Everything that can go wrong bringing a serving engine up.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The checkpoint store could not be read.
+    Store(CoreError),
+    /// The store holds no loadable snapshot.
+    NoSnapshot,
+    /// The snapshot's parameters do not fit the rebuilt architecture.
+    Restore(String),
+    /// The model has no split scoring path (only AOA strategies can serve
+    /// through the encode-once engine).
+    UnsupportedModel,
+    /// The engine thread died before finishing startup.
+    EngineDied,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Store(e) => write!(f, "checkpoint store error: {e}"),
+            ServeError::NoSnapshot => write!(f, "checkpoint store holds no loadable snapshot"),
+            ServeError::Restore(msg) => write!(f, "checkpoint restore failed: {msg}"),
+            ServeError::UnsupportedModel => write!(
+                f,
+                "model has no split scoring path; serving requires an AOA strategy"
+            ),
+            ServeError::EngineDied => write!(f, "serving engine thread died during startup"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Store(e)
+    }
+}

@@ -1,0 +1,43 @@
+//! `emba-serve` — a long-lived match-serving engine over a trained EMBA
+//! matcher.
+//!
+//! The offline half of catalog-scale matching (PR 6) scores a fixed
+//! candidate list; this crate serves **concurrent requests**: load a
+//! [`Checkpoint`](emba_core::Checkpoint) (directly or from the newest valid
+//! [`CheckpointStore`](emba_core::CheckpointStore) snapshot), accept
+//! `(left, right, deadline)` requests on an MPSC queue, and coalesce them
+//! into grouped batches so each backbone pass amortizes across whatever
+//! arrived together. Three ideas carry the design:
+//!
+//! - **Deadline-aware flush** ([`ServeCore`]): a batch runs when it fills
+//!   (`max_batch`) or when the oldest request has spent half its deadline
+//!   budget — the remaining half is the scoring-time reserve. Requests
+//!   whose deadline already passed are answered [`MatchOutcome::Expired`],
+//!   never silently dropped.
+//! - **Shared encoding cache**: all requests feed one
+//!   [`EncodingCache`](emba_core::EncodingCache), so a record seen in any
+//!   earlier request (either side of any pair) skips the backbone entirely.
+//! - **Injectable time** ([`Clock`]): every flush decision is a function of
+//!   an injected clock, so tail latency under load is testable and
+//!   benchmarkable with a hand-advanced [`FakeClock`] — no sleeps, no
+//!   flaky timing.
+//!
+//! [`ServeEngine`] is the threaded wrapper (worker thread + in-process
+//! [`ServeClient`]s); [`ServeCore`] is the deterministic state machine the
+//! tests drive directly. Serving statistics — queue depth, batch-size and
+//! per-request latency histograms, cache hit rate, and the `serve.*`
+//! metrics registry section — come back in a [`ServerSnapshot`].
+
+#![warn(missing_docs)]
+
+mod clock;
+mod core;
+mod engine;
+mod error;
+
+pub use clock::{Clock, FakeClock, SystemClock};
+pub use core::{
+    MatchOutcome, MatchResponse, ProfPhase, ServeConfig, ServeCore, ServerSnapshot,
+};
+pub use engine::{ServeClient, ServeEngine};
+pub use error::ServeError;

@@ -1,0 +1,513 @@
+//! Correctness, concurrency, and load tests for the serving engine.
+//!
+//! The deterministic half drives [`ServeCore`] directly with hand-written
+//! timestamps: flush triggers, expiry verdicts, equivalence against the
+//! per-request `predict` path, and bit-stability across queue arrival
+//! orders. Equivalence runs on the fastText backbone (`ModelKind::EmbaFt`),
+//! where standalone record encodings factorize exactly out of the joint
+//! pass (see `crates/core/tests/catalog_matching.rs`); BERT backbones
+//! attend across the pair, so for them the split path is pinned by
+//! bit-identity rather than closeness to `predict`.
+//!
+//! The threaded half runs the real [`ServeEngine`] with N in-process
+//! clients over a shared [`FakeClock`]: every request must be answered
+//! exactly once, deadlines must be honored or reported expired (never
+//! silently dropped), and shutdown must drain everything still queued.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use emba_core::{Checkpoint, CheckpointStore, ModelKind, PipelineConfig, TextPipeline, TrainedMatcher};
+use emba_datagen::Record;
+use emba_serve::{
+    FakeClock, MatchOutcome, MatchResponse, ServeConfig, ServeCore, ServeEngine, ServeError,
+};
+use emba_tokenizer::{TrainConfig, WordPieceTokenizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An untrained matcher over the given corpus — flush policy, accounting,
+/// and the split-vs-joint equivalence are all architectural, so random
+/// weights exercise exactly what trained weights would.
+fn matcher_over(kind: ModelKind, records: &[Record], max_len: usize) -> TrainedMatcher {
+    let corpus: Vec<String> = records.iter().map(|r| r.text()).collect();
+    let refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+    let tok = WordPieceTokenizer::train(
+        &refs,
+        &TrainConfig {
+            vocab_size: 512,
+            min_pair_freq: 2,
+        },
+    );
+    let pipeline = TextPipeline::from_tokenizer(
+        tok,
+        PipelineConfig {
+            vocab_size: 512,
+            max_len,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = kind.build(&pipeline, 4, 0.5, 0.1, &mut rng);
+    TrainedMatcher {
+        pipeline,
+        model,
+        dropout: 0.1,
+        pos_fraction: 0.5,
+    }
+}
+
+/// A random product-ish record from one generator seed.
+fn record_from_seed(seed: u64) -> Record {
+    const WORDS: &[&str] = &[
+        "samsung", "sandisk", "evo", "ultra", "ssd", "card", "128gb", "1tb", "sata", "nvme",
+        "pro", "extreme", "drive", "internal", "memory", "retail",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..8);
+    let title: Vec<&str> = (0..n).map(|_| WORDS[rng.gen_range(0..WORDS.len())]).collect();
+    Record::new(vec![
+        ("title", title.join(" ")),
+        ("code", format!("mz{}", rng.gen_range(100..9999))),
+    ])
+}
+
+fn records(n: u64) -> Vec<Record> {
+    (0..n).map(record_from_seed).collect()
+}
+
+fn core_over(recs: &[Record], cfg: ServeConfig) -> ServeCore {
+    let trained = matcher_over(ModelKind::EmbaFt, recs, 128);
+    ServeCore::new(trained, cfg).expect("EmbaFt has the split scoring path")
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic ServeCore tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn full_batch_flushes_without_time_passing() {
+    let recs = records(8);
+    let mut core = core_over(
+        &recs,
+        ServeConfig {
+            max_batch: 3,
+            ..Default::default()
+        },
+    );
+    let deadline = 1_000_000;
+    core.enqueue(0, recs[0].clone(), recs[1].clone(), 0, deadline);
+    core.enqueue(1, recs[2].clone(), recs[3].clone(), 0, deadline);
+    assert!(core.poll(0).is_empty(), "two of three: no trigger yet");
+    core.enqueue(2, recs[4].clone(), recs[5].clone(), 0, deadline);
+    let responses = core.poll(0);
+    assert_eq!(responses.len(), 3, "full batch must flush at t=0");
+    assert!(responses
+        .iter()
+        .all(|r| matches!(r.outcome, MatchOutcome::Scored { .. })));
+    assert!(responses.iter().all(|r| r.batch_size == 3));
+    assert_eq!(core.queue_depth(), 0);
+}
+
+#[test]
+fn half_spent_deadline_budget_triggers_flush() {
+    let recs = records(4);
+    let mut core = core_over(&recs, ServeConfig::default());
+    // Enqueued at 100 with deadline 1100: budget 1000, trigger at 600.
+    core.enqueue(0, recs[0].clone(), recs[1].clone(), 100, 1_100);
+    assert_eq!(core.next_flush_at(), Some(600));
+    assert!(core.poll(599).is_empty(), "budget less than half spent");
+    let responses = core.poll(600);
+    assert_eq!(responses.len(), 1, "half-spent budget must flush");
+    match responses[0].outcome {
+        MatchOutcome::Scored { .. } => {}
+        MatchOutcome::Expired => panic!("honored deadline reported expired"),
+    }
+    assert_eq!(responses[0].completed_ns, 600);
+}
+
+#[test]
+fn past_deadline_requests_are_answered_expired_not_dropped() {
+    let recs = records(6);
+    let mut core = core_over(&recs, ServeConfig::default());
+    core.enqueue(0, recs[0].clone(), recs[1].clone(), 0, 1_000);
+    core.enqueue(1, recs[2].clone(), recs[3].clone(), 0, 1_000_000);
+    // Poll far past the first deadline: both flush (oldest trigger), the
+    // stale one expires, the live one scores.
+    let responses = core.poll(5_000);
+    assert_eq!(responses.len(), 2, "expired requests must still be answered");
+    let by_id: HashMap<u64, &MatchResponse> = responses.iter().map(|r| (r.id, r)).collect();
+    assert_eq!(by_id[&0].outcome, MatchOutcome::Expired);
+    assert!(matches!(by_id[&1].outcome, MatchOutcome::Scored { .. }));
+}
+
+#[test]
+fn served_probabilities_match_predict_within_1e5() {
+    // fastText backbone: the split path factorizes exactly, so batched
+    // serving must reproduce the per-request `predict` probabilities.
+    let recs = records(10);
+    let trained = matcher_over(ModelKind::EmbaFt, &recs, 128);
+    let expected: Vec<f64> = recs
+        .chunks(2)
+        .map(|pair| trained.predict(&pair[0], &pair[1]).prob)
+        .collect();
+    let mut core = ServeCore::new(trained, ServeConfig {
+        max_batch: 5,
+        ..Default::default()
+    })
+    .unwrap();
+    for (k, pair) in recs.chunks(2).enumerate() {
+        core.enqueue(k as u64, pair[0].clone(), pair[1].clone(), 0, 1_000_000);
+    }
+    let responses = core.poll(0);
+    assert_eq!(responses.len(), 5);
+    for resp in responses {
+        let MatchOutcome::Scored { prob, .. } = resp.outcome else {
+            panic!("request {} expired with a huge budget", resp.id);
+        };
+        let want = expected[resp.id as usize];
+        assert!(
+            (f64::from(prob) - want).abs() <= 1e-5,
+            "request {}: served {prob} vs predict {want}",
+            resp.id
+        );
+    }
+}
+
+#[test]
+fn probabilities_are_bit_stable_across_arrival_orders() {
+    // Two fresh cores over identically seeded matchers, the same request
+    // set submitted in opposite orders with different batch splits: every
+    // request's probability must agree bit-for-bit.
+    let recs = records(12);
+    let pairs: Vec<(usize, usize)> = (0..6).map(|k| (2 * k, 2 * k + 1)).collect();
+    let run = |order: Vec<usize>, max_batch: usize| -> HashMap<u64, u32> {
+        let mut core = core_over(
+            &recs,
+            ServeConfig {
+                max_batch,
+                ..Default::default()
+            },
+        );
+        let mut out = HashMap::new();
+        let mut responses = Vec::new();
+        for &k in &order {
+            let (i, j) = pairs[k];
+            core.enqueue(k as u64, recs[i].clone(), recs[j].clone(), 0, u64::MAX);
+            responses.extend(core.poll(0));
+        }
+        responses.extend(core.drain(0));
+        for resp in responses {
+            let MatchOutcome::Scored { prob, .. } = resp.outcome else {
+                panic!("unexpected expiry");
+            };
+            out.insert(resp.id, prob.to_bits());
+        }
+        out
+    };
+    let forward = run((0..6).collect(), 4);
+    let reverse = run((0..6).rev().collect(), 3);
+    assert_eq!(forward.len(), 6);
+    for (id, bits) in &forward {
+        assert_eq!(
+            reverse[id], *bits,
+            "request {id}: probability depends on arrival order"
+        );
+    }
+}
+
+#[test]
+fn cache_is_shared_across_flushes() {
+    let recs = records(4);
+    let mut core = core_over(
+        &recs,
+        ServeConfig {
+            max_batch: 2,
+            cache_capacity: 64,
+            ..Default::default()
+        },
+    );
+    core.enqueue(0, recs[0].clone(), recs[1].clone(), 0, u64::MAX);
+    core.enqueue(1, recs[2].clone(), recs[3].clone(), 0, u64::MAX);
+    assert_eq!(core.poll(0).len(), 2);
+    let cold = core.snapshot();
+    assert_eq!(cold.encodes, 4, "four distinct records encoded cold");
+    // Same records again: every lookup hits, nothing new is encoded.
+    core.enqueue(2, recs[0].clone(), recs[1].clone(), 0, u64::MAX);
+    core.enqueue(3, recs[2].clone(), recs[3].clone(), 0, u64::MAX);
+    assert_eq!(core.poll(0).len(), 2);
+    let warm = core.snapshot();
+    assert_eq!(warm.encodes, 4, "warm flush re-encoded cached records");
+    assert!(warm.cache_hits >= 4, "warm flush should hit the cache");
+    assert!(warm.cache_hit_rate > 0.0);
+}
+
+#[test]
+fn randomized_timelines_answer_every_request_exactly_once() {
+    // Seeded scenario sweep (the vendored proptest has no tuple
+    // strategies; structure comes from a seeded RNG): random budgets,
+    // arrival gaps, and poll times. Invariants: every request is answered
+    // exactly once; Scored ⇒ answered at or before its deadline;
+    // Expired ⇒ answered after it.
+    let recs = records(10);
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0x10ad ^ seed);
+        let mut core = core_over(
+            &recs,
+            ServeConfig {
+                max_batch: 4,
+                ..Default::default()
+            },
+        );
+        let n = rng.gen_range(5..14);
+        let mut now: u64 = 0;
+        let mut deadlines: HashMap<u64, u64> = HashMap::new();
+        let mut answered: HashMap<u64, MatchResponse> = HashMap::new();
+        let mut record_answers = |responses: Vec<MatchResponse>| {
+            for resp in responses {
+                assert!(
+                    answered.insert(resp.id, resp.clone()).is_none(),
+                    "seed {seed}: request {} answered twice",
+                    resp.id
+                );
+            }
+        };
+        for id in 0..n {
+            now += rng.gen_range(0..2_000);
+            let i = rng.gen_range(0..recs.len());
+            let j = rng.gen_range(0..recs.len());
+            let deadline = now + rng.gen_range(0..10_000);
+            deadlines.insert(id, deadline);
+            core.enqueue(id, recs[i].clone(), recs[j].clone(), now, deadline);
+            if rng.gen_bool(0.5) {
+                now += rng.gen_range(0..3_000);
+                record_answers(core.poll(now));
+            }
+        }
+        now += rng.gen_range(0..20_000);
+        record_answers(core.poll(now));
+        record_answers(core.drain(now));
+        assert_eq!(
+            answered.len(),
+            n as usize,
+            "seed {seed}: {} of {n} requests answered",
+            answered.len()
+        );
+        for (id, resp) in &answered {
+            match resp.outcome {
+                MatchOutcome::Scored { .. } => assert!(
+                    resp.completed_ns <= deadlines[id],
+                    "seed {seed}: request {id} scored after its deadline"
+                ),
+                MatchOutcome::Expired => assert!(
+                    resp.completed_ns > deadlines[id],
+                    "seed {seed}: request {id} expired before its deadline"
+                ),
+            }
+        }
+        let snap = core.snapshot();
+        assert_eq!(snap.enqueued, n);
+        assert_eq!(snap.scored + snap.expired, n);
+        assert_eq!(snap.queue_depth, 0);
+    }
+}
+
+#[test]
+fn non_aoa_models_are_rejected_at_construction() {
+    let recs = records(4);
+    let trained = matcher_over(ModelKind::Bert, &recs, 128);
+    match ServeCore::new(trained, ServeConfig::default()) {
+        Err(ServeError::UnsupportedModel) => {}
+        Ok(_) => panic!("JointBERT has no split path; construction must fail"),
+        Err(other) => panic!("wrong error: {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded engine tests
+// ---------------------------------------------------------------------------
+
+/// A scratch directory unique to each test case, removed on drop.
+struct TempDir(std::path::PathBuf);
+impl TempDir {
+    fn new() -> Self {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "emba-serve-load-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn checkpoint_over(recs: &[Record]) -> (Checkpoint, TrainedMatcher) {
+    let trained = matcher_over(ModelKind::EmbaFt, recs, 128);
+    let ckpt = Checkpoint::capture(&trained, ModelKind::EmbaFt, 4);
+    (ckpt, trained)
+}
+
+#[test]
+fn n_clients_under_load_each_answer_exactly_once() {
+    let recs = records(16);
+    let (ckpt, _) = checkpoint_over(&recs);
+    let clock = Arc::new(FakeClock::new());
+    let engine = ServeEngine::start(
+        ckpt,
+        ServeConfig {
+            max_batch: 8,
+            ..Default::default()
+        },
+        clock.clone(),
+    )
+    .unwrap();
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 6;
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let client = engine.client();
+        let recs = recs.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(c as u64);
+            let mut got = Vec::new();
+            for _ in 0..PER_CLIENT {
+                let i = rng.gen_range(0..recs.len());
+                let j = rng.gen_range(0..recs.len());
+                // Huge budget: with the clock frozen nothing can expire.
+                let rx = client.submit(&recs[i], &recs[j], u64::MAX);
+                got.push(rx);
+            }
+            let responses: Vec<MatchResponse> = got
+                .into_iter()
+                .map(|rx| rx.recv_timeout(Duration::from_secs(30)).expect("answered"))
+                .collect();
+            responses
+        }));
+    }
+    let mut all: Vec<MatchResponse> = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("client thread"));
+    }
+    assert_eq!(all.len(), CLIENTS * PER_CLIENT, "every request answered");
+    let mut ids: Vec<u64> = all.iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), CLIENTS * PER_CLIENT, "duplicate answers");
+    assert!(all
+        .iter()
+        .all(|r| matches!(r.outcome, MatchOutcome::Scored { .. })));
+
+    let snap = engine.snapshot().unwrap();
+    assert_eq!(snap.enqueued, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(snap.scored, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(snap.expired, 0);
+    assert_eq!(snap.queue_depth, 0);
+    assert!(snap.peak_queue_depth >= 1);
+    assert!(snap.flushes >= 1);
+    assert_eq!(snap.batch_size.count, snap.flushes);
+    assert_eq!(snap.request_latency.count, snap.scored + snap.expired);
+    assert!(
+        snap.registry.counters.iter().any(|c| c.name == "serve.scored"),
+        "serve.* metrics published on the engine thread"
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn fake_clock_expiry_is_reported_not_dropped() {
+    let recs = records(4);
+    let (ckpt, _) = checkpoint_over(&recs);
+    let clock = Arc::new(FakeClock::new());
+    let engine = ServeEngine::start(ckpt, ServeConfig::default(), clock.clone()).unwrap();
+    let client = engine.client();
+    // Deadline 1000ns from now; advance time far past it before the worker
+    // can accumulate a full batch, so the deadline trigger fires on an
+    // already-dead request.
+    let rx = client.submit(&recs[0], &recs[1], 1_000);
+    clock.advance(10_000);
+    let resp = rx.recv_timeout(Duration::from_secs(30)).expect("answered");
+    assert_eq!(resp.outcome, MatchOutcome::Expired, "stale request must expire");
+    assert!(resp.completed_ns >= resp.enqueued_ns);
+    let snap = engine.snapshot().unwrap();
+    assert_eq!(snap.expired, 1);
+    assert_eq!(snap.scored, 0);
+    engine.shutdown();
+}
+
+#[test]
+fn shutdown_drains_pending_requests() {
+    let recs = records(6);
+    let (ckpt, _) = checkpoint_over(&recs);
+    let clock = Arc::new(FakeClock::new());
+    let engine = ServeEngine::start(
+        ckpt,
+        ServeConfig {
+            max_batch: 100, // never fills
+            ..Default::default()
+        },
+        clock,
+    )
+    .unwrap();
+    let client = engine.client();
+    // Huge budgets and a frozen clock: no trigger will ever fire. Shutdown
+    // must still answer all three.
+    let rxs: Vec<_> = (0..3)
+        .map(|k| client.submit(&recs[2 * k], &recs[2 * k + 1], u64::MAX))
+        .collect();
+    engine.shutdown();
+    for rx in rxs {
+        let resp = rx.recv_timeout(Duration::from_secs(30)).expect("drained at shutdown");
+        assert!(matches!(resp.outcome, MatchOutcome::Scored { .. }));
+    }
+}
+
+#[test]
+fn engine_from_store_serves_the_restored_matcher() {
+    let recs = records(6);
+    let (ckpt, trained) = checkpoint_over(&recs);
+    let tmp = TempDir::new();
+    let mut store = CheckpointStore::open(&tmp.0, 2).unwrap();
+    store.save(&ckpt).unwrap();
+
+    let clock = Arc::new(FakeClock::new());
+    let engine = ServeEngine::from_store(
+        &tmp.0,
+        ServeConfig {
+            max_batch: 1, // flush each request immediately
+            ..Default::default()
+        },
+        clock,
+    )
+    .unwrap();
+    let client = engine.client();
+    let resp = client.score(&recs[0], &recs[1], u64::MAX).expect("engine alive");
+    let MatchOutcome::Scored { prob, .. } = resp.outcome else {
+        panic!("expired with an unbounded budget");
+    };
+    let want = trained.predict(&recs[0], &recs[1]).prob;
+    assert!(
+        (f64::from(prob) - want).abs() <= 1e-5,
+        "restored engine {prob} vs original predict {want}"
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn from_store_without_snapshots_fails_cleanly() {
+    let tmp = TempDir::new();
+    let clock = Arc::new(FakeClock::new());
+    match ServeEngine::from_store(&tmp.0, ServeConfig::default(), clock) {
+        Err(ServeError::NoSnapshot) => {}
+        Ok(_) => panic!("empty store must not start an engine"),
+        Err(other) => panic!("wrong error: {other}"),
+    }
+}

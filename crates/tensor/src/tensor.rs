@@ -536,10 +536,12 @@ impl Tensor {
         assert!(!parts.is_empty(), "concat_rows requires at least one tensor");
         let cols = parts[0].cols;
         let rows = parts.iter().map(|t| t.rows).sum();
-        let mut out = Vec::with_capacity(rows * cols);
+        let mut out = pool::take_uninit(rows * cols);
+        let mut at = 0;
         for t in parts {
             assert_eq!(t.cols, cols, "concat_rows: column mismatch {} vs {cols}", t.cols);
-            out.extend_from_slice(&t.data);
+            out[at..at + t.data.len()].copy_from_slice(&t.data);
+            at += t.data.len();
         }
         Self::from_vec(rows, cols, out)
     }

@@ -154,6 +154,10 @@ pub struct RunSummary {
     /// `None` when the run never matched a catalog.
     #[serde(default)]
     pub catalog: Option<CatalogSummary>,
+    /// Match-serving section (queueing, batching, and deadline statistics
+    /// from `emba-serve`); `None` when the run never served requests.
+    #[serde(default)]
+    pub serve: Option<ServeSummary>,
 }
 
 /// What a catalog-matching pass did and what it cost — the trace-side
@@ -195,6 +199,39 @@ pub struct CatalogSummary {
     pub total_secs: f64,
     /// `scored_pairs / total_secs`.
     pub pairs_per_sec: f64,
+}
+
+/// What a serving session did — the trace-side mirror of `emba-serve`'s
+/// `ServerSnapshot`, attached to [`RunSummary`] when a traced run drives a
+/// serving engine.
+///
+/// In the JSONL schema this lands inside the final `run_summary` line as an
+/// optional `serve` object; summaries written before this field existed
+/// parse with `serve: null`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeSummary {
+    /// Requests accepted onto the queue.
+    pub enqueued: u64,
+    /// Requests answered with a probability.
+    pub scored: u64,
+    /// Requests answered expired (deadline passed while queued).
+    pub expired: u64,
+    /// Batches flushed.
+    pub flushes: u64,
+    /// Backbone record encodes (cache misses actually computed).
+    pub encodes: u64,
+    /// Largest queue depth observed.
+    pub peak_queue_depth: usize,
+    /// Encoding-cache hits across all requests.
+    pub cache_hits: u64,
+    /// Encoding-cache misses.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`.
+    pub cache_hit_rate: f64,
+    /// Distribution of flush batch sizes.
+    pub batch_size: metrics::HistogramSummary,
+    /// Per-request enqueue→answer latency, nanoseconds.
+    pub request_latency: metrics::HistogramSummary,
 }
 
 /// Hooks into a training run. Every method has a no-op default, so observers
@@ -450,6 +487,7 @@ pub struct SummaryBuilder {
     profile_ops: Vec<OpRow>,
     phase_timers: Vec<PhaseRow>,
     catalog: Option<CatalogSummary>,
+    serve: Option<ServeSummary>,
 }
 
 impl SummaryBuilder {
@@ -473,6 +511,7 @@ impl SummaryBuilder {
             profile_ops: Vec::new(),
             phase_timers: Vec::new(),
             catalog: None,
+            serve: None,
         }
     }
 
@@ -487,6 +526,12 @@ impl SummaryBuilder {
     /// when a run matches several catalogs).
     pub fn record_catalog(&mut self, catalog: CatalogSummary) {
         self.catalog = Some(catalog);
+    }
+
+    /// Attaches a serving section to the summary (last write wins when a
+    /// run snapshots the engine several times — pass the final snapshot).
+    pub fn record_serve(&mut self, serve: ServeSummary) {
+        self.serve = Some(serve);
     }
 
     /// Finalizes the aggregate.
@@ -525,6 +570,7 @@ impl SummaryBuilder {
             profile_ops: self.profile_ops.clone(),
             phase_timers: self.phase_timers.clone(),
             catalog: self.catalog.clone(),
+            serve: self.serve.clone(),
         }
     }
 }
@@ -600,6 +646,12 @@ impl TraceSession {
     /// [`SummaryBuilder::record_catalog`]).
     pub fn record_catalog(&mut self, catalog: CatalogSummary) {
         self.summary.record_catalog(catalog);
+    }
+
+    /// Attaches a serving section to the final summary line (see
+    /// [`SummaryBuilder::record_serve`]).
+    pub fn record_serve(&mut self, serve: ServeSummary) {
+        self.summary.record_serve(serve);
     }
 
     /// Builds the final summary, writes it as the last JSONL line, and
@@ -1034,5 +1086,50 @@ mod tests {
         };
         let old = RunSummary::from_value(&stripped).unwrap();
         assert!(old.catalog.is_none());
+    }
+
+    #[test]
+    fn serve_section_round_trips_and_old_summaries_still_parse() {
+        let mut b = SummaryBuilder::new();
+        drive(&mut b);
+        let mut batch = metrics::Histogram::log_spaced(1.0, 2.0, 12);
+        batch.record(8.0);
+        batch.record(32.0);
+        let mut lat = metrics::Histogram::latency_ns();
+        lat.record(50_000.0);
+        lat.record(2_000_000.0);
+        b.record_serve(ServeSummary {
+            enqueued: 400,
+            scored: 390,
+            expired: 10,
+            flushes: 25,
+            encodes: 120,
+            peak_queue_depth: 48,
+            cache_hits: 680,
+            cache_misses: 120,
+            cache_hit_rate: 680.0 / 800.0,
+            batch_size: batch.summary("serve.batch_size"),
+            request_latency: lat.summary("serve.request_ns"),
+        });
+        let s = b.finish();
+        let serve = s.serve.as_ref().expect("serve section recorded");
+        assert_eq!(serve.scored + serve.expired, serve.enqueued);
+
+        let v = s.to_value();
+        let back = RunSummary::from_value(&v).unwrap();
+        let serve = back.serve.expect("serve section survives a round trip");
+        assert_eq!(serve.flushes, 25);
+        assert_eq!(serve.batch_size.count, 2);
+        assert!(serve.request_latency.p50 <= serve.request_latency.p99);
+
+        // A summary written before the serve field existed still parses.
+        let stripped = match v {
+            Value::Object(fields) => Value::Object(
+                fields.into_iter().filter(|(k, _)| k != "serve").collect(),
+            ),
+            other => panic!("summary serialized to a non-object: {other:?}"),
+        };
+        let old = RunSummary::from_value(&stripped).unwrap();
+        assert!(old.serve.is_none());
     }
 }

@@ -70,3 +70,22 @@ assert report["cache_hit_rate"] > 0.0, "encoding cache never hit"
 assert report["encodes_per_pair"] < report["max_encodes_per_pair"]
 assert report["speedup_vs_per_pair"] >= report["required_speedup"]
 PY
+
+# Serving smoke: a tiny concurrent load run through the emba-serve engine.
+# Every submitted request must be answered (none dropped, none expired
+# under the generous bench budget) and the served probabilities must match
+# per-request predict within the 1e-5 ceiling; the target exits non-zero if
+# any gate fails. The speedup floor is only enforced on quick/full — the
+# smoke workload is too small to time meaningfully. Writes to results/tier1/
+# so the committed quick-profile BENCH_serve.json is not clobbered.
+cargo run --release -p emba-bench --bin reproduce -- \
+    bench-serve --profile smoke --out results/tier1
+python3 - <<'PY'
+import json
+report = json.load(open("results/tier1/BENCH_serve.json"))
+assert report["pass"], "BENCH_serve.json records a failed gate"
+assert report["answered"] == report["requests"], "requests were dropped"
+assert report["expired"] == 0, "requests expired under the bench budget"
+assert report["max_abs_dprob"] <= report["max_allowed_dprob"]
+assert report["latency_p99_ns"] > 0.0, "latency histogram is empty"
+PY

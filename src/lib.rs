@@ -11,6 +11,7 @@
 //! | [`tokenizer`] | `emba-tokenizer` | WordPiece + record serialization |
 //! | [`datagen`] | `emba-datagen` | the ten synthetic benchmark datasets |
 //! | [`core`] | `emba-core` | EMBA + every baseline, training, metrics, stats |
+//! | [`serve`] | `emba-serve` | long-lived match serving: request coalescing + deadlines |
 //! | [`explain`] | `emba-explain` | LIME and attention analyses |
 //! | [`trace`] | `emba-trace` | training-run observability: JSONL logs + summaries |
 //!
@@ -31,6 +32,7 @@ pub use emba_core as core;
 pub use emba_datagen as datagen;
 pub use emba_explain as explain;
 pub use emba_nn as nn;
+pub use emba_serve as serve;
 pub use emba_tensor as tensor;
 pub use emba_tokenizer as tokenizer;
 pub use emba_trace as trace;
