@@ -12,9 +12,9 @@ use std::fs;
 use std::path::PathBuf;
 
 use emba_bench::{
-    bench_batch, bench_blocking, bench_serve, bench_tensor_kernels, crash_run, figure5, figure6,
-    profile_run, render_table2, render_table3, render_table4, render_table5, table1, table2_data,
-    table4_data, table6, table7, trace_run, Artifact, Profile,
+    bench_batch, bench_blocking, bench_faults, bench_serve, bench_tensor_kernels, crash_run,
+    figure5, figure6, profile_run, render_table2, render_table3, render_table4, render_table5,
+    table1, table2_data, table4_data, table6, table7, trace_run, Artifact, Profile,
 };
 
 fn main() {
@@ -167,6 +167,16 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if wants("serve-faults") {
+        let (artifact, failures) = bench_faults(&profile);
+        emit(artifact);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("serve-faults gate failed: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
     if wants("trace") {
         let name = flag_value(&args, "--trace-name")
             .unwrap_or_else(|| format!("trace-{}", profile.name));
@@ -290,6 +300,14 @@ TARGETS (default: all):
              all-requests-answered, served-vs-predict equivalence, and —
              on quick/full — the speedup floor. Not part of `all` — run
              as `reproduce bench-serve --profile smoke`
+    serve-faults
+             overload and fault-injection harness for the serving engine:
+             deterministic goodput simulation at 1-10x offered load plus
+             injected flush panics, NaN weights, poison records, and a 10x
+             admission burst (BENCH_faults.json), gated on exactly-once
+             answers, queue bounds, post-fault recovery, and goodput under
+             overload ≥ 50% of the no-overload baseline. Not part of
+             `all` — run as `reproduce serve-faults --profile smoke`
     trace    one observed training run with the non-finite guard on; writes
              the event log to results/runs/<name>.jsonl and validates it.
              Not part of `all` — run as `reproduce trace --profile smoke`

@@ -1,0 +1,641 @@
+//! Overload and fault-injection harness for the `reproduce serve-faults`
+//! target.
+//!
+//! Two halves, one artifact (`BENCH_faults.json`):
+//!
+//! **Goodput under overload** — a deterministic event-driven simulation of
+//! [`ServeCore`] under offered load at 1×, 2×, 5×, and 10× a sustainable
+//! base rate. Time is virtual: arrivals land on a fixed grid and each
+//! flush charges an explicit cost model (a per-flush overhead plus a
+//! per-scored-pair cost), so the numbers are bit-reproducible across
+//! machines — the experiment measures the *shed policy*, not the host CPU.
+//! The gates assert graceful degradation: every request answered exactly
+//! once, the queue bound respected, and goodput (scored requests per
+//! simulated second) at every overload multiplier ≥ 50% of the no-overload
+//! baseline — overload must saturate the engine, not collapse it into
+//! all-expired.
+//!
+//! **Fault injection** — the threaded [`ServeEngine`] with panics injected
+//! into three consecutive flushes (the worker must fail those requests,
+//! quarantine, restart from its retained checkpoint, and answer again), a
+//! 10× admission burst against a frozen clock (queue must bound, the rest
+//! reject), NaN-corrupted weights (requests fail with a reason, the engine
+//! stays live), and poison records (empty, enormous, non-UTF-8-ish — all
+//! must be answered, none may kill the worker).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::profile::Profile;
+use crate::tables::Artifact;
+use emba_core::{Checkpoint, ModelKind, PipelineConfig, TextPipeline, TrainedMatcher};
+use emba_datagen::Record;
+use emba_serve::{
+    FakeClock, MatchOutcome, RecoverySource, ServeConfig, ServeCore, ServeEngine,
+};
+use emba_tensor::Tensor;
+use emba_tokenizer::{TrainConfig, WordPieceTokenizer};
+
+/// Goodput at every overload multiplier must stay above this fraction of
+/// the no-overload baseline.
+pub const MIN_GOODPUT_RATIO: f64 = 0.5;
+
+/// Offered-load multipliers over the sustainable base rate.
+pub const MULTIPLIERS: [u64; 4] = [1, 2, 5, 10];
+
+/// Virtual cost charged per flush (graph setup, grouped launch overhead).
+const PER_FLUSH_NS: u64 = 2_000_000;
+/// Virtual cost charged per scored pair in a flush.
+const PER_PAIR_NS: u64 = 1_000_000;
+/// Base inter-arrival gap. At max_batch 16 a full flush costs
+/// 2ms + 16·1ms = 18ms for 16 requests (~1.1ms each), so a 4ms gap offers
+/// ~28% of capacity — comfortably sustainable at 1×, saturating past ~4×.
+const BASE_GAP_NS: u64 = 4_000_000;
+/// Per-request deadline budget in the simulation.
+const SIM_BUDGET_NS: u64 = 200_000_000;
+
+const SIM_MAX_BATCH: usize = 16;
+const SIM_QUEUE_DEPTH: usize = 64;
+const SIM_HIGH_WATER: usize = 48;
+
+fn sim_requests(profile: &Profile) -> u64 {
+    match profile.name {
+        "smoke" => 240,
+        "quick" => 480,
+        _ => 960,
+    }
+}
+
+fn record_from_seed(seed: u64) -> Record {
+    const WORDS: &[&str] = &[
+        "samsung", "sandisk", "evo", "ultra", "ssd", "card", "128gb", "1tb", "sata", "nvme",
+        "pro", "extreme", "drive", "internal", "memory", "retail",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..8);
+    let title: Vec<&str> = (0..n).map(|_| WORDS[rng.gen_range(0..WORDS.len())]).collect();
+    Record::new(vec![
+        ("title", title.join(" ")),
+        ("code", format!("mz{}", rng.gen_range(100..9999))),
+    ])
+}
+
+fn matcher_over(records: &[Record]) -> TrainedMatcher {
+    let corpus: Vec<String> = records.iter().map(|r| r.text()).collect();
+    let refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+    let tok = WordPieceTokenizer::train(
+        &refs,
+        &TrainConfig {
+            vocab_size: 512,
+            min_pair_freq: 2,
+        },
+    );
+    let pipeline = TextPipeline::from_tokenizer(
+        tok,
+        PipelineConfig {
+            vocab_size: 512,
+            max_len: 128,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = ModelKind::EmbaFt.build(&pipeline, 4, 0.5, 0.1, &mut rng);
+    TrainedMatcher {
+        pipeline,
+        model,
+        dropout: 0.1,
+        pos_fraction: 0.5,
+    }
+}
+
+/// One overload level's simulated outcome.
+#[derive(Debug, Serialize)]
+pub struct OverloadPoint {
+    /// Offered-load multiplier over the base rate.
+    pub multiplier: u64,
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests scored before their deadline.
+    pub scored: u64,
+    /// Requests answered expired.
+    pub expired: u64,
+    /// Requests shed at admission (queue full).
+    pub rejected: u64,
+    /// Requests shed by the high-water deadline policy.
+    pub shed: u64,
+    /// Largest queue depth observed.
+    pub peak_queue_depth: usize,
+    /// Simulated wall time, seconds.
+    pub sim_secs: f64,
+    /// Scored requests per simulated second.
+    pub goodput: f64,
+    /// `goodput / goodput(1×)`.
+    pub goodput_ratio: f64,
+}
+
+/// Event-driven simulation of one offered-load level. Virtual time: the
+/// next event is whichever comes first of the next arrival or the core's
+/// own flush trigger; each executed flush advances the clock by the cost
+/// model. Returns the point plus any invariant violations.
+fn simulate_overload(
+    ckpt: &Checkpoint,
+    records: &[Record],
+    n: u64,
+    multiplier: u64,
+    failures: &mut Vec<String>,
+) -> OverloadPoint {
+    let trained = ckpt.restore().expect("checkpoint restores");
+    let mut core = ServeCore::new(
+        trained,
+        ServeConfig {
+            max_batch: SIM_MAX_BATCH,
+            cache_capacity: 4 * records.len(),
+            max_queue_depth: SIM_QUEUE_DEPTH,
+            shed_high_water: SIM_HIGH_WATER,
+            ..Default::default()
+        },
+    )
+    .expect("EmbaFt has the split scoring path");
+
+    let gap = (BASE_GAP_NS / multiplier).max(1);
+    let mut rng = StdRng::seed_from_u64(0xfa11 + multiplier);
+    let mut answered: HashSet<u64> = HashSet::new();
+    let mut peak = 0usize;
+    let mut now: u64 = 0;
+    let mut next_id: u64 = 0;
+    let mut record_answers = |responses: Vec<emba_serve::MatchResponse>,
+                              answered: &mut HashSet<u64>| {
+        for resp in responses {
+            if !answered.insert(resp.id) {
+                failures.push(format!(
+                    "{multiplier}x: request {} answered more than once",
+                    resp.id
+                ));
+            }
+        }
+    };
+
+    while next_id < n || core.queue_depth() > 0 {
+        let next_arrival = (next_id < n).then_some(next_id * gap);
+        let next_flush = core.next_flush_at().map(|at| at.max(now));
+        // Arrivals win ties so a full-batch flush always sees the request
+        // that filled it.
+        let arrival_due =
+            matches!((next_arrival, next_flush), (Some(a), Some(f)) if a <= f)
+                || (next_arrival.is_some() && next_flush.is_none());
+        if arrival_due {
+            let at = next_arrival.expect("arrival_due implies an arrival");
+            now = now.max(at);
+            let i = rng.gen_range(0..records.len());
+            let j = rng.gen_range(0..records.len());
+            let admission = core.enqueue(
+                next_id,
+                records[i].clone(),
+                records[j].clone(),
+                now,
+                now + SIM_BUDGET_NS,
+            );
+            next_id += 1;
+            record_answers(admission, &mut answered);
+        } else if let Some(at) = next_flush {
+            now = now.max(at);
+            let responses = core.flush_if_due(now);
+            let live = responses
+                .iter()
+                .filter(|r| matches!(r.outcome, MatchOutcome::Scored { .. }))
+                .count() as u64;
+            // Expired requests shed at flush time cost nothing — that is
+            // the point of shedding before the encode stage.
+            now += PER_FLUSH_NS + PER_PAIR_NS * live;
+            record_answers(responses, &mut answered);
+        } else {
+            break; // nothing offered, nothing queued
+        }
+        peak = peak.max(core.queue_depth());
+    }
+    record_answers(core.drain(now), &mut answered);
+
+    if answered.len() as u64 != n {
+        failures.push(format!(
+            "{multiplier}x: {} of {n} requests answered",
+            answered.len()
+        ));
+    }
+    if peak > SIM_QUEUE_DEPTH {
+        failures.push(format!(
+            "{multiplier}x: queue depth peaked at {peak}, above the {SIM_QUEUE_DEPTH} bound"
+        ));
+    }
+    let snap = core.snapshot();
+    if snap.failed > 0 {
+        failures.push(format!(
+            "{multiplier}x: {} requests failed in a fault-free simulation",
+            snap.failed
+        ));
+    }
+    let sim_secs = (now as f64 / 1e9).max(f64::MIN_POSITIVE);
+    let goodput = snap.scored as f64 / sim_secs;
+    OverloadPoint {
+        multiplier,
+        offered: n,
+        scored: snap.scored,
+        expired: snap.expired,
+        rejected: snap.rejected,
+        shed: snap.shed,
+        peak_queue_depth: snap.peak_queue_depth,
+        sim_secs,
+        goodput,
+        goodput_ratio: 0.0, // filled in once the 1× baseline is known
+    }
+}
+
+/// Outcome of the threaded fault-injection section.
+#[derive(Debug, Serialize)]
+pub struct FaultReport {
+    /// Requests submitted across the panic phase.
+    pub panic_phase_requests: usize,
+    /// Requests failed by the three injected flush panics.
+    pub panic_failures: u64,
+    /// Matcher restarts the worker performed to heal them.
+    pub restarts: u64,
+    /// Whether the engine scored a request after the last injected panic.
+    pub recovered: bool,
+    /// Cache entries quarantined by the faulted flushes.
+    pub cache_quarantines: u64,
+    /// Requests in the admission burst (10× the queue bound).
+    pub burst_requests: usize,
+    /// Burst requests rejected at admission.
+    pub burst_rejected: usize,
+    /// Largest queue depth during the burst.
+    pub burst_peak_depth: usize,
+    /// Requests answered `Failed("non-finite probability")` under
+    /// NaN-corrupted weights.
+    pub nan_failures: u64,
+    /// Poison records submitted (empty / enormous / non-UTF-8-ish attrs).
+    pub poison_requests: usize,
+    /// Poison requests answered (scored or failed — never dropped).
+    pub poison_answered: usize,
+}
+
+/// Injected flush panics print nothing: scoped to the serving thread so
+/// harness output stays readable.
+fn quiet_serve_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if std::thread::current().name() != Some("emba-serve") {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn run_fault_section(
+    ckpt: &Checkpoint,
+    records: &[Record],
+    failures: &mut Vec<String>,
+) -> FaultReport {
+    quiet_serve_panics();
+
+    // --- Panics in three consecutive flushes, then recovery. ---------------
+    let clock = Arc::new(FakeClock::new());
+    let engine = ServeEngine::start_with_fault(
+        ckpt.clone(),
+        ServeConfig {
+            max_batch: 1,
+            restart_backoff_ns: 1_000,
+            restart_backoff_max_ns: 100_000,
+            ..ServeConfig::default()
+        },
+        clock.clone(),
+        Box::new(|flush| {
+            if (2..=4).contains(&flush) {
+                panic!("injected fault in flush {flush}");
+            }
+        }),
+    )
+    .expect("engine starts");
+    let client = engine.client();
+    let panic_phase_requests = 6;
+    let mut outcomes = Vec::new();
+    for k in 0..panic_phase_requests {
+        // The same pair every time: flush 1 caches its encodings, so the
+        // panicking flush 2 has resident entries to quarantine.
+        match client.score(&records[0], &records[1], u64::MAX) {
+            Some(resp) => outcomes.push(resp.outcome),
+            None => failures.push(format!("engine died on request {k} of the panic phase")),
+        }
+        clock.advance(10_000_000);
+    }
+    let panic_failures = outcomes
+        .iter()
+        .filter(|o| matches!(o, MatchOutcome::Failed(_)))
+        .count() as u64;
+    let recovered = matches!(outcomes.last(), Some(MatchOutcome::Scored { .. }));
+    if panic_failures != 3 {
+        failures.push(format!(
+            "expected exactly 3 failed requests from 3 injected panics, saw {panic_failures}"
+        ));
+    }
+    if !recovered {
+        failures.push("engine did not score again after the injected panics".to_string());
+    }
+    let snap = engine.snapshot().expect("engine alive after faults");
+    if snap.restarts < 3 {
+        failures.push(format!(
+            "worker restarted {} times; three healed panics need ≥ 3",
+            snap.restarts
+        ));
+    }
+    if snap.degraded {
+        failures.push("engine still degraded after recovery".to_string());
+    }
+    let restarts = snap.restarts;
+    let cache_quarantines = snap.cache_quarantines;
+    engine.shutdown();
+
+    // --- 10× admission burst against a frozen clock. -----------------------
+    const DEPTH: usize = 16;
+    let clock = Arc::new(FakeClock::new());
+    let engine = ServeEngine::start(
+        ckpt.clone(),
+        ServeConfig {
+            max_batch: 100,
+            max_queue_depth: DEPTH,
+            shed_high_water: 0,
+            ..ServeConfig::default()
+        },
+        clock.clone(),
+    )
+    .expect("engine starts");
+    let client = engine.client();
+    let mut rng = StdRng::seed_from_u64(7);
+    let burst_requests = 10 * DEPTH;
+    let rxs: Vec<_> = (0..burst_requests)
+        .map(|_| {
+            let i = rng.gen_range(0..records.len());
+            let j = rng.gen_range(0..records.len());
+            client.submit(&records[i], &records[j], 1_000_000)
+        })
+        .collect();
+    // The snapshot queues behind the burst, so afterwards every request was
+    // admitted or rejected at frozen time.
+    let mid = engine.snapshot().expect("engine alive mid-burst");
+    for _ in 0..10 {
+        clock.advance(600_000);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut burst_rejected = 0usize;
+    let mut burst_answered = 0usize;
+    for rx in rxs {
+        match rx.recv_timeout(Duration::from_secs(60)) {
+            Ok(resp) => {
+                burst_answered += 1;
+                if resp.outcome == MatchOutcome::Rejected {
+                    burst_rejected += 1;
+                }
+            }
+            Err(_) => failures.push("burst request never answered".to_string()),
+        }
+    }
+    if burst_answered != burst_requests {
+        failures.push(format!(
+            "{burst_answered} of {burst_requests} burst requests answered"
+        ));
+    }
+    if burst_rejected == 0 {
+        failures.push("10x burst tripped no admission rejections".to_string());
+    }
+    let snap = engine.snapshot().expect("engine alive after burst");
+    if snap.peak_queue_depth > DEPTH {
+        failures.push(format!(
+            "burst queue depth peaked at {}, above the {DEPTH} bound",
+            snap.peak_queue_depth
+        ));
+    }
+    let burst_peak_depth = snap.peak_queue_depth.max(mid.peak_queue_depth);
+    engine.shutdown();
+
+    // --- NaN weights: requests fail with a reason, engine stays live. ------
+    let mut bad = ckpt.clone();
+    bad.params = bad
+        .params
+        .iter()
+        .map(|t| Tensor::from_vec(t.rows(), t.cols(), vec![f32::NAN; t.rows() * t.cols()]))
+        .collect();
+    let trained = bad.restore().expect("NaN weights still restore");
+    let mut core = ServeCore::new(trained, ServeConfig::default())
+        .expect("NaN weights must not fail construction");
+    let mut nan_failures = 0u64;
+    for k in 0..4u64 {
+        let i = (2 * k as usize) % records.len();
+        let j = (2 * k as usize + 1) % records.len();
+        core.enqueue(k, records[i].clone(), records[j].clone(), 0, u64::MAX);
+    }
+    for resp in core.drain(0) {
+        match resp.outcome {
+            MatchOutcome::Failed(reason) if reason.contains("non-finite") => nan_failures += 1,
+            other => failures.push(format!(
+                "NaN weights produced {other:?} instead of a non-finite failure"
+            )),
+        }
+    }
+    if core.degraded() {
+        failures.push("NaN weights must not trigger the restart loop".to_string());
+    }
+
+    // --- Poison records: answered, never fatal. ----------------------------
+    let trained = ckpt.restore().expect("checkpoint restores");
+    let mut core = ServeCore::new(
+        trained,
+        ServeConfig {
+            max_batch: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("core starts");
+    core.set_recovery(RecoverySource::Checkpoint(Box::new(ckpt.clone())));
+    let poison = vec![
+        Record::new(Vec::<(&str, String)>::new()),
+        Record::new(vec![("title", String::new())]),
+        Record::new(vec![("title", "x".repeat(1 << 16))]),
+        Record::new(vec![(
+            "title",
+            String::from_utf8_lossy(&[0xff, 0xfe, 0x00, 0x01, 0xef]).into_owned(),
+        )]),
+        Record::new(vec![("\u{0}\u{1}", "\u{7f}\u{80}".to_string())]),
+    ];
+    let poison_requests = poison.len();
+    let mut poison_answered = 0usize;
+    for (k, rec) in poison.into_iter().enumerate() {
+        core.enqueue(k as u64, rec, records[k % records.len()].clone(), 0, u64::MAX);
+        let responses = core.poll(0);
+        poison_answered += responses.len();
+        for resp in responses {
+            if !matches!(
+                resp.outcome,
+                MatchOutcome::Scored { .. } | MatchOutcome::Failed(_)
+            ) {
+                failures.push(format!(
+                    "poison record {k} answered {:?}",
+                    resp.outcome
+                ));
+            }
+        }
+    }
+    if poison_answered != poison_requests {
+        failures.push(format!(
+            "{poison_answered} of {poison_requests} poison requests answered"
+        ));
+    }
+    // Whatever the poison did, a clean pair must still score.
+    core.enqueue(99, records[0].clone(), records[1].clone(), u64::MAX / 2, u64::MAX);
+    let responses = core.poll(u64::MAX / 2);
+    if !responses
+        .iter()
+        .any(|r| matches!(r.outcome, MatchOutcome::Scored { .. }))
+    {
+        failures.push("engine dead after poison records".to_string());
+    }
+
+    FaultReport {
+        panic_phase_requests,
+        panic_failures,
+        restarts,
+        recovered,
+        cache_quarantines,
+        burst_requests,
+        burst_rejected,
+        burst_peak_depth,
+        nan_failures,
+        poison_requests,
+        poison_answered,
+    }
+}
+
+/// Runs the overload simulation and the fault-injection section; returns
+/// the artifact and any gate failures (non-empty → the `reproduce` binary
+/// exits non-zero).
+pub fn bench_faults(profile: &Profile) -> (Artifact, Vec<String>) {
+    let records: Vec<Record> = (0..24).map(record_from_seed).collect();
+    let ckpt = Checkpoint::capture(&matcher_over(&records), ModelKind::EmbaFt, 4);
+    let n = sim_requests(profile);
+    let mut failures: Vec<String> = Vec::new();
+
+    let mut points: Vec<OverloadPoint> = MULTIPLIERS
+        .iter()
+        .map(|&m| simulate_overload(&ckpt, &records, n, m, &mut failures))
+        .collect();
+    let baseline = points[0].goodput.max(f64::MIN_POSITIVE);
+    for p in &mut points {
+        p.goodput_ratio = p.goodput / baseline;
+        if p.multiplier > 1 && p.goodput_ratio < MIN_GOODPUT_RATIO {
+            failures.push(format!(
+                "goodput at {}x offered load is {:.2} of the 1x baseline, below the \
+                 {MIN_GOODPUT_RATIO} floor — overload collapsed instead of degrading",
+                p.multiplier, p.goodput_ratio
+            ));
+        }
+    }
+
+    let faults = run_fault_section(&ckpt, &records, &mut failures);
+
+    let mut text = String::from(
+        "BENCH_faults — overload shedding and worker-fault recovery\n\
+         deterministic ServeCore simulation (virtual cost model: \
+         2ms/flush + 1ms/scored pair, 4ms base arrival gap)\n\n\
+         offered   scored  expired  rejected  shed  peak_q  goodput/s  vs 1x\n",
+    );
+    for p in &points {
+        text.push_str(&format!(
+            "{:>4}x {:>6} {:>7} {:>8} {:>9} {:>5} {:>7} {:>10.1} {:>6.2}\n",
+            p.multiplier,
+            p.offered,
+            p.scored,
+            p.expired,
+            p.rejected,
+            p.shed,
+            p.peak_queue_depth,
+            p.goodput,
+            p.goodput_ratio,
+        ));
+    }
+    text.push_str(&format!(
+        "\nfault injection (threaded engine):\n\
+         \x20 3 consecutive flush panics: {} requests failed, {} restarts, \
+         recovered={}, {} cache entries quarantined\n\
+         \x20 10x admission burst: {}/{} rejected, peak queue depth {} \
+         (bound 16)\n\
+         \x20 NaN weights: {} requests failed non-finite, engine live\n\
+         \x20 poison records: {}/{} answered, engine live\n",
+        faults.panic_failures,
+        faults.restarts,
+        faults.recovered,
+        faults.cache_quarantines,
+        faults.burst_rejected,
+        faults.burst_requests,
+        faults.burst_peak_depth,
+        faults.nan_failures,
+        faults.poison_answered,
+        faults.poison_requests,
+    ));
+    if failures.is_empty() {
+        text.push_str(&format!(
+            "gate: exactly-once answers, queue bounds, goodput ≥ {MIN_GOODPUT_RATIO} \
+             of baseline under overload, recovery after 3 panics — PASS\n"
+        ));
+    } else {
+        for f in &failures {
+            text.push_str(&format!("gate FAILURE: {f}\n"));
+        }
+    }
+
+    #[derive(Serialize)]
+    struct Report {
+        description: &'static str,
+        profile: &'static str,
+        sim_requests: u64,
+        sim_max_batch: usize,
+        sim_queue_depth: usize,
+        sim_high_water: usize,
+        per_flush_ns: u64,
+        per_pair_ns: u64,
+        base_gap_ns: u64,
+        budget_ns: u64,
+        min_goodput_ratio: f64,
+        overload: Vec<OverloadPoint>,
+        faults: FaultReport,
+        gate_failures: Vec<String>,
+    }
+    let report = Report {
+        description: "emba-serve overload shedding and fault recovery: deterministic \
+                      goodput simulation plus injected panics, NaN weights, poison \
+                      records, and a 10x admission burst",
+        profile: profile.name,
+        sim_requests: n,
+        sim_max_batch: SIM_MAX_BATCH,
+        sim_queue_depth: SIM_QUEUE_DEPTH,
+        sim_high_water: SIM_HIGH_WATER,
+        per_flush_ns: PER_FLUSH_NS,
+        per_pair_ns: PER_PAIR_NS,
+        base_gap_ns: BASE_GAP_NS,
+        budget_ns: SIM_BUDGET_NS,
+        min_goodput_ratio: MIN_GOODPUT_RATIO,
+        overload: points,
+        faults,
+        gate_failures: failures.clone(),
+    };
+    let artifact = Artifact {
+        id: "BENCH_faults",
+        text,
+        json: serde_json::to_value(&report).expect("serialize fault report"),
+    };
+    (artifact, failures)
+}

@@ -8,6 +8,7 @@
 pub mod batch_bench;
 pub mod blocking_bench;
 pub mod crash;
+pub mod fault_bench;
 pub mod kernel_bench;
 pub mod prof_run;
 pub mod profile;
@@ -21,6 +22,7 @@ pub use blocking_bench::{
     bench_blocking, MAX_ENCODES_PER_PAIR, REQUIRED_RECALL, REQUIRED_SPEEDUP,
 };
 pub use crash::{crash_run, CrashOutcome};
+pub use fault_bench::{bench_faults, FaultReport, OverloadPoint, MIN_GOODPUT_RATIO, MULTIPLIERS};
 pub use kernel_bench::bench_tensor_kernels;
 pub use prof_run::{profile_run, ProfOutcome};
 pub use profile::Profile;

@@ -200,6 +200,7 @@ pub fn bench_serve(profile: &Profile) -> (Artifact, Vec<String>) {
             cache_capacity: (2 * records.len()).max(4096),
             threshold: 0.5,
             profile: false,
+            ..ServeConfig::default()
         };
         let engine = ServeEngine::start(checkpoint, cfg, clock).expect("EmbaFt engine starts");
 

@@ -72,6 +72,7 @@ pub struct EncodingCache {
     misses: u64,
     inserts: u64,
     rotations: u64,
+    quarantines: u64,
     /// Counter values as of the last [`EncodingCache::publish_metrics`]
     /// call, so repeated publishes add only the delta since the previous
     /// one and the registry's counters stay equal to the lifetime totals.
@@ -84,6 +85,7 @@ struct PublishedCounters {
     misses: u64,
     inserts: u64,
     rotations: u64,
+    quarantines: u64,
 }
 
 impl EncodingCache {
@@ -99,6 +101,7 @@ impl EncodingCache {
             misses: 0,
             inserts: 0,
             rotations: 0,
+            quarantines: 0,
             published: PublishedCounters::default(),
         }
     }
@@ -182,6 +185,28 @@ impl EncodingCache {
         self.rotations
     }
 
+    /// Evicts a suspect entry from both generations, whatever its recency —
+    /// the quarantine hook for callers that discover an encoding may be
+    /// poisoned (a panicking or non-finite scoring pass over it). Returns
+    /// whether the key was resident. Quarantined keys re-encode from
+    /// scratch on their next lookup, so a corrupt cached tensor can never
+    /// outlive the fault that exposed it.
+    pub fn quarantine(&mut self, key: u64) -> bool {
+        let in_current = self.current.remove(&key).is_some();
+        let in_previous = self.previous.remove(&key).is_some();
+        if in_current || in_previous {
+            self.quarantines += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Entries evicted through [`EncodingCache::quarantine`].
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
     /// `hits / (hits + misses)`, or 0 before any lookup.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -208,11 +233,16 @@ impl EncodingCache {
             "catalog.cache.rotations",
             self.rotations - self.published.rotations,
         );
+        metrics::counter_add(
+            "catalog.cache.quarantines",
+            self.quarantines - self.published.quarantines,
+        );
         self.published = PublishedCounters {
             hits: self.hits,
             misses: self.misses,
             inserts: self.inserts,
             rotations: self.rotations,
+            quarantines: self.quarantines,
         };
     }
 }
@@ -309,6 +339,21 @@ mod tests {
         }
         assert!(!c.contains(1), "stale entry must be evicted");
         assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn quarantine_evicts_from_both_generations() {
+        let mut c = EncodingCache::new(4); // generations of 2
+        c.insert(1, t(1.0));
+        c.insert(2, t(2.0)); // rotation: {1,2} -> previous
+        c.insert(3, t(3.0)); // current {3}
+        assert!(c.quarantine(1), "previous-generation entry evicted");
+        assert!(c.quarantine(3), "current-generation entry evicted");
+        assert!(!c.quarantine(99), "absent key is not a quarantine");
+        assert!(!c.contains(1));
+        assert!(!c.contains(3));
+        assert!(c.get(1).is_none(), "quarantined key must miss");
+        assert_eq!(c.quarantines(), 2);
     }
 
     #[test]

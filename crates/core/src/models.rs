@@ -588,7 +588,22 @@ impl Matcher for TransformerMatcher {
         let out = attention_over_attention_batch(g, e1, &g1, e2, &g2);
         let logits = self.match_head.forward(g, stamp, out.pooled); // [B, 1]
         let v = g.value(logits);
-        Some((0..pairs.len()).map(|r| sigmoid(v.get(r, 0))).collect())
+        // Non-finite guard: sigmoid saturates ±∞ to a confident 0.0/1.0, so
+        // corrupted weights (NaN/Inf anywhere upstream) could otherwise leak
+        // out as plausible-looking probabilities. Surface them as NaN so the
+        // serving boundary can fail the request instead of answering it.
+        Some(
+            (0..pairs.len())
+                .map(|r| {
+                    let z = v.get(r, 0);
+                    if z.is_finite() {
+                        sigmoid(z)
+                    } else {
+                        f32::NAN
+                    }
+                })
+                .collect(),
+        )
     }
 
     fn name(&self) -> &str {

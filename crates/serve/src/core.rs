@@ -32,11 +32,52 @@
 //! batched encoder and scorer are bit-identical across batch compositions
 //! (pinned by the PR-6 tests), so a request's probability does not depend
 //! on queue arrival order or on which batch it lands in.
+//!
+//! # Admission control and load shedding
+//!
+//! The queue is bounded. Three shed layers keep overload from collapsing
+//! into all-expired answers (see DESIGN.md §6i for the policy rationale):
+//!
+//! - **admission** — a request arriving at a full queue
+//!   (`pending ≥ max_queue_depth`) is answered [`MatchOutcome::Rejected`]
+//!   immediately, before it costs anything. Bounded queue ⇒ bounded memory
+//!   and bounded worst-case wait.
+//! - **high water** — when the queue exceeds `shed_high_water`, the
+//!   requests with the **least remaining deadline budget** are shed first
+//!   (also answered `Rejected`). Those are exactly the requests most likely
+//!   to expire before service anyway, so the engine spends its compute on
+//!   requests that can still make their deadlines — goodput degrades
+//!   gracefully instead of the whole queue aging past its deadlines.
+//! - **flush** — requests whose deadline has already passed are answered
+//!   [`MatchOutcome::Expired`] before the encode stage, paying zero
+//!   backbone work.
+//!
+//! # Worker supervision
+//!
+//! The scoring stage of every flush runs under [`std::panic::catch_unwind`].
+//! A panic (poison record, corrupted state, injected fault) fails **only
+//! that flush's live requests** — each is answered
+//! [`MatchOutcome::Failed`] with the panic reason — and the batch's cache
+//! entries are quarantined, since the fault may have been theirs. The core
+//! then enters a **degraded** state: the matcher is suspect, so no further
+//! scoring happens until it has been restored from the retained
+//! [`RecoverySource`] (the startup checkpoint, or the newest valid store
+//! snapshot). Restarts are retried with capped exponential backoff on the
+//! caller's clock; while degraded, flushes still shed expired requests so
+//! accounting never stalls, and live requests wait for the restart.
+//! Non-finite probabilities (NaN weights) are cheaper faults: the request
+//! is answered `Failed("non-finite probability")` and its cache entries
+//! quarantined, but the matcher is not restarted — a checkpoint that
+//! produces NaN would reproduce it after every restore.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::time::Instant;
 
-use emba_core::{record_content_hash, EncodingCache, TrainedMatcher};
+use emba_core::{
+    record_content_hash, Checkpoint, CheckpointStore, EncodingCache, TrainedMatcher,
+};
 use emba_datagen::Record;
 use emba_nn::GraphStamp;
 use emba_tensor::{Graph, Tensor};
@@ -58,6 +99,23 @@ pub struct ServeConfig {
     /// Enable the op-level profiler ([`emba_tensor::prof`]) on the serving
     /// thread; phase totals land in [`ServerSnapshot::profile_phases`].
     pub profile: bool,
+    /// Hard queue bound: a request arriving while `pending` is at this
+    /// depth is answered [`MatchOutcome::Rejected`] at admission. `0`
+    /// disables the bound (not recommended for long-lived servers).
+    pub max_queue_depth: usize,
+    /// Deadline-aware shed threshold: when the queue exceeds this depth,
+    /// the requests with the least remaining deadline budget are shed
+    /// (answered `Rejected`) until the queue is back at the mark. `0`
+    /// disables high-water shedding; must be ≤ `max_queue_depth` to ever
+    /// fire.
+    pub shed_high_water: usize,
+    /// Initial delay before a degraded core attempts a matcher restart, in
+    /// clock nanoseconds. Doubles after every panic or failed restart, up
+    /// to [`ServeConfig::restart_backoff_max_ns`]; resets after a clean
+    /// flush.
+    pub restart_backoff_ns: u64,
+    /// Ceiling on the restart backoff.
+    pub restart_backoff_max_ns: u64,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +125,10 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             threshold: 0.5,
             profile: false,
+            max_queue_depth: 1024,
+            shed_high_water: 768,
+            restart_backoff_ns: 1_000_000,         // 1 ms
+            restart_backoff_max_ns: 1_000_000_000, // 1 s
         }
     }
 }
@@ -74,7 +136,7 @@ impl Default for ServeConfig {
 /// How one request ended. (In-process only — the serializable serving
 /// artifact is [`ServerSnapshot`]; the vendored serde stub has no
 /// struct-variant support anyway.)
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MatchOutcome {
     /// The pair was scored before its deadline.
     Scored {
@@ -87,6 +149,14 @@ pub enum MatchOutcome {
     /// scored. Expired requests are still answered — never silently
     /// dropped.
     Expired,
+    /// Shed by admission control: the queue was full when the request
+    /// arrived, or the request was the deadline-shed victim of a queue over
+    /// its high-water mark. The pair was not scored and cost no compute.
+    Rejected,
+    /// The flush serving this request faulted (panic or non-finite
+    /// probability); the reason is inside. The engine stays live — a
+    /// `Failed` answer never implies later requests will fail.
+    Failed(String),
 }
 
 /// The answer to one request. Every enqueued request produces exactly one.
@@ -94,15 +164,56 @@ pub enum MatchOutcome {
 pub struct MatchResponse {
     /// The id assigned at enqueue.
     pub id: u64,
-    /// Scored or expired.
+    /// Scored, expired, rejected, or failed.
     pub outcome: MatchOutcome,
     /// When the request entered the queue (clock ns).
     pub enqueued_ns: u64,
-    /// When the flush answering it ran (clock ns).
+    /// When the flush answering it ran (clock ns). Shed responses are
+    /// answered at admission time; their `completed_ns` equals the shed
+    /// decision's timestamp.
     pub completed_ns: u64,
-    /// Requests drained by that flush (including this one).
+    /// Requests drained by the flush that answered this one (including this
+    /// one); `0` for responses answered outside a flush (shed, degraded
+    /// expiry).
     pub batch_size: usize,
 }
+
+/// Where a degraded core re-restores its matcher from. The engine retains
+/// whatever it started from, so a worker fault can be healed in place
+/// without losing the queue.
+pub enum RecoverySource {
+    /// The in-memory checkpoint the engine started with.
+    Checkpoint(Box<Checkpoint>),
+    /// A [`CheckpointStore`] directory; each restore re-reads the newest
+    /// valid snapshot, so a restart can pick up a checkpoint written after
+    /// the engine came up.
+    Store(PathBuf),
+}
+
+impl RecoverySource {
+    /// Restores a matcher from this source.
+    pub fn restore(&self) -> Result<TrainedMatcher, ServeError> {
+        match self {
+            RecoverySource::Checkpoint(ckpt) => ckpt
+                .restore()
+                .map_err(|e| ServeError::Restore(e.to_string())),
+            RecoverySource::Store(dir) => {
+                let store = CheckpointStore::open(dir, 1)?;
+                let (_seq, checkpoint) = store
+                    .load_latest::<Checkpoint>(|_, _| {})?
+                    .ok_or(ServeError::NoSnapshot)?;
+                checkpoint
+                    .restore()
+                    .map_err(|e| ServeError::Restore(e.to_string()))
+            }
+        }
+    }
+}
+
+/// A fault hook injected into the scoring stage: called with the flush
+/// ordinal (1-based) inside the supervised region, so a panicking hook
+/// exercises exactly the recovery path a real scoring panic would.
+pub type FlushFault = Box<dyn FnMut(u64) + Send>;
 
 /// One queued request: content hashes are computed at enqueue, but the
 /// records are kept raw — tokenization is deferred to the flush and only
@@ -129,12 +240,25 @@ impl Pending {
 /// Point-in-time serving statistics, serializable into bench artifacts.
 #[derive(Debug, Clone, Serialize)]
 pub struct ServerSnapshot {
-    /// Requests accepted.
+    /// Requests accepted onto the queue (shed-at-admission not included).
     pub enqueued: u64,
     /// Requests answered with a probability.
     pub scored: u64,
     /// Requests answered expired.
     pub expired: u64,
+    /// Requests shed at admission (queue full on arrival).
+    pub rejected: u64,
+    /// Requests shed by the deadline-aware high-water policy.
+    pub shed: u64,
+    /// Requests answered [`MatchOutcome::Failed`] (flush panic or
+    /// non-finite probability).
+    pub failed: u64,
+    /// Successful matcher restarts after a fault.
+    pub restarts: u64,
+    /// Whether the matcher is currently suspect (awaiting restart). A
+    /// degraded engine still answers: expired requests shed immediately,
+    /// live ones wait for the restart.
+    pub degraded: bool,
     /// Flushes run (including empty drains at shutdown: none).
     pub flushes: u64,
     /// Backbone record encodes (cache misses actually computed).
@@ -143,6 +267,11 @@ pub struct ServerSnapshot {
     pub queue_depth: usize,
     /// Largest queue depth observed.
     pub peak_queue_depth: usize,
+    /// Reply routes held by the engine worker (in-flight requests not yet
+    /// answered). Always `0` for a bare [`ServeCore`]; the threaded engine
+    /// fills it in, and it must return to `0` once every answer is
+    /// delivered — a leak here would pin reply channels forever.
+    pub routes_depth: usize,
     /// Encoding-cache lookups that hit.
     pub cache_hits: u64,
     /// Encoding-cache lookups that missed.
@@ -151,9 +280,13 @@ pub struct ServerSnapshot {
     pub cache_hit_rate: f64,
     /// Encodings resident in the cache.
     pub cache_resident: usize,
+    /// Cache entries evicted by fault quarantine.
+    pub cache_quarantines: u64,
     /// Distribution of flush batch sizes.
     pub batch_size: HistogramSummary,
-    /// Per-request enqueue→answer latency (clock ns).
+    /// Per-request enqueue→answer latency (clock ns) for requests that
+    /// reached a flush (scored, expired, or failed — shed responses are
+    /// answered at admission and excluded).
     pub request_latency: HistogramSummary,
     /// The serving thread's full metrics registry (`serve.*` plus the
     /// cache's `catalog.cache.*`).
@@ -184,11 +317,46 @@ pub struct ServeCore {
     enqueued: u64,
     scored: u64,
     expired: u64,
+    rejected: u64,
+    shed: u64,
+    failed: u64,
     flushes: u64,
     encodes: u64,
+    restarts: u64,
     peak_queue_depth: usize,
+    /// The matcher faulted (a scoring panic) and has not been restored yet.
+    suspect: bool,
+    /// Current restart delay; doubles per fault up to the configured cap.
+    backoff_ns: u64,
+    /// Earliest clock instant a restart may be attempted.
+    next_restart_ns: u64,
+    recovery: Option<RecoverySource>,
+    flush_fault: Option<FlushFault>,
     batch_sizes: Histogram,
     latency: Histogram,
+}
+
+/// Whether this matcher exposes the split scoring path, probed with a
+/// one-token record — the same check construction and every restart use, so
+/// a healed engine is as validated as a fresh one.
+fn probes_split_path(trained: &TrainedMatcher) -> bool {
+    let g = Graph::new();
+    let probe = trained
+        .model
+        .encode_records_standalone(&g, GraphStamp::next(), &[&[0usize][..]]);
+    g.recycle();
+    probe.is_some()
+}
+
+/// Best-effort human-readable reason from a caught panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl ServeCore {
@@ -199,15 +367,11 @@ impl ServeCore {
     /// one-token record so a long-lived server cannot pass construction and
     /// then panic on its first request.
     pub fn new(trained: TrainedMatcher, cfg: ServeConfig) -> Result<Self, ServeError> {
-        let g = Graph::new();
-        let probe = trained
-            .model
-            .encode_records_standalone(&g, GraphStamp::next(), &[&[0usize][..]]);
-        g.recycle();
-        if probe.is_none() {
+        if !probes_split_path(&trained) {
             return Err(ServeError::UnsupportedModel);
         }
         let cache = EncodingCache::new(cfg.cache_capacity);
+        let backoff_ns = cfg.restart_backoff_ns.max(1);
         Ok(Self {
             trained,
             cfg,
@@ -216,14 +380,38 @@ impl ServeCore {
             enqueued: 0,
             scored: 0,
             expired: 0,
+            rejected: 0,
+            shed: 0,
+            failed: 0,
             flushes: 0,
             encodes: 0,
+            restarts: 0,
             peak_queue_depth: 0,
+            suspect: false,
+            backoff_ns,
+            next_restart_ns: 0,
+            recovery: None,
+            flush_fault: None,
             // Batch sizes are small integers; ×2 buckets from 1 cover up to
             // 2048 before overflow.
             batch_sizes: Histogram::log_spaced(1.0, 2.0, 12),
             latency: Histogram::latency_ns(),
         })
+    }
+
+    /// Retains a recovery source so a faulted matcher can be restored in
+    /// place. Without one, a scoring panic leaves the core degraded until
+    /// [`ServeCore::drain`] fails whatever is still queued.
+    pub fn set_recovery(&mut self, recovery: RecoverySource) {
+        self.recovery = Some(recovery);
+    }
+
+    /// Installs a fault hook called inside the supervised scoring region of
+    /// every flush with live requests — the injection point for the fault
+    /// harness (`reproduce serve-faults`). A hook that panics exercises the
+    /// exact recovery path a real scoring panic would.
+    pub fn set_flush_fault(&mut self, fault: FlushFault) {
+        self.flush_fault = Some(fault);
     }
 
     /// The serving configuration.
@@ -236,11 +424,22 @@ impl ServeCore {
         self.pending.len()
     }
 
+    /// Whether the matcher is suspect and awaiting a restart.
+    pub fn degraded(&self) -> bool {
+        self.suspect
+    }
+
     /// Accepts one request: hashes both records' content and queues them
     /// under `id`, taking ownership of the records (the flush tokenizes
     /// them only on cache misses). The caller owns id assignment (the
     /// engine uses a counter) and must stamp `deadline_ns` on the same
     /// clock as every `now_ns`.
+    ///
+    /// Returns the responses admission control produced synchronously:
+    /// empty in the common case, a [`MatchOutcome::Rejected`] answer for
+    /// this request if the queue was full, and/or `Rejected` answers for
+    /// the least-budget victims shed when the queue crossed its high-water
+    /// mark (this request may itself be among the victims).
     pub fn enqueue(
         &mut self,
         id: u64,
@@ -248,7 +447,18 @@ impl ServeCore {
         right: Record,
         now_ns: u64,
         deadline_ns: u64,
-    ) {
+    ) -> Vec<MatchResponse> {
+        if self.cfg.max_queue_depth > 0 && self.pending.len() >= self.cfg.max_queue_depth {
+            self.rejected += 1;
+            metrics::counter_add("serve.shed.admission", 1);
+            return vec![MatchResponse {
+                id,
+                outcome: MatchOutcome::Rejected,
+                enqueued_ns: now_ns,
+                completed_ns: now_ns,
+                batch_size: 0,
+            }];
+        }
         self.pending.push_back(Pending {
             id,
             left_key: record_content_hash(&left),
@@ -261,7 +471,37 @@ impl ServeCore {
         self.enqueued += 1;
         self.peak_queue_depth = self.peak_queue_depth.max(self.pending.len());
         metrics::counter_add("serve.enqueued", 1);
+
+        // High-water shed: drop the requests with the least remaining
+        // budget first — they are the most likely to expire before service
+        // anyway, so shedding them preserves goodput for the rest.
+        let mut out = Vec::new();
+        if self.cfg.shed_high_water > 0 {
+            while self.pending.len() > self.cfg.shed_high_water {
+                let victim_idx = self
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, p)| p.deadline_ns.saturating_sub(now_ns))
+                    .map(|(i, _)| i)
+                    .expect("queue above high water is non-empty");
+                let victim = self
+                    .pending
+                    .remove(victim_idx)
+                    .expect("victim index in bounds");
+                self.shed += 1;
+                metrics::counter_add("serve.shed.deadline", 1);
+                out.push(MatchResponse {
+                    id: victim.id,
+                    outcome: MatchOutcome::Rejected,
+                    enqueued_ns: victim.enqueued_ns,
+                    completed_ns: now_ns,
+                    batch_size: 0,
+                });
+            }
+        }
         metrics::gauge_set("serve.queue_depth", self.pending.len() as f64);
+        out
     }
 
     /// When the next flush is due (clock ns), or `None` with nothing
@@ -280,28 +520,172 @@ impl ServeCore {
     }
 
     /// Runs every flush due at `now_ns` and returns the answers, in batch
-    /// order. Returns an empty vec when no trigger has fired.
+    /// order. Returns an empty vec when no trigger has fired. A degraded
+    /// core first attempts its restart (if the backoff allows) and sheds
+    /// only expired requests — live ones stay queued for the healed
+    /// matcher.
     pub fn poll(&mut self, now_ns: u64) -> Vec<MatchResponse> {
+        if self.suspect {
+            self.try_restart(now_ns);
+        }
         let mut out = Vec::new();
         while self.flush_due(now_ns) {
+            let before = self.pending.len();
             out.extend(self.flush(now_ns));
+            if self.pending.len() == before {
+                // Degraded and nothing left to shed: the queue is waiting
+                // on a restart, not on another flush pass.
+                break;
+            }
         }
         out
+    }
+
+    /// Runs at most one flush if a trigger has fired — the stepping
+    /// primitive for simulations that charge a time cost per flush.
+    pub fn flush_if_due(&mut self, now_ns: u64) -> Vec<MatchResponse> {
+        if self.flush_due(now_ns) {
+            self.flush(now_ns)
+        } else {
+            Vec::new()
+        }
     }
 
     /// Flushes everything still pending regardless of triggers — the
     /// shutdown path, guaranteeing every accepted request gets its answer.
+    /// A degraded core gets one restart attempt per pass (ignoring the
+    /// backoff schedule — shutdown cannot wait); if the matcher still
+    /// cannot be restored, the remainder is answered `Failed`/`Expired`
+    /// rather than left hanging.
     pub fn drain(&mut self, now_ns: u64) -> Vec<MatchResponse> {
         let mut out = Vec::new();
         while !self.pending.is_empty() {
+            if self.suspect {
+                self.next_restart_ns = now_ns;
+                self.try_restart(now_ns);
+                if self.suspect {
+                    out.extend(self.fail_all_pending(now_ns));
+                    break;
+                }
+            }
             out.extend(self.flush(now_ns));
         }
         out
     }
 
+    /// Answers every queued request without scoring: past-deadline ones
+    /// expire, the rest fail with a shutdown reason. Only reachable when a
+    /// degraded core could not be restored during [`ServeCore::drain`].
+    fn fail_all_pending(&mut self, now_ns: u64) -> Vec<MatchResponse> {
+        let pending: Vec<Pending> = self.pending.drain(..).collect();
+        metrics::gauge_set("serve.queue_depth", 0.0);
+        pending
+            .into_iter()
+            .map(|req| {
+                let lat = now_ns.saturating_sub(req.enqueued_ns);
+                self.latency.record(lat as f64);
+                metrics::observe_ns("serve.request_ns", lat);
+                let outcome = if now_ns > req.deadline_ns {
+                    self.expired += 1;
+                    metrics::counter_add("serve.expired", 1);
+                    MatchOutcome::Expired
+                } else {
+                    self.failed += 1;
+                    metrics::counter_add("serve.failed", 1);
+                    MatchOutcome::Failed("shutting down while degraded".to_string())
+                };
+                MatchResponse {
+                    id: req.id,
+                    outcome,
+                    enqueued_ns: req.enqueued_ns,
+                    completed_ns: now_ns,
+                    batch_size: 0,
+                }
+            })
+            .collect()
+    }
+
+    /// Attempts to restore the matcher from the recovery source. Gated on
+    /// the backoff schedule; a failed (or panicking) restore doubles the
+    /// backoff up to the configured cap.
+    fn try_restart(&mut self, now_ns: u64) {
+        if !self.suspect || now_ns < self.next_restart_ns {
+            return;
+        }
+        let Some(recovery) = self.recovery.as_ref() else {
+            return; // nothing to restore from; drain() will fail the queue
+        };
+        let restored =
+            std::panic::catch_unwind(AssertUnwindSafe(|| recovery.restore()));
+        match restored {
+            Ok(Ok(trained)) if probes_split_path(&trained) => {
+                self.trained = trained;
+                self.suspect = false;
+                self.restarts += 1;
+                metrics::counter_add("serve.restarts", 1);
+                metrics::gauge_set("serve.degraded", 0.0);
+            }
+            _ => {
+                self.next_restart_ns = now_ns.saturating_add(self.backoff_ns);
+                self.backoff_ns = self
+                    .backoff_ns
+                    .saturating_mul(2)
+                    .min(self.cfg.restart_backoff_max_ns.max(1));
+            }
+        }
+    }
+
+    /// Marks the matcher suspect after a fault and schedules the next
+    /// restart attempt on the capped exponential backoff.
+    fn enter_degraded(&mut self, now_ns: u64) {
+        self.suspect = true;
+        metrics::gauge_set("serve.degraded", 1.0);
+        self.next_restart_ns = now_ns.saturating_add(self.backoff_ns);
+        self.backoff_ns = self
+            .backoff_ns
+            .saturating_mul(2)
+            .min(self.cfg.restart_backoff_max_ns.max(1));
+    }
+
+    /// Sheds every already-expired request from the queue without touching
+    /// the matcher — the degraded-mode flush, and the cheapest possible
+    /// answer for a request that can no longer be served in time.
+    fn expire_overdue(&mut self, now_ns: u64) -> Vec<MatchResponse> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if now_ns > self.pending[i].deadline_ns {
+                let req = self.pending.remove(i).expect("index in bounds");
+                self.expired += 1;
+                metrics::counter_add("serve.expired", 1);
+                let lat = now_ns.saturating_sub(req.enqueued_ns);
+                self.latency.record(lat as f64);
+                metrics::observe_ns("serve.request_ns", lat);
+                out.push(MatchResponse {
+                    id: req.id,
+                    outcome: MatchOutcome::Expired,
+                    enqueued_ns: req.enqueued_ns,
+                    completed_ns: now_ns,
+                    batch_size: 0,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        metrics::gauge_set("serve.queue_depth", self.pending.len() as f64);
+        out
+    }
+
     /// Drains up to `max_batch` requests and answers each one: expired
-    /// requests immediately, live ones through the cached encode-once path.
+    /// requests immediately, live ones through the cached encode-once path
+    /// under panic supervision.
     fn flush(&mut self, now_ns: u64) -> Vec<MatchResponse> {
+        if self.suspect {
+            self.try_restart(now_ns);
+            if self.suspect {
+                return self.expire_overdue(now_ns);
+            }
+        }
         let take = self.pending.len().min(self.cfg.max_batch.max(1));
         if take == 0 {
             return Vec::new();
@@ -312,6 +696,8 @@ impl ServeCore {
         metrics::gauge_set("serve.queue_depth", self.pending.len() as f64);
         self.batch_sizes.record(take as f64);
 
+        // Shed-at-flush: answer already-expired requests before the encode
+        // stage so they cost zero backbone work.
         let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
         let mut responses: Vec<MatchResponse> = Vec::with_capacity(batch.len());
         for req in batch {
@@ -335,16 +721,84 @@ impl ServeCore {
             return responses;
         }
 
-        // Resolve each batch-unique record: cache hits reuse the resident
-        // tensor without even tokenizing; misses are tokenized here and
-        // encoded below in a single grouped call (the grouped kernels
-        // handle mixed lengths, so there is nothing to bucket).
+        // The supervised region: tokenize + encode + score may panic on
+        // poison input or corrupted state. A panic must fail only this
+        // flush, never the engine.
+        let scored = std::panic::catch_unwind(AssertUnwindSafe(|| self.score_live(&live)));
+        match scored {
+            Ok(probs) => {
+                self.backoff_ns = self.cfg.restart_backoff_ns.max(1);
+                for (req, prob) in live.into_iter().zip(probs) {
+                    let lat = now_ns.saturating_sub(req.enqueued_ns);
+                    self.latency.record(lat as f64);
+                    metrics::observe_ns("serve.request_ns", lat);
+                    let outcome = if prob.is_finite() {
+                        self.scored += 1;
+                        metrics::counter_add("serve.scored", 1);
+                        MatchOutcome::Scored {
+                            prob,
+                            is_match: prob >= self.cfg.threshold,
+                        }
+                    } else {
+                        // Never hand a NaN/Inf probability to a client; the
+                        // pair's cached encodings are suspect too.
+                        self.failed += 1;
+                        metrics::counter_add("serve.failed", 1);
+                        self.cache.quarantine(req.left_key);
+                        self.cache.quarantine(req.right_key);
+                        MatchOutcome::Failed("non-finite probability".to_string())
+                    };
+                    responses.push(MatchResponse {
+                        id: req.id,
+                        outcome,
+                        enqueued_ns: req.enqueued_ns,
+                        completed_ns: now_ns,
+                        batch_size: take,
+                    });
+                }
+            }
+            Err(payload) => {
+                let reason = panic_reason(payload.as_ref());
+                self.failed += live.len() as u64;
+                metrics::counter_add("serve.failed", live.len() as u64);
+                for req in live {
+                    // The fault may have been any of this batch's cached
+                    // encodings: quarantine them all so nothing poisoned
+                    // outlives the flush that exposed it.
+                    self.cache.quarantine(req.left_key);
+                    self.cache.quarantine(req.right_key);
+                    let lat = now_ns.saturating_sub(req.enqueued_ns);
+                    self.latency.record(lat as f64);
+                    metrics::observe_ns("serve.request_ns", lat);
+                    responses.push(MatchResponse {
+                        id: req.id,
+                        outcome: MatchOutcome::Failed(format!("panic during flush: {reason}")),
+                        enqueued_ns: req.enqueued_ns,
+                        completed_ns: now_ns,
+                        batch_size: take,
+                    });
+                }
+                self.enter_degraded(now_ns);
+            }
+        }
+        responses
+    }
+
+    /// The fallible compute of one flush: resolve encodings (cache hits
+    /// reuse the resident tensor without tokenizing; misses are tokenized
+    /// and encoded in one grouped call) and score every live pair in one
+    /// grouped call. Runs inside `catch_unwind` — anything here may panic
+    /// without killing the engine.
+    fn score_live(&mut self, live: &[Pending]) -> Vec<f32> {
+        if let Some(fault) = self.flush_fault.as_mut() {
+            fault(self.flushes);
+        }
         let stage = Instant::now();
         let mut encodings: HashMap<u64, Tensor> = HashMap::new();
         let mut miss_keys: Vec<u64> = Vec::new();
         let mut miss_ids: Vec<Vec<usize>> = Vec::new();
         let mut queued: HashSet<u64> = HashSet::new();
-        for req in &live {
+        for req in live {
             for (key, rec) in [(req.left_key, &req.left), (req.right_key, &req.right)] {
                 if encodings.contains_key(&key) || queued.contains(&key) {
                     continue;
@@ -371,7 +825,12 @@ impl ServeCore {
                 .expect("ServeCore::new verified the split scoring path");
             g.recycle();
             for (enc, &key) in encs.into_iter().zip(&miss_keys) {
-                self.cache.insert(key, enc.clone());
+                // A non-finite encoding (NaN weights) must not enter the
+                // cache — the pair still scores (and fails the non-finite
+                // guard), but nothing poisoned becomes resident.
+                if enc.data().iter().all(|v| v.is_finite()) {
+                    self.cache.insert(key, enc.clone());
+                }
                 encodings.insert(key, enc);
             }
             self.encodes += miss_keys.len() as u64;
@@ -395,24 +854,7 @@ impl ServeCore {
             .expect("ServeCore::new verified the split scoring path");
         g.recycle();
         metrics::observe_ns("serve.score_batch_ns", stage.elapsed().as_nanos() as u64);
-
-        for (req, prob) in live.into_iter().zip(probs) {
-            self.scored += 1;
-            metrics::counter_add("serve.scored", 1);
-            self.latency.record(now_ns.saturating_sub(req.enqueued_ns) as f64);
-            metrics::observe_ns("serve.request_ns", now_ns.saturating_sub(req.enqueued_ns));
-            responses.push(MatchResponse {
-                id: req.id,
-                outcome: MatchOutcome::Scored {
-                    prob,
-                    is_match: prob >= self.cfg.threshold,
-                },
-                enqueued_ns: req.enqueued_ns,
-                completed_ns: now_ns,
-                batch_size: take,
-            });
-        }
-        responses
+        probs
     }
 
     /// Current statistics. Publishes the cache's metrics (delta-safe — see
@@ -421,6 +863,7 @@ impl ServeCore {
     pub fn snapshot(&mut self) -> ServerSnapshot {
         self.cache.publish_metrics();
         metrics::gauge_set("serve.queue_depth", self.pending.len() as f64);
+        metrics::gauge_set("serve.degraded", if self.suspect { 1.0 } else { 0.0 });
         let profile_phases = if self.cfg.profile {
             emba_tensor::prof::report()
                 .phases
@@ -438,14 +881,21 @@ impl ServeCore {
             enqueued: self.enqueued,
             scored: self.scored,
             expired: self.expired,
+            rejected: self.rejected,
+            shed: self.shed,
+            failed: self.failed,
+            restarts: self.restarts,
+            degraded: self.suspect,
             flushes: self.flushes,
             encodes: self.encodes,
             queue_depth: self.pending.len(),
             peak_queue_depth: self.peak_queue_depth,
+            routes_depth: 0,
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_hit_rate: self.cache.hit_rate(),
             cache_resident: self.cache.len(),
+            cache_quarantines: self.cache.quarantines(),
             batch_size: self.batch_sizes.summary("serve.batch_size"),
             request_latency: self.latency.summary("serve.request_ns"),
             registry: metrics::snapshot(),

@@ -8,6 +8,12 @@
 //! reply channel, so responses route straight back to the submitting
 //! client with no shared result map.
 //!
+//! The worker retains its [`RecoverySource`] — the startup checkpoint, or
+//! the store directory it booted from — so a scoring panic is healed in
+//! place: the core marks the matcher suspect, the next poll past the
+//! backoff re-restores it, and the queue survives the fault. See the
+//! supervision notes on [`ServeCore`].
+//!
 //! The worker alternates between receiving control messages and polling
 //! the core: every message is followed by a poll, and when requests are
 //! pending the receive blocks at most [`IDLE_TICK`] so deadline-triggered
@@ -22,11 +28,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use emba_core::{Checkpoint, CheckpointStore};
+use emba_core::Checkpoint;
 use emba_datagen::Record;
 
 use crate::clock::Clock;
-use crate::core::{MatchResponse, ServeConfig, ServeCore, ServerSnapshot};
+use crate::core::{
+    FlushFault, MatchResponse, RecoverySource, ServeConfig, ServeCore, ServerSnapshot,
+};
 use crate::error::ServeError;
 
 /// Longest the worker sleeps while requests are pending. Real time, even
@@ -55,11 +63,63 @@ pub struct ServeEngine {
 impl ServeEngine {
     /// Starts an engine from an in-memory checkpoint. Blocks until the
     /// worker thread has restored the matcher and validated the split
-    /// scoring path, so a returned engine is ready to score.
+    /// scoring path, so a returned engine is ready to score. The checkpoint
+    /// is retained as the worker's recovery source.
     pub fn start(
         checkpoint: Checkpoint,
         cfg: ServeConfig,
         clock: Arc<dyn Clock>,
+    ) -> Result<Self, ServeError> {
+        Self::start_inner(
+            RecoverySource::Checkpoint(Box::new(checkpoint)),
+            cfg,
+            clock,
+            None,
+        )
+    }
+
+    /// [`ServeEngine::start`] with a fault hook injected into the
+    /// supervised scoring region of every flush — the entry point for the
+    /// fault harness (`reproduce serve-faults`) and the supervision tests.
+    pub fn start_with_fault(
+        checkpoint: Checkpoint,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+        fault: FlushFault,
+    ) -> Result<Self, ServeError> {
+        Self::start_inner(
+            RecoverySource::Checkpoint(Box::new(checkpoint)),
+            cfg,
+            clock,
+            Some(fault),
+        )
+    }
+
+    /// Starts an engine from the newest valid snapshot in a
+    /// [`CheckpointStore`](emba_core::CheckpointStore) directory. Corrupt
+    /// snapshots are skipped exactly as in training resume;
+    /// [`ServeError::NoSnapshot`] means nothing in the directory was
+    /// loadable. The directory is retained as the recovery source, so a
+    /// post-fault restart re-reads the newest snapshot — including one
+    /// written after the engine came up.
+    pub fn from_store(
+        dir: impl AsRef<std::path::Path>,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, ServeError> {
+        Self::start_inner(
+            RecoverySource::Store(dir.as_ref().to_path_buf()),
+            cfg,
+            clock,
+            None,
+        )
+    }
+
+    fn start_inner(
+        recovery: RecoverySource,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+        fault: Option<FlushFault>,
     ) -> Result<Self, ServeError> {
         let (tx, rx) = mpsc::channel::<EngineMsg>();
         let (ready_tx, ready_rx) = mpsc::channel::<Result<(), ServeError>>();
@@ -72,10 +132,14 @@ impl ServeEngine {
                     emba_tensor::prof::reset();
                     emba_tensor::prof::enable(true);
                 }
-                let core = checkpoint
-                    .restore()
-                    .map_err(|e| ServeError::Restore(e.to_string()))
-                    .and_then(|trained| ServeCore::new(trained, cfg));
+                let core = recovery.restore().and_then(|trained| {
+                    let mut core = ServeCore::new(trained, cfg)?;
+                    core.set_recovery(recovery);
+                    if let Some(fault) = fault {
+                        core.set_flush_fault(fault);
+                    }
+                    Ok(core)
+                });
                 match core {
                     Ok(core) => {
                         let _ = ready_tx.send(Ok(()));
@@ -86,7 +150,7 @@ impl ServeEngine {
                     }
                 }
             })
-            .expect("spawn serving thread");
+            .map_err(|e| ServeError::Spawn(e.to_string()))?;
         match ready_rx.recv() {
             Ok(Ok(())) => Ok(Self {
                 tx,
@@ -104,22 +168,6 @@ impl ServeEngine {
         }
     }
 
-    /// Starts an engine from the newest valid snapshot in a
-    /// [`CheckpointStore`] directory. Corrupt snapshots are skipped exactly
-    /// as in training resume; [`ServeError::NoSnapshot`] means nothing in
-    /// the directory was loadable.
-    pub fn from_store(
-        dir: impl AsRef<std::path::Path>,
-        cfg: ServeConfig,
-        clock: Arc<dyn Clock>,
-    ) -> Result<Self, ServeError> {
-        let store = CheckpointStore::open(dir, 1)?;
-        let (_seq, checkpoint) = store
-            .load_latest::<Checkpoint>(|_, _| {})?
-            .ok_or(ServeError::NoSnapshot)?;
-        Self::start(checkpoint, cfg, clock)
-    }
-
     /// A new in-process client of this engine.
     pub fn client(&self) -> ServeClient {
         ServeClient {
@@ -130,7 +178,8 @@ impl ServeEngine {
 
     /// Current serving statistics, gathered on the worker thread (the
     /// metrics registry is thread-local, so only the worker can read the
-    /// `serve.*` section).
+    /// `serve.*` section). [`ServerSnapshot::routes_depth`] is filled in
+    /// with the worker's live reply-route count.
     pub fn snapshot(&self) -> Result<ServerSnapshot, ServeError> {
         let (tx, rx) = mpsc::channel();
         self.tx
@@ -206,20 +255,24 @@ fn run_worker(mut core: ServeCore, rx: Receiver<EngineMsg>, clock: Arc<dyn Clock
                    responses: Vec<MatchResponse>| {
         for resp in responses {
             if let Some(reply) = routes.remove(&resp.id) {
-                // A dropped receiver just means the client stopped
-                // listening; the engine's accounting already answered.
+                // A dropped receiver shows up as a SendError here; the
+                // route entry is already removed above, so a hung-up client
+                // leaves nothing behind. The engine's accounting answered
+                // either way.
                 let _ = reply.send(resp);
             }
         }
     };
     loop {
-        let msg = if core.queue_depth() == 0 {
-            // Nothing pending: nothing to flush, so block until a message.
+        let msg = if core.queue_depth() == 0 && !core.degraded() {
+            // Nothing pending and nothing to heal: block until a message.
             match rx.recv() {
                 Ok(msg) => Some(msg),
                 Err(_) => break, // every sender dropped
             }
         } else {
+            // Pending requests need deadline ticks; a degraded core needs
+            // ticks to retry its restart once the backoff elapses.
             match rx.recv_timeout(IDLE_TICK) {
                 Ok(msg) => Some(msg),
                 Err(RecvTimeoutError::Timeout) => None,
@@ -236,10 +289,15 @@ fn run_worker(mut core: ServeCore, rx: Receiver<EngineMsg>, clock: Arc<dyn Clock
                 let id = next_id;
                 next_id += 1;
                 routes.insert(id, reply);
-                core.enqueue(id, left, right, clock.now_ns(), deadline_ns);
+                // Admission control may answer synchronously: a Rejected
+                // for this request (queue full) and/or for shed victims.
+                let admission = core.enqueue(id, left, right, clock.now_ns(), deadline_ns);
+                deliver(&mut routes, admission);
             }
             Some(EngineMsg::Snapshot(tx)) => {
-                let _ = tx.send(core.snapshot());
+                let mut snap = core.snapshot();
+                snap.routes_depth = routes.len();
+                let _ = tx.send(snap);
             }
             Some(EngineMsg::Shutdown) => break,
             None => {}
@@ -261,10 +319,13 @@ fn run_worker(mut core: ServeCore, rx: Receiver<EngineMsg>, clock: Arc<dyn Clock
                 let id = next_id;
                 next_id += 1;
                 routes.insert(id, reply);
-                core.enqueue(id, left, right, clock.now_ns(), deadline_ns);
+                let admission = core.enqueue(id, left, right, clock.now_ns(), deadline_ns);
+                deliver(&mut routes, admission);
             }
             EngineMsg::Snapshot(tx) => {
-                let _ = tx.send(core.snapshot());
+                let mut snap = core.snapshot();
+                snap.routes_depth = routes.len();
+                let _ = tx.send(snap);
             }
             EngineMsg::Shutdown => {}
         }

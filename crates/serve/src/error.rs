@@ -16,6 +16,8 @@ pub enum ServeError {
     UnsupportedModel,
     /// The engine thread died before finishing startup.
     EngineDied,
+    /// The OS refused to spawn the serving thread (resource exhaustion).
+    Spawn(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -29,6 +31,7 @@ impl std::fmt::Display for ServeError {
                 "model has no split scoring path; serving requires an AOA strategy"
             ),
             ServeError::EngineDied => write!(f, "serving engine thread died during startup"),
+            ServeError::Spawn(msg) => write!(f, "failed to spawn serving thread: {msg}"),
         }
     }
 }

@@ -25,8 +25,18 @@
 //! [`ServeEngine`] is the threaded wrapper (worker thread + in-process
 //! [`ServeClient`]s); [`ServeCore`] is the deterministic state machine the
 //! tests drive directly. Serving statistics — queue depth, batch-size and
-//! per-request latency histograms, cache hit rate, and the `serve.*`
-//! metrics registry section — come back in a [`ServerSnapshot`].
+//! per-request latency histograms, cache hit rate, shed/failed/restart
+//! counters, and the `serve.*` metrics registry section — come back in a
+//! [`ServerSnapshot`].
+//!
+//! PR 8 made the engine overload-safe and self-healing: the queue is
+//! bounded ([`ServeConfig::max_queue_depth`], answered
+//! [`MatchOutcome::Rejected`] at admission), a deadline-aware shed policy
+//! drops least-budget requests above a high-water mark, every flush's
+//! scoring runs under `catch_unwind` so a panic fails only that flush
+//! ([`MatchOutcome::Failed`]) and quarantines its cache entries, and a
+//! suspect matcher is restored in place from the retained
+//! [`RecoverySource`] with capped exponential backoff. See DESIGN.md §6i.
 
 #![warn(missing_docs)]
 
@@ -37,7 +47,8 @@ mod error;
 
 pub use clock::{Clock, FakeClock, SystemClock};
 pub use core::{
-    MatchOutcome, MatchResponse, ProfPhase, ServeConfig, ServeCore, ServerSnapshot,
+    FlushFault, MatchOutcome, MatchResponse, ProfPhase, RecoverySource, ServeConfig, ServeCore,
+    ServerSnapshot,
 };
 pub use engine::{ServeClient, ServeEngine};
 pub use error::ServeError;

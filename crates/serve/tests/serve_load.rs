@@ -123,7 +123,7 @@ fn half_spent_deadline_budget_triggers_flush() {
     assert_eq!(responses.len(), 1, "half-spent budget must flush");
     match responses[0].outcome {
         MatchOutcome::Scored { .. } => {}
-        MatchOutcome::Expired => panic!("honored deadline reported expired"),
+        ref other => panic!("honored deadline answered {other:?}"),
     }
     assert_eq!(responses[0].completed_ns, 600);
 }
@@ -305,6 +305,7 @@ fn randomized_timelines_answer_every_request_exactly_once() {
                     resp.completed_ns > deadlines[id],
                     "seed {seed}: request {id} expired before its deadline"
                 ),
+                ref other => panic!("seed {seed}: request {id} answered {other:?}"),
             }
         }
         let snap = core.snapshot();

@@ -216,6 +216,27 @@ pub struct ServeSummary {
     pub scored: u64,
     /// Requests answered expired (deadline passed while queued).
     pub expired: u64,
+    /// Requests shed at admission (queue full on arrival). Zero in
+    /// summaries written before PR 8.
+    #[serde(default)]
+    pub rejected: u64,
+    /// Requests shed by the deadline-aware high-water policy. Zero in
+    /// summaries written before PR 8.
+    #[serde(default)]
+    pub shed: u64,
+    /// Requests answered `Failed` (flush panic or non-finite probability).
+    /// Zero in summaries written before PR 8.
+    #[serde(default)]
+    pub failed: u64,
+    /// Successful matcher restarts after a fault. Zero in summaries
+    /// written before PR 8.
+    #[serde(default)]
+    pub restarts: u64,
+    /// Whether the engine was degraded (matcher suspect, restart pending)
+    /// when the summary was captured. `false` in summaries written before
+    /// PR 8.
+    #[serde(default)]
+    pub degraded: bool,
     /// Batches flushed.
     pub flushes: u64,
     /// Backbone record encodes (cache misses actually computed).
@@ -1100,8 +1121,13 @@ mod tests {
         lat.record(2_000_000.0);
         b.record_serve(ServeSummary {
             enqueued: 400,
-            scored: 390,
+            scored: 385,
             expired: 10,
+            rejected: 7,
+            shed: 3,
+            failed: 5,
+            restarts: 1,
+            degraded: false,
             flushes: 25,
             encodes: 120,
             peak_queue_depth: 48,
@@ -1113,12 +1139,19 @@ mod tests {
         });
         let s = b.finish();
         let serve = s.serve.as_ref().expect("serve section recorded");
-        assert_eq!(serve.scored + serve.expired, serve.enqueued);
+        // Every accepted request is answered exactly once; shed-at-admission
+        // responses never enter `enqueued`.
+        assert_eq!(serve.scored + serve.expired + serve.failed, serve.enqueued);
 
         let v = s.to_value();
         let back = RunSummary::from_value(&v).unwrap();
         let serve = back.serve.expect("serve section survives a round trip");
         assert_eq!(serve.flushes, 25);
+        assert_eq!(serve.rejected, 7);
+        assert_eq!(serve.shed, 3);
+        assert_eq!(serve.failed, 5);
+        assert_eq!(serve.restarts, 1);
+        assert!(!serve.degraded);
         assert_eq!(serve.batch_size.count, 2);
         assert!(serve.request_latency.p50 <= serve.request_latency.p99);
 
@@ -1131,5 +1164,39 @@ mod tests {
         };
         let old = RunSummary::from_value(&stripped).unwrap();
         assert!(old.serve.is_none());
+
+        // A PR-7 serve section (no fault-tolerance fields) still parses,
+        // with the new counters defaulting to zero.
+        let pr7 = match s.to_value() {
+            Value::Object(fields) => Value::Object(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| {
+                        if k != "serve" {
+                            return (k, v);
+                        }
+                        let Value::Object(sf) = v else {
+                            panic!("serve section serialized to a non-object")
+                        };
+                        let kept = sf
+                            .into_iter()
+                            .filter(|(sk, _)| {
+                                !matches!(
+                                    sk.as_str(),
+                                    "rejected" | "shed" | "failed" | "restarts" | "degraded"
+                                )
+                            })
+                            .collect();
+                        (k, Value::Object(kept))
+                    })
+                    .collect(),
+            ),
+            other => panic!("summary serialized to a non-object: {other:?}"),
+        };
+        let old = RunSummary::from_value(&pr7).unwrap();
+        let serve = old.serve.expect("pr7-shaped serve section parses");
+        assert_eq!(serve.rejected, 0);
+        assert_eq!(serve.failed, 0);
+        assert!(!serve.degraded);
     }
 }

@@ -89,3 +89,30 @@ assert report["expired"] == 0, "requests expired under the bench budget"
 assert report["max_abs_dprob"] <= report["max_allowed_dprob"]
 assert report["latency_p99_ns"] > 0.0, "latency histogram is empty"
 PY
+
+# Fault-tolerance smoke: the serving engine under injected flush panics,
+# NaN weights, poison records, and overload. The engine must stay alive
+# through three consecutive panics and answer again after restarting, a 10x
+# admission burst must bound the queue and reject the excess, and goodput
+# under overload must stay >= 50% of the no-overload baseline (graceful
+# degradation, not collapse). Every request in every scenario is answered
+# exactly once; the target exits non-zero if any gate fails.
+cargo run --release -p emba-bench --bin reproduce -- \
+    serve-faults --profile smoke --out results/tier1
+python3 - <<'PY'
+import json
+report = json.load(open("results/tier1/BENCH_faults.json"))
+assert report["gate_failures"] == [], report["gate_failures"]
+faults = report["faults"]
+assert faults["panic_failures"] == 3 and faults["restarts"] >= 3
+assert faults["recovered"], "engine did not answer after injected panics"
+assert faults["burst_rejected"] > 0, "10x burst tripped no admission control"
+assert faults["nan_failures"] > 0, "NaN weights leaked past the guard"
+assert faults["poison_answered"] == faults["poison_requests"]
+baseline = next(p for p in report["overload"] if p["multiplier"] == 1)
+for p in report["overload"]:
+    assert p["scored"] + p["expired"] + p["rejected"] + p["shed"] == p["offered"]
+    assert p["peak_queue_depth"] <= report["sim_queue_depth"], "queue bound violated"
+    if p["multiplier"] > 1:
+        assert p["goodput"] >= report["min_goodput_ratio"] * baseline["goodput"]
+PY
