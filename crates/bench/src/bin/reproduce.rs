@@ -12,9 +12,9 @@ use std::fs;
 use std::path::PathBuf;
 
 use emba_bench::{
-    bench_batch, bench_blocking, bench_faults, bench_serve, bench_tensor_kernels, crash_run,
-    figure5, figure6, profile_run, render_table2, render_table3, render_table4, render_table5,
-    table1, table2_data, table4_data, table6, table7, trace_run, Artifact, Profile,
+    bench_batch, bench_blocking, bench_faults, bench_serve, bench_telemetry, bench_tensor_kernels,
+    crash_run, figure5, figure6, profile_run, render_table2, render_table3, render_table4,
+    render_table5, table1, table2_data, table4_data, table6, table7, trace_run, Artifact, Profile,
 };
 
 fn main() {
@@ -177,6 +177,16 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if wants("bench-telemetry") {
+        let (artifact, failures) = bench_telemetry(&profile);
+        emit(artifact);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("bench-telemetry gate failed: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
     if wants("trace") {
         let name = flag_value(&args, "--trace-name")
             .unwrap_or_else(|| format!("trace-{}", profile.name));
@@ -308,6 +318,13 @@ TARGETS (default: all):
              answers, queue bounds, post-fault recovery, and goodput under
              overload ≥ 50% of the no-overload baseline. Not part of
              `all` — run as `reproduce serve-faults --profile smoke`
+    bench-telemetry
+             request-scoped tracing overhead (spans on vs off, exact
+             latencies from response timestamps) plus validation of the
+             live telemetry endpoint (/metrics exposition, /healthz,
+             /snapshot, /trace) (BENCH_telemetry.json), gated on the 3%
+             overhead ceiling on quick/full. Not part of `all` — run as
+             `reproduce bench-telemetry --profile smoke`
     trace    one observed training run with the non-finite guard on; writes
              the event log to results/runs/<name>.jsonl and validates it.
              Not part of `all` — run as `reproduce trace --profile smoke`

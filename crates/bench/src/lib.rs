@@ -15,6 +15,7 @@ pub mod profile;
 pub mod render;
 pub mod serve_bench;
 pub mod tables;
+pub mod telemetry_bench;
 pub mod trace_run;
 
 pub use batch_bench::{bench_batch, BatchPoint, EquivalenceReport, BATCH_SIZES};
@@ -28,6 +29,7 @@ pub use prof_run::{profile_run, ProfOutcome};
 pub use profile::Profile;
 pub use render::Table;
 pub use serve_bench::{bench_serve, MAX_ABS_DPROB, REQUIRED_SPEEDUP as REQUIRED_SERVE_SPEEDUP};
+pub use telemetry_bench::{bench_telemetry, MAX_OVERHEAD_FRAC};
 pub use trace_run::{trace_run, validate_jsonl, TraceOutcome};
 pub use tables::{
     figure5, figure6, render_table2, render_table3, render_table4, render_table5, table1,

@@ -430,6 +430,9 @@ mod tests {
                 p99: 2.0,
                 mean: 1.5,
                 overflow: 0,
+                bounds: vec![1.0, 2.0],
+                bucket_counts: vec![2, 1, 0],
+                sum: 4.5,
             }],
             ..MetricsSnapshot::default()
         };

@@ -64,12 +64,12 @@ const BASELINE_SAMPLE: usize = 96;
 
 /// Per-request deadline budget: generous, so the bench measures throughput
 /// rather than shedding load (a gate asserts nothing expired).
-const BUDGET_NS: u64 = 120_000_000_000;
+pub(crate) const BUDGET_NS: u64 = 120_000_000_000;
 
 /// Engine batch size. The workload is trimmed to a multiple of this so the
 /// final flush fires on the fill trigger rather than stalling until the
 /// deadline-aware flush (half the budget) for a partial tail batch.
-const MAX_BATCH: usize = 64;
+pub(crate) const MAX_BATCH: usize = 64;
 
 /// Entity clusters per profile (offers per entity average 4).
 fn entities_for(profile: &Profile) -> usize {
@@ -91,7 +91,7 @@ fn max_requests(profile: &Profile) -> usize {
 
 /// An untrained EMBA (FT) matcher whose tokenizer is trained on the catalog
 /// itself.
-fn serve_matcher(catalog: &Catalog, profile: &Profile) -> TrainedMatcher {
+pub(crate) fn serve_matcher(catalog: &Catalog, profile: &Profile) -> TrainedMatcher {
     let corpus: Vec<String> = catalog.records.iter().map(Record::text).collect();
     let tokenizer = WordPieceTokenizer::train(
         &corpus,
@@ -132,7 +132,7 @@ fn serve_matcher(catalog: &Catalog, profile: &Profile) -> TrainedMatcher {
 /// The request workload: blocking candidates of the catalog, capped. Using
 /// candidates (not random pairs) makes records repeat across requests the
 /// way deduplication traffic actually does.
-fn workload(catalog: &Catalog, cap: usize) -> Vec<(usize, usize)> {
+pub(crate) fn workload(catalog: &Catalog, cap: usize) -> Vec<(usize, usize)> {
     let cfg = BlockingConfig {
         max_posting: 384,
         ..BlockingConfig::default()

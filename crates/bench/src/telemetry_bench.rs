@@ -1,0 +1,467 @@
+//! Tracing overhead and telemetry-endpoint validation for the
+//! `reproduce bench-telemetry` target.
+//!
+//! Two questions, each with a gate:
+//!
+//! 1. **What does request-scoped tracing cost?** The same serving workload
+//!    (blocking candidates of a synthetic catalog, N concurrent clients —
+//!    the `bench-serve` machinery) runs with `trace_spans` off and on,
+//!    interleaved and best-of-reps so host-contention bursts cannot bias
+//!    one side. Latencies are computed **exactly** from each response's
+//!    `completed_ns − enqueued_ns` (the engine's histogram is
+//!    bucket-quantized, far too coarse for a few-percent comparison). On
+//!    the quick/full profiles, enabled p50 latency and pairs/sec must stay
+//!    within [`MAX_OVERHEAD_FRAC`] of disabled (smoke is too small to time
+//!    meaningfully; the disabled path's *zero additional allocations*
+//!    guarantee is pinned separately by the `serve_alloc` test).
+//! 2. **Does the live endpoint tell the truth?** A traced engine runs with
+//!    the telemetry server attached; `/metrics` must parse and validate as
+//!    Prometheus text exposition (cumulative buckets, `+Inf` == `_count`),
+//!    `/healthz` must report `live`, `/snapshot` must agree with the
+//!    engine's own accounting, and `/trace` must return the recent flush
+//!    timelines.
+//!
+//! Results go to `BENCH_telemetry.json`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Serialize, Value};
+
+use crate::profile::Profile;
+use crate::serve_bench::{serve_matcher, workload, BUDGET_NS, MAX_BATCH};
+use crate::tables::Artifact;
+use emba_core::{Checkpoint, ModelKind, TrainedMatcher};
+use emba_datagen::{product_catalog, CatalogSpec, Record};
+use emba_serve::{ServeConfig, ServeEngine, ServerSnapshot, SystemClock};
+use emba_trace::{parse_exposition, validate_exposition};
+
+/// Tracing overhead ceiling (quick/full): enabled p50 latency and
+/// pairs/sec must be within this fraction of the disabled run.
+pub const MAX_OVERHEAD_FRAC: f64 = 0.03;
+
+/// Concurrent in-process clients submitting requests.
+const CLIENTS: usize = 4;
+
+/// Entity clusters per profile (smaller than `bench-serve`: the comparison
+/// needs repetitions of both variants, not scale).
+fn entities_for(profile: &Profile) -> usize {
+    match profile.name {
+        "smoke" => 60,
+        "quick" => 400,
+        _ => 1200,
+    }
+}
+
+/// Cap on requests served per run.
+fn max_requests(profile: &Profile) -> usize {
+    match profile.name {
+        "smoke" => 2 * MAX_BATCH,
+        "quick" => 24 * MAX_BATCH,
+        _ => 80 * MAX_BATCH,
+    }
+}
+
+/// One timed serving run: a fresh engine (cold cache), every pair
+/// submitted by [`CLIENTS`] threads, exact per-request latencies collected
+/// from the responses.
+struct RunOutcome {
+    secs: f64,
+    latencies_ns: Vec<u64>,
+    unscored: usize,
+    snapshot: ServerSnapshot,
+}
+
+fn run_once(
+    trained: &TrainedMatcher,
+    clusters: usize,
+    records: &[Record],
+    pairs: &[(usize, usize)],
+    trace_spans: bool,
+) -> RunOutcome {
+    let checkpoint = Checkpoint::capture(trained, ModelKind::EmbaFt, clusters.max(2));
+    let clock = Arc::new(SystemClock::new());
+    let cfg = ServeConfig {
+        max_batch: MAX_BATCH,
+        cache_capacity: (2 * records.len()).max(4096),
+        trace_spans,
+        // No admission bound, no shedding: a rejected request completes in
+        // ~0ns and would poison the latency quantiles the overhead gate
+        // compares. This bench measures tracing cost on *scored* requests;
+        // shed behavior has its own harness (`reproduce serve-faults`).
+        max_queue_depth: 0,
+        shed_high_water: 0,
+        ..ServeConfig::default()
+    };
+    let engine = ServeEngine::start(checkpoint, cfg, clock).expect("EmbaFt engine starts");
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let client = engine.client();
+        let slice: Vec<(usize, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| k % CLIENTS == c)
+            .map(|(_, &p)| p)
+            .collect();
+        let recs = records.to_vec();
+        handles.push(std::thread::spawn(move || {
+            let rxs: Vec<_> = slice
+                .iter()
+                .map(|&(i, j)| client.submit(&recs[i], &recs[j], BUDGET_NS))
+                .collect();
+            rxs.into_iter()
+                .filter_map(|rx| rx.recv().ok())
+                .map(|resp| {
+                    let scored =
+                        matches!(resp.outcome, emba_serve::MatchOutcome::Scored { .. });
+                    (resp.completed_ns.saturating_sub(resp.enqueued_ns), scored)
+                })
+                .collect::<Vec<(u64, bool)>>()
+        }));
+    }
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(pairs.len());
+    let mut unscored = 0usize;
+    for h in handles {
+        for (lat, scored) in h.join().expect("client thread") {
+            latencies_ns.push(lat);
+            if !scored {
+                unscored += 1;
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let snapshot = engine.snapshot().expect("engine alive after the run");
+    engine.shutdown();
+    RunOutcome {
+        secs,
+        latencies_ns,
+        unscored,
+        snapshot,
+    }
+}
+
+/// Exact quantile over the collected per-request latencies.
+fn quantile_ns(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64
+}
+
+/// One blocking HTTP GET against the telemetry server.
+fn http_get(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    write!(s, "GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("send: {e}"))?;
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).map_err(|e| format!("recv: {e}"))?;
+    let status: u16 = buf
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("malformed response: {buf:?}"))?;
+    let body = buf
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Scrapes and validates all four endpoints against a live traced engine.
+/// Returns (families, timelines, failures).
+fn check_endpoints(
+    addr: SocketAddr,
+    expected_enqueued: u64,
+    failures: &mut Vec<String>,
+) -> (usize, usize) {
+    let mut families = 0usize;
+    let mut timelines = 0usize;
+    match http_get(addr, "/metrics") {
+        Ok((200, body)) => {
+            match parse_exposition(&body) {
+                Ok(fams) => families = fams.len(),
+                Err(e) => failures.push(format!("/metrics does not parse: {e}")),
+            }
+            if let Err(e) = validate_exposition(&body) {
+                failures.push(format!("/metrics exposition invalid: {e}"));
+            }
+            if !body.contains("# TYPE serve_request_ns histogram") {
+                failures.push("/metrics is missing the serve_request_ns histogram".to_string());
+            }
+        }
+        Ok((status, _)) => failures.push(format!("/metrics returned {status}")),
+        Err(e) => failures.push(format!("/metrics scrape failed: {e}")),
+    }
+    match http_get(addr, "/healthz") {
+        Ok((200, body)) if body.trim() == "live" => {}
+        Ok((status, body)) => {
+            failures.push(format!("/healthz returned {status} {:?}, want 200 live", body.trim()));
+        }
+        Err(e) => failures.push(format!("/healthz scrape failed: {e}")),
+    }
+    match http_get(addr, "/snapshot") {
+        Ok((200, body)) => match serde_json::from_str::<Value>(&body) {
+            Ok(v) => {
+                let enq = v.get("enqueued").and_then(Value::as_u64).unwrap_or(0);
+                if enq != expected_enqueued {
+                    failures.push(format!(
+                        "/snapshot reports {enq} enqueued, engine answered {expected_enqueued}"
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("/snapshot is not JSON: {e}")),
+        },
+        Ok((status, _)) => failures.push(format!("/snapshot returned {status}")),
+        Err(e) => failures.push(format!("/snapshot scrape failed: {e}")),
+    }
+    match http_get(addr, "/trace?last=8") {
+        Ok((200, body)) => match serde_json::from_str::<Value>(&body) {
+            Ok(v) => match v.as_array() {
+                Some(ts) if !ts.is_empty() => timelines = ts.len(),
+                Some(_) => failures.push("/trace returned no timelines on a traced engine".into()),
+                None => failures.push("/trace did not return a JSON array".to_string()),
+            },
+            Err(e) => failures.push(format!("/trace is not JSON: {e}")),
+        },
+        Ok((status, _)) => failures.push(format!("/trace returned {status}")),
+        Err(e) => failures.push(format!("/trace scrape failed: {e}")),
+    }
+    (families, timelines)
+}
+
+/// Runs the tracing-overhead benchmark and the endpoint validation.
+/// Always returns the artifact together with the gate failures — empty
+/// means every gate passed.
+pub fn bench_telemetry(profile: &Profile) -> (Artifact, Vec<String>) {
+    let spec = CatalogSpec::quick("bench-telemetry", entities_for(profile));
+    let catalog = product_catalog(&spec);
+    let trained = serve_matcher(&catalog, profile);
+    let pairs = workload(&catalog, max_requests(profile));
+    let records = &catalog.records;
+    let reps = if profile.name == "smoke" { 1 } else { 3 };
+
+    // ----- Interleaved disabled/enabled repetitions ------------------------
+    // Alternating the variants inside each repetition (rather than timing
+    // all of one then all of the other) spreads host-contention bursts
+    // evenly across both sides; best-of-reps then estimates each side's
+    // steady-state cost.
+    let mut best_off: Option<RunOutcome> = None;
+    let mut best_on: Option<RunOutcome> = None;
+    for _ in 0..reps {
+        let off = run_once(&trained, catalog.num_clusters, records, &pairs, false);
+        let on = run_once(&trained, catalog.num_clusters, records, &pairs, true);
+        if best_off.as_ref().is_none_or(|b| off.secs < b.secs) {
+            best_off = Some(off);
+        }
+        if best_on.as_ref().is_none_or(|b| on.secs < b.secs) {
+            best_on = Some(on);
+        }
+    }
+    let off = best_off.expect("at least one disabled repetition ran");
+    let on = best_on.expect("at least one enabled repetition ran");
+
+    let mut failures: Vec<String> = Vec::new();
+    for (name, run) in [("disabled", &off), ("enabled", &on)] {
+        if run.latencies_ns.len() != pairs.len() {
+            failures.push(format!(
+                "{name}: {} of {} requests answered — requests were dropped",
+                run.latencies_ns.len(),
+                pairs.len()
+            ));
+        }
+        if run.unscored > 0 {
+            failures.push(format!(
+                "{name}: {} requests not scored (expired/shed/failed) under an unbounded queue",
+                run.unscored
+            ));
+        }
+    }
+    if off.snapshot.trace_events != 0 {
+        failures.push(format!(
+            "disabled run recorded {} span events; tracing off must record none",
+            off.snapshot.trace_events
+        ));
+    }
+    if on.snapshot.trace_events == 0 {
+        failures.push("enabled run recorded no span events".to_string());
+    }
+
+    let mut off_sorted = off.latencies_ns.clone();
+    off_sorted.sort_unstable();
+    let mut on_sorted = on.latencies_ns.clone();
+    on_sorted.sort_unstable();
+    let off_p50 = quantile_ns(&off_sorted, 0.50);
+    let on_p50 = quantile_ns(&on_sorted, 0.50);
+    let off_p99 = quantile_ns(&off_sorted, 0.99);
+    let on_p99 = quantile_ns(&on_sorted, 0.99);
+    let off_pps = off.latencies_ns.len() as f64 / off.secs;
+    let on_pps = on.latencies_ns.len() as f64 / on.secs;
+    let p50_overhead = if off_p50 > 0.0 { on_p50 / off_p50 - 1.0 } else { 0.0 };
+    let pps_overhead = if off_pps > 0.0 { 1.0 - on_pps / off_pps } else { 0.0 };
+
+    // The 3% gate holds on the timed profiles only — the smoke workload is
+    // over in a few flushes, where one scheduler hiccup swamps the signal.
+    if profile.name != "smoke" {
+        if p50_overhead > MAX_OVERHEAD_FRAC {
+            failures.push(format!(
+                "tracing adds {:.1}% to p50 latency, above the {:.0}% ceiling",
+                100.0 * p50_overhead,
+                100.0 * MAX_OVERHEAD_FRAC
+            ));
+        }
+        if pps_overhead > MAX_OVERHEAD_FRAC {
+            failures.push(format!(
+                "tracing costs {:.1}% of pairs/sec, above the {:.0}% ceiling",
+                100.0 * pps_overhead,
+                100.0 * MAX_OVERHEAD_FRAC
+            ));
+        }
+    }
+
+    // ----- Live endpoint validation ----------------------------------------
+    // A fresh traced engine with the telemetry server attached; a short
+    // workload populates the registry and the timeline buffer, then every
+    // endpoint is scraped and checked.
+    let scrape_pairs: Vec<(usize, usize)> =
+        pairs.iter().copied().take(2 * MAX_BATCH).collect();
+    let checkpoint = Checkpoint::capture(&trained, ModelKind::EmbaFt, catalog.num_clusters.max(2));
+    let engine = ServeEngine::start(
+        checkpoint,
+        ServeConfig {
+            max_batch: MAX_BATCH,
+            cache_capacity: (2 * records.len()).max(4096),
+            trace_spans: true,
+            ..ServeConfig::default()
+        },
+        Arc::new(SystemClock::new()),
+    )
+    .expect("EmbaFt engine starts");
+    let telemetry = engine.serve_telemetry("127.0.0.1:0").expect("telemetry endpoint binds");
+    let addr = telemetry.addr();
+    let client = engine.client();
+    let rxs: Vec<_> = scrape_pairs
+        .iter()
+        .map(|&(i, j)| client.submit(&records[i], &records[j], BUDGET_NS))
+        .collect();
+    let scrape_answered = rxs.into_iter().filter(|rx| rx.recv().is_ok()).count();
+    let (metric_families, trace_timelines) =
+        check_endpoints(addr, scrape_answered as u64, &mut failures);
+    engine.shutdown();
+    // The endpoint outlives the engine and reports the drain.
+    match http_get(addr, "/healthz") {
+        Ok((503, body)) if body.trim() == "draining" => {}
+        Ok((status, body)) => failures.push(format!(
+            "/healthz after shutdown returned {status} {:?}, want 503 draining",
+            body.trim()
+        )),
+        Err(e) => failures.push(format!("/healthz after shutdown failed: {e}")),
+    }
+    telemetry.stop();
+
+    // ----- Report ----------------------------------------------------------
+    let mut text = format!(
+        "BENCH_telemetry — request-scoped tracing overhead and live endpoint\n\
+         EMBA (FT), {} records, {} requests from {} clients, best of {} interleaved reps\n\n\
+         tracing off: p50 {:.2}ms p99 {:.2}ms, {:.1} pairs/sec ({} span events)\n\
+         tracing on:  p50 {:.2}ms p99 {:.2}ms, {:.1} pairs/sec ({} span events, {} dropped)\n\
+         overhead: p50 {:+.2}%, pairs/sec {:+.2}% (exact latencies from response timestamps)\n\
+         endpoint: {} metric families scraped, {} flush timelines, healthz live→draining\n",
+        records.len(),
+        pairs.len(),
+        CLIENTS,
+        reps,
+        off_p50 / 1e6,
+        off_p99 / 1e6,
+        off_pps,
+        off.snapshot.trace_events,
+        on_p50 / 1e6,
+        on_p99 / 1e6,
+        on_pps,
+        on.snapshot.trace_events,
+        on.snapshot.trace_dropped,
+        100.0 * p50_overhead,
+        -100.0 * pps_overhead,
+        metric_families,
+        trace_timelines,
+    );
+    if failures.is_empty() {
+        let gate_note = if profile.name == "smoke" {
+            " (overhead informational on smoke)"
+        } else {
+            ""
+        };
+        text.push_str(&format!(
+            "gate: all answered, exposition valid, overhead ≤ {:.0}%{gate_note} — PASS\n",
+            100.0 * MAX_OVERHEAD_FRAC
+        ));
+    } else {
+        for f in &failures {
+            text.push_str(&format!("gate FAILURE: {f}\n"));
+        }
+    }
+
+    #[derive(Serialize)]
+    struct Report {
+        description: &'static str,
+        profile: &'static str,
+        records: usize,
+        requests: usize,
+        clients: usize,
+        reps: usize,
+        disabled_p50_ns: f64,
+        disabled_p99_ns: f64,
+        disabled_pairs_per_sec: f64,
+        enabled_p50_ns: f64,
+        enabled_p99_ns: f64,
+        enabled_pairs_per_sec: f64,
+        p50_overhead_frac: f64,
+        pps_overhead_frac: f64,
+        max_overhead_frac: f64,
+        overhead_gated: bool,
+        enabled_trace_events: u64,
+        enabled_trace_dropped: u64,
+        disabled_trace_events: u64,
+        metric_families: usize,
+        trace_timelines: usize,
+        enabled_snapshot: ServerSnapshot,
+        pass: bool,
+    }
+    let report = Report {
+        description: "Request-scoped serve tracing overhead (spans on vs off, exact \
+                      latencies from response timestamps, interleaved best-of-reps) and \
+                      validation of the live telemetry endpoint (/metrics /healthz \
+                      /snapshot /trace)",
+        profile: profile.name,
+        records: records.len(),
+        requests: pairs.len(),
+        clients: CLIENTS,
+        reps,
+        disabled_p50_ns: off_p50,
+        disabled_p99_ns: off_p99,
+        disabled_pairs_per_sec: off_pps,
+        enabled_p50_ns: on_p50,
+        enabled_p99_ns: on_p99,
+        enabled_pairs_per_sec: on_pps,
+        p50_overhead_frac: p50_overhead,
+        pps_overhead_frac: pps_overhead,
+        max_overhead_frac: MAX_OVERHEAD_FRAC,
+        overhead_gated: profile.name != "smoke",
+        enabled_trace_events: on.snapshot.trace_events,
+        enabled_trace_dropped: on.snapshot.trace_dropped,
+        disabled_trace_events: off.snapshot.trace_events,
+        metric_families,
+        trace_timelines,
+        enabled_snapshot: on.snapshot,
+        pass: failures.is_empty(),
+    };
+    let artifact = Artifact {
+        id: "BENCH_telemetry",
+        text,
+        json: serde_json::to_value(&report).expect("telemetry report serializes"),
+    };
+    (artifact, failures)
+}

@@ -71,8 +71,11 @@
 //! produces NaN would reproduce it after every restore.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::fs::File;
+use std::io::BufWriter;
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use emba_core::{
@@ -82,9 +85,12 @@ use emba_datagen::Record;
 use emba_nn::GraphStamp;
 use emba_tensor::{Graph, Tensor};
 use emba_trace::metrics::{self, Histogram, HistogramSummary, MetricsSnapshot};
+use emba_trace::{write_postmortem, JsonlLogger, ServeSpanEvent, ServeSummary, SpanKind};
 use serde::Serialize;
 
+use crate::clock::Clock;
 use crate::error::ServeError;
+use crate::spans::{span, FlightRecorder, FlushTimeline};
 
 /// Knobs for the serving engine.
 #[derive(Debug, Clone)]
@@ -116,6 +122,28 @@ pub struct ServeConfig {
     pub restart_backoff_ns: u64,
     /// Ceiling on the restart backoff.
     pub restart_backoff_max_ns: u64,
+    /// Record request-lifecycle span events (admission, queue wait, encode
+    /// vs cache hit, score, reply) into the flight recorder and per-flush
+    /// timelines. Off by default: with this off the request hot path
+    /// records no spans and allocates nothing extra. Supervision
+    /// transitions (degraded enter/exit, restarts, quarantines) are always
+    /// recorded — they are rare and postmortems need them.
+    pub trace_spans: bool,
+    /// Flight-recorder ring capacity in span events; the ring is what a
+    /// postmortem dump preserves. `0` keeps nothing.
+    pub flight_recorder: usize,
+    /// How many recent flush timelines to retain for the `/trace` endpoint
+    /// (only populated when [`ServeConfig::trace_spans`] is on).
+    pub recent_timelines: usize,
+    /// Directory for flight-recorder postmortem dumps
+    /// (`postmortem-NNNN.jsonl`), written when a panic-triggered
+    /// degradation episode resolves or when `drain` fails queued requests.
+    /// `None` disables dumps.
+    pub postmortem_dir: Option<PathBuf>,
+    /// JSONL file for serve lifecycle events (shed, expired, degraded,
+    /// restart, quarantine, postmortem) — the serving counterpart of the
+    /// training run log. `None` disables the log.
+    pub event_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +157,11 @@ impl Default for ServeConfig {
             shed_high_water: 768,
             restart_backoff_ns: 1_000_000,         // 1 ms
             restart_backoff_max_ns: 1_000_000_000, // 1 s
+            trace_spans: false,
+            flight_recorder: 1024,
+            recent_timelines: 16,
+            postmortem_dir: None,
+            event_log: None,
         }
     }
 }
@@ -282,6 +315,14 @@ pub struct ServerSnapshot {
     pub cache_resident: usize,
     /// Cache entries evicted by fault quarantine.
     pub cache_quarantines: u64,
+    /// Times the supervisor entered the degraded state.
+    pub degraded_entries: u64,
+    /// Flight-recorder postmortem dumps written.
+    pub postmortems: u64,
+    /// Span events recorded by the flight recorder over its lifetime.
+    pub trace_events: u64,
+    /// Span events the flight-recorder ring overwrote (lost history).
+    pub trace_dropped: u64,
     /// Distribution of flush batch sizes.
     pub batch_size: HistogramSummary,
     /// Per-request enqueue→answer latency (clock ns) for requests that
@@ -293,6 +334,38 @@ pub struct ServerSnapshot {
     pub registry: MetricsSnapshot,
     /// Profiler phase totals — empty unless [`ServeConfig::profile`].
     pub profile_phases: Vec<ProfPhase>,
+}
+
+impl ServerSnapshot {
+    /// Converts into the trace crate's [`ServeSummary`] — the serving
+    /// section of a run's JSONL `run_summary` line. Counts come from the
+    /// same lifecycle events the engine logs, so the summary, the event
+    /// log, and the live endpoints can never disagree.
+    pub fn to_summary(&self) -> ServeSummary {
+        ServeSummary {
+            enqueued: self.enqueued,
+            scored: self.scored,
+            expired: self.expired,
+            rejected: self.rejected,
+            shed: self.shed,
+            failed: self.failed,
+            restarts: self.restarts,
+            degraded: self.degraded,
+            degraded_entries: self.degraded_entries,
+            quarantined: self.cache_quarantines,
+            postmortems: self.postmortems,
+            trace_events: self.trace_events,
+            trace_dropped: self.trace_dropped,
+            flushes: self.flushes,
+            encodes: self.encodes,
+            peak_queue_depth: self.peak_queue_depth,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            cache_hit_rate: self.cache_hit_rate,
+            batch_size: self.batch_size.clone(),
+            request_latency: self.request_latency.clone(),
+        }
+    }
 }
 
 /// One profiler phase total, lifted from [`emba_tensor::prof::report`] into
@@ -334,6 +407,26 @@ pub struct ServeCore {
     flush_fault: Option<FlushFault>,
     batch_sizes: Histogram,
     latency: Histogram,
+    /// Optional clock for intra-flush span timestamps (encode/score stage
+    /// attribution, flush end). The engine injects its own clock here;
+    /// without one, spans fall back to the flush's `now_ns` (durations of
+    /// the intra-flush stages read as 0, which keeps a bare core fully
+    /// deterministic).
+    span_clock: Option<Arc<dyn Clock>>,
+    /// Ring of recent span events; the postmortem source.
+    recorder: FlightRecorder,
+    /// Spans of the flush currently being traced (drained into the ring
+    /// and a [`FlushTimeline`] when the flush finishes).
+    flush_spans: Vec<ServeSpanEvent>,
+    /// Most recent traced flush timelines, oldest first.
+    timelines: VecDeque<FlushTimeline>,
+    /// Lifecycle event log (None = disabled).
+    event_log: Option<JsonlLogger<BufWriter<File>>>,
+    degraded_entries: u64,
+    postmortems: u64,
+    /// Panic reason of the open degradation episode; dumped as the
+    /// postmortem when the episode resolves (restart or drain failure).
+    pending_postmortem: Option<String>,
 }
 
 /// Whether this matcher exposes the split scoring path, probed with a
@@ -359,6 +452,32 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// JSONL payload for `serve_shed` / `serve_expired` lifecycle events.
+#[derive(Serialize)]
+struct RequestEvent {
+    id: u64,
+    t_ns: u64,
+    /// Shed policy (`admission` / `deadline`) or expiry wait, event-specific.
+    detail: String,
+}
+
+/// JSONL payload for supervision lifecycle events (`serve_degraded`,
+/// `serve_restart`, `serve_recovered`, `serve_quarantine`).
+#[derive(Serialize)]
+struct SupervisionEvent {
+    t_ns: u64,
+    detail: String,
+}
+
+/// JSONL payload for `serve_postmortem`.
+#[derive(Serialize)]
+struct PostmortemEvent {
+    t_ns: u64,
+    path: String,
+    reason: String,
+    spans: usize,
+}
+
 impl ServeCore {
     /// Wraps a matcher for serving.
     ///
@@ -372,6 +491,25 @@ impl ServeCore {
         }
         let cache = EncodingCache::new(cfg.cache_capacity);
         let backoff_ns = cfg.restart_backoff_ns.max(1);
+        let event_log = match &cfg.event_log {
+            Some(path) => {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)
+                            .map_err(|e| ServeError::EventLog(e.to_string()))?;
+                    }
+                }
+                let file =
+                    File::create(path).map_err(|e| ServeError::EventLog(e.to_string()))?;
+                Some(JsonlLogger::new(BufWriter::new(file)))
+            }
+            None => None,
+        };
+        let recorder = FlightRecorder::new(cfg.flight_recorder);
+        // Steady-state span count per flush: queue-wait + reply per request
+        // plus a handful of batch-level stage spans. Pre-sizing keeps the
+        // traced hot path free of mid-flush growth reallocations.
+        let span_capacity = if cfg.trace_spans { 2 * cfg.max_batch + 8 } else { 0 };
         Ok(Self {
             trained,
             cfg,
@@ -396,6 +534,14 @@ impl ServeCore {
             // 2048 before overflow.
             batch_sizes: Histogram::log_spaced(1.0, 2.0, 12),
             latency: Histogram::latency_ns(),
+            span_clock: None,
+            recorder,
+            flush_spans: Vec::with_capacity(span_capacity),
+            timelines: VecDeque::new(),
+            event_log,
+            degraded_entries: 0,
+            postmortems: 0,
+            pending_postmortem: None,
         })
     }
 
@@ -412,6 +558,131 @@ impl ServeCore {
     /// exact recovery path a real scoring panic would.
     pub fn set_flush_fault(&mut self, fault: FlushFault) {
         self.flush_fault = Some(fault);
+    }
+
+    /// Injects a clock for intra-flush span timestamps (stage attribution
+    /// and flush end). The threaded engine passes its own clock, so under
+    /// a fake clock the whole trace is deterministic; a bare core without
+    /// one stamps every span with the flush's `now_ns`.
+    pub fn set_span_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.span_clock = Some(clock);
+    }
+
+    /// The flight recorder: the ring of recent span events a postmortem
+    /// dump preserves.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Postmortem dumps written so far.
+    pub fn postmortems(&self) -> u64 {
+        self.postmortems
+    }
+
+    /// Up to `last` most recent traced flush timelines, oldest first.
+    /// Empty unless [`ServeConfig::trace_spans`] is on.
+    pub fn timelines(&self, last: usize) -> Vec<FlushTimeline> {
+        let skip = self.timelines.len().saturating_sub(last);
+        self.timelines.iter().skip(skip).cloned().collect()
+    }
+
+    /// Span timestamp inside a flush: the injected span clock if present,
+    /// else the flush's own `now_ns`.
+    fn span_now(&self, fallback_ns: u64) -> u64 {
+        self.span_clock.as_ref().map_or(fallback_ns, |c| c.now_ns())
+    }
+
+    /// Records one request-lifecycle span into the current flush's trace
+    /// buffer. Callers gate on `cfg.trace_spans`.
+    fn trace_span(&mut self, e: ServeSpanEvent) {
+        self.flush_spans.push(e);
+    }
+
+    /// Records a supervision span (always, even with request tracing off —
+    /// these are rare and postmortems need them).
+    fn sup_span(&mut self, kind: SpanKind, t_ns: u64, detail: String) {
+        let mut e = span(0, kind, t_ns, 0, self.flushes);
+        e.detail = detail;
+        self.recorder.record(e);
+    }
+
+    /// Writes one lifecycle event to the JSONL event log, if configured.
+    fn log_event<T: Serialize>(&mut self, event: &str, record: &T) {
+        if let Some(log) = self.event_log.as_mut() {
+            log.log_event(event, record);
+        }
+    }
+
+    /// Closes the current flush's trace: moves its spans into the ring and
+    /// retains them as a [`FlushTimeline`].
+    fn finish_flush_trace(&mut self, flush: u64, start_ns: u64) {
+        let end_ns = self.span_now(start_ns);
+        // Clone rather than `mem::take`: the buffer keeps its steady-state
+        // capacity across flushes (one timeline allocation per flush is
+        // per-batch cost, not per-request).
+        let spans = self.flush_spans.clone();
+        for e in self.flush_spans.drain(..) {
+            self.recorder.record(e);
+        }
+        self.timelines.push_back(FlushTimeline { flush, start_ns, end_ns, spans });
+        while self.timelines.len() > self.cfg.recent_timelines.max(1) {
+            self.timelines.pop_front();
+        }
+    }
+
+    /// Quarantines one cache key and records the fact (span + event log).
+    fn quarantine_key(&mut self, key: u64, now_ns: u64) {
+        self.cache.quarantine(key);
+        self.sup_span(SpanKind::Quarantine, now_ns, format!("key={key:016x}"));
+        self.log_event(
+            "serve_quarantine",
+            &SupervisionEvent { t_ns: now_ns, detail: format!("key={key:016x}") },
+        );
+    }
+
+    /// Dumps the flight recorder to `postmortem-NNNN.jsonl` under the
+    /// configured directory (no-op without one). Called when a degradation
+    /// episode resolves or when `drain` fails queued requests, so the dump
+    /// holds the failing flush's request spans *and* the restart/backoff
+    /// transitions that followed.
+    fn dump_postmortem(&mut self, reason: &str, now_ns: u64) {
+        let Some(dir) = self.cfg.postmortem_dir.clone() else { return };
+        let path = dir.join(format!("postmortem-{:04}.jsonl", self.postmortems + 1));
+        let events = self.recorder.events();
+        match write_postmortem(
+            &path,
+            reason,
+            self.recorder.recorded(),
+            self.recorder.dropped(),
+            &events,
+        ) {
+            Ok(()) => {
+                self.postmortems += 1;
+                metrics::counter_add("serve.postmortems", 1);
+                self.log_event(
+                    "serve_postmortem",
+                    &PostmortemEvent {
+                        t_ns: now_ns,
+                        path: path.display().to_string(),
+                        reason: reason.to_string(),
+                        spans: events.len(),
+                    },
+                );
+            }
+            Err(e) => {
+                // A failing dump must never take the engine down; the event
+                // log (if any) records that history was lost.
+                self.log_event(
+                    "serve_postmortem",
+                    &PostmortemEvent {
+                        t_ns: now_ns,
+                        path: path.display().to_string(),
+                        reason: format!("dump failed: {e}"),
+                        spans: 0,
+                    },
+                );
+            }
+        }
     }
 
     /// The serving configuration.
@@ -451,6 +722,13 @@ impl ServeCore {
         if self.cfg.max_queue_depth > 0 && self.pending.len() >= self.cfg.max_queue_depth {
             self.rejected += 1;
             metrics::counter_add("serve.shed.admission", 1);
+            if self.cfg.trace_spans {
+                self.recorder.record(span(id, SpanKind::Rejected, now_ns, 0, 0));
+            }
+            self.log_event(
+                "serve_shed",
+                &RequestEvent { id, t_ns: now_ns, detail: "admission".to_string() },
+            );
             return vec![MatchResponse {
                 id,
                 outcome: MatchOutcome::Rejected,
@@ -471,6 +749,9 @@ impl ServeCore {
         self.enqueued += 1;
         self.peak_queue_depth = self.peak_queue_depth.max(self.pending.len());
         metrics::counter_add("serve.enqueued", 1);
+        if self.cfg.trace_spans {
+            self.recorder.record(span(id, SpanKind::Admitted, now_ns, 0, 0));
+        }
 
         // High-water shed: drop the requests with the least remaining
         // budget first — they are the most likely to expire before service
@@ -491,6 +772,17 @@ impl ServeCore {
                     .expect("victim index in bounds");
                 self.shed += 1;
                 metrics::counter_add("serve.shed.deadline", 1);
+                if self.cfg.trace_spans {
+                    self.recorder.record(span(victim.id, SpanKind::Shed, now_ns, 0, 0));
+                }
+                self.log_event(
+                    "serve_shed",
+                    &RequestEvent {
+                        id: victim.id,
+                        t_ns: now_ns,
+                        detail: "deadline".to_string(),
+                    },
+                );
                 out.push(MatchResponse {
                     id: victim.id,
                     outcome: MatchOutcome::Rejected,
@@ -570,6 +862,13 @@ impl ServeCore {
             }
             out.extend(self.flush(now_ns));
         }
+        // A degraded core with nothing queued still owes its postmortem:
+        // the engine is exiting and the episode will never resolve.
+        if self.suspect {
+            if let Some(r) = self.pending_postmortem.take() {
+                self.dump_postmortem(&format!("shut down while degraded after: {r}"), now_ns);
+            }
+        }
         out
     }
 
@@ -579,7 +878,7 @@ impl ServeCore {
     fn fail_all_pending(&mut self, now_ns: u64) -> Vec<MatchResponse> {
         let pending: Vec<Pending> = self.pending.drain(..).collect();
         metrics::gauge_set("serve.queue_depth", 0.0);
-        pending
+        let out: Vec<MatchResponse> = pending
             .into_iter()
             .map(|req| {
                 let lat = now_ns.saturating_sub(req.enqueued_ns);
@@ -588,10 +887,24 @@ impl ServeCore {
                 let outcome = if now_ns > req.deadline_ns {
                     self.expired += 1;
                     metrics::counter_add("serve.expired", 1);
+                    if self.cfg.trace_spans {
+                        self.recorder.record(span(req.id, SpanKind::Expired, now_ns, lat, 0));
+                    }
+                    self.log_event(
+                        "serve_expired",
+                        &RequestEvent {
+                            id: req.id,
+                            t_ns: now_ns,
+                            detail: format!("waited_ns={lat}"),
+                        },
+                    );
                     MatchOutcome::Expired
                 } else {
                     self.failed += 1;
                     metrics::counter_add("serve.failed", 1);
+                    if self.cfg.trace_spans {
+                        self.recorder.record(span(req.id, SpanKind::Failed, now_ns, lat, 0));
+                    }
                     MatchOutcome::Failed("shutting down while degraded".to_string())
                 };
                 MatchResponse {
@@ -602,7 +915,16 @@ impl ServeCore {
                     batch_size: 0,
                 }
             })
-            .collect()
+            .collect();
+        // The drain could not heal the matcher: preserve the episode's
+        // history before the engine exits.
+        let reason = self
+            .pending_postmortem
+            .take()
+            .map(|r| format!("drain failed while degraded after: {r}"))
+            .unwrap_or_else(|| "drain failed while degraded".to_string());
+        self.dump_postmortem(&reason, now_ns);
+        out
     }
 
     /// Attempts to restore the matcher from the recovery source. Gated on
@@ -612,9 +934,22 @@ impl ServeCore {
         if !self.suspect || now_ns < self.next_restart_ns {
             return;
         }
-        let Some(recovery) = self.recovery.as_ref() else {
+        if self.recovery.is_none() {
             return; // nothing to restore from; drain() will fail the queue
-        };
+        }
+        self.sup_span(
+            SpanKind::RestartAttempt,
+            now_ns,
+            format!("backoff_ns={}", self.backoff_ns),
+        );
+        self.log_event(
+            "serve_restart",
+            &SupervisionEvent {
+                t_ns: now_ns,
+                detail: format!("attempt backoff_ns={}", self.backoff_ns),
+            },
+        );
+        let recovery = self.recovery.as_ref().expect("presence checked above");
         let restored =
             std::panic::catch_unwind(AssertUnwindSafe(|| recovery.restore()));
         match restored {
@@ -624,6 +959,18 @@ impl ServeCore {
                 self.restarts += 1;
                 metrics::counter_add("serve.restarts", 1);
                 metrics::gauge_set("serve.degraded", 0.0);
+                self.sup_span(SpanKind::Restarted, now_ns, String::new());
+                self.sup_span(SpanKind::DegradedExit, now_ns, String::new());
+                self.log_event(
+                    "serve_recovered",
+                    &SupervisionEvent { t_ns: now_ns, detail: "matcher restored".to_string() },
+                );
+                // The episode is over; its history (failing flush spans,
+                // degraded entry, every restart attempt with its backoff,
+                // the successful restart) is complete — dump it.
+                if let Some(reason) = self.pending_postmortem.take() {
+                    self.dump_postmortem(&format!("recovered after: {reason}"), now_ns);
+                }
             }
             _ => {
                 self.next_restart_ns = now_ns.saturating_add(self.backoff_ns);
@@ -636,15 +983,34 @@ impl ServeCore {
     }
 
     /// Marks the matcher suspect after a fault and schedules the next
-    /// restart attempt on the capped exponential backoff.
-    fn enter_degraded(&mut self, now_ns: u64) {
+    /// restart attempt on the capped exponential backoff. Opens a
+    /// postmortem episode: the reason is retained and the flight recorder
+    /// dumped once the episode resolves (restart success or drain failure).
+    fn enter_degraded(&mut self, now_ns: u64, reason: &str) {
         self.suspect = true;
+        self.degraded_entries += 1;
+        metrics::counter_add("serve.degraded_entries", 1);
         metrics::gauge_set("serve.degraded", 1.0);
         self.next_restart_ns = now_ns.saturating_add(self.backoff_ns);
         self.backoff_ns = self
             .backoff_ns
             .saturating_mul(2)
             .min(self.cfg.restart_backoff_max_ns.max(1));
+        self.sup_span(
+            SpanKind::DegradedEnter,
+            now_ns,
+            format!("{reason}; next_restart_ns={}", self.next_restart_ns),
+        );
+        self.log_event(
+            "serve_degraded",
+            &SupervisionEvent {
+                t_ns: now_ns,
+                detail: format!("{reason}; next_restart_ns={}", self.next_restart_ns),
+            },
+        );
+        if self.pending_postmortem.is_none() {
+            self.pending_postmortem = Some(reason.to_string());
+        }
     }
 
     /// Sheds every already-expired request from the queue without touching
@@ -661,6 +1027,17 @@ impl ServeCore {
                 let lat = now_ns.saturating_sub(req.enqueued_ns);
                 self.latency.record(lat as f64);
                 metrics::observe_ns("serve.request_ns", lat);
+                if self.cfg.trace_spans {
+                    self.recorder.record(span(req.id, SpanKind::Expired, now_ns, lat, 0));
+                }
+                self.log_event(
+                    "serve_expired",
+                    &RequestEvent {
+                        id: req.id,
+                        t_ns: now_ns,
+                        detail: format!("waited_ns={lat}"),
+                    },
+                );
                 out.push(MatchResponse {
                     id: req.id,
                     outcome: MatchOutcome::Expired,
@@ -692,6 +1069,8 @@ impl ServeCore {
         }
         let batch: Vec<Pending> = self.pending.drain(..take).collect();
         self.flushes += 1;
+        let ord = self.flushes;
+        let trace = self.cfg.trace_spans;
         metrics::counter_add("serve.flushes", 1);
         metrics::gauge_set("serve.queue_depth", self.pending.len() as f64);
         self.batch_sizes.record(take as f64);
@@ -704,8 +1083,20 @@ impl ServeCore {
             if now_ns > req.deadline_ns {
                 self.expired += 1;
                 metrics::counter_add("serve.expired", 1);
-                self.latency.record(now_ns.saturating_sub(req.enqueued_ns) as f64);
-                metrics::observe_ns("serve.request_ns", now_ns.saturating_sub(req.enqueued_ns));
+                let lat = now_ns.saturating_sub(req.enqueued_ns);
+                self.latency.record(lat as f64);
+                metrics::observe_ns("serve.request_ns", lat);
+                if trace {
+                    self.trace_span(span(req.id, SpanKind::Expired, now_ns, lat, ord));
+                }
+                self.log_event(
+                    "serve_expired",
+                    &RequestEvent {
+                        id: req.id,
+                        t_ns: now_ns,
+                        detail: format!("waited_ns={lat}"),
+                    },
+                );
                 responses.push(MatchResponse {
                     id: req.id,
                     outcome: MatchOutcome::Expired,
@@ -714,17 +1105,41 @@ impl ServeCore {
                     batch_size: take,
                 });
             } else {
+                if trace {
+                    // The queue-wait span: from admission to this flush
+                    // picking the request up.
+                    self.trace_span(span(
+                        req.id,
+                        SpanKind::QueueWait,
+                        req.enqueued_ns,
+                        now_ns.saturating_sub(req.enqueued_ns),
+                        ord,
+                    ));
+                }
                 live.push(req);
             }
         }
         if live.is_empty() {
+            if trace {
+                self.finish_flush_trace(ord, now_ns);
+            }
             return responses;
         }
 
         // The supervised region: tokenize + encode + score may panic on
         // poison input or corrupted state. A panic must fail only this
         // flush, never the engine.
-        let scored = std::panic::catch_unwind(AssertUnwindSafe(|| self.score_live(&live)));
+        let flush_span_start = self.span_now(now_ns);
+        let scored = std::panic::catch_unwind(AssertUnwindSafe(|| self.score_live(&live, now_ns)));
+        if trace {
+            self.trace_span(span(
+                0,
+                SpanKind::Flush,
+                flush_span_start,
+                self.span_now(now_ns).saturating_sub(flush_span_start),
+                ord,
+            ));
+        }
         match scored {
             Ok(probs) => {
                 self.backoff_ns = self.cfg.restart_backoff_ns.max(1);
@@ -735,6 +1150,9 @@ impl ServeCore {
                     let outcome = if prob.is_finite() {
                         self.scored += 1;
                         metrics::counter_add("serve.scored", 1);
+                        if trace {
+                            self.trace_span(span(req.id, SpanKind::Reply, now_ns, lat, ord));
+                        }
                         MatchOutcome::Scored {
                             prob,
                             is_match: prob >= self.cfg.threshold,
@@ -744,8 +1162,13 @@ impl ServeCore {
                         // pair's cached encodings are suspect too.
                         self.failed += 1;
                         metrics::counter_add("serve.failed", 1);
-                        self.cache.quarantine(req.left_key);
-                        self.cache.quarantine(req.right_key);
+                        self.quarantine_key(req.left_key, now_ns);
+                        self.quarantine_key(req.right_key, now_ns);
+                        if trace {
+                            let mut e = span(req.id, SpanKind::Failed, now_ns, lat, ord);
+                            e.detail = "non-finite probability".to_string();
+                            self.trace_span(e);
+                        }
                         MatchOutcome::Failed("non-finite probability".to_string())
                     };
                     responses.push(MatchResponse {
@@ -756,6 +1179,9 @@ impl ServeCore {
                         batch_size: take,
                     });
                 }
+                if trace {
+                    self.finish_flush_trace(ord, now_ns);
+                }
             }
             Err(payload) => {
                 let reason = panic_reason(payload.as_ref());
@@ -765,11 +1191,16 @@ impl ServeCore {
                     // The fault may have been any of this batch's cached
                     // encodings: quarantine them all so nothing poisoned
                     // outlives the flush that exposed it.
-                    self.cache.quarantine(req.left_key);
-                    self.cache.quarantine(req.right_key);
+                    self.quarantine_key(req.left_key, now_ns);
+                    self.quarantine_key(req.right_key, now_ns);
                     let lat = now_ns.saturating_sub(req.enqueued_ns);
                     self.latency.record(lat as f64);
                     metrics::observe_ns("serve.request_ns", lat);
+                    if trace {
+                        let mut e = span(req.id, SpanKind::Failed, now_ns, lat, ord);
+                        e.detail = format!("panic during flush: {reason}");
+                        self.trace_span(e);
+                    }
                     responses.push(MatchResponse {
                         id: req.id,
                         outcome: MatchOutcome::Failed(format!("panic during flush: {reason}")),
@@ -778,7 +1209,13 @@ impl ServeCore {
                         batch_size: take,
                     });
                 }
-                self.enter_degraded(now_ns);
+                // Close the failing flush's trace *before* entering the
+                // degraded state, so the ring holds the request spans when
+                // the episode's postmortem is eventually dumped.
+                if trace {
+                    self.finish_flush_trace(ord, now_ns);
+                }
+                self.enter_degraded(now_ns, &format!("panic during flush: {reason}"));
             }
         }
         responses
@@ -789,15 +1226,19 @@ impl ServeCore {
     /// and encoded in one grouped call) and score every live pair in one
     /// grouped call. Runs inside `catch_unwind` — anything here may panic
     /// without killing the engine.
-    fn score_live(&mut self, live: &[Pending]) -> Vec<f32> {
+    fn score_live(&mut self, live: &[Pending], now_ns: u64) -> Vec<f32> {
         if let Some(fault) = self.flush_fault.as_mut() {
             fault(self.flushes);
         }
+        let ord = self.flushes;
+        let trace = self.cfg.trace_spans;
         let stage = Instant::now();
+        let stage_start = self.span_now(now_ns);
         let mut encodings: HashMap<u64, Tensor> = HashMap::new();
         let mut miss_keys: Vec<u64> = Vec::new();
         let mut miss_ids: Vec<Vec<usize>> = Vec::new();
         let mut queued: HashSet<u64> = HashSet::new();
+        let mut hits: usize = 0;
         for req in live {
             for (key, rec) in [(req.left_key, &req.left), (req.right_key, &req.right)] {
                 if encodings.contains_key(&key) || queued.contains(&key) {
@@ -806,6 +1247,7 @@ impl ServeCore {
                 match self.cache.get(key) {
                     Some(enc) => {
                         encodings.insert(key, enc);
+                        hits += 1;
                     }
                     None => {
                         queued.insert(key);
@@ -814,6 +1256,13 @@ impl ServeCore {
                     }
                 }
             }
+        }
+        // One aggregate span per flush, not one per hit: per-key spans
+        // would put a `format!` on every warm request's hot path.
+        if trace && hits > 0 {
+            let mut e = span(0, SpanKind::CacheHit, stage_start, 0, ord);
+            e.detail = format!("hits={hits}");
+            self.trace_span(e);
         }
         if !miss_ids.is_empty() {
             let g = Graph::new();
@@ -837,11 +1286,23 @@ impl ServeCore {
             metrics::counter_add("serve.encodes", miss_keys.len() as u64);
         }
         metrics::observe_ns("serve.encode_batch_ns", stage.elapsed().as_nanos() as u64);
+        if trace {
+            let mut e = span(
+                0,
+                SpanKind::Encode,
+                stage_start,
+                self.span_now(stage_start).saturating_sub(stage_start),
+                ord,
+            );
+            e.detail = format!("misses={}", miss_keys.len());
+            self.trace_span(e);
+        }
 
         // Score every live pair in one grouped call. Batched scoring is
         // bit-identical across compositions, so each pair's probability is
         // independent of what else shares its flush.
         let stage = Instant::now();
+        let stage_start = self.span_now(stage_start);
         let g = Graph::new();
         let pairs: Vec<(&Tensor, &Tensor)> = live
             .iter()
@@ -854,6 +1315,17 @@ impl ServeCore {
             .expect("ServeCore::new verified the split scoring path");
         g.recycle();
         metrics::observe_ns("serve.score_batch_ns", stage.elapsed().as_nanos() as u64);
+        if trace {
+            let mut e = span(
+                0,
+                SpanKind::Score,
+                stage_start,
+                self.span_now(stage_start).saturating_sub(stage_start),
+                ord,
+            );
+            e.detail = format!("pairs={}", pairs.len());
+            self.trace_span(e);
+        }
         probs
     }
 
@@ -896,6 +1368,10 @@ impl ServeCore {
             cache_hit_rate: self.cache.hit_rate(),
             cache_resident: self.cache.len(),
             cache_quarantines: self.cache.quarantines(),
+            degraded_entries: self.degraded_entries,
+            postmortems: self.postmortems,
+            trace_events: self.recorder.recorded(),
+            trace_dropped: self.recorder.dropped(),
             batch_size: self.batch_sizes.summary("serve.batch_size"),
             request_latency: self.latency.summary("serve.request_ns"),
             registry: metrics::snapshot(),

@@ -36,13 +36,15 @@ use crate::core::{
     FlushFault, MatchResponse, RecoverySource, ServeConfig, ServeCore, ServerSnapshot,
 };
 use crate::error::ServeError;
+use crate::spans::FlushTimeline;
+use crate::telemetry::TelemetryServer;
 
 /// Longest the worker sleeps while requests are pending. Real time, even
 /// under a fake clock: it bounds how stale the worker's view of an
 /// externally advanced clock can get.
 const IDLE_TICK: Duration = Duration::from_millis(1);
 
-enum EngineMsg {
+pub(crate) enum EngineMsg {
     Score {
         left: Record,
         right: Record,
@@ -50,6 +52,7 @@ enum EngineMsg {
         reply: Sender<MatchResponse>,
     },
     Snapshot(Sender<ServerSnapshot>),
+    Timelines(usize, Sender<Vec<FlushTimeline>>),
     Shutdown,
 }
 
@@ -135,6 +138,10 @@ impl ServeEngine {
                 let core = recovery.restore().and_then(|trained| {
                     let mut core = ServeCore::new(trained, cfg)?;
                     core.set_recovery(recovery);
+                    // The worker's clock doubles as the span clock, so
+                    // per-stage durations inside a flush (encode vs score)
+                    // are attributed from the same injected time source.
+                    core.set_span_clock(Arc::clone(&worker_clock));
                     if let Some(fault) = fault {
                         core.set_flush_fault(fault);
                     }
@@ -186,6 +193,26 @@ impl ServeEngine {
             .send(EngineMsg::Snapshot(tx))
             .map_err(|_| ServeError::EngineDied)?;
         rx.recv().map_err(|_| ServeError::EngineDied)
+    }
+
+    /// The most recent traced flush timelines, newest last. Empty unless
+    /// [`ServeConfig::trace_spans`] is on. `last` caps how many come back
+    /// (the worker keeps at most [`ServeConfig::recent_timelines`]).
+    pub fn timelines(&self, last: usize) -> Result<Vec<FlushTimeline>, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.tx
+            .send(EngineMsg::Timelines(last, tx))
+            .map_err(|_| ServeError::EngineDied)?;
+        rx.recv().map_err(|_| ServeError::EngineDied)
+    }
+
+    /// Starts the live telemetry endpoint on `addr` (e.g. `127.0.0.1:0`
+    /// for an ephemeral port): a single-threaded HTTP server exposing
+    /// `/metrics`, `/healthz`, `/snapshot`, and `/trace?last=K`. The
+    /// server holds its own channel to the worker, so it keeps answering
+    /// (`503 draining`) while the engine shuts down.
+    pub fn serve_telemetry(&self, addr: &str) -> Result<TelemetryServer, ServeError> {
+        TelemetryServer::start(addr, self.tx.clone())
     }
 
     /// Stops the engine, draining and answering everything still queued.
@@ -299,6 +326,9 @@ fn run_worker(mut core: ServeCore, rx: Receiver<EngineMsg>, clock: Arc<dyn Clock
                 snap.routes_depth = routes.len();
                 let _ = tx.send(snap);
             }
+            Some(EngineMsg::Timelines(last, tx)) => {
+                let _ = tx.send(core.timelines(last));
+            }
             Some(EngineMsg::Shutdown) => break,
             None => {}
         }
@@ -326,6 +356,9 @@ fn run_worker(mut core: ServeCore, rx: Receiver<EngineMsg>, clock: Arc<dyn Clock
                 let mut snap = core.snapshot();
                 snap.routes_depth = routes.len();
                 let _ = tx.send(snap);
+            }
+            EngineMsg::Timelines(last, tx) => {
+                let _ = tx.send(core.timelines(last));
             }
             EngineMsg::Shutdown => {}
         }

@@ -18,6 +18,10 @@ pub enum ServeError {
     EngineDied,
     /// The OS refused to spawn the serving thread (resource exhaustion).
     Spawn(String),
+    /// The configured JSONL event log could not be created.
+    EventLog(String),
+    /// The telemetry endpoint could not bind or spawn its server thread.
+    Telemetry(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -32,6 +36,8 @@ impl std::fmt::Display for ServeError {
             ),
             ServeError::EngineDied => write!(f, "serving engine thread died during startup"),
             ServeError::Spawn(msg) => write!(f, "failed to spawn serving thread: {msg}"),
+            ServeError::EventLog(msg) => write!(f, "failed to create serve event log: {msg}"),
+            ServeError::Telemetry(msg) => write!(f, "telemetry endpoint failed: {msg}"),
         }
     }
 }

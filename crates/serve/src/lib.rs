@@ -37,6 +37,18 @@
 //! ([`MatchOutcome::Failed`]) and quarantines its cache entries, and a
 //! suspect matcher is restored in place from the retained
 //! [`RecoverySource`] with capped exponential backoff. See DESIGN.md §6i.
+//!
+//! PR 9 made a running engine observable: with [`ServeConfig::trace_spans`]
+//! on, every request's lifecycle is recorded as typed span events (queue
+//! wait, flush/encode/score stages, cache hits, the reply) grouped into
+//! per-flush [`FlushTimeline`]s exportable as Chrome-trace JSON; a
+//! fixed-size [`FlightRecorder`] ring holds the most recent span events and
+//! is dumped to a JSONL postmortem when a panic episode resolves; and
+//! [`ServeEngine::serve_telemetry`] starts a dependency-free HTTP endpoint
+//! ([`TelemetryServer`]) answering `/metrics` (Prometheus text),
+//! `/healthz`, `/snapshot`, and `/trace?last=K` through the worker's own
+//! control channel. Tracing is opt-in and allocation-free when off. See
+//! DESIGN.md §6j.
 
 #![warn(missing_docs)]
 
@@ -44,6 +56,8 @@ mod clock;
 mod core;
 mod engine;
 mod error;
+mod spans;
+mod telemetry;
 
 pub use clock::{Clock, FakeClock, SystemClock};
 pub use core::{
@@ -52,3 +66,5 @@ pub use core::{
 };
 pub use engine::{ServeClient, ServeEngine};
 pub use error::ServeError;
+pub use spans::{FlightRecorder, FlushTimeline};
+pub use telemetry::TelemetryServer;

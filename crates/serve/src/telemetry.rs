@@ -1,0 +1,229 @@
+//! The live telemetry endpoint: a hand-rolled HTTP/1.1 server over a
+//! [`std::net::TcpListener`] (no external dependencies, one thread) that
+//! answers operational questions about a running [`ServeEngine`]:
+//!
+//! - `GET /metrics` — the full metrics registry in Prometheus text
+//!   exposition format (counters, gauges, histograms with cumulative
+//!   buckets), rendered by [`emba_trace::prometheus_text`].
+//! - `GET /healthz` — `200 live` when the engine is healthy, `503
+//!   degraded` while the matcher is suspect, `503 draining` once the
+//!   worker has exited (or is shutting down).
+//! - `GET /snapshot` — the full [`ServerSnapshot`] as JSON.
+//! - `GET /trace?last=K` — the most recent K traced flush timelines
+//!   (JSON; empty unless [`ServeConfig::trace_spans`] is on).
+//!
+//! The server owns its own clone of the engine's control channel, so every
+//! scrape is answered by the worker thread itself — the metrics registry
+//! is thread-local to the worker, and routing reads through it keeps the
+//! endpoint consistent with what the engine's own accounting says.
+//!
+//! [`ServeEngine`]: crate::ServeEngine
+//! [`ServeConfig::trace_spans`]: crate::ServeConfig::trace_spans
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use emba_trace::prometheus_text;
+
+use crate::core::ServerSnapshot;
+use crate::engine::EngineMsg;
+use crate::error::ServeError;
+use crate::spans::FlushTimeline;
+
+/// Most request bytes the server will buffer before giving up on a client.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How long a single scrape may stall before the connection is dropped.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Default flush-timeline count for `/trace` without a `last=` parameter.
+const DEFAULT_TRACE_LAST: usize = 8;
+
+/// A running telemetry endpoint. Dropping it (or calling
+/// [`TelemetryServer::stop`]) shuts the server thread down; the engine it
+/// watches is unaffected either way.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// single server thread. `tx` is the engine's control channel; the
+    /// server keeps answering `503 draining` after the worker exits.
+    pub(crate) fn start(addr: &str, tx: Sender<EngineMsg>) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ServeError::Telemetry(format!("bind {addr}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Telemetry(format!("local_addr: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("emba-telemetry".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // One bad client must not take the endpoint down;
+                        // errors just drop the connection.
+                        let _ = handle_connection(stream, &tx);
+                    }
+                }
+            })
+            .map_err(|e| ServeError::Telemetry(format!("spawn: {e}")))?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address — the ephemeral port lives here when the server
+    /// was started on port 0.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server thread and unbinds the port.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // The accept loop blocks in `incoming()`; a throwaway
+            // connection wakes it so it can observe the stop flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn handle_connection(mut stream: TcpStream, tx: &Sender<EngineMsg>) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the request head. GET requests carry no body,
+    // and anything else is answered 405 without reading further.
+    while !head_complete(&buf) && buf.len() < MAX_REQUEST_BYTES {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => match fetch_snapshot(tx) {
+            Some(snap) => {
+                let body = prometheus_text(&snap.registry);
+                respond(
+                    &mut stream,
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &body,
+                )
+            }
+            None => respond(&mut stream, "503 Service Unavailable", "text/plain", "draining\n"),
+        },
+        "/healthz" => match fetch_snapshot(tx) {
+            Some(snap) if snap.degraded => {
+                respond(&mut stream, "503 Service Unavailable", "text/plain", "degraded\n")
+            }
+            Some(_) => respond(&mut stream, "200 OK", "text/plain", "live\n"),
+            None => respond(&mut stream, "503 Service Unavailable", "text/plain", "draining\n"),
+        },
+        "/snapshot" => match fetch_snapshot(tx) {
+            Some(snap) => {
+                let body = serde_json::to_string(&snap)
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                respond(&mut stream, "200 OK", "application/json", &body)
+            }
+            None => respond(&mut stream, "503 Service Unavailable", "text/plain", "draining\n"),
+        },
+        "/trace" => {
+            let last = query_param(query, "last")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(DEFAULT_TRACE_LAST);
+            match fetch_timelines(tx, last) {
+                Some(timelines) => {
+                    let body = serde_json::to_string(&timelines)
+                        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                    respond(&mut stream, "200 OK", "application/json", &body)
+                }
+                None => {
+                    respond(&mut stream, "503 Service Unavailable", "text/plain", "draining\n")
+                }
+            }
+        }
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn head_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+fn fetch_snapshot(tx: &Sender<EngineMsg>) -> Option<ServerSnapshot> {
+    let (stx, srx) = mpsc::channel();
+    tx.send(EngineMsg::Snapshot(stx)).ok()?;
+    srx.recv().ok()
+}
+
+fn fetch_timelines(tx: &Sender<EngineMsg>, last: usize) -> Option<Vec<FlushTimeline>> {
+    let (ttx, trx) = mpsc::channel();
+    tx.send(EngineMsg::Timelines(last, ttx)).ok()?;
+    trx.recv().ok()
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,129 @@
+//! The zero-added-allocation guarantee for disabled tracing.
+//!
+//! This binary installs a counting `#[global_allocator]` and drives a bare
+//! [`ServeCore`] through identical steady-state rounds with request
+//! tracing off and on. With tracing off, every warm round must allocate
+//! exactly the same number of times — the tracing machinery (recorder,
+//! timelines, span buffer) contributes nothing to the request hot path.
+//! With tracing on, the same round allocates strictly more (the spans are
+//! real work, which is exactly why they are opt-in).
+//!
+//! One test per binary: the counter is process-global, so no other test
+//! may run concurrently in this process.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use emba_core::{ModelKind, PipelineConfig, TextPipeline, TrainedMatcher};
+use emba_datagen::Record;
+use emba_serve::{ServeConfig, ServeCore};
+use emba_tokenizer::{TrainConfig, WordPieceTokenizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates directly to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn matcher() -> TrainedMatcher {
+    let corpus = ["samsung evo ssd 1tb", "sandisk ultra card 128gb"];
+    let tok = WordPieceTokenizer::train(
+        &corpus,
+        &TrainConfig {
+            vocab_size: 256,
+            min_pair_freq: 2,
+        },
+    );
+    let pipeline = TextPipeline::from_tokenizer(
+        tok,
+        PipelineConfig {
+            vocab_size: 256,
+            max_len: 32,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = ModelKind::EmbaFt.build(&pipeline, 4, 0.5, 0.1, &mut rng);
+    TrainedMatcher {
+        pipeline,
+        model,
+        dropout: 0.1,
+        pos_fraction: 0.5,
+    }
+}
+
+/// One steady-state round: two requests enqueued and flushed. Both records
+/// are cache-resident after the first round, so a warm round is pure
+/// queue → flush → score work.
+fn round(core: &mut ServeCore, base_ns: u64, left: &Record, right: &Record) -> u64 {
+    let before = allocations();
+    let a = core.enqueue(base_ns, left.clone(), right.clone(), base_ns, u64::MAX);
+    let b = core.enqueue(base_ns + 1, right.clone(), left.clone(), base_ns, u64::MAX);
+    assert!(a.is_empty() && b.is_empty());
+    let responses = core.poll(base_ns + 100);
+    assert_eq!(responses.len(), 2);
+    allocations() - before
+}
+
+#[test]
+fn disabled_tracing_adds_zero_allocations_to_the_hot_path() {
+    let left = Record::new(vec![("title", "samsung evo ssd 1tb".to_string())]);
+    let right = Record::new(vec![("title", "sandisk ultra card 128gb".to_string())]);
+    let cfg = |trace_spans: bool| ServeConfig {
+        max_batch: 2,
+        trace_spans,
+        ..Default::default()
+    };
+
+    let mut off = ServeCore::new(matcher(), cfg(false)).unwrap();
+    let mut on = ServeCore::new(matcher(), cfg(true)).unwrap();
+
+    // Warm up: fill the encoding cache, grow every container and the
+    // thread-local metrics registry to steady state.
+    for i in 0..4 {
+        round(&mut off, 10_000 * (i + 1), &left, &right);
+        round(&mut on, 10_000 * (i + 1), &left, &right);
+    }
+
+    let off_rounds: Vec<u64> =
+        (0..5).map(|i| round(&mut off, 1_000_000 + 10_000 * i, &left, &right)).collect();
+    let on_rounds: Vec<u64> =
+        (0..5).map(|i| round(&mut on, 1_000_000 + 10_000 * i, &left, &right)).collect();
+
+    // Tracing off: a warm round's allocation count is exactly reproducible
+    // — nothing accumulates per request beyond the scoring work itself.
+    assert!(
+        off_rounds.windows(2).all(|w| w[0] == w[1]),
+        "untraced steady-state rounds must allocate identically: {off_rounds:?}"
+    );
+    // Tracing on records spans, timelines, and ring entries — real
+    // allocations the disabled path must not pay.
+    let off_per_round = off_rounds[0];
+    assert!(
+        on_rounds.iter().all(|&n| n > off_per_round),
+        "traced rounds must allocate more than untraced ones: on={on_rounds:?} off={off_per_round}"
+    );
+}

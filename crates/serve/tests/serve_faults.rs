@@ -505,7 +505,7 @@ fn poison_records_are_served_not_fatal() {
             ..Default::default()
         },
     );
-    let poison = vec![
+    let poison = [
         Record::new(Vec::<(&str, String)>::new()),
         Record::new(vec![("title", String::new())]),
         Record::new(vec![("title", "x".repeat(1 << 16))]),

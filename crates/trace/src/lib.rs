@@ -29,8 +29,10 @@
 //! it), so hooks traffic only in plain numbers, strings, and the record
 //! structs defined here.
 
+pub mod expo;
 pub mod metrics;
 pub mod prof_export;
+pub mod serve_events;
 
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
@@ -40,8 +42,10 @@ use emba_tensor::pool;
 use emba_tensor::prof::ProfReport;
 use serde::{Deserialize, Serialize, Value};
 
+pub use expo::{parse_exposition, prometheus_text, sanitize_metric_name, validate_exposition};
 pub use metrics::{HistogramSummary, MetricsSnapshot};
-pub use prof_export::{OpRow, PhaseRow};
+pub use prof_export::{OpRow, PhaseRow, TraceSpan};
+pub use serve_events::{parse_postmortem, write_postmortem, Postmortem, ServeSpanEvent, SpanKind};
 
 /// Static facts about a run, emitted once before the first epoch.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -237,6 +241,26 @@ pub struct ServeSummary {
     /// PR 8.
     #[serde(default)]
     pub degraded: bool,
+    /// Times the supervisor entered the degraded state. Zero in summaries
+    /// written before PR 9.
+    #[serde(default)]
+    pub degraded_entries: u64,
+    /// Cache keys quarantined as suspected poison inputs. Zero in
+    /// summaries written before PR 9.
+    #[serde(default)]
+    pub quarantined: u64,
+    /// Flight-recorder postmortem dumps written. Zero in summaries written
+    /// before PR 9.
+    #[serde(default)]
+    pub postmortems: u64,
+    /// Span events recorded by the flight recorder. Zero in summaries
+    /// written before PR 9 (or with tracing disabled).
+    #[serde(default)]
+    pub trace_events: u64,
+    /// Span events the flight-recorder ring overwrote. Zero in summaries
+    /// written before PR 9.
+    #[serde(default)]
+    pub trace_dropped: u64,
     /// Batches flushed.
     pub flushes: u64,
     /// Backbone record encodes (cache misses actually computed).
@@ -369,6 +393,15 @@ impl<W: Write> JsonlLogger<W> {
         let mut out = self.out.take().expect("finish consumes the logger; sink present");
         out.flush()?;
         Ok(out)
+    }
+
+    /// Writes one tagged line outside the [`TrainObserver`] vocabulary —
+    /// the serving path uses this for its lifecycle events (`serve_shed`,
+    /// `serve_restart`, ...) and postmortem dumps, so serving runs produce
+    /// the same JSONL shape as training runs. Same sanitization and
+    /// durability rules as the observer hooks.
+    pub fn log_event<T: Serialize>(&mut self, event: &str, record: &T) {
+        self.emit(event, record);
     }
 
     fn emit<T: Serialize>(&mut self, event: &str, record: &T) {
@@ -1128,6 +1161,11 @@ mod tests {
             failed: 5,
             restarts: 1,
             degraded: false,
+            degraded_entries: 1,
+            quarantined: 2,
+            postmortems: 1,
+            trace_events: 1500,
+            trace_dropped: 476,
             flushes: 25,
             encodes: 120,
             peak_queue_depth: 48,
@@ -1152,6 +1190,11 @@ mod tests {
         assert_eq!(serve.failed, 5);
         assert_eq!(serve.restarts, 1);
         assert!(!serve.degraded);
+        assert_eq!(serve.degraded_entries, 1);
+        assert_eq!(serve.quarantined, 2);
+        assert_eq!(serve.postmortems, 1);
+        assert_eq!(serve.trace_events, 1500);
+        assert_eq!(serve.trace_dropped, 476);
         assert_eq!(serve.batch_size.count, 2);
         assert!(serve.request_latency.p50 <= serve.request_latency.p99);
 
@@ -1183,7 +1226,16 @@ mod tests {
                             .filter(|(sk, _)| {
                                 !matches!(
                                     sk.as_str(),
-                                    "rejected" | "shed" | "failed" | "restarts" | "degraded"
+                                    "rejected"
+                                        | "shed"
+                                        | "failed"
+                                        | "restarts"
+                                        | "degraded"
+                                        | "degraded_entries"
+                                        | "quarantined"
+                                        | "postmortems"
+                                        | "trace_events"
+                                        | "trace_dropped"
                                 )
                             })
                             .collect();
@@ -1198,5 +1250,10 @@ mod tests {
         assert_eq!(serve.rejected, 0);
         assert_eq!(serve.failed, 0);
         assert!(!serve.degraded);
+        assert_eq!(serve.degraded_entries, 0);
+        assert_eq!(serve.quarantined, 0);
+        assert_eq!(serve.postmortems, 0);
+        assert_eq!(serve.trace_events, 0);
+        assert_eq!(serve.trace_dropped, 0);
     }
 }

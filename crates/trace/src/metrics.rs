@@ -125,7 +125,11 @@ impl Histogram {
         last * ratio
     }
 
-    /// Summarizes into the serializable form used by run artifacts.
+    /// Summarizes into the serializable form used by run artifacts. The
+    /// summary carries the raw bucket edges and counts alongside the
+    /// precomputed percentiles, so external scrapers (the `/metrics`
+    /// exposition, re-aggregation across shards) can rebuild any quantile
+    /// instead of trusting ours.
     pub fn summary(&self, name: &str) -> HistogramSummary {
         HistogramSummary {
             name: name.to_string(),
@@ -135,6 +139,9 @@ impl Histogram {
             p99: self.percentile(0.99),
             mean: self.mean(),
             overflow: self.overflow(),
+            bounds: self.bounds.clone(),
+            bucket_counts: self.counts.clone(),
+            sum: self.sum,
         }
     }
 }
@@ -156,6 +163,19 @@ pub struct HistogramSummary {
     pub mean: f64,
     /// Samples beyond the last bucket edge.
     pub overflow: u64,
+    /// Strictly increasing upper bucket edges ([`Histogram::bounds`]).
+    /// Empty in summaries written before the bucket export existed.
+    #[serde(default)]
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, one per edge plus a final `[last, +∞)` overflow
+    /// slot (`bucket_counts.len() == bounds.len() + 1` when present).
+    /// Empty in summaries written before the bucket export existed.
+    #[serde(default)]
+    pub bucket_counts: Vec<u64>,
+    /// Exact sum of all samples (what Prometheus calls `_sum`). Zero in
+    /// summaries written before the bucket export existed.
+    #[serde(default)]
+    pub sum: f64,
 }
 
 #[derive(Default)]
@@ -307,6 +327,42 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.p50, 0.0);
         assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_exports_bucket_bounds_and_counts() {
+        let mut h = Histogram::log_spaced(10.0, 10.0, 3); // edges 10, 100, 1000
+        for v in [0.0, 5.0, 50.0, 500.0, 5000.0] {
+            h.record(v);
+        }
+        let s = h.summary("export");
+        assert_eq!(s.bounds, vec![10.0, 100.0, 1000.0]);
+        assert_eq!(s.bucket_counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.bucket_counts.len(), s.bounds.len() + 1);
+        assert_eq!(s.bucket_counts.iter().sum::<u64>(), s.count);
+        assert_eq!(s.sum, 5555.0);
+    }
+
+    #[test]
+    fn summaries_without_buckets_still_parse() {
+        use serde::Value;
+        // A summary written before the bucket export carried only the
+        // percentiles; the serde defaults keep it readable.
+        let s = Histogram::latency_ns().summary("old");
+        let v = match s.to_value() {
+            Value::Object(fields) => Value::Object(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "bounds" && k != "bucket_counts" && k != "sum")
+                    .collect(),
+            ),
+            other => panic!("summary serialized to a non-object: {other:?}"),
+        };
+        let back = HistogramSummary::from_value(&v).unwrap();
+        assert!(back.bounds.is_empty());
+        assert!(back.bucket_counts.is_empty());
+        assert_eq!(back.sum, 0.0);
+        assert_eq!(back.name, "old");
     }
 
     #[test]

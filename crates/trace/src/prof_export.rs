@@ -126,6 +126,61 @@ pub fn chrome_trace(report: &ProfReport) -> String {
     serde_json::to_string(&doc).expect("value serialization is infallible")
 }
 
+/// One generic span for [`chrome_trace_spans`] — the serve crate renders
+/// its request-scoped flush timelines through this, so a serving trace
+/// opens in the same `chrome://tracing` view as the op-level profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Event name shown on the track (e.g. the span kind).
+    pub name: String,
+    /// Category string (e.g. `flush-3`); chrome://tracing can filter on it.
+    pub cat: String,
+    /// Start timestamp, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds (instantaneous events render as 0-width).
+    pub dur_ns: u64,
+    /// Thread-track id; the serve exporter uses the request's trace id so
+    /// each request gets its own row.
+    pub tid: u64,
+}
+
+/// Renders arbitrary spans as `chrome://tracing` trace-event JSON, one
+/// `ph: "X"` complete event per span under a single named process — the
+/// same document shape as [`chrome_trace`], but fed from caller-provided
+/// spans instead of the tape profiler's phase timeline.
+pub fn chrome_trace_spans(spans: &[TraceSpan], process_name: &str, dropped: u64) -> String {
+    let mut events = vec![Value::Object(vec![
+        ("name".into(), Value::Str("process_name".into())),
+        ("ph".into(), Value::Str("M".into())),
+        ("pid".into(), Value::UInt(1)),
+        ("tid".into(), Value::UInt(0)),
+        (
+            "args".into(),
+            Value::Object(vec![("name".into(), Value::Str(process_name.to_string()))]),
+        ),
+    ])];
+    for span in spans {
+        events.push(Value::Object(vec![
+            ("name".into(), Value::Str(span.name.clone())),
+            ("cat".into(), Value::Str(span.cat.clone())),
+            ("ph".into(), Value::Str("X".into())),
+            ("ts".into(), Value::Float(span.start_ns as f64 / 1e3)),
+            ("dur".into(), Value::Float(span.dur_ns as f64 / 1e3)),
+            ("pid".into(), Value::UInt(1)),
+            ("tid".into(), Value::UInt(span.tid)),
+        ]));
+    }
+    let doc = Value::Object(vec![
+        ("traceEvents".into(), Value::Array(events)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+        (
+            "otherData".into(),
+            Value::Object(vec![("droppedSpans".into(), Value::UInt(dropped))]),
+        ),
+    ]);
+    serde_json::to_string(&doc).expect("value serialization is infallible")
+}
+
 /// Renders the per-op aggregates as flamegraph "folded stacks" text. Each
 /// line is `seg;seg;...;op value` with the value in nanoseconds of self
 /// time; backward passes render as `op (bwd)`. Phase time not attributable
@@ -264,6 +319,40 @@ mod tests {
             .and_then(|o| o.get("droppedSpans"))
             .and_then(Value::as_u64);
         assert_eq!(dropped, Some(2));
+    }
+
+    #[test]
+    fn chrome_trace_spans_render_one_track_per_tid() {
+        let spans = vec![
+            TraceSpan {
+                name: "QueueWait".into(),
+                cat: "flush-1".into(),
+                start_ns: 1_000,
+                dur_ns: 4_000,
+                tid: 7,
+            },
+            TraceSpan {
+                name: "Score".into(),
+                cat: "flush-1".into(),
+                start_ns: 5_000,
+                dur_ns: 2_000,
+                tid: 8,
+            },
+        ];
+        let text = chrome_trace_spans(&spans, "emba-serve", 3);
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        assert_eq!(events.len(), 3); // metadata + two spans
+        let meta = &events[0];
+        let proc_name = meta.get("args").and_then(|a| a.get("name")).and_then(Value::as_str);
+        assert_eq!(proc_name, Some("emba-serve"));
+        assert_eq!(events[1].get("tid").and_then(Value::as_u64), Some(7));
+        assert_eq!(events[1].get("ts").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(events[2].get("name").and_then(Value::as_str), Some("Score"));
+        assert_eq!(events[2].get("dur").and_then(Value::as_f64), Some(2.0));
+        let dropped =
+            v.get("otherData").and_then(|o| o.get("droppedSpans")).and_then(Value::as_u64);
+        assert_eq!(dropped, Some(3));
     }
 
     #[test]

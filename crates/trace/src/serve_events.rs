@@ -1,0 +1,310 @@
+//! Typed span events for the serving path, and the postmortem dump format.
+//!
+//! `emba-serve` records every request's lifecycle — admission (or
+//! rejection), queue wait, shed/expired, flush assignment, encode versus
+//! cache hit, score, reply — plus the supervisor's transitions (degraded
+//! enter/exit, restart attempts with their backoff, quarantines) as
+//! [`ServeSpanEvent`]s. The schema lives here, beside the other JSONL record
+//! types, so the serve crate and any log reader agree on one definition and
+//! the serve crate keeps depending on trace (never the reverse).
+//!
+//! Events are written in two places:
+//!
+//! * the engine's optional JSONL event log (one tagged line per lifecycle
+//!   event, same shape as the training log), and
+//! * **postmortem dumps**: when the serving core degrades after a flush
+//!   panic (or fails its pending requests on drain), it dumps its flight
+//!   recorder — the last N span events — through [`write_postmortem`], so a
+//!   `Failed(...)` answer always has a reconstructible history.
+//!   [`parse_postmortem`] reads a dump back for tests and tooling.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::JsonlLogger;
+
+/// What one [`ServeSpanEvent`] records. Unit variants serialize as their
+/// name (`"Admitted"`, `"DegradedEnter"`, ...), which keeps the JSONL lines
+/// greppable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// Request passed admission and joined the queue.
+    Admitted,
+    /// Request was refused at admission (queue full on arrival).
+    Rejected,
+    /// Request was shed by the deadline-aware high-water policy.
+    Shed,
+    /// Request's deadline passed while it was still queued.
+    Expired,
+    /// Time the request spent queued before its flush picked it up.
+    QueueWait,
+    /// A batch flush: the span covers the whole supervised scoring call.
+    Flush,
+    /// One record's backbone encoding was computed inside a flush.
+    Encode,
+    /// One record's encoding was served from the cache inside a flush.
+    CacheHit,
+    /// AOA + match-head scoring of the assembled flush batch.
+    Score,
+    /// Request answered (`Scored`); duration is enqueue→answer latency.
+    Reply,
+    /// Request answered `Failed` (flush panic or non-finite probability).
+    Failed,
+    /// Supervisor entered the degraded state (matcher suspect).
+    DegradedEnter,
+    /// Supervisor left the degraded state (matcher restored).
+    DegradedExit,
+    /// A restart was attempted; `detail` carries source and backoff.
+    RestartAttempt,
+    /// A restart succeeded.
+    Restarted,
+    /// A cache key was quarantined as a suspected poison input.
+    Quarantine,
+}
+
+impl SpanKind {
+    /// Stable string form — the same name the JSONL serialization uses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Admitted => "Admitted",
+            SpanKind::Rejected => "Rejected",
+            SpanKind::Shed => "Shed",
+            SpanKind::Expired => "Expired",
+            SpanKind::QueueWait => "QueueWait",
+            SpanKind::Flush => "Flush",
+            SpanKind::Encode => "Encode",
+            SpanKind::CacheHit => "CacheHit",
+            SpanKind::Score => "Score",
+            SpanKind::Reply => "Reply",
+            SpanKind::Failed => "Failed",
+            SpanKind::DegradedEnter => "DegradedEnter",
+            SpanKind::DegradedExit => "DegradedExit",
+            SpanKind::RestartAttempt => "RestartAttempt",
+            SpanKind::Restarted => "Restarted",
+            SpanKind::Quarantine => "Quarantine",
+        }
+    }
+}
+
+/// One span event in a request's (or the supervisor's) lifecycle.
+///
+/// Timestamps come from the engine's injectable `Clock`, so under a fake
+/// clock the whole trace is deterministic. Instantaneous events carry
+/// `dur_ns == 0`; supervision events carry `trace_id == 0` (no single
+/// request owns them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSpanEvent {
+    /// Request id the span belongs to; `0` for supervision transitions.
+    pub trace_id: u64,
+    /// What happened.
+    pub kind: SpanKind,
+    /// Clock timestamp of the span start, nanoseconds.
+    pub t_ns: u64,
+    /// Span duration, nanoseconds (`0` for instantaneous events).
+    pub dur_ns: u64,
+    /// 1-based ordinal of the flush the span belongs to; `0` before any
+    /// flush involvement (admission, shed, expiry).
+    pub flush: u64,
+    /// Free-form elaboration: cache key, backoff value, panic payload.
+    #[serde(default)]
+    pub detail: String,
+}
+
+/// Header line of a postmortem dump.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PostmortemHeader {
+    reason: String,
+    spans: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+/// A parsed postmortem dump: why it was written and the flight-recorder
+/// contents at that moment, oldest span first.
+#[derive(Debug, Clone)]
+pub struct Postmortem {
+    /// Why the dump was written (panic payload, drain failure, ...).
+    pub reason: String,
+    /// Span events recorded into the ring over its lifetime.
+    pub recorded: u64,
+    /// Span events the ring overwrote before the dump (lost history).
+    pub dropped: u64,
+    /// The surviving span events, oldest first.
+    pub spans: Vec<ServeSpanEvent>,
+}
+
+/// Dumps the flight recorder to a JSONL postmortem file: one `"postmortem"`
+/// header line (reason plus ring accounting), then one `"span"` line per
+/// event, oldest first. The parent directory is created if missing, and the
+/// file is flushed before returning so the dump survives the process dying
+/// right after the degradation that triggered it.
+pub fn write_postmortem(
+    path: &Path,
+    reason: &str,
+    recorded: u64,
+    dropped: u64,
+    events: &[ServeSpanEvent],
+) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut logger = JsonlLogger::new(BufWriter::new(File::create(path)?));
+    logger.log_event(
+        "postmortem",
+        &PostmortemHeader {
+            reason: reason.to_string(),
+            spans: events.len(),
+            recorded,
+            dropped,
+        },
+    );
+    for e in events {
+        logger.log_event("span", e);
+    }
+    logger.finish()?;
+    Ok(())
+}
+
+/// Parses a postmortem dump written by [`write_postmortem`]. Strict: the
+/// first line must be the `"postmortem"` header, every following line a
+/// `"span"` event, and the header's span count must match.
+pub fn parse_postmortem(text: &str) -> Result<Postmortem, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or("empty postmortem dump")?;
+    let header: Value =
+        serde_json::from_str(header_line).map_err(|e| format!("bad header JSON: {e}"))?;
+    if header.get("event").and_then(Value::as_str) != Some("postmortem") {
+        return Err(format!("first line is not a postmortem header: {header_line}"));
+    }
+    let header =
+        PostmortemHeader::from_value(&header).map_err(|e| format!("bad header: {e:?}"))?;
+    let mut spans = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("bad span JSON on line {}: {e}", i + 2))?;
+        if v.get("event").and_then(Value::as_str) != Some("span") {
+            return Err(format!("line {} is not a span event: {line}", i + 2));
+        }
+        spans.push(
+            ServeSpanEvent::from_value(&v).map_err(|e| format!("bad span on line {}: {e:?}", i + 2))?,
+        );
+    }
+    if spans.len() != header.spans {
+        return Err(format!(
+            "header claims {} spans but the dump holds {}",
+            header.spans,
+            spans.len()
+        ));
+    }
+    Ok(Postmortem {
+        reason: header.reason,
+        recorded: header.recorded,
+        dropped: header.dropped,
+        spans,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace_id: u64, kind: SpanKind, t_ns: u64) -> ServeSpanEvent {
+        ServeSpanEvent { trace_id, kind, t_ns, dur_ns: 500, flush: 1, detail: String::new() }
+    }
+
+    #[test]
+    fn span_kinds_serialize_as_stable_strings() {
+        for kind in [
+            SpanKind::Admitted,
+            SpanKind::Rejected,
+            SpanKind::Shed,
+            SpanKind::Expired,
+            SpanKind::QueueWait,
+            SpanKind::Flush,
+            SpanKind::Encode,
+            SpanKind::CacheHit,
+            SpanKind::Score,
+            SpanKind::Reply,
+            SpanKind::Failed,
+            SpanKind::DegradedEnter,
+            SpanKind::DegradedExit,
+            SpanKind::RestartAttempt,
+            SpanKind::Restarted,
+            SpanKind::Quarantine,
+        ] {
+            assert_eq!(kind.to_value(), Value::Str(kind.as_str().to_string()));
+            assert_eq!(SpanKind::from_value(&kind.to_value()).unwrap(), kind);
+        }
+        assert!(SpanKind::from_value(&Value::Str("NotAKind".into())).is_err());
+    }
+
+    #[test]
+    fn span_events_round_trip_through_json() {
+        let e = ServeSpanEvent {
+            trace_id: 7,
+            kind: SpanKind::RestartAttempt,
+            t_ns: 123_456,
+            dur_ns: 0,
+            flush: 3,
+            detail: "source=Checkpoint backoff_ns=20000000".to_string(),
+        };
+        let text = serde_json::to_string(&e.to_value()).unwrap();
+        let back = ServeSpanEvent::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn events_without_detail_still_parse() {
+        // `detail` is `#[serde(default)]` so compact writers may omit it.
+        let v = Value::Object(vec![
+            ("trace_id".into(), Value::UInt(1)),
+            ("kind".into(), Value::Str("Reply".into())),
+            ("t_ns".into(), Value::UInt(10)),
+            ("dur_ns".into(), Value::UInt(2)),
+            ("flush".into(), Value::UInt(1)),
+        ]);
+        let e = ServeSpanEvent::from_value(&v).unwrap();
+        assert_eq!(e.kind, SpanKind::Reply);
+        assert!(e.detail.is_empty());
+    }
+
+    #[test]
+    fn postmortem_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("emba-postmortem-{}", std::process::id()));
+        let path = dir.join("deep/postmortem-0001.jsonl");
+        let events = vec![
+            span(1, SpanKind::Admitted, 100),
+            span(1, SpanKind::Flush, 200),
+            ServeSpanEvent {
+                trace_id: 0,
+                kind: SpanKind::DegradedEnter,
+                t_ns: 300,
+                dur_ns: 0,
+                flush: 2,
+                detail: "flush panicked: injected".to_string(),
+            },
+        ];
+        write_postmortem(&path, "flush panicked: injected", 17, 14, &events).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let pm = parse_postmortem(&text).unwrap();
+        assert_eq!(pm.reason, "flush panicked: injected");
+        assert_eq!(pm.recorded, 17);
+        assert_eq!(pm.dropped, 14);
+        assert_eq!(pm.spans, events);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_postmortems_are_rejected() {
+        assert!(parse_postmortem("").is_err());
+        assert!(parse_postmortem("{\"event\":\"span\"}").is_err());
+        // Header claiming more spans than present.
+        let text = "{\"event\":\"postmortem\",\"reason\":\"x\",\"spans\":2,\"recorded\":2,\"dropped\":0}\n";
+        assert!(parse_postmortem(text).is_err());
+    }
+}

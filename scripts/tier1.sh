@@ -116,3 +116,26 @@ for p in report["overload"]:
     if p["multiplier"] > 1:
         assert p["goodput"] >= report["min_goodput_ratio"] * baseline["goodput"]
 PY
+
+# Telemetry smoke: the tracing-overhead bench plus the live HTTP endpoint.
+# The target itself starts an engine with telemetry enabled, scrapes all
+# four routes under concurrent load, validates the Prometheus exposition
+# with the strict parser, and requires /healthz to flip live -> draining
+# across shutdown, exiting non-zero on any failure. The 3% overhead ceiling
+# is only enforced on quick/full — the smoke workload is too small to time
+# meaningfully — but even on smoke the disabled run must record zero span
+# events (the allocation-free-when-off contract) and the enabled run must
+# record spans and produce flush timelines.
+cargo run --release -p emba-bench --bin reproduce -- \
+    bench-telemetry --profile smoke --out results/tier1
+python3 - <<'PY'
+import json
+report = json.load(open("results/tier1/BENCH_telemetry.json"))
+assert report["pass"], "BENCH_telemetry.json records a failed gate"
+assert report["disabled_trace_events"] == 0, "untraced run recorded spans"
+assert report["enabled_trace_events"] > 0, "traced run recorded no spans"
+assert report["metric_families"] > 0, "/metrics exposed no families"
+assert report["trace_timelines"] > 0, "/trace returned no flush timelines"
+snap = report["enabled_snapshot"]
+assert snap["scored"] == report["requests"], "requests were dropped"
+PY
