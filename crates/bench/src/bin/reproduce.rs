@@ -12,9 +12,10 @@ use std::fs;
 use std::path::PathBuf;
 
 use emba_bench::{
-    bench_batch, bench_blocking, bench_faults, bench_serve, bench_telemetry, bench_tensor_kernels,
-    crash_run, figure5, figure6, profile_run, render_table2, render_table3, render_table4,
-    render_table5, table1, table2_data, table4_data, table6, table7, trace_run, Artifact, Profile,
+    bench_batch, bench_blocking, bench_faults, bench_quant, bench_serve, bench_telemetry,
+    bench_tensor_kernels, crash_run, figure5, figure6, profile_run, render_table2, render_table3,
+    render_table4, render_table5, table1, table2_data, table4_data, table6, table7, trace_run,
+    Artifact, Profile,
 };
 
 fn main() {
@@ -153,6 +154,16 @@ fn main() {
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("bench-blocking gate failed: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+    if wants("bench-quant") {
+        let (artifact, failures) = bench_quant(&profile);
+        emit(artifact);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("bench-quant gate failed: {f}");
             }
             std::process::exit(1);
         }
@@ -303,6 +314,15 @@ TARGETS (default: all):
              predict path (BENCH_blocking.json), gated on the speedup,
              blocking-recall, and encodes-per-pair floors. Not part of
              `all` — run as `reproduce bench-blocking --profile smoke`
+    bench-quant
+             post-training int8 inference vs the f32 baseline: probability
+             and F1 equivalence on the test splits (SIMD tier and forced
+             scalar) plus interleaved encode+score throughput
+             (BENCH_quant.json), gated on the equivalence bounds, profiler
+             attribution of the quantized ops, and — on quick/full with a
+             SIMD tier available — the 1.5x speedup floor. Honors
+             EMBA_FORCE_SCALAR=1 for portable-path CI runs. Not part of
+             `all` — run as `reproduce bench-quant --profile smoke`
     bench-serve
              concurrent match serving through the emba-serve engine
              (request coalescing + shared encoding cache) vs the serial

@@ -12,6 +12,7 @@ pub mod fault_bench;
 pub mod kernel_bench;
 pub mod prof_run;
 pub mod profile;
+pub mod quant_bench;
 pub mod render;
 pub mod serve_bench;
 pub mod tables;
@@ -27,6 +28,9 @@ pub use fault_bench::{bench_faults, FaultReport, OverloadPoint, MIN_GOODPUT_RATI
 pub use kernel_bench::bench_tensor_kernels;
 pub use prof_run::{profile_run, ProfOutcome};
 pub use profile::Profile;
+pub use quant_bench::{
+    bench_quant, MAX_ALLOWED_DF1, MAX_ALLOWED_DP, REQUIRED_SPEEDUP as REQUIRED_QUANT_SPEEDUP,
+};
 pub use render::Table;
 pub use serve_bench::{bench_serve, MAX_ABS_DPROB, REQUIRED_SPEEDUP as REQUIRED_SERVE_SPEEDUP};
 pub use telemetry_bench::{bench_telemetry, MAX_OVERHEAD_FRAC};

@@ -27,6 +27,8 @@ use emba_trace::metrics;
 use serde::Serialize;
 
 use crate::batching::plan_sub_batches;
+use emba_tensor::{backend, BackendKind};
+
 use crate::blocking::{BlockingConfig, BlockingIndex};
 use crate::enc_cache::{record_hash, EncodingCache};
 use crate::experiment::TrainedMatcher;
@@ -43,6 +45,9 @@ pub struct CatalogMatchConfig {
     pub score_chunk: usize,
     /// Match-probability threshold for the reported match count.
     pub threshold: f32,
+    /// Kernel backend to score with (`Int8` runs the quantized GEMM path for
+    /// both record encoding and pair scoring).
+    pub backend: BackendKind,
 }
 
 impl Default for CatalogMatchConfig {
@@ -52,6 +57,7 @@ impl Default for CatalogMatchConfig {
             cache_capacity: 8192,
             score_chunk: 256,
             threshold: 0.5,
+            backend: BackendKind::F32,
         }
     }
 }
@@ -100,6 +106,8 @@ pub struct CatalogMatchReport {
     pub total_secs: f64,
     /// `scored_pairs / total_secs`.
     pub pairs_per_sec: f64,
+    /// Backend label the run scored with (e.g. `"f32"`, `"int8-avx2"`).
+    pub backend: String,
 }
 
 /// Matches an entire catalog: blocking, encode-once, batched pair scoring.
@@ -118,6 +126,8 @@ pub fn match_catalog(
     cfg: &CatalogMatchConfig,
 ) -> (Vec<ScoredPair>, CatalogMatchReport) {
     let total_start = Instant::now();
+    let _backend = backend::install(cfg.backend);
+    let backend_label = backend::name().to_string();
 
     // ----- Stage 1: blocking -------------------------------------------------
     let stage = Instant::now();
@@ -246,6 +256,7 @@ pub fn match_catalog(
         } else {
             0.0
         },
+        backend: backend_label,
     };
     (scored, report)
 }
@@ -260,14 +271,28 @@ pub fn match_catalog(
 pub struct CatalogScorer<'a> {
     trained: &'a TrainedMatcher,
     cache: EncodingCache,
+    backend: BackendKind,
 }
 
 impl<'a> CatalogScorer<'a> {
     /// A scorer over `trained` with a bounded encoding cache.
     pub fn new(trained: &'a TrainedMatcher, cache_capacity: usize) -> Self {
+        Self::with_backend(trained, cache_capacity, BackendKind::F32)
+    }
+
+    /// A scorer pinned to a specific kernel backend (`Int8` scores through
+    /// the quantized path; encodings cached under one backend are reused
+    /// as-is if the scorer is rebuilt under another, so keep one scorer per
+    /// backend).
+    pub fn with_backend(
+        trained: &'a TrainedMatcher,
+        cache_capacity: usize,
+        backend: BackendKind,
+    ) -> Self {
         Self {
             trained,
             cache: EncodingCache::new(cache_capacity),
+            backend,
         }
     }
 
@@ -283,6 +308,7 @@ impl<'a> CatalogScorer<'a> {
         if let Some(enc) = self.cache.get(key) {
             return enc;
         }
+        let _backend = backend::install(self.backend);
         let g = Graph::new();
         let enc = self
             .trained
@@ -309,6 +335,7 @@ impl<'a> CatalogScorer<'a> {
         };
         let e1 = self.encoding_for(&first);
         let e2 = self.encoding_for(&second);
+        let _backend = backend::install(self.backend);
         let g = Graph::new();
         let prob = self
             .trained

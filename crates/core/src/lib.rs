@@ -42,6 +42,7 @@ mod kind;
 mod metrics;
 mod models;
 mod pipeline;
+mod quantized;
 mod resume;
 pub mod stats;
 mod store;
@@ -70,6 +71,7 @@ pub use models::{
     TransformerMatcher,
 };
 pub use pipeline::{EncodedExample, PipelineConfig, TextPipeline};
+pub use quantized::QuantizedMatcher;
 pub use resume::{train_matcher_durable, DurabilityConfig, TrainState};
 pub use store::CheckpointStore;
 pub use train::{

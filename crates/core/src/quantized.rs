@@ -1,0 +1,69 @@
+//! Int8 inference wrapper: a [`TrainedMatcher`] pinned to the quantized
+//! backend.
+//!
+//! [`QuantizedMatcher`] owns a trained model and installs the
+//! [`BackendKind::Int8`] backend for every call, so all linear/attention
+//! weight products run the per-channel int8 GEMM path. Quantization happens
+//! **once, up front**: construction runs a single throwaway forward under
+//! the int8 backend, which makes every `Linear` build and cache its int8
+//! twin — no checkpoint format change, and no quantization work on the
+//! request path.
+
+use emba_datagen::Record;
+use emba_tensor::{backend, BackendKind};
+
+use crate::experiment::{Prediction, TrainedMatcher};
+
+/// A trained matcher that serves predictions through the int8 backend.
+pub struct QuantizedMatcher {
+    trained: TrainedMatcher,
+}
+
+impl QuantizedMatcher {
+    /// Wraps a trained matcher and eagerly quantizes every linear weight by
+    /// running one tiny warm-up forward under the int8 backend.
+    pub fn new(trained: TrainedMatcher) -> Self {
+        let q = Self { trained };
+        q.warm();
+        q
+    }
+
+    fn warm(&self) {
+        let probe = Record::new(vec![("attr", "warmup probe")]);
+        let _ = self.predict(&probe, &probe);
+    }
+
+    /// Label of the backend serving this matcher (names the SIMD tier, e.g.
+    /// `"int8-avx2"`).
+    pub fn backend_label(&self) -> &'static str {
+        BackendKind::Int8.label()
+    }
+
+    /// Int8 twin of [`TrainedMatcher::predict`].
+    pub fn predict(&self, left: &Record, right: &Record) -> Prediction {
+        let _b = backend::install(BackendKind::Int8);
+        self.trained.predict(left, right)
+    }
+
+    /// Int8 twin of [`TrainedMatcher::predict_batch`].
+    pub fn predict_batch(&self, pairs: &[(&Record, &Record)]) -> Vec<Prediction> {
+        let _b = backend::install(BackendKind::Int8);
+        self.trained.predict_batch(pairs)
+    }
+
+    /// The wrapped full-precision matcher (no backend installed).
+    pub fn trained(&self) -> &TrainedMatcher {
+        &self.trained
+    }
+
+    /// Unwraps back to the full-precision matcher.
+    pub fn into_trained(self) -> TrainedMatcher {
+        self.trained
+    }
+}
+
+impl From<TrainedMatcher> for QuantizedMatcher {
+    fn from(trained: TrainedMatcher) -> Self {
+        QuantizedMatcher::new(trained)
+    }
+}

@@ -1,10 +1,38 @@
 //! Basic trainable layers: linear projections, embedding tables, and layer
 //! normalization.
 
-use emba_tensor::{Graph, Tensor, Var};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use emba_tensor::{backend, Graph, QuantizedMatrix, Tensor, Var};
 use rand::Rng;
 
 use crate::param::{GraphStamp, Module, Param};
+
+/// Cached int8 twin of a weight matrix, keyed so weight updates invalidate
+/// it: the buffer address plus the bit patterns of the first and last
+/// elements. The address alone is not enough — the allocator can hand a new
+/// weight tensor the address a previous one just freed.
+#[derive(Debug)]
+struct QuantCache {
+    key: (usize, u32, u32),
+    q: Arc<QuantizedMatrix>,
+}
+
+fn quant_key(w: &Tensor) -> (usize, u32, u32) {
+    let d = w.data();
+    (
+        d.as_ptr() as usize,
+        d.first().map_or(0, |v| v.to_bits()),
+        d.last().map_or(0, |v| v.to_bits()),
+    )
+}
+
+/// Layers below this weight size stay f32 even under the int8 backend.
+/// Tiny projections (the 2-class match head, scalar gates) offer no
+/// meaningful GEMM work to accelerate, but sit closest to the logits where
+/// quantization noise lands directly on the output probability.
+const QUANT_MIN_ELEMS: usize = 2048;
 
 /// Affine projection `y = x · W + b` with `W: [in, out]`, `b: [1, out]`.
 #[derive(Debug)]
@@ -13,6 +41,11 @@ pub struct Linear {
     pub weight: Param,
     /// Bias row, `[1, out_dim]`.
     pub bias: Param,
+    /// Lazily built int8 weights, used when the int8 backend is installed.
+    /// `RefCell` is fine: models live on one thread (the serve engine builds
+    /// its matcher inside the worker thread precisely because matchers are
+    /// not `Send`).
+    quant: RefCell<Option<QuantCache>>,
 }
 
 impl Linear {
@@ -21,6 +54,22 @@ impl Linear {
         Self {
             weight: Param::new(Tensor::xavier(in_dim, out_dim, rng)),
             bias: Param::new(Tensor::zeros(1, out_dim)),
+            quant: RefCell::new(None),
+        }
+    }
+
+    /// The int8 twin of the current weights, quantizing (once) on first use
+    /// or after the weight tensor changed.
+    pub fn quantized_weight(&self) -> Arc<QuantizedMatrix> {
+        let key = quant_key(&self.weight.value);
+        let mut slot = self.quant.borrow_mut();
+        match slot.as_ref() {
+            Some(c) if c.key == key => c.q.clone(),
+            _ => {
+                let q = Arc::new(QuantizedMatrix::quantize(&self.weight.value));
+                *slot = Some(QuantCache { key, q: q.clone() });
+                q
+            }
         }
     }
 
@@ -36,7 +85,16 @@ impl Linear {
 
     /// Applies the projection to an `[m, in]` input, producing `[m, out]`,
     /// via the fused affine tape op.
+    /// Whether this layer runs int8 when the quantized backend is installed.
+    fn quantizable(&self) -> bool {
+        self.weight.value.rows() * self.weight.value.cols() >= QUANT_MIN_ELEMS
+    }
+
     pub fn forward(&self, g: &Graph, stamp: GraphStamp, x: Var) -> Var {
+        if backend::quantized() && self.quantizable() {
+            let q = self.quantized_weight();
+            return g.linear_q8(x, &q, &self.bias.value);
+        }
         let w = self.weight.bind(g, stamp);
         let b = self.bias.bind(g, stamp);
         g.linear(x, w, b)
@@ -45,6 +103,10 @@ impl Linear {
     /// Applies the projection followed by GELU as one fused tape op,
     /// producing `[m, out]`.
     pub fn forward_gelu(&self, g: &Graph, stamp: GraphStamp, x: Var) -> Var {
+        if backend::quantized() && self.quantizable() {
+            let q = self.quantized_weight();
+            return g.linear_q8_gelu(x, &q, &self.bias.value);
+        }
         let w = self.weight.bind(g, stamp);
         let b = self.bias.bind(g, stamp);
         g.linear_bias_gelu(x, w, b)

@@ -83,7 +83,7 @@ use emba_core::{
 };
 use emba_datagen::Record;
 use emba_nn::GraphStamp;
-use emba_tensor::{Graph, Tensor};
+use emba_tensor::{backend, BackendKind, Graph, Tensor};
 use emba_trace::metrics::{self, Histogram, HistogramSummary, MetricsSnapshot};
 use emba_trace::{write_postmortem, JsonlLogger, ServeSpanEvent, ServeSummary, SpanKind};
 use serde::Serialize;
@@ -144,6 +144,12 @@ pub struct ServeConfig {
     /// restart, quarantine, postmortem) — the serving counterpart of the
     /// training run log. `None` disables the log.
     pub event_log: Option<PathBuf>,
+    /// Kernel backend the scoring path runs under. `Int8` serves every
+    /// flush through the post-training quantized GEMM path (weights are
+    /// quantized once, on the first flush after a matcher build); `F32` is
+    /// the full-precision default. Reported in [`ServerSnapshot::backend`]
+    /// and `ServeSummary.backend`.
+    pub backend: BackendKind,
 }
 
 impl Default for ServeConfig {
@@ -162,6 +168,7 @@ impl Default for ServeConfig {
             recent_timelines: 16,
             postmortem_dir: None,
             event_log: None,
+            backend: BackendKind::F32,
         }
     }
 }
@@ -334,6 +341,10 @@ pub struct ServerSnapshot {
     pub registry: MetricsSnapshot,
     /// Profiler phase totals — empty unless [`ServeConfig::profile`].
     pub profile_phases: Vec<ProfPhase>,
+    /// Kernel backend serving this run (e.g. `"f32"`, `"int8-avx2"`,
+    /// `"int8-scalar"`) so postmortems are attributable to the arithmetic
+    /// that produced them.
+    pub backend: String,
 }
 
 impl ServerSnapshot {
@@ -364,6 +375,7 @@ impl ServerSnapshot {
             cache_hit_rate: self.cache_hit_rate,
             batch_size: self.batch_size.clone(),
             request_latency: self.request_latency.clone(),
+            backend: self.backend.clone(),
         }
     }
 }
@@ -1227,6 +1239,7 @@ impl ServeCore {
     /// grouped call. Runs inside `catch_unwind` — anything here may panic
     /// without killing the engine.
     fn score_live(&mut self, live: &[Pending], now_ns: u64) -> Vec<f32> {
+        let _backend = backend::install(self.cfg.backend);
         if let Some(fault) = self.flush_fault.as_mut() {
             fault(self.flushes);
         }
@@ -1376,6 +1389,7 @@ impl ServeCore {
             request_latency: self.latency.summary("serve.request_ns"),
             registry: metrics::snapshot(),
             profile_phases,
+            backend: self.cfg.backend.label().to_string(),
         }
     }
 }

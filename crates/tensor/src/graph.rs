@@ -17,8 +17,9 @@ use std::cell::RefCell;
 use rand::Rng;
 
 use crate::groups::RowGroups;
+use crate::quant::QuantizedMatrix;
 use crate::tensor::Tensor;
-use crate::{guard, kernels, pool, prof, NORM_EPS};
+use crate::{backend, guard, kernels, pool, prof, NORM_EPS};
 
 /// `sqrt(2/pi)`, for the tanh GELU approximation used by BERT.
 const GELU_C: f32 = 0.797_884_6;
@@ -39,7 +40,7 @@ fn xorshift_unit(state: &mut u64) -> f32 {
 }
 
 #[inline]
-fn gelu_forward(x: f32) -> f32 {
+pub(crate) fn gelu_forward(x: f32) -> f32 {
     let u = GELU_C * (x + GELU_K * x * x * x);
     0.5 * x * (1.0 + u.tanh())
 }
@@ -404,6 +405,27 @@ impl Graph {
         )
     }
 
+    /// Quantized affine map `x · dequant(w) + bias` executed through the
+    /// installed [`backend`](crate::backend) (inference only).
+    ///
+    /// The weight is a pre-quantized int8 matrix, not a tape node, and the
+    /// op records **no backward closure**: a backward sweep treats it like a
+    /// leaf and produces no gradient. Training must run under the f32
+    /// backend; `emba-nn`'s `Linear` only emits this op when
+    /// `backend::quantized()` is true.
+    pub fn linear_q8(&self, x: Var, w: &QuantizedMatrix, bias: &Tensor) -> Var {
+        let vx = self.value(x);
+        let out = backend::current().linear_q8(&vx, w, bias, false);
+        self.push("linear_q8", out, vec![x.0], None)
+    }
+
+    /// Quantized fused `gelu(x · dequant(w) + bias)`; see [`Graph::linear_q8`].
+    pub fn linear_q8_gelu(&self, x: Var, w: &QuantizedMatrix, bias: &Tensor) -> Var {
+        let vx = self.value(x);
+        let out = backend::current().linear_q8(&vx, w, bias, true);
+        self.push("linear_q8_gelu", out, vec![x.0], None)
+    }
+
     /// Fused attention-score map `softmax_rows(scale · q · kᵀ)` (one node
     /// instead of matmul_nt + scale + softmax_rows).
     ///
@@ -422,7 +444,7 @@ impl Graph {
         );
         let (m, d, n) = (vq.rows(), vq.cols(), vk.rows());
         let mut buf = pool::take_uninit(m * n);
-        kernels::gemm_nt(m, d, n, vq.data(), vk.data(), &mut buf);
+        backend::gemm_nt(m, d, n, vq.data(), vk.data(), &mut buf);
         for row in buf.chunks_exact_mut(n.max(1)) {
             kernels::scaled_softmax_in_place(row, scale);
         }
@@ -897,13 +919,13 @@ impl Graph {
             let kb = &vk.data()[r0 * d..r1 * d];
             if t == w {
                 let ob = &mut out[r0 * w..r1 * w];
-                kernels::gemm_nt(t, d, t, qb, kb, ob);
+                backend::gemm_nt(t, d, t, qb, kb, ob);
                 for row in ob.chunks_exact_mut(t) {
                     kernels::scaled_softmax_in_place(row, scale);
                 }
             } else {
                 let mut sb = pool::take_uninit(t * t);
-                kernels::gemm_nt(t, d, t, qb, kb, &mut sb);
+                backend::gemm_nt(t, d, t, qb, kb, &mut sb);
                 for row in sb.chunks_exact_mut(t) {
                     kernels::scaled_softmax_in_place(row, scale);
                 }
@@ -957,7 +979,7 @@ impl Graph {
                         }
                         let ds = &ds_all[sq_offs[gi]..sq_offs[gi] + t * t];
                         let kb = &vk.data()[r0 * d..r1 * d];
-                        kernels::gemm_nn(t, t, d, ds, kb, &mut scratch[..t * d]);
+                        backend::gemm_nn(t, t, d, ds, kb, &mut scratch[..t * d]);
                         scatter_add_prefix(&scratch[..t * d], r0, t, d, d, dq);
                     }
                 });
@@ -970,7 +992,7 @@ impl Graph {
                         }
                         let ds = &ds_all[sq_offs[gi]..sq_offs[gi] + t * t];
                         let qb = &vq.data()[r0 * d..r1 * d];
-                        kernels::gemm_tn(t, t, d, ds, qb, &mut scratch[..t * d]);
+                        backend::gemm_tn(t, t, d, ds, qb, &mut scratch[..t * d]);
                         scatter_add_prefix(&scratch[..t * d], r0, t, d, d, dk);
                     }
                 });
@@ -1001,11 +1023,11 @@ impl Graph {
             let vb = &vv.data()[r0 * d..r1 * d];
             let ob = &mut out[r0 * d..r1 * d];
             if t == w {
-                kernels::gemm_nn(t, t, d, &vp.data()[r0 * w..r1 * w], vb, ob);
+                backend::gemm_nn(t, t, d, &vp.data()[r0 * w..r1 * w], vb, ob);
             } else {
                 let mut pb = pool::take_uninit(t * t);
                 gather_prefix(vp.data(), r0, t, w, t, &mut pb);
-                kernels::gemm_nn(t, t, d, &pb, vb, ob);
+                backend::gemm_nn(t, t, d, &pb, vb, ob);
                 pool::put(pb);
             }
         }
@@ -1025,7 +1047,7 @@ impl Graph {
                         }
                         let gb = &g.data()[r0 * d..r1 * d];
                         let vb = &vv.data()[r0 * d..r1 * d];
-                        kernels::gemm_nt(t, d, t, gb, vb, &mut scratch[..t * t]);
+                        backend::gemm_nt(t, d, t, gb, vb, &mut scratch[..t * t]);
                         scatter_add_prefix(&scratch[..t * t], r0, t, w, t, dp);
                     }
                 });
@@ -1038,11 +1060,11 @@ impl Graph {
                         }
                         let gb = &g.data()[r0 * d..r1 * d];
                         if t == w {
-                            kernels::gemm_tn(t, t, d, &vp.data()[r0 * w..r1 * w], gb, &mut scratch[..t * d]);
+                            backend::gemm_tn(t, t, d, &vp.data()[r0 * w..r1 * w], gb, &mut scratch[..t * d]);
                         } else {
                             let mut pb = pool::take_uninit(t * t);
                             gather_prefix(vp.data(), r0, t, w, t, &mut pb);
-                            kernels::gemm_tn(t, t, d, &pb, gb, &mut scratch[..t * d]);
+                            backend::gemm_tn(t, t, d, &pb, gb, &mut scratch[..t * d]);
                             pool::put(pb);
                         }
                         scatter_add_prefix(&scratch[..t * d], r0, t, d, d, dv);
@@ -1080,10 +1102,10 @@ impl Graph {
             let ab = &va.data()[ar0 * h..ar1 * h];
             let bb = &vb.data()[br0 * h..br1 * h];
             if tb == w {
-                kernels::gemm_nt(ta, h, tb, ab, bb, &mut out[ar0 * w..ar1 * w]);
+                backend::gemm_nt(ta, h, tb, ab, bb, &mut out[ar0 * w..ar1 * w]);
             } else {
                 let mut sb = pool::take_uninit(ta * tb);
-                kernels::gemm_nt(ta, h, tb, ab, bb, &mut sb);
+                backend::gemm_nt(ta, h, tb, ab, bb, &mut sb);
                 scatter_copy_prefix(&sb, ar0, ta, w, tb, &mut out);
                 pool::put(sb);
             }
@@ -1105,11 +1127,11 @@ impl Graph {
                         }
                         let bb = &vb.data()[br0 * h..br1 * h];
                         if tb == w {
-                            kernels::gemm_nn(ta, tb, h, &g.data()[ar0 * w..ar1 * w], bb, &mut scratch[..ta * h]);
+                            backend::gemm_nn(ta, tb, h, &g.data()[ar0 * w..ar1 * w], bb, &mut scratch[..ta * h]);
                         } else {
                             let mut gp = pool::take_uninit(ta * tb);
                             gather_prefix(g.data(), ar0, ta, w, tb, &mut gp);
-                            kernels::gemm_nn(ta, tb, h, &gp, bb, &mut scratch[..ta * h]);
+                            backend::gemm_nn(ta, tb, h, &gp, bb, &mut scratch[..ta * h]);
                             pool::put(gp);
                         }
                         scatter_add_prefix(&scratch[..ta * h], ar0, ta, h, h, da);
@@ -1125,11 +1147,11 @@ impl Graph {
                         }
                         let ab = &va.data()[ar0 * h..ar1 * h];
                         if tb == w {
-                            kernels::gemm_tn(tb, ta, h, &g.data()[ar0 * w..ar1 * w], ab, &mut scratch[..tb * h]);
+                            backend::gemm_tn(tb, ta, h, &g.data()[ar0 * w..ar1 * w], ab, &mut scratch[..tb * h]);
                         } else {
                             let mut gp = pool::take_uninit(ta * tb);
                             gather_prefix(g.data(), ar0, ta, w, tb, &mut gp);
-                            kernels::gemm_tn(tb, ta, h, &gp, ab, &mut scratch[..tb * h]);
+                            backend::gemm_tn(tb, ta, h, &gp, ab, &mut scratch[..tb * h]);
                             pool::put(gp);
                         }
                         scatter_add_prefix(&scratch[..tb * h], br0, tb, h, h, db);
@@ -1372,7 +1394,7 @@ impl Graph {
             if t == 0 {
                 continue;
             }
-            kernels::gemm_tn(
+            backend::gemm_tn(
                 1,
                 t,
                 n,
@@ -1725,7 +1747,7 @@ fn affine_forward(x: &Tensor, w: &Tensor, bias: &Tensor) -> Tensor {
     );
     assert_eq!(bias.shape(), (1, n), "linear: bias must be [1,{n}]");
     let mut out = pool::take_uninit(m * n);
-    kernels::gemm_nn(m, k, n, x.data(), w.data(), &mut out);
+    backend::gemm_nn(m, k, n, x.data(), w.data(), &mut out);
     for row in out.chunks_exact_mut(n.max(1)) {
         for (o, &b) in row.iter_mut().zip(bias.data()) {
             *o += b;

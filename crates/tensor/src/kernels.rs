@@ -27,6 +27,7 @@
 //! allocation here at all.
 
 use crate::pool;
+use crate::simd;
 
 /// Rows per micro-kernel tile.
 pub const MR: usize = 4;
@@ -151,6 +152,9 @@ fn gemm_blocked(
     out.fill(0.0);
     let mut packed_a = pool::take_uninit(MC * KC);
     let mut packed_b = pool::take_uninit(KC * NC);
+    // One cached-atomic read per GEMM, not per tile; `simd::level()` honors
+    // the EMBA_FORCE_SCALAR override so CI can pin the autovectorized path.
+    let use_simd = simd::level() >= simd::Level::Avx2;
 
     for jc in (0..n).step_by(NC) {
         let nc = (n - jc).min(NC);
@@ -171,7 +175,7 @@ fn gemm_blocked(
                         let i_lim = (mc - it * MR).min(MR);
 
                         let mut acc = [[0.0f32; NR]; MR];
-                        micro_kernel(kc, a_panel, b_panel, &mut acc);
+                        micro_kernel_dispatch(use_simd, kc, a_panel, b_panel, &mut acc);
 
                         let row0 = ic + it * MR;
                         let col0 = jc + jt * NR;
@@ -189,6 +193,23 @@ fn gemm_blocked(
 
     pool::put(packed_a);
     pool::put(packed_b);
+}
+
+/// Routes a packed-panel tile either to the explicit AVX2+FMA micro-kernel
+/// or to the portable autovectorized one. `use_simd` is hoisted to one
+/// decision per GEMM call.
+#[inline(always)]
+fn micro_kernel_dispatch(use_simd: bool, kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        // SAFETY: `use_simd` is only true when `simd::level()` detected
+        // AVX2+FMA on this CPU.
+        unsafe { simd::micro_kernel_f32_avx2(kc, a, b, acc) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_simd;
+    micro_kernel(kc, a, b, acc);
 }
 
 /// The register-tiled inner kernel: `acc[r][c] += Σ_p a(r, p) · b(p, c)` over
@@ -334,10 +355,14 @@ pub fn softmax_cols_backward(rows: usize, cols: usize, g: &[f32], p: &[f32], dx:
 }
 
 // ----- seed kernels, retained for benchmarking ----------------------------
+//
+// Compiled only under `cfg(test)` or the `seed-bench` feature (enabled by
+// emba-bench) so the hot path cannot reach them by accident.
 
 /// The seed repository's `ikj` matmul, including its `aik == 0.0` skip
 /// branch. Retained only so the benchmark suite can quantify the cost of
 /// that branch against [`gemm_nn`]; not used by the engine.
+#[cfg(any(test, feature = "seed-bench"))]
 pub fn gemm_nn_seed_branchy(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     out.fill(0.0);
     for i in 0..m {
@@ -357,6 +382,7 @@ pub fn gemm_nn_seed_branchy(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], 
 
 /// The seed repository's `Aᵀ·B` kernel with its `== 0.0` skip branch; see
 /// [`gemm_nn_seed_branchy`].
+#[cfg(any(test, feature = "seed-bench"))]
 pub fn gemm_tn_seed_branchy(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     out.fill(0.0);
     for kk in 0..k {

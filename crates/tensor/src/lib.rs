@@ -16,6 +16,10 @@
 //! * [`prof`] — an opt-in op-level profiler that attributes self wall-time,
 //!   output bytes, and estimated FLOPs to every forward and backward tape op
 //!   under a hierarchical phase-scope stack.
+//! * [`backend`] — the `Backend` trait seam between the tape and kernel
+//!   execution, with a thread-installable post-training int8 backend
+//!   ([`quant`]) and cached CPU-feature dispatch to explicit `std::arch`
+//!   micro-kernels ([`simd`]).
 //!
 //! # Design notes
 //!
@@ -45,6 +49,7 @@
 //! assert_eq!(dw.data(), &[4.0, 6.0]); // column sums of x
 //! ```
 
+pub mod backend;
 pub mod gradcheck;
 mod graph;
 mod groups;
@@ -52,10 +57,14 @@ pub mod guard;
 pub mod kernels;
 pub mod pool;
 pub mod prof;
+pub mod quant;
+pub mod simd;
 mod tensor;
 
+pub use backend::BackendKind;
 pub use graph::{GradSink, Gradients, Graph, Var};
 pub use groups::RowGroups;
+pub use quant::QuantizedMatrix;
 pub use tensor::Tensor;
 
 /// Numerical epsilon used by layer normalization and other

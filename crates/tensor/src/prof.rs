@@ -244,6 +244,13 @@ pub fn estimate_flops(op: &str, parents: &[(usize, usize)], out: (usize, usize))
         "linear_bias_gelu" => {
             2 * elems * parents.first().map_or(0, |p| p.1 as u64) + 16 * elems
         }
+        // Quantized affine: same multiply-add count as the f32 op (the i8
+        // lanes change the cost per FLOP, not the FLOP count), plus the
+        // per-row activation quantization pass charged one-per-input-element.
+        "linear_q8" => 2 * elems * parents.first().map_or(0, |p| p.1 as u64) + elems + in_elems(0),
+        "linear_q8_gelu" => {
+            2 * elems * parents.first().map_or(0, |p| p.1 as u64) + 16 * elems + in_elems(0)
+        }
         // q·kᵀ scaled plus a row softmax over the [m, n] scores. The grouped
         // variant is block-diagonal; charging by the padded [ΣT, W] output is
         // a slight overestimate for ragged batches.

@@ -1,0 +1,215 @@
+//! Post-training int8 quantization of linear weights.
+//!
+//! Scheme:
+//!
+//! * **Weights** are quantized once per matrix, per *output channel*
+//!   (column), symmetric: `scale_j = max_i |W[i,j]| / 127`, `q[i,j] =
+//!   round(W[i,j] / scale_j)`. An all-zero column gets `scale_j = 1.0` and
+//!   quantizes to exact zeros. Storage is column-major so the integer GEMM
+//!   streams each column contiguously. The per-column sums of the
+//!   quantized weights are precomputed — they absorb the activation
+//!   zero-points below.
+//! * **Activations** are quantized per row at runtime, *asymmetric* u8:
+//!   `s = (max - min) / 255`, `zp = round(-min / s)`, `q = clamp(round(x /
+//!   s) + zp, 0, 255)`. Asymmetric matters: GELU outputs and other
+//!   one-sided transformer activations would waste half the levels under a
+//!   symmetric scheme, doubling the error. Unsigned activations are also
+//!   exactly what `vpdpbusd` multiplies natively.
+//! * Accumulation is exact i32; the zero-point unfolds through the
+//!   precomputed column sums without touching the inner loop:
+//!   `x · W[:,j] ≈ s * scale_j * (acc_j - zp * colsum_j)`, evaluated in
+//!   exact i64 before one f32 rescale, plus the bias and optionally a
+//!   fused GELU.
+//! * A row whose spread is negligible relative to its magnitude (including
+//!   the all-zero row) cannot be represented affinely — it short-circuits
+//!   to the exact `c * scale_j * colsum_j + bias_j` closed form.
+//!
+//! Error bound: each weight lands within `scale_j / 2 = max|W[:,j]| / 254`
+//! of its f32 value; each activation within one step `(max - min) / 255`
+//! (the clamp at the extremes can cost slightly over a half-step). A
+//! length-k dot therefore deviates by at most
+//! `k * (e_x * max|w| + e_w * max|x| + e_x * e_w)` with those per-element
+//! bounds — checked directly by `tests/prop_quant.rs`.
+//!
+//! Execution tiles rows in blocks: quantize a block of rows, run one
+//! integer GEMM over the whole block (amortizing each streamed weight
+//! column across the block), then rescale into the output buffer.
+
+use crate::pool;
+use crate::simd;
+use crate::tensor::Tensor;
+
+/// A linear weight matrix quantized to int8 with per-output-channel scales.
+///
+/// Built once (at checkpoint restore or on first quantized forward) and
+/// shared immutably afterwards.
+#[derive(Debug)]
+pub struct QuantizedMatrix {
+    in_dim: usize,
+    out_dim: usize,
+    /// Column-major: `data[j * in_dim + i]` holds quantized `W[i, j]`.
+    data: Vec<i8>,
+    /// One dequantization scale per output channel.
+    scales: Vec<f32>,
+    /// Per-column sums of the quantized weights, `sum_i data[j*k + i]` —
+    /// the activation zero-point correction term.
+    col_sums: Vec<i32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantize a `(in_dim, out_dim)` f32 weight matrix.
+    pub fn quantize(w: &Tensor) -> Self {
+        let (k, n) = w.shape();
+        let src = w.data();
+        let mut data = vec![0i8; k * n];
+        let mut scales = vec![1.0f32; n];
+        let mut col_sums = vec![0i32; n];
+        for j in 0..n {
+            let mut max_abs = 0.0f32;
+            for i in 0..k {
+                max_abs = max_abs.max(src[i * n + j].abs());
+            }
+            // An all-zero channel keeps scale 1.0 and quantizes to zeros.
+            if max_abs > 0.0 {
+                scales[j] = max_abs / 127.0;
+                let inv = 127.0 / max_abs;
+                let col = &mut data[j * k..(j + 1) * k];
+                let mut sum = 0i32;
+                for (i, q) in col.iter_mut().enumerate() {
+                    *q = (src[i * n + j] * inv).round().clamp(-127.0, 127.0) as i8;
+                    sum += *q as i32;
+                }
+                col_sums[j] = sum;
+            }
+        }
+        QuantizedMatrix {
+            in_dim: k,
+            out_dim: n,
+            data,
+            scales,
+            col_sums,
+        }
+    }
+
+    /// Input (row) dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output (column) dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Per-output-channel dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Per-column sums of the quantized weights.
+    pub fn col_sums(&self) -> &[i32] {
+        &self.col_sums
+    }
+
+    /// Reconstruct the f32 matrix (`q[i,j] * scale_j`) — test/debug helper
+    /// for the round-trip property tests.
+    pub fn dequantize(&self) -> Tensor {
+        let (k, n) = (self.in_dim, self.out_dim);
+        let mut out = vec![0.0f32; k * n];
+        for j in 0..n {
+            let s = self.scales[j];
+            for i in 0..k {
+                out[i * n + j] = self.data[j * k + i] as f32 * s;
+            }
+        }
+        Tensor::from_vec(k, n, out)
+    }
+}
+
+/// How one activation row was quantized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowQuant {
+    /// `x[i] ≈ (q[i] - zp) * scale`.
+    Affine {
+        /// Quantization step, `(max - min) / 255`.
+        scale: f32,
+        /// Zero point (can be negative when the whole row is positive).
+        zp: i32,
+    },
+    /// The row is (numerically) constant — the affine form would overflow
+    /// or degenerate, so the forward uses the exact closed form instead.
+    Constant(f32),
+}
+
+/// Asymmetric per-row activation quantization into `q`.
+pub fn quantize_row_u8(x: &[f32], q: &mut [u8]) -> RowQuant {
+    debug_assert_eq!(x.len(), q.len());
+    let (mn, mx) = simd::min_max(x);
+    let mag = mn.abs().max(mx.abs());
+    let spread = mx - mn;
+    // Near-constant rows (spread negligible vs magnitude) would push the
+    // zero point past i32 range; all-zero rows hit this with spread == 0.
+    if spread <= mag * 1e-6 {
+        q.fill(0);
+        return RowQuant::Constant((mn + mx) * 0.5);
+    }
+    let scale = spread / 255.0;
+    let inv = 255.0 / spread;
+    let zp = (-mn * inv).round_ties_even() as i32;
+    simd::quantize_span_u8(x, inv, zp, q);
+    RowQuant::Affine { scale, zp }
+}
+
+/// Rows per quantize-GEMM-rescale block: big enough to amortize streaming
+/// the weight matrix across rows, small enough that the u8/i32 scratch
+/// stays L1/L2-resident.
+const ROW_BLOCK: usize = 32;
+
+/// Quantized affine forward: `out ≈ x @ W + bias`, with an optional fused
+/// GELU. `x` is `(m, k)`, `w` is a quantized `(k, n)` matrix, `bias` is
+/// `(1, n)`.
+pub fn linear_q8_forward(x: &Tensor, w: &QuantizedMatrix, bias: &Tensor, gelu: bool) -> Tensor {
+    let (m, k) = x.shape();
+    let n = w.out_dim;
+    assert_eq!(k, w.in_dim, "linear_q8: inner dims {k} vs {}", w.in_dim);
+    assert_eq!(bias.shape(), (1, n), "linear_q8: bias shape");
+    let xs = x.data();
+    let bs = bias.data();
+    let mut out = pool::take_uninit(m * n);
+    let mb = ROW_BLOCK.min(m.max(1));
+    let mut qbuf = vec![0u8; mb * k];
+    let mut acc = vec![0i32; mb * n];
+    let mut rows: Vec<RowQuant> = Vec::with_capacity(mb);
+    let mut rb = 0;
+    while rb < m {
+        let bm = mb.min(m - rb);
+        rows.clear();
+        for r in 0..bm {
+            let xrow = &xs[(rb + r) * k..(rb + r + 1) * k];
+            rows.push(quantize_row_u8(xrow, &mut qbuf[r * k..(r + 1) * k]));
+        }
+        simd::gemm_u8i8(&qbuf[..bm * k], bm, &w.data, k, n, &mut acc[..bm * n]);
+        for (r, rq) in rows.iter().enumerate() {
+            let orow = &mut out[(rb + r) * n..(rb + r + 1) * n];
+            match *rq {
+                RowQuant::Constant(c) => {
+                    for j in 0..n {
+                        orow[j] = c * (w.scales[j] * w.col_sums[j] as f32) + bs[j];
+                    }
+                }
+                RowQuant::Affine { scale: sx, zp } => {
+                    let arow = &acc[r * n..(r + 1) * n];
+                    for j in 0..n {
+                        let adj = arow[j] as i64 - zp as i64 * w.col_sums[j] as i64;
+                        orow[j] = adj as f32 * (sx * w.scales[j]) + bs[j];
+                    }
+                }
+            }
+            if gelu {
+                simd::gelu_span(orow);
+            }
+        }
+        rb += bm;
+    }
+    Tensor::from_vec(m, n, out)
+}

@@ -1,0 +1,776 @@
+//! Cached CPU-feature detection and explicit `std::arch` micro-kernels.
+//!
+//! Detection runs once per process (`is_x86_feature_detected!` walks CPUID
+//! every call, which is far too slow for a per-GEMM decision) and is cached
+//! in an atomic. A forced-scalar override — seeded from the
+//! `EMBA_FORCE_SCALAR` environment variable and togglable in-process via
+//! [`set_forced_scalar`] — lets CI and the quantization bench exercise the
+//! portable fallback on any machine, and lets a single bench process measure
+//! both paths interleaved on the same core.
+//!
+//! Three kernel families live here:
+//!
+//! * quantized GEMM ([`gemm_u8i8`]): the workhorse of the int8 backend.
+//!   Activations are *unsigned* (asymmetric per-row quantization, see
+//!   `crate::quant`), weights signed — exactly the operand pair
+//!   `vpdpbusd` (AVX-VNNI) fuses into one multiply-widen-accumulate. The
+//!   plain-AVX2 tier must NOT use the tempting `_mm256_maddubs_epi16`
+//!   shortcut: with u8 activations a pair sum reaches `2 * 255 * 127 =
+//!   64770 > i16::MAX` and saturates silently. It instead widens both
+//!   operands to i16 and uses `_mm256_madd_epi16`, which pair-sums into
+//!   i32 exactly. Every tier therefore computes the same exact integer
+//!   dot and all tiers are bit-identical.
+//! * activation quantization ([`quantize_span_u8`]): the min/max pass and
+//!   the scale-round-clamp pass, both vectorized — at transformer widths
+//!   the scalar version costs as much as the GEMM it feeds.
+//! * f32 micro-kernel ([`micro_kernel_f32_avx2`]): an explicit AVX2+FMA
+//!   twin of the autovectorized `kernels::micro_kernel`, operating on the
+//!   same packed MR x NR panels.
+//!
+//! Rounding contract: all tiers round ties-to-even (`vcvtps2dq`'s default
+//! mode; `f32::round_ties_even` in the scalar fallback) so forced-scalar
+//! runs reproduce SIMD runs bit-for-bit.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Instruction-set tier selected for kernel dispatch, best first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Portable fallback; also what `EMBA_FORCE_SCALAR` pins.
+    Scalar,
+    /// AVX2 (+FMA for f32): widen-and-`madd_epi16` integer dot products.
+    Avx2,
+    /// AVX2 plus AVX-VNNI `vpdpbusd` fused u8xi8 dot-accumulate.
+    Avx2Vnni,
+}
+
+impl Level {
+    /// Stable lower-case label used in bench reports and backend names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Scalar => "scalar",
+            Level::Avx2 => "avx2",
+            Level::Avx2Vnni => "avx2+vnni",
+        }
+    }
+}
+
+const DETECT_UNKNOWN: u8 = 0;
+const DETECT_SCALAR: u8 = 1;
+const DETECT_AVX2: u8 = 2;
+const DETECT_AVX2_VNNI: u8 = 3;
+
+static DETECTED: AtomicU8 = AtomicU8::new(DETECT_UNKNOWN);
+
+const FORCE_UNKNOWN: u8 = 0;
+const FORCE_OFF: u8 = 1;
+const FORCE_ON: u8 = 2;
+
+static FORCED_SCALAR: AtomicU8 = AtomicU8::new(FORCE_UNKNOWN);
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> u8 {
+    if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+        if is_x86_feature_detected!("avxvnni") {
+            DETECT_AVX2_VNNI
+        } else {
+            DETECT_AVX2
+        }
+    } else {
+        DETECT_SCALAR
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> u8 {
+    DETECT_SCALAR
+}
+
+/// The best tier this CPU supports, detected once and cached.
+pub fn detected() -> Level {
+    match DETECTED.load(Ordering::Relaxed) {
+        DETECT_UNKNOWN => {
+            let d = detect();
+            DETECTED.store(d, Ordering::Relaxed);
+            decode(d)
+        }
+        d => decode(d),
+    }
+}
+
+fn decode(d: u8) -> Level {
+    match d {
+        DETECT_AVX2 => Level::Avx2,
+        DETECT_AVX2_VNNI => Level::Avx2Vnni,
+        _ => Level::Scalar,
+    }
+}
+
+/// Whether the scalar fallback is currently forced (env or programmatic).
+pub fn forced_scalar() -> bool {
+    match FORCED_SCALAR.load(Ordering::Relaxed) {
+        FORCE_UNKNOWN => {
+            let on = std::env::var("EMBA_FORCE_SCALAR")
+                .map(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"))
+                .unwrap_or(false);
+            FORCED_SCALAR.store(if on { FORCE_ON } else { FORCE_OFF }, Ordering::Relaxed);
+            on
+        }
+        f => f == FORCE_ON,
+    }
+}
+
+/// Override the forced-scalar knob in-process (benches interleave both
+/// paths on the same core; tests pin the portable path deterministically).
+pub fn set_forced_scalar(on: bool) {
+    FORCED_SCALAR.store(if on { FORCE_ON } else { FORCE_OFF }, Ordering::Relaxed);
+}
+
+/// The tier kernels actually dispatch on: [`detected`] unless scalar is
+/// forced.
+pub fn level() -> Level {
+    if forced_scalar() {
+        Level::Scalar
+    } else {
+        detected()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Activation quantization: q[i] = clamp(round_even(x[i] * inv) + zp, 0, 255)
+// ---------------------------------------------------------------------------
+
+/// Quantizes a span of activations with a precomputed affine transform.
+/// The caller guarantees `x[i] * inv + zp` stays far inside i32 range (the
+/// per-row scale construction in `crate::quant` bounds it by ~2^28).
+pub fn quantize_span_u8(x: &[f32], inv: f32, zp: i32, q: &mut [u8]) {
+    debug_assert_eq!(x.len(), q.len());
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 | Level::Avx2Vnni => unsafe { quantize_span_u8_avx2(x, inv, zp, q) },
+        _ => quantize_span_u8_scalar(x, inv, zp, q),
+    }
+}
+
+/// Portable twin of the SIMD quantization pass — ties-to-even rounding so
+/// the two are bit-identical.
+pub fn quantize_span_u8_scalar(x: &[f32], inv: f32, zp: i32, q: &mut [u8]) {
+    for (qi, &v) in q.iter_mut().zip(x) {
+        *qi = ((v * inv).round_ties_even() as i32 + zp).clamp(0, 255) as u8;
+    }
+}
+
+/// `(min, max)` over a span. min/max are exact and order-independent, so
+/// the vectorized and scalar reductions agree bit-for-bit.
+pub fn min_max(x: &[f32]) -> (f32, f32) {
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 | Level::Avx2Vnni if x.len() >= 8 => unsafe { min_max_avx2(x) },
+        _ => min_max_scalar(x),
+    }
+}
+
+fn min_max_scalar(x: &[f32]) -> (f32, f32) {
+    let mut mn = f32::INFINITY;
+    let mut mx = f32::NEG_INFINITY;
+    for &v in x {
+        mn = mn.min(v);
+        mx = mx.max(v);
+    }
+    (mn, mx)
+}
+
+// ---------------------------------------------------------------------------
+// Fast GELU for the quantized forward path
+// ---------------------------------------------------------------------------
+
+// The exact graph op evaluates libm `tanh` per element, which dominates the
+// feed-forward blocks. The int8 path is approximate by construction, so its
+// fused activation uses a vectorizable tanh: range-reduce `e^{2|u|}` through
+// `2^n * e^g` with `g in [-ln2/2, ln2/2]` and a degree-5 polynomial. The
+// polynomial's relative error is ~3e-6, putting the GELU output within
+// ~2e-6 * |x| of the exact op — far below the int8 backend's documented
+// probability tolerance. The scalar twin below IS the definition; the AVX2
+// kernel mirrors it lane-for-lane (same FMA contractions, same
+// ties-to-even rounding, IEEE mul/add/div/min/abs), so tiers stay
+// bit-identical.
+
+/// Matches `graph::GELU_C` — sqrt(2/pi).
+const GELU_C: f32 = 0.797_884_6;
+/// Matches `graph::GELU_K` — the cubic term of the tanh GELU.
+const GELU_K: f32 = 0.044_715;
+/// `2 * log2(e)`: folds the `2u` of `tanh(u) = 1 - 2/(e^{2u}+1)` into the
+/// base-2 range reduction.
+const TWO_LOG2E: f32 = 2.0 * std::f32::consts::LOG2_E;
+/// Clamp on the base-2 exponent argument: `tanh` saturates to 1 within f32
+/// long before `2^25`.
+const EXP2_ARG_MAX: f32 = 25.0;
+const LN2: f32 = std::f32::consts::LN_2;
+
+/// One element of the fast GELU — the portable definition the SIMD tiers
+/// reproduce exactly.
+#[inline]
+pub fn fast_gelu(x: f32) -> f32 {
+    let x2 = x * x;
+    let u = GELU_C * GELU_K.mul_add(x2 * x, x);
+    // e^{2|u|} = 2^n * e^{g}, n integral, g in [-ln2/2, ln2/2].
+    let z = (u.abs() * TWO_LOG2E).min(EXP2_ARG_MAX);
+    let n = z.round_ties_even();
+    let g = (z - n) * LN2;
+    let p = (1.0 / 120.0f32)
+        .mul_add(g, 1.0 / 24.0)
+        .mul_add(g, 1.0 / 6.0)
+        .mul_add(g, 0.5)
+        .mul_add(g, 1.0)
+        .mul_add(g, 1.0);
+    let e2a = p * f32::from_bits(((n as i32 + 127) as u32) << 23);
+    let t = 1.0 - 2.0 / (e2a + 1.0);
+    // tanh is odd: restore u's sign bit, then the usual 0.5x(1 + tanh).
+    let ts = f32::from_bits(t.to_bits() ^ (u.to_bits() & 0x8000_0000));
+    (0.5 * x) * (1.0 + ts)
+}
+
+/// In-place fast GELU over a span, SIMD-dispatched.
+pub fn gelu_span(x: &mut [f32]) {
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 | Level::Avx2Vnni if x.len() >= 8 => unsafe { gelu_span_avx2(x) },
+        _ => gelu_span_scalar(x),
+    }
+}
+
+/// Portable twin of the SIMD GELU pass, bit-identical by construction.
+pub fn gelu_span_scalar(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v = fast_gelu(*v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized GEMM: acc[r*n + j] = sum_i a[r*k + i] * w[j*k + i]
+//   a: m x k row-major u8 activations, w: column-major i8 weights
+// ---------------------------------------------------------------------------
+
+/// Exact integer GEMM between quantized activations (`m` rows of length
+/// `k`, unsigned) and a column-major i8 weight matrix (`n` columns of
+/// length `k`). Accumulation is exact i32, so every tier is bit-identical.
+pub fn gemm_u8i8(a: &[u8], m: usize, w: &[i8], k: usize, n: usize, acc: &mut [i32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(w.len(), k * n);
+    debug_assert_eq!(acc.len(), m * n);
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 => unsafe { gemm_u8i8_avx2(a, m, w, k, n, acc) },
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2Vnni => unsafe { gemm_u8i8_vnni(a, m, w, k, n, acc) },
+        _ => gemm_u8i8_scalar(a, m, w, k, n, acc),
+    }
+}
+
+/// Portable reference implementation; also the dispatch target when
+/// `EMBA_FORCE_SCALAR` pins the scalar tier.
+pub fn gemm_u8i8_scalar(a: &[u8], m: usize, w: &[i8], k: usize, n: usize, acc: &mut [i32]) {
+    for r in 0..m {
+        let row = &a[r * k..(r + 1) * k];
+        let out = &mut acc[r * n..(r + 1) * n];
+        for (j, o) in out.iter_mut().enumerate() {
+            let col = &w[j * k..(j + 1) * k];
+            let mut s = 0i32;
+            for i in 0..k {
+                s += row[i] as i32 * col[i] as i32;
+            }
+            *o = s;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of the eight i32 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn hsum_epi32(v: __m256i) -> i32 {
+        let hi = _mm256_extracti128_si256(v, 1);
+        let lo = _mm256_castsi256_si128(v);
+        let s = _mm_add_epi32(hi, lo);
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_01_10_11));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+        _mm_cvtsi128_si32(s)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min_max_avx2(x: &[f32]) -> (f32, f32) {
+        let mut vmn = _mm256_set1_ps(f32::INFINITY);
+        let mut vmx = _mm256_set1_ps(f32::NEG_INFINITY);
+        let kc = x.len() - x.len() % 8;
+        let p = x.as_ptr();
+        let mut i = 0;
+        while i < kc {
+            let v = _mm256_loadu_ps(p.add(i));
+            vmn = _mm256_min_ps(vmn, v);
+            vmx = _mm256_max_ps(vmx, v);
+            i += 8;
+        }
+        let mut mn = [0.0f32; 8];
+        let mut mx = [0.0f32; 8];
+        _mm256_storeu_ps(mn.as_mut_ptr(), vmn);
+        _mm256_storeu_ps(mx.as_mut_ptr(), vmx);
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for l in 0..8 {
+            lo = lo.min(mn[l]);
+            hi = hi.max(mx[l]);
+        }
+        while i < x.len() {
+            let v = *x.get_unchecked(i);
+            lo = lo.min(v);
+            hi = hi.max(v);
+            i += 1;
+        }
+        (lo, hi)
+    }
+
+    /// Vectorized affine quantization: 8 floats -> 8 u8 per step via
+    /// `vcvtps2dq` (ties-even, matching the scalar `round_ties_even`) and
+    /// the saturating i32 -> i16 -> u8 packs, which implement the
+    /// `[0, 255]` clamp for free.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn quantize_span_u8_avx2(x: &[f32], inv: f32, zp: i32, q: &mut [u8]) {
+        let vinv = _mm256_set1_ps(inv);
+        let vzp = _mm256_set1_epi32(zp);
+        let kc = x.len() - x.len() % 8;
+        let xp = x.as_ptr();
+        let qp = q.as_mut_ptr();
+        let mut i = 0;
+        while i < kc {
+            let v = _mm256_mul_ps(_mm256_loadu_ps(xp.add(i)), vinv);
+            let qi = _mm256_add_epi32(_mm256_cvtps_epi32(v), vzp);
+            let lo = _mm256_castsi256_si128(qi);
+            let hi = _mm256_extracti128_si256(qi, 1);
+            let p16 = _mm_packs_epi32(lo, hi);
+            let p8 = _mm_packus_epi16(p16, p16);
+            _mm_storel_epi64(qp.add(i) as *mut __m128i, p8);
+            i += 8;
+        }
+        while i < x.len() {
+            *qp.add(i) =
+                ((*xp.add(i) * inv).round_ties_even() as i32 + zp).clamp(0, 255) as u8;
+            i += 1;
+        }
+    }
+
+    /// Lane-parallel twin of [`super::fast_gelu`]: identical FMA
+    /// contractions, `vroundps` ties-even, and IEEE mul/add/div/min/abs,
+    /// so each lane reproduces the scalar result bit-for-bit.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gelu_span_avx2(x: &mut [f32]) {
+        let vc = _mm256_set1_ps(super::GELU_C);
+        let vk = _mm256_set1_ps(super::GELU_K);
+        let v2l = _mm256_set1_ps(super::TWO_LOG2E);
+        let vmax = _mm256_set1_ps(super::EXP2_ARG_MAX);
+        let vln2 = _mm256_set1_ps(super::LN2);
+        let c5 = _mm256_set1_ps(1.0 / 120.0);
+        let c4 = _mm256_set1_ps(1.0 / 24.0);
+        let c3 = _mm256_set1_ps(1.0 / 6.0);
+        let half = _mm256_set1_ps(0.5);
+        let one = _mm256_set1_ps(1.0);
+        let two = _mm256_set1_ps(2.0);
+        let bias = _mm256_set1_epi32(127);
+        let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+        let sign_mask = _mm256_castsi256_ps(_mm256_set1_epi32(u32::MAX as i32 ^ 0x7fff_ffff));
+        let kc = x.len() - x.len() % 8;
+        let p = x.as_mut_ptr();
+        let mut i = 0;
+        while i < kc {
+            let xv = _mm256_loadu_ps(p.add(i));
+            let x2 = _mm256_mul_ps(xv, xv);
+            let u = _mm256_mul_ps(vc, _mm256_fmadd_ps(vk, _mm256_mul_ps(x2, xv), xv));
+            let z = _mm256_min_ps(_mm256_mul_ps(_mm256_and_ps(u, abs_mask), v2l), vmax);
+            let n = _mm256_round_ps(z, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+            let g = _mm256_mul_ps(_mm256_sub_ps(z, n), vln2);
+            let pe = _mm256_fmadd_ps(c5, g, c4);
+            let pe = _mm256_fmadd_ps(pe, g, c3);
+            let pe = _mm256_fmadd_ps(pe, g, half);
+            let pe = _mm256_fmadd_ps(pe, g, one);
+            let pe = _mm256_fmadd_ps(pe, g, one);
+            let exp2n = _mm256_castsi256_ps(_mm256_slli_epi32(
+                _mm256_add_epi32(_mm256_cvtps_epi32(n), bias),
+                23,
+            ));
+            let e2a = _mm256_mul_ps(pe, exp2n);
+            let t = _mm256_sub_ps(one, _mm256_div_ps(two, _mm256_add_ps(e2a, one)));
+            let ts = _mm256_xor_ps(t, _mm256_and_ps(u, sign_mask));
+            let out = _mm256_mul_ps(_mm256_mul_ps(half, xv), _mm256_add_ps(one, ts));
+            _mm256_storeu_ps(p.add(i), out);
+            i += 8;
+        }
+        while i < x.len() {
+            *p.add(i) = super::fast_gelu(*p.add(i));
+            i += 1;
+        }
+    }
+
+    /// AVX2 (no VNNI) u8xi8 GEMM tile: widen both operands to i16 and use
+    /// `madd_epi16`, whose pairwise i32 sums are exact — `maddubs` would
+    /// saturate at u8 range. Two rows x four columns per tile.
+    ///
+    /// # Safety
+    /// Requires AVX2; `a` must be `m * k` row-major, `w` `n * k`
+    /// column-major, `acc` `m * n`.
+    #[allow(clippy::needless_range_loop)] // `c` indexes the register tile in lockstep with the column offset
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_u8i8_avx2(a: &[u8], m: usize, w: &[i8], k: usize, n: usize, acc: &mut [i32]) {
+        let kc = k - k % 16;
+        let mut r = 0;
+        while r < m {
+            let pair = r + 1 < m;
+            let a0 = a.as_ptr().add(r * k);
+            let a1 = if pair { a.as_ptr().add((r + 1) * k) } else { a0 };
+            let mut j = 0;
+            while j + 4 <= n {
+                let mut s = [[_mm256_setzero_si256(); 4]; 2];
+                let mut i = 0;
+                while i < kc {
+                    let va0 = _mm256_cvtepu8_epi16(_mm_loadu_si128(a0.add(i) as *const __m128i));
+                    let va1 = if pair {
+                        _mm256_cvtepu8_epi16(_mm_loadu_si128(a1.add(i) as *const __m128i))
+                    } else {
+                        va0
+                    };
+                    for c in 0..4 {
+                        let wp = w.as_ptr().add((j + c) * k + i);
+                        let vw = _mm256_cvtepi8_epi16(_mm_loadu_si128(wp as *const __m128i));
+                        s[0][c] = _mm256_add_epi32(s[0][c], _mm256_madd_epi16(va0, vw));
+                        s[1][c] = _mm256_add_epi32(s[1][c], _mm256_madd_epi16(va1, vw));
+                    }
+                    i += 16;
+                }
+                for c in 0..4 {
+                    let mut t0 = hsum_epi32(s[0][c]);
+                    let mut t1 = hsum_epi32(s[1][c]);
+                    let wp = w.as_ptr().add((j + c) * k);
+                    let mut i = kc;
+                    while i < k {
+                        let wv = *wp.add(i) as i32;
+                        t0 += *a0.add(i) as i32 * wv;
+                        t1 += *a1.add(i) as i32 * wv;
+                        i += 1;
+                    }
+                    *acc.get_unchecked_mut(r * n + j + c) = t0;
+                    if pair {
+                        *acc.get_unchecked_mut((r + 1) * n + j + c) = t1;
+                    }
+                }
+                j += 4;
+            }
+            // Remainder columns (AOA/head projections have n = 1 or 2).
+            while j < n {
+                let wp = w.as_ptr().add(j * k);
+                let mut s0 = _mm256_setzero_si256();
+                let mut s1 = _mm256_setzero_si256();
+                let mut i = 0;
+                while i < kc {
+                    let vw = _mm256_cvtepi8_epi16(_mm_loadu_si128(wp.add(i) as *const __m128i));
+                    let va0 = _mm256_cvtepu8_epi16(_mm_loadu_si128(a0.add(i) as *const __m128i));
+                    s0 = _mm256_add_epi32(s0, _mm256_madd_epi16(va0, vw));
+                    if pair {
+                        let va1 =
+                            _mm256_cvtepu8_epi16(_mm_loadu_si128(a1.add(i) as *const __m128i));
+                        s1 = _mm256_add_epi32(s1, _mm256_madd_epi16(va1, vw));
+                    }
+                    i += 16;
+                }
+                let mut t0 = hsum_epi32(s0);
+                let mut t1 = hsum_epi32(s1);
+                while i < k {
+                    let wv = *wp.add(i) as i32;
+                    t0 += *a0.add(i) as i32 * wv;
+                    t1 += *a1.add(i) as i32 * wv;
+                    i += 1;
+                }
+                *acc.get_unchecked_mut(r * n + j) = t0;
+                if pair {
+                    *acc.get_unchecked_mut((r + 1) * n + j) = t1;
+                }
+                j += 1;
+            }
+            r += 2;
+        }
+    }
+
+    /// AVX-VNNI u8xi8 GEMM tile: `vpdpbusd` takes unsigned x signed bytes
+    /// natively and accumulates into i32 in one instruction. Two rows x
+    /// four columns per tile.
+    ///
+    /// # Safety
+    /// Requires AVX2 and AVX-VNNI; `a` must be `m * k` row-major, `w`
+    /// `n * k` column-major, `acc` `m * n`.
+    #[allow(clippy::needless_range_loop)] // `c` indexes the register tile in lockstep with the column offset
+    #[target_feature(enable = "avx2,avxvnni")]
+    pub unsafe fn gemm_u8i8_vnni(a: &[u8], m: usize, w: &[i8], k: usize, n: usize, acc: &mut [i32]) {
+        let kc = k - k % 32;
+        let mut r = 0;
+        while r < m {
+            let pair = r + 1 < m;
+            let a0 = a.as_ptr().add(r * k);
+            let a1 = if pair { a.as_ptr().add((r + 1) * k) } else { a0 };
+            let mut j = 0;
+            while j + 4 <= n {
+                let mut s = [[_mm256_setzero_si256(); 4]; 2];
+                let mut i = 0;
+                while i < kc {
+                    let va0 = _mm256_loadu_si256(a0.add(i) as *const __m256i);
+                    let va1 = if pair {
+                        _mm256_loadu_si256(a1.add(i) as *const __m256i)
+                    } else {
+                        va0
+                    };
+                    for c in 0..4 {
+                        let wp = w.as_ptr().add((j + c) * k + i);
+                        let vw = _mm256_loadu_si256(wp as *const __m256i);
+                        s[0][c] = _mm256_dpbusd_avx_epi32(s[0][c], va0, vw);
+                        s[1][c] = _mm256_dpbusd_avx_epi32(s[1][c], va1, vw);
+                    }
+                    i += 32;
+                }
+                for c in 0..4 {
+                    let mut t0 = hsum_epi32(s[0][c]);
+                    let mut t1 = hsum_epi32(s[1][c]);
+                    let wp = w.as_ptr().add((j + c) * k);
+                    let mut i = kc;
+                    while i < k {
+                        let wv = *wp.add(i) as i32;
+                        t0 += *a0.add(i) as i32 * wv;
+                        t1 += *a1.add(i) as i32 * wv;
+                        i += 1;
+                    }
+                    *acc.get_unchecked_mut(r * n + j + c) = t0;
+                    if pair {
+                        *acc.get_unchecked_mut((r + 1) * n + j + c) = t1;
+                    }
+                }
+                j += 4;
+            }
+            while j < n {
+                let wp = w.as_ptr().add(j * k);
+                let mut s0 = _mm256_setzero_si256();
+                let mut s1 = _mm256_setzero_si256();
+                let mut i = 0;
+                while i < kc {
+                    let vw = _mm256_loadu_si256(wp.add(i) as *const __m256i);
+                    let va0 = _mm256_loadu_si256(a0.add(i) as *const __m256i);
+                    s0 = _mm256_dpbusd_avx_epi32(s0, va0, vw);
+                    if pair {
+                        let va1 = _mm256_loadu_si256(a1.add(i) as *const __m256i);
+                        s1 = _mm256_dpbusd_avx_epi32(s1, va1, vw);
+                    }
+                    i += 32;
+                }
+                let mut t0 = hsum_epi32(s0);
+                let mut t1 = hsum_epi32(s1);
+                while i < k {
+                    let wv = *wp.add(i) as i32;
+                    t0 += *a0.add(i) as i32 * wv;
+                    t1 += *a1.add(i) as i32 * wv;
+                    i += 1;
+                }
+                *acc.get_unchecked_mut(r * n + j) = t0;
+                if pair {
+                    *acc.get_unchecked_mut((r + 1) * n + j) = t1;
+                }
+                j += 1;
+            }
+            r += 2;
+        }
+    }
+
+    /// Explicit AVX2+FMA twin of `kernels::micro_kernel`: rank-1 updates of a
+    /// 4 x 16 register block from packed panels (`a` strided by MR=4, `b` by
+    /// NR=16).
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; `a` must hold `kc * 4` and `b` `kc * 16` packed
+    /// elements.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn micro_kernel_f32_avx2(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; 16]; 4]) {
+        let mut c00 = _mm256_setzero_ps();
+        let mut c01 = _mm256_setzero_ps();
+        let mut c10 = _mm256_setzero_ps();
+        let mut c11 = _mm256_setzero_ps();
+        let mut c20 = _mm256_setzero_ps();
+        let mut c21 = _mm256_setzero_ps();
+        let mut c30 = _mm256_setzero_ps();
+        let mut c31 = _mm256_setzero_ps();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        for p in 0..kc {
+            let b0 = _mm256_loadu_ps(bp.add(p * 16));
+            let b1 = _mm256_loadu_ps(bp.add(p * 16 + 8));
+            let a0 = _mm256_broadcast_ss(&*ap.add(p * 4));
+            let a1 = _mm256_broadcast_ss(&*ap.add(p * 4 + 1));
+            let a2 = _mm256_broadcast_ss(&*ap.add(p * 4 + 2));
+            let a3 = _mm256_broadcast_ss(&*ap.add(p * 4 + 3));
+            c00 = _mm256_fmadd_ps(a0, b0, c00);
+            c01 = _mm256_fmadd_ps(a0, b1, c01);
+            c10 = _mm256_fmadd_ps(a1, b0, c10);
+            c11 = _mm256_fmadd_ps(a1, b1, c11);
+            c20 = _mm256_fmadd_ps(a2, b0, c20);
+            c21 = _mm256_fmadd_ps(a2, b1, c21);
+            c30 = _mm256_fmadd_ps(a3, b0, c30);
+            c31 = _mm256_fmadd_ps(a3, b1, c31);
+        }
+        let rows = [[c00, c01], [c10, c11], [c20, c21], [c30, c31]];
+        for (r, pair) in rows.iter().enumerate() {
+            let dst = acc[r].as_mut_ptr();
+            _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), pair[0]));
+            _mm256_storeu_ps(dst.add(8), _mm256_add_ps(_mm256_loadu_ps(dst.add(8)), pair[1]));
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use x86::{gelu_span_avx2, gemm_u8i8_avx2, gemm_u8i8_vnni, min_max_avx2, quantize_span_u8_avx2};
+#[cfg(target_arch = "x86_64")]
+pub use x86::micro_kernel_f32_avx2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ref_gemm(a: &[u8], m: usize, w: &[i8], k: usize, n: usize) -> Vec<i32> {
+        let mut out = vec![0i32; m * n];
+        for r in 0..m {
+            for j in 0..n {
+                out[r * n + j] = (0..k)
+                    .map(|i| a[r * k + i] as i32 * w[j * k + i] as i32)
+                    .sum();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gemm_tiers_match_reference_exactly() {
+        let mut state = 0x1234_5678u32;
+        let mut next = move || {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            state >> 16
+        };
+        // Hit the 2x4 main tile, the single-row and remainder-column edges,
+        // and the scalar k-tail — with the 255 x ±127 corners that would
+        // expose a saturating maddubs shortcut.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (2, 31, 3),
+            (3, 32, 4),
+            (5, 64, 7),
+            (4, 133, 6),
+            (7, 16, 9),
+        ] {
+            let mut a: Vec<u8> = (0..m * k).map(|_| (next() % 256) as u8).collect();
+            let mut w: Vec<i8> = (0..k * n).map(|_| (next() as i32 % 255 - 127) as i8).collect();
+            a[0] = 255;
+            w[0] = -127;
+            if k > 1 {
+                a[1] = 255;
+                w[1] = -127;
+            }
+            let expect = ref_gemm(&a, m, &w, k, n);
+            let mut out = vec![0i32; m * n];
+            gemm_u8i8_scalar(&a, m, &w, k, n, &mut out);
+            assert_eq!(out, expect, "scalar m={m} k={k} n={n}");
+            #[cfg(target_arch = "x86_64")]
+            {
+                if detected() >= Level::Avx2 {
+                    let mut out = vec![0i32; m * n];
+                    unsafe { gemm_u8i8_avx2(&a, m, &w, k, n, &mut out) };
+                    assert_eq!(out, expect, "avx2 m={m} k={k} n={n}");
+                }
+                if detected() >= Level::Avx2Vnni {
+                    let mut out = vec![0i32; m * n];
+                    unsafe { gemm_u8i8_vnni(&a, m, &w, k, n, &mut out) };
+                    assert_eq!(out, expect, "vnni m={m} k={k} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_span_tiers_are_bit_identical() {
+        let xs: Vec<f32> = (0..71)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.173 + if i % 9 == 0 { 0.5 } else { 0.0 })
+            .collect();
+        // Include an exact .5 product to pin ties-to-even agreement and
+        // values that clamp at both ends.
+        let inv = 2.0f32;
+        let zp = 12;
+        let mut q_scalar = vec![0u8; xs.len()];
+        quantize_span_u8_scalar(&xs, inv, zp, &mut q_scalar);
+        #[cfg(target_arch = "x86_64")]
+        if detected() >= Level::Avx2 {
+            let mut q_simd = vec![0u8; xs.len()];
+            unsafe { quantize_span_u8_avx2(&xs, inv, zp, &mut q_simd) };
+            assert_eq!(q_scalar, q_simd);
+        }
+        let (mn, mx) = min_max(&xs);
+        assert_eq!(min_max_scalar(&xs), (mn, mx));
+    }
+
+    fn exact_gelu(x: f32) -> f32 {
+        let u = GELU_C * (x + GELU_K * x * x * x);
+        0.5 * x * (1.0 + u.tanh())
+    }
+
+    #[test]
+    fn fast_gelu_tracks_the_exact_op() {
+        // Sweep the activation range the feed-forward blocks actually see,
+        // plus deep tails where tanh saturates. The polynomial's error
+        // budget is ~3e-6 relative on tanh, i.e. ~2e-6 * |x| on the output.
+        let mut x = -30.0f32;
+        while x <= 30.0 {
+            let got = fast_gelu(x);
+            let want = exact_gelu(x);
+            let bound = 5e-6 * x.abs().max(1.0);
+            assert!(
+                (got - want).abs() <= bound,
+                "fast_gelu({x}) = {got}, exact {want}, bound {bound}"
+            );
+            x += 0.0173;
+        }
+        assert_eq!(fast_gelu(0.0), 0.0);
+        // Deep tails: tanh clamps at |t| = 1 - 6e-8, not exactly 1, so the
+        // saturated branches still obey the relative bound.
+        assert!(fast_gelu(-100.0).abs() <= 5e-6 * 100.0);
+        assert!((fast_gelu(100.0) - 100.0).abs() <= 5e-6 * 100.0);
+    }
+
+    #[test]
+    fn gelu_span_tiers_are_bit_identical() {
+        let mut vals: Vec<f32> = Vec::new();
+        let mut s = 0xdead_beefu32;
+        for _ in 0..61 {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            vals.push(((s >> 16) as f32 / 4096.0) - 8.0);
+        }
+        vals.extend_from_slice(&[0.0, -0.0, 1e-20, -1e-20, 40.0, -40.0]);
+        let mut fast = vals.clone();
+        gelu_span(&mut fast);
+        let mut scalar = vals.clone();
+        let before = forced_scalar();
+        set_forced_scalar(true);
+        gelu_span(&mut scalar);
+        set_forced_scalar(before);
+        assert_eq!(fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                   scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn forced_scalar_pins_level() {
+        let before = forced_scalar();
+        set_forced_scalar(true);
+        assert_eq!(level(), Level::Scalar);
+        set_forced_scalar(before);
+    }
+}

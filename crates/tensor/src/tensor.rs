@@ -6,7 +6,7 @@ use std::sync::Arc;
 use rand::Rng;
 use serde::{Deserialize, Serialize, Value};
 
-use crate::{kernels, pool};
+use crate::{backend, kernels, pool};
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -412,7 +412,7 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = pool::take_uninit(m * n);
-        kernels::gemm_nn(m, k, n, &self.data, &other.data, &mut out);
+        backend::gemm_nn(m, k, n, &self.data, &other.data, &mut out);
         Self::from_vec(m, n, out)
     }
 
@@ -425,7 +425,7 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = pool::take_uninit(m * n);
-        kernels::gemm_nt(m, k, n, &self.data, &other.data, &mut out);
+        backend::gemm_nt(m, k, n, &self.data, &other.data, &mut out);
         Self::from_vec(m, n, out)
     }
 
@@ -438,7 +438,7 @@ impl Tensor {
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
         let mut out = pool::take_uninit(m * n);
-        kernels::gemm_tn(m, k, n, &self.data, &other.data, &mut out);
+        backend::gemm_tn(m, k, n, &self.data, &other.data, &mut out);
         Self::from_vec(m, n, out)
     }
 

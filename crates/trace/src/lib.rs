@@ -277,6 +277,10 @@ pub struct ServeSummary {
     pub batch_size: metrics::HistogramSummary,
     /// Per-request enqueue→answer latency, nanoseconds.
     pub request_latency: metrics::HistogramSummary,
+    /// Kernel backend that served the run (`"f32"`, `"int8-avx2"`,
+    /// `"int8-scalar"`, ...). Empty in summaries written before PR 10.
+    #[serde(default)]
+    pub backend: String,
 }
 
 /// Hooks into a training run. Every method has a no-op default, so observers
@@ -1174,6 +1178,7 @@ mod tests {
             cache_hit_rate: 680.0 / 800.0,
             batch_size: batch.summary("serve.batch_size"),
             request_latency: lat.summary("serve.request_ns"),
+            backend: "int8-avx2".to_string(),
         });
         let s = b.finish();
         let serve = s.serve.as_ref().expect("serve section recorded");
@@ -1195,6 +1200,7 @@ mod tests {
         assert_eq!(serve.postmortems, 1);
         assert_eq!(serve.trace_events, 1500);
         assert_eq!(serve.trace_dropped, 476);
+        assert_eq!(serve.backend, "int8-avx2");
         assert_eq!(serve.batch_size.count, 2);
         assert!(serve.request_latency.p50 <= serve.request_latency.p99);
 

@@ -139,3 +139,28 @@ assert report["trace_timelines"] > 0, "/trace returned no flush timelines"
 snap = report["enabled_snapshot"]
 assert snap["scored"] == report["requests"], "requests were dropped"
 PY
+
+# Quantized-inference gate: the int8 backend must track f32 within the
+# documented bounds (max |dp| <= 5e-3, |dF1| <= 0.005) on real test splits,
+# for BOTH the detected SIMD tier and the interleaved scalar-fallback leg
+# (the bench pins the portable kernels in-process for that leg), and a
+# profiled int8 pass must attribute linear_q8 ops. The gate deliberately
+# does NOT export EMBA_FORCE_SCALAR for the whole process: that would also
+# retrain the f32 baseline on different f32 kernels, and the equivalence
+# bound is calibrated against the canonically-trained model — the
+# env-variable path itself is pinned by emba-tensor's forced-scalar tests.
+# Writes to results/tier1/ so the committed artifact is not clobbered.
+cargo run --release -p emba-bench --bin reproduce -- \
+    bench-quant --profile quick --out results/tier1
+python3 - <<'PY'
+import json
+report = json.load(open("results/tier1/BENCH_quant.json"))
+assert report["pass"], "BENCH_quant.json records a failed gate"
+assert report["quantized_ops_profiled"] > 0, "profiler saw no linear_q8 ops"
+assert report["throughput"]["speedup"] >= report["required_speedup"], report["throughput"]
+for d in report["equivalence"]:
+    assert d["scalar"]["backend"] == "int8-scalar", d
+    for leg in (d["simd"], d["scalar"]):
+        assert leg["max_abs_dprob"] <= report["max_allowed_dprob"], d
+        assert leg["f1_delta"] <= report["max_allowed_f1_delta"], d
+PY
